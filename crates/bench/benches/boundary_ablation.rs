@@ -1,0 +1,64 @@
+//! Ablation benchmark: blocked vs dense solution of the boundary equations.
+//!
+//! DESIGN.md calls out the block-tridiagonal elimination of the spectral-expansion
+//! boundary system as the choice that keeps the exact solution practical (`O(N·s³)`
+//! instead of `O((N·s)³)`).  This bench quantifies that choice by timing the blocked
+//! solver against the dense fallback on boundary-sized systems.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use urs_linalg::{BlockTridiagonal, CMatrix, Complex};
+
+/// Builds a well-conditioned block-tridiagonal system with `rows` block rows of size
+/// `size`, mimicking the structure of the spectral-expansion boundary equations.
+fn sample_system(rows: usize, size: usize) -> BlockTridiagonal {
+    let mut seed = 0x2006_u64;
+    let mut next = move || {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((seed >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    };
+    let mut system = BlockTridiagonal::new(rows, size).expect("valid dimensions");
+    for row in 0..rows {
+        let mut diagonal = CMatrix::from_fn(size, size, |_, _| Complex::new(next(), 0.1 * next()));
+        for i in 0..size {
+            diagonal[(i, i)] += Complex::from_real(4.0 * size as f64);
+        }
+        system.set_diagonal(row, diagonal).unwrap();
+        if row > 0 {
+            system
+                .set_lower(row, CMatrix::from_fn(size, size, |_, _| Complex::from_real(next())))
+                .unwrap();
+        }
+        if row + 1 < rows {
+            system
+                .set_upper(row, CMatrix::from_fn(size, size, |_, _| Complex::from_real(next())))
+                .unwrap();
+        }
+        system
+            .set_rhs(row, (0..size).map(|_| Complex::new(next(), next())).collect())
+            .unwrap();
+    }
+    system
+}
+
+fn bench_boundary_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("boundary_solver");
+    group.sample_size(10);
+    // (block rows, block size) ≈ (N+1, s) for N servers with n = 2, m = 1 phases.
+    for &(rows, size) in &[(6usize, 21usize), (9, 45), (11, 66)] {
+        let system = sample_system(rows, size);
+        group.bench_with_input(
+            BenchmarkId::new("block_tridiagonal", format!("{rows}x{size}")),
+            &system,
+            |b, s| b.iter(|| s.solve().unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dense_fallback", format!("{rows}x{size}")),
+            &system,
+            |b, s| b.iter(|| s.solve_dense().unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_boundary_solvers);
+criterion_main!(benches);

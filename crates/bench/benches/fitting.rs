@@ -1,0 +1,44 @@
+//! Criterion benchmarks of the Section-2 statistical pipeline.
+//!
+//! Measures the cost of the hyperexponential fitting procedures (closed-form moment
+//! matching, the paper's brute-force rate search, EM) and of the Kolmogorov–Smirnov
+//! test on trace-sized samples.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use urs_bench::paper_operative;
+use urs_dist::fit::{
+    fit_hyperexp2_moments, fit_hyperexp_brute_force, fit_hyperexp_em, BruteForceOptions,
+};
+use urs_dist::ks::KsTest;
+use urs_dist::ContinuousDistribution;
+
+fn bench_fitting(c: &mut Criterion) {
+    let target = paper_operative();
+    let mut rng = StdRng::seed_from_u64(7);
+    let samples: Vec<f64> = (0..50_000).map(|_| target.sample(&mut rng)).collect();
+    let moments =
+        [target.moment(1), target.moment(2), target.moment(3), target.moment(4), target.moment(5)];
+
+    c.bench_function("fit/prony_three_moments", |b| {
+        b.iter(|| fit_hyperexp2_moments(moments[0], moments[1], moments[2]).unwrap())
+    });
+
+    let options = BruteForceOptions { grid_points: 20, ..BruteForceOptions::default() };
+    c.bench_function("fit/brute_force_two_phase_20pts", |b| {
+        b.iter(|| fit_hyperexp_brute_force(&moments, 2, &options).unwrap())
+    });
+
+    let em_samples = &samples[..10_000];
+    c.bench_function("fit/em_two_phase_10k_samples_50_iters", |b| {
+        b.iter(|| fit_hyperexp_em(em_samples, 2, 50).unwrap())
+    });
+
+    c.bench_function("ks/one_sample_statistic_50k", |b| {
+        b.iter(|| KsTest::from_samples(&samples, |x| target.cdf(x)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_fitting);
+criterion_main!(benches);

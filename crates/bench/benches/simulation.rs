@@ -1,0 +1,35 @@
+//! Criterion benchmarks of the discrete-event simulator.
+//!
+//! Measures the cost of simulating the paper's reference system for a fixed horizon,
+//! which is what determines how expensive the simulation-only points of Figure 6 are
+//! relative to the analytic solutions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use urs_bench::{paper_inoperative, paper_operative};
+use urs_dist::Exponential;
+use urs_sim::{BreakdownQueueSimulation, SimulationConfig};
+
+fn bench_simulation(c: &mut Criterion) {
+    let config = SimulationConfig::builder(10, 8.0)
+        .service(Exponential::new(1.0).unwrap())
+        .operative(paper_operative())
+        .inoperative(paper_inoperative())
+        .warmup(500.0)
+        .horizon(5_000.0)
+        .build()
+        .unwrap();
+    let simulation = BreakdownQueueSimulation::new(config);
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    group.bench_function("ten_servers_horizon_5000", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            simulation.run(seed).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benchmarks of the analytic solvers as the system grows.
+//!
+//! Measures the wall-clock cost of the exact spectral expansion, the matrix-geometric
+//! method and the geometric approximation for increasing numbers of servers (and hence
+//! operational modes), quantifying the complexity argument behind the paper's
+//! recommendation of the approximation for large systems.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use urs_bench::{figure5_lifecycle, system};
+use urs_core::{
+    GeometricApproximation, MatrixGeometricSolver, QueueSolver, SpectralExpansionSolver,
+};
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solvers");
+    group.sample_size(10);
+    for &servers in &[4usize, 8, 12] {
+        let lifecycle = figure5_lifecycle();
+        let config = system(servers, 0.85 * servers as f64 * lifecycle.availability(), lifecycle);
+        group.bench_with_input(
+            BenchmarkId::new("spectral_expansion", servers),
+            &config,
+            |b, cfg| b.iter(|| SpectralExpansionSolver::default().solve(cfg).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("matrix_geometric", servers),
+            &config,
+            |b, cfg| b.iter(|| MatrixGeometricSolver::default().solve(cfg).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("geometric_approximation", servers),
+            &config,
+            |b, cfg| b.iter(|| GeometricApproximation::default().solve(cfg).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 3: empirical vs fitted density of the operative periods (range 0–250).
+//!
+//! Prints the empirical density of the operative periods derived from a synthetic
+//! Sun-like trace together with the density of the fitted two-phase hyperexponential
+//! and, for contrast, of the rejected exponential fit — the three curves of Figure 3.
+
+use urs_bench::{print_header, print_row};
+use urs_data::{AnalysisOptions, SyntheticTrace, TraceAnalysis};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let events: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(140_000);
+    let trace = SyntheticTrace::paper_like().with_events(events).generate(2006)?;
+    let analysis = TraceAnalysis::run(&trace, AnalysisOptions::default())?;
+
+    print_header(
+        "Figure 3: densities of operative periods (0-250)",
+        &["x", "observed", "hyperexp fit", "exponential"],
+    );
+    for point in analysis.operative().density_series() {
+        print_row(&[point.x, point.empirical, point.hyperexponential, point.exponential]);
+    }
+    println!(
+        "\nKS statistic of the hyperexponential fit: {:.4} (paper: 0.1412)",
+        analysis.operative().ks_hyperexponential().statistic()
+    );
+    Ok(())
+}

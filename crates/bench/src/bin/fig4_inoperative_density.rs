@@ -1,0 +1,27 @@
+//! Figure 4: empirical vs fitted density of the inoperative periods (range 0–1.2).
+//!
+//! Prints the empirical density of the inoperative (repair) periods from a synthetic
+//! Sun-like trace together with the fitted two-phase hyperexponential density and the
+//! single-exponential density — the curves of Figure 4.
+
+use urs_bench::{print_header, print_row};
+use urs_data::{AnalysisOptions, SyntheticTrace, TraceAnalysis};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let events: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(140_000);
+    let trace = SyntheticTrace::paper_like().with_events(events).generate(2006)?;
+    let analysis = TraceAnalysis::run(&trace, AnalysisOptions::default())?;
+
+    print_header(
+        "Figure 4: densities of inoperative periods (0-1.2)",
+        &["x", "observed", "hyperexp fit", "exponential"],
+    );
+    for point in analysis.inoperative().density_series() {
+        print_row(&[point.x, point.empirical, point.hyperexponential, point.exponential]);
+    }
+    println!(
+        "\nKS statistic of the hyperexponential fit: {:.4} (paper: 0.1832)",
+        analysis.inoperative().ks_hyperexponential().statistic()
+    );
+    Ok(())
+}

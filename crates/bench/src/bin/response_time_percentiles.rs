@@ -1,0 +1,44 @@
+//! The paper's open problem: the *distribution* of the response time.
+//!
+//! Section 5 of the paper notes that the spectral-expansion solution yields the mean
+//! response time but not its distribution (e.g. the 90th percentile) and leaves that as
+//! future work.  This experiment answers the question empirically: for the paper's
+//! Figure 9 setting (λ = 7.5, fitted lifecycle) it simulates the system for each number
+//! of servers and reports the mean together with the 90th, 95th and 99th percentiles of
+//! the response time, alongside the analytic mean for reference.
+
+use urs_bench::{figure5_lifecycle, print_header, system};
+use urs_core::{QueueSolver, SpectralExpansionSolver};
+use urs_dist::Exponential;
+use urs_sim::{BreakdownQueueSimulation, SimulationConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lifecycle = figure5_lifecycle();
+    print_header(
+        "Open problem: response-time percentiles by simulation (lambda = 7.5, eta = 25)",
+        &["N", "W analytic", "W simulated", "90th pct", "95th pct", "99th pct"],
+    );
+    for servers in 9..=13 {
+        let config = system(servers, 7.5, lifecycle.clone());
+        let analytic = SpectralExpansionSolver::default().solve(&config)?.mean_response_time();
+        let sim_config = SimulationConfig::builder(servers, 7.5)
+            .service(Exponential::new(1.0)?)
+            .operative(lifecycle.operative().clone())
+            .inoperative(lifecycle.inoperative().clone())
+            .warmup(20_000.0)
+            .horizon(220_000.0)
+            .build()?;
+        let result = BreakdownQueueSimulation::new(sim_config).run(2006)?;
+        println!(
+            "{:>14}  {:>14.4}  {:>14.4}  {:>14.4}  {:>14.4}  {:>14.4}",
+            servers,
+            analytic,
+            result.mean_response_time(),
+            result.response_time_percentile(0.90).unwrap_or(f64::NAN),
+            result.response_time_percentile(0.95).unwrap_or(f64::NAN),
+            result.response_time_percentile(0.99).unwrap_or(f64::NAN),
+        );
+    }
+    println!("\nThe percentile columns are what the analytic model of the paper cannot provide.");
+    Ok(())
+}

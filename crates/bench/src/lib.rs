@@ -1,0 +1,81 @@
+//! Shared helpers for the experiment binaries that reproduce the paper's figures.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of Palmer & Mitrani
+//! (DSN 2006); this library holds the parameter sets used across several experiments
+//! and small utilities for printing aligned result tables.  Run the binaries in release
+//! mode, e.g. `cargo run --release -p urs-bench --bin fig5_cost_vs_servers`.
+
+use urs_core::{ServerLifecycle, SystemConfig};
+use urs_dist::HyperExponential;
+
+/// The operative-period distribution fitted in Section 2 of the paper:
+/// `α = (0.7246, 0.2754)`, `ξ = (0.1663, 0.0091)`; mean ≈ 34.62, C² ≈ 4.6.
+pub fn paper_operative() -> HyperExponential {
+    HyperExponential::new(&[0.7246, 0.2754], &[0.1663, 0.0091]).expect("paper parameters valid")
+}
+
+/// The inoperative-period distribution fitted in Section 2 of the paper:
+/// `β = (0.9303, 0.0697)`, `η = (25.0043, 1.6346)`.
+pub fn paper_inoperative() -> HyperExponential {
+    HyperExponential::new(&[0.9303, 0.0697], &[25.0043, 1.6346]).expect("paper parameters valid")
+}
+
+/// The lifecycle used in Figures 5, 8 and 9: fitted operative periods, exponential
+/// repairs with rate `η = 25`.
+pub fn figure5_lifecycle() -> ServerLifecycle {
+    ServerLifecycle::with_exponential_repair(paper_operative(), 25.0)
+        .expect("paper parameters valid")
+}
+
+/// The lifecycle family of Figures 6 and 7: operative periods with mean 34.62 (i.e.
+/// `ξ = 0.0289`) and exponential repairs with the given rate `η`.
+pub fn sensitivity_lifecycle(operative_scv: f64, repair_rate: f64) -> ServerLifecycle {
+    let operative = HyperExponential::with_mean_and_scv(34.62, operative_scv)
+        .expect("scv >= 1 by construction");
+    ServerLifecycle::with_exponential_repair(operative, repair_rate)
+        .expect("positive repair rate")
+}
+
+/// Builds a system configuration with unit service rate, the convention used in every
+/// numerical experiment of the paper.
+pub fn system(servers: usize, arrival_rate: f64, lifecycle: ServerLifecycle) -> SystemConfig {
+    SystemConfig::new(servers, arrival_rate, 1.0, lifecycle).expect("valid configuration")
+}
+
+/// Prints a header line followed by a separator, for simple aligned tables.
+pub fn print_header(title: &str, columns: &[&str]) {
+    println!("\n== {title} ==");
+    let header = columns.iter().map(|c| format!("{c:>14}")).collect::<Vec<_>>().join("  ");
+    println!("{header}");
+    println!("{}", "-".repeat(header.len()));
+}
+
+/// Prints one row of numeric cells aligned with [`print_header`].
+pub fn print_row(cells: &[f64]) {
+    let row = cells.iter().map(|v| format!("{v:>14.4}")).collect::<Vec<_>>().join("  ");
+    println!("{row}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urs_dist::ContinuousDistribution;
+
+    #[test]
+    fn paper_parameter_sets_have_documented_statistics() {
+        assert!((paper_operative().mean() - 34.62).abs() < 0.05);
+        assert!((paper_inoperative().mean() - 0.0799).abs() < 0.002);
+        assert!((figure5_lifecycle().availability() - 0.99885).abs() < 1e-3);
+        let sens = sensitivity_lifecycle(4.6, 0.2);
+        assert!((sens.operative().mean() - 34.62).abs() < 1e-9);
+        assert!((sens.repair_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn system_builder_uses_unit_service_rate() {
+        let cfg = system(10, 8.0, figure5_lifecycle());
+        assert_eq!(cfg.service_rate(), 1.0);
+        assert_eq!(cfg.servers(), 10);
+        assert!(cfg.is_stable());
+    }
+}

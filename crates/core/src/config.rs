@@ -1,0 +1,383 @@
+//! System configuration: servers, traffic and the breakdown/repair lifecycle.
+
+use urs_dist::{ContinuousDistribution, HyperExponential};
+
+use crate::error::ModelError;
+use crate::Result;
+
+/// The breakdown/repair behaviour of a single server.
+///
+/// Each server alternates between *operative* periods (distribution with `n`
+/// hyperexponential phases, weights `α_j` and rates `ξ_j`) and *inoperative* periods
+/// (distribution with `m` phases, weights `β_k` and rates `η_k`), independently of the
+/// other servers and of the queue.
+///
+/// # Example
+///
+/// ```
+/// use urs_core::ServerLifecycle;
+///
+/// # fn main() -> Result<(), urs_core::ModelError> {
+/// // The paper's fitted operative periods with exponential repairs of mean 1/25.
+/// let lifecycle = ServerLifecycle::paper_fitted()?;
+/// assert!((lifecycle.availability() - 0.9988).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerLifecycle {
+    operative: HyperExponential,
+    inoperative: HyperExponential,
+}
+
+impl ServerLifecycle {
+    /// Creates a lifecycle from explicit operative and inoperative period distributions.
+    pub fn new(operative: HyperExponential, inoperative: HyperExponential) -> Self {
+        ServerLifecycle { operative, inoperative }
+    }
+
+    /// Creates a lifecycle with a hyperexponential operative-period distribution and an
+    /// exponential inoperative (repair) distribution with rate `repair_rate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Dist`] if `repair_rate` is not positive and finite.
+    pub fn with_exponential_repair(
+        operative: HyperExponential,
+        repair_rate: f64,
+    ) -> Result<Self> {
+        Ok(ServerLifecycle {
+            operative,
+            inoperative: HyperExponential::exponential(repair_rate)?,
+        })
+    }
+
+    /// A lifecycle in which both periods are exponential — the assumption made by the
+    /// earlier literature that the paper challenges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Dist`] if either rate is not positive and finite.
+    pub fn exponential(breakdown_rate: f64, repair_rate: f64) -> Result<Self> {
+        Ok(ServerLifecycle {
+            operative: HyperExponential::exponential(breakdown_rate)?,
+            inoperative: HyperExponential::exponential(repair_rate)?,
+        })
+    }
+
+    /// The lifecycle fitted to the Sun data set in Section 2 of the paper and used for
+    /// Figures 5, 8 and 9: operative periods `H₂(α = (0.7246, 0.2754),
+    /// ξ = (0.1663, 0.0091))`, exponential repairs with rate `η = 25`.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; the signature is fallible only because the underlying
+    /// constructors are.
+    pub fn paper_fitted() -> Result<Self> {
+        let operative = HyperExponential::new(&[0.7246, 0.2754], &[0.1663, 0.0091])?;
+        ServerLifecycle::with_exponential_repair(operative, 25.0)
+    }
+
+    /// The operative-period distribution.
+    pub fn operative(&self) -> &HyperExponential {
+        &self.operative
+    }
+
+    /// The inoperative-period distribution.
+    pub fn inoperative(&self) -> &HyperExponential {
+        &self.inoperative
+    }
+
+    /// Number of operative phases `n`.
+    pub fn operative_phases(&self) -> usize {
+        self.operative.phases()
+    }
+
+    /// Number of inoperative phases `m`.
+    pub fn inoperative_phases(&self) -> usize {
+        self.inoperative.phases()
+    }
+
+    /// Overall breakdown rate `ξ` defined through `1/ξ = Σ_j α_j/ξ_j` (paper, eq. 10).
+    pub fn breakdown_rate(&self) -> f64 {
+        1.0 / self.operative.mean()
+    }
+
+    /// Overall repair rate `η` defined through `1/η = Σ_k β_k/η_k` (paper, eq. 10).
+    pub fn repair_rate(&self) -> f64 {
+        1.0 / self.inoperative.mean()
+    }
+
+    /// Long-run fraction of time a server is operative, `η/(ξ+η)`.
+    pub fn availability(&self) -> f64 {
+        let xi = self.breakdown_rate();
+        let eta = self.repair_rate();
+        eta / (xi + eta)
+    }
+
+    /// Stationary probability that a server is in operative phase `j`
+    /// (`(α_j/ξ_j) / (1/ξ + 1/η)`).
+    pub fn operative_phase_probability(&self, phase: usize) -> f64 {
+        let cycle = self.operative.mean() + self.inoperative.mean();
+        self.operative.weights()[phase] / self.operative.rates()[phase] / cycle
+    }
+
+    /// Stationary probability that a server is in inoperative phase `k`.
+    pub fn inoperative_phase_probability(&self, phase: usize) -> f64 {
+        let cycle = self.operative.mean() + self.inoperative.mean();
+        self.inoperative.weights()[phase] / self.inoperative.rates()[phase] / cycle
+    }
+}
+
+/// Full configuration of the multi-server system with breakdowns and repairs.
+///
+/// Jobs arrive in a Poisson stream with rate `λ`, are served at rate `µ` by any
+/// operative server, and each of the `N` servers follows the given
+/// [`ServerLifecycle`].
+///
+/// # Example
+///
+/// ```
+/// use urs_core::{ServerLifecycle, SystemConfig};
+///
+/// # fn main() -> Result<(), urs_core::ModelError> {
+/// let config = SystemConfig::new(10, 8.0, 1.0, ServerLifecycle::paper_fitted()?)?;
+/// assert!(config.is_stable());
+/// assert!((config.offered_load() - 8.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    servers: usize,
+    arrival_rate: f64,
+    service_rate: f64,
+    lifecycle: ServerLifecycle,
+}
+
+impl SystemConfig {
+    /// Creates a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] when `servers == 0`, or when the arrival
+    /// or service rate is not positive and finite.  Stability is *not* required here —
+    /// use [`ensure_stable`](Self::ensure_stable) or let the solvers reject unstable
+    /// systems — so that deliberately overloaded configurations can still be simulated.
+    pub fn new(
+        servers: usize,
+        arrival_rate: f64,
+        service_rate: f64,
+        lifecycle: ServerLifecycle,
+    ) -> Result<Self> {
+        if servers == 0 {
+            return Err(ModelError::InvalidParameter {
+                name: "servers",
+                value: 0.0,
+                constraint: "must be at least 1",
+            });
+        }
+        if !(arrival_rate.is_finite() && arrival_rate > 0.0) {
+            return Err(ModelError::InvalidParameter {
+                name: "arrival_rate",
+                value: arrival_rate,
+                constraint: "must be finite and positive",
+            });
+        }
+        if !(service_rate.is_finite() && service_rate > 0.0) {
+            return Err(ModelError::InvalidParameter {
+                name: "service_rate",
+                value: service_rate,
+                constraint: "must be finite and positive",
+            });
+        }
+        Ok(SystemConfig { servers, arrival_rate, service_rate, lifecycle })
+    }
+
+    /// Number of servers `N`.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Poisson arrival rate `λ`.
+    pub fn arrival_rate(&self) -> f64 {
+        self.arrival_rate
+    }
+
+    /// Service rate `µ` of one operative server.
+    pub fn service_rate(&self) -> f64 {
+        self.service_rate
+    }
+
+    /// The per-server breakdown/repair lifecycle.
+    pub fn lifecycle(&self) -> &ServerLifecycle {
+        &self.lifecycle
+    }
+
+    /// Returns a copy of the configuration with a different number of servers — handy
+    /// for the cost and provisioning sweeps of Figures 5 and 9.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if `servers == 0`.
+    pub fn with_servers(&self, servers: usize) -> Result<Self> {
+        SystemConfig::new(servers, self.arrival_rate, self.service_rate, self.lifecycle.clone())
+    }
+
+    /// Returns a copy of the configuration with a different arrival rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if the rate is not positive and finite.
+    pub fn with_arrival_rate(&self, arrival_rate: f64) -> Result<Self> {
+        SystemConfig::new(self.servers, arrival_rate, self.service_rate, self.lifecycle.clone())
+    }
+
+    /// Returns a copy of the configuration with a different lifecycle.
+    pub fn with_lifecycle(&self, lifecycle: ServerLifecycle) -> Self {
+        SystemConfig {
+            servers: self.servers,
+            arrival_rate: self.arrival_rate,
+            service_rate: self.service_rate,
+            lifecycle,
+        }
+    }
+
+    /// Offered load `λ/µ` (expected work arriving per unit time, in server-units).
+    pub fn offered_load(&self) -> f64 {
+        self.arrival_rate / self.service_rate
+    }
+
+    /// Steady-state average number of operative servers `N·η/(ξ+η)`.
+    pub fn effective_servers(&self) -> f64 {
+        self.servers as f64 * self.lifecycle.availability()
+    }
+
+    /// Server utilisation `ρ = offered load / effective servers`; the queue is stable
+    /// iff `ρ < 1`.
+    pub fn utilisation(&self) -> f64 {
+        self.offered_load() / self.effective_servers()
+    }
+
+    /// Stability condition of the paper (equation 11): `λ/µ < N·η/(ξ+η)`.
+    pub fn is_stable(&self) -> bool {
+        self.offered_load() < self.effective_servers()
+    }
+
+    /// Returns an error when the system is not stable; used by the analytic solvers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Unstable`] when the stability condition fails.
+    pub fn ensure_stable(&self) -> Result<()> {
+        if self.is_stable() {
+            Ok(())
+        } else {
+            Err(ModelError::Unstable {
+                offered_load: self.offered_load(),
+                effective_servers: self.effective_servers(),
+            })
+        }
+    }
+
+    /// Number of operational modes `s = C(N+n+m−1, n+m−1)` of the Markovian
+    /// environment (paper, equation 12).
+    pub fn environment_states(&self) -> usize {
+        let n = self.lifecycle.operative_phases();
+        let m = self.lifecycle.inoperative_phases();
+        binomial(self.servers + n + m - 1, n + m - 1)
+    }
+}
+
+/// Binomial coefficient computed in floating point free, overflow-aware integer form.
+pub(crate) fn binomial(n: usize, k: usize) -> usize {
+    let k = k.min(n - k.min(n));
+    let mut result: u128 = 1;
+    for i in 0..k {
+        result = result * (n - i) as u128 / (i + 1) as u128;
+    }
+    result as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_paper_fitted_quantities() {
+        let lc = ServerLifecycle::paper_fitted().unwrap();
+        assert_eq!(lc.operative_phases(), 2);
+        assert_eq!(lc.inoperative_phases(), 1);
+        assert!((lc.operative().mean() - 34.62).abs() < 0.05);
+        assert!((lc.breakdown_rate() - 0.0289).abs() < 3e-4);
+        assert!((lc.repair_rate() - 25.0).abs() < 1e-12);
+        // Availability ≈ 25/(25+0.0289) ≈ 0.99885
+        assert!((lc.availability() - 0.99885).abs() < 1e-4);
+        // Phase probabilities sum to 1.
+        let total: f64 = (0..2).map(|j| lc.operative_phase_probability(j)).sum::<f64>()
+            + lc.inoperative_phase_probability(0);
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_lifecycle() {
+        let lc = ServerLifecycle::exponential(0.05, 2.0).unwrap();
+        assert_eq!(lc.operative_phases(), 1);
+        assert_eq!(lc.inoperative_phases(), 1);
+        assert!((lc.availability() - 2.0 / 2.05).abs() < 1e-12);
+        assert!(ServerLifecycle::exponential(-1.0, 2.0).is_err());
+    }
+
+    #[test]
+    fn config_validation() {
+        let lc = ServerLifecycle::paper_fitted().unwrap();
+        assert!(SystemConfig::new(0, 1.0, 1.0, lc.clone()).is_err());
+        assert!(SystemConfig::new(2, 0.0, 1.0, lc.clone()).is_err());
+        assert!(SystemConfig::new(2, 1.0, f64::NAN, lc.clone()).is_err());
+        assert!(SystemConfig::new(2, 1.0, 1.0, lc).is_ok());
+    }
+
+    #[test]
+    fn stability_condition_matches_paper_formula() {
+        let lc = ServerLifecycle::paper_fitted().unwrap();
+        // With availability ≈ 0.99885, 9 servers carry ≈ 8.99 Erlangs.
+        let stable = SystemConfig::new(9, 8.5, 1.0, lc.clone()).unwrap();
+        assert!(stable.is_stable());
+        assert!(stable.ensure_stable().is_ok());
+        let unstable = SystemConfig::new(8, 8.5, 1.0, lc).unwrap();
+        assert!(!unstable.is_stable());
+        assert!(matches!(unstable.ensure_stable(), Err(ModelError::Unstable { .. })));
+    }
+
+    #[test]
+    fn environment_state_count_matches_formula() {
+        let lc = ServerLifecycle::paper_fitted().unwrap();
+        // n = 2, m = 1: s = (N+2)(N+1)/2.
+        for n in [1usize, 2, 5, 10, 17] {
+            let cfg = SystemConfig::new(n, 1.0, 1.0, lc.clone()).unwrap();
+            assert_eq!(cfg.environment_states(), (n + 2) * (n + 1) / 2);
+        }
+    }
+
+    #[test]
+    fn with_servers_and_arrival_rate() {
+        let lc = ServerLifecycle::paper_fitted().unwrap();
+        let cfg = SystemConfig::new(10, 8.0, 1.0, lc).unwrap();
+        let cfg12 = cfg.with_servers(12).unwrap();
+        assert_eq!(cfg12.servers(), 12);
+        assert_eq!(cfg12.arrival_rate(), 8.0);
+        let cfg_fast = cfg.with_arrival_rate(9.5).unwrap();
+        assert_eq!(cfg_fast.arrival_rate(), 9.5);
+        assert!(cfg.with_servers(0).is_err());
+        assert!((cfg.utilisation() - 8.0 / cfg.effective_servers()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binomial_coefficients() {
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(19, 2), 171);
+        assert_eq!(binomial(7, 0), 1);
+        assert_eq!(binomial(7, 7), 1);
+        assert_eq!(binomial(30, 3), 4060);
+    }
+}

@@ -1,0 +1,176 @@
+//! The cost model of Section 4 and the optimisation over the number of servers.
+//!
+//! The paper's cost function (equation 22) charges `c₁` per unit time for every job in
+//! the system (user dissatisfaction) and `c₂` per unit time for every server deployed
+//! (provider expenditure):
+//!
+//! ```text
+//! C = c₁·L + c₂·N .
+//! ```
+//!
+//! The user cost decreases with `N` while the provider cost grows linearly, so for every
+//! parameter set there is an optimal number of servers — the content of Figure 5.
+
+use crate::config::SystemConfig;
+use crate::solution::QueueSolver;
+use crate::Result;
+
+/// The linear holding/provisioning cost model `C = c₁·L + c₂·N`.
+///
+/// # Example
+///
+/// ```
+/// use urs_core::CostModel;
+///
+/// let cost = CostModel::new(4.0, 1.0);
+/// assert_eq!(cost.evaluate(10.0, 12), 52.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    holding_cost: f64,
+    server_cost: f64,
+}
+
+impl CostModel {
+    /// Creates a cost model with holding cost `c₁` (per job per unit time) and server
+    /// cost `c₂` (per server per unit time).
+    pub fn new(holding_cost: f64, server_cost: f64) -> Self {
+        CostModel { holding_cost, server_cost }
+    }
+
+    /// The cost model used in the paper's Figure 5: `c₁ = 4`, `c₂ = 1` ("waiting is
+    /// quite strongly discouraged").
+    pub fn paper_figure5() -> Self {
+        CostModel::new(4.0, 1.0)
+    }
+
+    /// Holding cost `c₁`.
+    pub fn holding_cost(&self) -> f64 {
+        self.holding_cost
+    }
+
+    /// Server cost `c₂`.
+    pub fn server_cost(&self) -> f64 {
+        self.server_cost
+    }
+
+    /// Evaluates `C = c₁·L + c₂·N`.
+    pub fn evaluate(&self, mean_queue_length: f64, servers: usize) -> f64 {
+        self.holding_cost * mean_queue_length + self.server_cost * servers as f64
+    }
+}
+
+/// One row of a cost sweep: the number of servers, the mean queue length and the cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostPoint {
+    /// Number of servers `N`.
+    pub servers: usize,
+    /// Mean number of jobs in the system `L`.
+    pub mean_queue_length: f64,
+    /// Total cost `C = c₁·L + c₂·N`.
+    pub cost: f64,
+}
+
+/// The result of sweeping the cost function over a range of server counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostSweep {
+    points: Vec<CostPoint>,
+}
+
+impl CostSweep {
+    /// Evaluates the cost for every server count in `server_range`, using `solver` for
+    /// the performance model.  Server counts for which the system is unstable are
+    /// skipped (their cost is effectively infinite).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures other than instability.
+    pub fn evaluate(
+        solver: &dyn QueueSolver,
+        base_config: &SystemConfig,
+        cost_model: &CostModel,
+        server_range: std::ops::RangeInclusive<usize>,
+    ) -> Result<Self> {
+        let mut points = Vec::new();
+        for servers in server_range {
+            let config = base_config.with_servers(servers)?;
+            if !config.is_stable() {
+                continue;
+            }
+            let solution = solver.solve(&config)?;
+            let l = solution.mean_queue_length();
+            points.push(CostPoint {
+                servers,
+                mean_queue_length: l,
+                cost: cost_model.evaluate(l, servers),
+            });
+        }
+        Ok(CostSweep { points })
+    }
+
+    /// All evaluated points, ordered by server count.
+    pub fn points(&self) -> &[CostPoint] {
+        &self.points
+    }
+
+    /// The point with the minimal cost, if any server count was stable.
+    pub fn optimum(&self) -> Option<CostPoint> {
+        self.points
+            .iter()
+            .copied()
+            .min_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServerLifecycle;
+    use crate::spectral::SpectralExpansionSolver;
+
+    #[test]
+    fn cost_model_arithmetic() {
+        let cost = CostModel::paper_figure5();
+        assert_eq!(cost.holding_cost(), 4.0);
+        assert_eq!(cost.server_cost(), 1.0);
+        assert_eq!(cost.evaluate(5.0, 10), 30.0);
+    }
+
+    #[test]
+    fn sweep_finds_an_interior_optimum() {
+        // A scaled-down version of Figure 5: the cost is high with few servers (large L),
+        // high with many servers (server cost), and minimal somewhere in between.
+        let lifecycle = ServerLifecycle::paper_fitted().unwrap();
+        let base = SystemConfig::new(5, 4.0, 1.0, lifecycle).unwrap();
+        let sweep = CostSweep::evaluate(
+            &SpectralExpansionSolver::default(),
+            &base,
+            &CostModel::paper_figure5(),
+            5..=12,
+        )
+        .unwrap();
+        assert!(!sweep.points().is_empty());
+        let optimum = sweep.optimum().unwrap();
+        assert!(optimum.servers > 5 && optimum.servers < 12, "optimum at {}", optimum.servers);
+        // Cost is not monotone: the optimum is strictly better than both ends.
+        let first = sweep.points().first().unwrap();
+        let last = sweep.points().last().unwrap();
+        assert!(optimum.cost < first.cost);
+        assert!(optimum.cost < last.cost);
+    }
+
+    #[test]
+    fn unstable_counts_are_skipped() {
+        let lifecycle = ServerLifecycle::paper_fitted().unwrap();
+        let base = SystemConfig::new(5, 7.0, 1.0, lifecycle).unwrap();
+        let sweep = CostSweep::evaluate(
+            &SpectralExpansionSolver::default(),
+            &base,
+            &CostModel::paper_figure5(),
+            5..=10,
+        )
+        .unwrap();
+        // N = 5, 6, 7 are unstable for λ = 7 (availability < 1), so they must be absent.
+        assert!(sweep.points().iter().all(|p| p.servers >= 8));
+    }
+}

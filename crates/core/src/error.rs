@@ -1,0 +1,119 @@
+//! Error type for model construction and solution.
+
+use std::error::Error;
+use std::fmt;
+
+use urs_dist::DistError;
+use urs_linalg::LinalgError;
+
+/// Errors produced when building or solving the multi-server breakdown model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A configuration parameter is outside its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The supplied value.
+        value: f64,
+        /// Description of the violated constraint.
+        constraint: &'static str,
+    },
+    /// The queue is not ergodic: the offered load is not smaller than the average number
+    /// of operative servers (paper, equation 11).
+    Unstable {
+        /// Offered load `λ/µ`.
+        offered_load: f64,
+        /// Steady-state average number of operative servers `N·η/(ξ+η)`.
+        effective_servers: f64,
+    },
+    /// The spectral expansion produced an unexpected number of eigenvalues inside the
+    /// unit disk, or otherwise failed to deliver a usable solution.
+    SpectralFailure(String),
+    /// An iterative solver did not converge.
+    NoConvergence {
+        /// Name of the algorithm.
+        algorithm: &'static str,
+        /// Iterations performed.
+        iterations: usize,
+    },
+    /// An error bubbled up from the linear-algebra layer.
+    Linalg(LinalgError),
+    /// An error bubbled up from the distribution layer.
+    Dist(DistError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidParameter { name, value, constraint } => {
+                write!(f, "invalid parameter {name} = {value}: {constraint}")
+            }
+            ModelError::Unstable { offered_load, effective_servers } => write!(
+                f,
+                "queue is unstable: offered load {offered_load:.4} is not below the average \
+                 number of operative servers {effective_servers:.4}"
+            ),
+            ModelError::SpectralFailure(msg) => write!(f, "spectral expansion failed: {msg}"),
+            ModelError::NoConvergence { algorithm, iterations } => {
+                write!(f, "{algorithm} did not converge after {iterations} iterations")
+            }
+            ModelError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            ModelError::Dist(e) => write!(f, "distribution error: {e}"),
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Linalg(e) => Some(e),
+            ModelError::Dist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for ModelError {
+    fn from(e: LinalgError) -> Self {
+        ModelError::Linalg(e)
+    }
+}
+
+impl From<DistError> for ModelError {
+    fn from(e: DistError) -> Self {
+        ModelError::Dist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = ModelError::InvalidParameter { name: "servers", value: 0.0, constraint: "≥ 1" };
+        assert!(e.to_string().contains("servers"));
+        let e = ModelError::Unstable { offered_load: 9.0, effective_servers: 8.5 };
+        assert!(e.to_string().contains("unstable"));
+        assert!(ModelError::SpectralFailure("missing eigenvalue".into())
+            .to_string()
+            .contains("missing eigenvalue"));
+        let e = ModelError::NoConvergence { algorithm: "R iteration", iterations: 500 };
+        assert!(e.to_string().contains("R iteration"));
+    }
+
+    #[test]
+    fn conversions_preserve_source() {
+        let lin: ModelError = LinalgError::Singular { pivot: 3 }.into();
+        assert!(lin.source().is_some());
+        let dist: ModelError = DistError::InsufficientData("x".into()).into();
+        assert!(dist.to_string().contains("distribution"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<ModelError>();
+    }
+}

@@ -1,0 +1,69 @@
+//! Analytical evaluation of multi-server systems with unreliable servers.
+//!
+//! This crate implements the modelling contribution of Palmer & Mitrani, *Empirical and
+//! Analytical Evaluation of Systems with Multiple Unreliable Servers* (DSN 2006): an
+//! M/M/N queue whose servers alternate between hyperexponentially distributed operative
+//! periods and hyperexponentially distributed inoperative periods, modelled as a
+//! Markov-modulated queue and solved
+//!
+//! * **exactly**, by the method of spectral expansion ([`SpectralExpansionSolver`]),
+//! * **approximately**, by the heavy-traffic geometric approximation
+//!   ([`GeometricApproximation`]),
+//! * and, as independent cross-checks, by the matrix-geometric method
+//!   ([`MatrixGeometricSolver`]) and by brute-force solution of a truncated chain
+//!   ([`TruncatedCtmcSolver`]).
+//!
+//! On top of the solvers sit the analyses of the paper's Section 4: the cost model
+//! `C = c₁L + c₂N` and its optimisation over the number of servers ([`CostSweep`]),
+//! capacity planning ([`ProvisioningSweep`]) and the sensitivity sweeps behind
+//! Figures 6–8 ([`sweeps`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use urs_core::{QueueSolver, ServerLifecycle, SpectralExpansionSolver, SystemConfig};
+//!
+//! # fn main() -> Result<(), urs_core::ModelError> {
+//! // 10 servers, Poisson arrivals at rate 8, unit service rate, and the
+//! // breakdown/repair behaviour fitted to the Sun trace in the paper.
+//! let config = SystemConfig::new(10, 8.0, 1.0, ServerLifecycle::paper_fitted()?)?;
+//! let solution = SpectralExpansionSolver::default().solve(&config)?;
+//! println!("mean jobs in system: {:.2}", solution.mean_queue_length());
+//! println!("mean response time:  {:.2}", solution.mean_response_time());
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod approx;
+mod config;
+mod cost;
+mod error;
+mod matrix_geometric;
+mod modes;
+mod provisioning;
+mod qbd;
+mod solution;
+mod spectral;
+mod truncated;
+
+pub mod sweeps;
+
+pub use approx::{dominant_eigenvalue, GeometricApproximation, GeometricSolution};
+pub use config::{ServerLifecycle, SystemConfig};
+pub use cost::{CostModel, CostPoint, CostSweep};
+pub use error::ModelError;
+pub use matrix_geometric::{
+    MatrixGeometricOptions, MatrixGeometricSolution, MatrixGeometricSolver,
+};
+pub use modes::{Mode, ModeSpace};
+pub use provisioning::{min_servers_for_response_time, ProvisioningPoint, ProvisioningSweep};
+pub use qbd::QbdMatrices;
+pub use solution::{consistency_violations, QueueSolution, QueueSolver};
+pub use spectral::{SpectralExpansionSolver, SpectralOptions, SpectralSolution};
+pub use truncated::{TruncatedCtmcSolver, TruncatedOptions, TruncatedSolution};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ModelError>;

@@ -1,0 +1,379 @@
+//! The matrix-geometric solution of the same quasi-birth-death process.
+//!
+//! Besides the spectral expansion, the classical way to solve a QBD process is Neuts's
+//! matrix-geometric method: find the minimal non-negative solution `R` of
+//! `Q0 + R·Q1 + R²·Q2 = 0`; then `v_{j+1} = v_j·R` for `j ≥ N` and the boundary vectors
+//! follow from the level-`0..N` balance equations.  The paper's reference [6]
+//! (Mitrani & Chakka 1995) compares the two methods; here the matrix-geometric solver
+//! acts as an *independent cross-check* of the spectral expansion — the two must agree
+//! to within numerical accuracy on every probability, which the integration tests
+//! verify.
+
+use urs_linalg::{BlockTridiagonal, CMatrix, Complex, LinalgError, Matrix};
+
+use crate::config::SystemConfig;
+use crate::error::ModelError;
+use crate::qbd::QbdMatrices;
+use crate::solution::{QueueSolution, QueueSolver};
+use crate::Result;
+
+/// Options for the `R`-matrix fixed-point iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatrixGeometricOptions {
+    /// Convergence tolerance on the max-norm change of `R` between iterations.
+    pub tolerance: f64,
+    /// Maximum number of fixed-point iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for MatrixGeometricOptions {
+    fn default() -> Self {
+        MatrixGeometricOptions { tolerance: 1e-13, max_iterations: 100_000 }
+    }
+}
+
+/// The matrix-geometric solver.
+///
+/// # Example
+///
+/// ```
+/// use urs_core::{MatrixGeometricSolver, QueueSolver, ServerLifecycle, SystemConfig};
+///
+/// # fn main() -> Result<(), urs_core::ModelError> {
+/// let config = SystemConfig::new(4, 3.0, 1.0, ServerLifecycle::paper_fitted()?)?;
+/// let solution = MatrixGeometricSolver::default().solve(&config)?;
+/// assert!(solution.mean_queue_length() > 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MatrixGeometricSolver {
+    options: MatrixGeometricOptions,
+}
+
+impl MatrixGeometricSolver {
+    /// Creates a solver with explicit iteration options.
+    pub fn new(options: MatrixGeometricOptions) -> Self {
+        MatrixGeometricSolver { options }
+    }
+
+    /// Computes the minimal non-negative solution of `Q0 + R·Q1 + R²·Q2 = 0` by the
+    /// natural fixed-point iteration `R ← −(Q0 + R²·Q2)·Q1⁻¹` started from `R = 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NoConvergence`] if the iteration does not converge within
+    /// the configured budget.
+    pub fn rate_matrix(&self, qbd: &QbdMatrices) -> Result<Matrix> {
+        let s = qbd.order();
+        let q0 = qbd.q0();
+        let q1_inv = qbd.q1().inverse()?;
+        let q2 = qbd.q2();
+        let mut r = Matrix::zeros(s, s);
+        for _ in 0..self.options.max_iterations {
+            let r_squared = r.matmul(&r)?;
+            let next = (&(&q0 + &r_squared.matmul(&q2)?) * -1.0).matmul(&q1_inv)?;
+            let diff = (&next - &r).max_abs();
+            r = next;
+            if diff < self.options.tolerance {
+                return Ok(r);
+            }
+        }
+        Err(ModelError::NoConvergence {
+            algorithm: "matrix-geometric R iteration",
+            iterations: self.options.max_iterations,
+        })
+    }
+
+    /// Solves the model, returning the concrete [`MatrixGeometricSolution`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Unstable`] for non-ergodic configurations,
+    /// [`ModelError::NoConvergence`] if the `R` iteration stalls, or a linear-algebra
+    /// error from the boundary solve.
+    pub fn solve_detailed(&self, config: &SystemConfig) -> Result<MatrixGeometricSolution> {
+        config.ensure_stable()?;
+        let qbd = QbdMatrices::new(config)?;
+        let s = qbd.order();
+        let servers = qbd.servers();
+        let r = self.rate_matrix(&qbd)?;
+
+        // Boundary equations for levels 0..N with v_{N+1} = v_N·R substituted into the
+        // level-N equation; one equation is replaced by pinning a reference state.
+        let pin_mode = qbd
+            .modes()
+            .stationary_distribution(config.lifecycle())
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+
+        let block_rows = servers + 1;
+        let mut system = BlockTridiagonal::new(block_rows, s)?;
+        let b = qbd.b();
+        let c_full = qbd.c();
+        for j in 0..block_rows {
+            let mut rhs = vec![Complex::ZERO; s];
+            if j > 0 {
+                system.set_lower(j, &CMatrix::from_real(b) * Complex::from_real(-1.0))?;
+            }
+            let mut diag = if j < servers {
+                transpose_to_cmatrix(&qbd.local_matrix(j))
+            } else {
+                // Level N: v_N·(Dᴬ+B+C−A) − v_N·R·C  ⇒ coefficient (local(N) − R·C)ᵀ.
+                transpose_to_cmatrix(&(&qbd.local_matrix(servers) - &r.matmul(c_full)?))
+            };
+            if j + 1 < block_rows {
+                let upper_real = if j + 1 <= servers { qbd.c_at(j + 1) } else { c_full.clone() };
+                let mut upper = transpose_to_cmatrix(&upper_real);
+                if j == 0 {
+                    for col in 0..s {
+                        upper[(pin_mode, col)] = Complex::ZERO;
+                    }
+                }
+                system.set_upper(j, &upper * Complex::from_real(-1.0))?;
+            }
+            if j == 0 {
+                for col in 0..s {
+                    diag[(pin_mode, col)] =
+                        if col == pin_mode { Complex::ONE } else { Complex::ZERO };
+                }
+                rhs[pin_mode] = Complex::ONE;
+            }
+            system.set_diagonal(j, diag)?;
+            system.set_rhs(j, rhs)?;
+        }
+        let unknowns = match system.solve() {
+            Ok(x) => x,
+            Err(LinalgError::Singular { .. }) => system.solve_dense()?,
+            Err(e) => return Err(e.into()),
+        };
+        let mut levels: Vec<Vec<f64>> = unknowns
+            .iter()
+            .map(|v| v.iter().map(|c| c.re).collect())
+            .collect();
+
+        // Normalisation: Σ_{j<N} v_j·1 + v_N·(I−R)⁻¹·1 = 1.
+        let identity = Matrix::identity(s);
+        let i_minus_r_inv = (&identity - &r).inverse()?;
+        let v_n = levels[servers].clone();
+        let boundary_mass: f64 = levels[..servers].iter().map(|v| v.iter().sum::<f64>()).sum();
+        let tail_mass: f64 = i_minus_r_inv.vecmat(&v_n)?.iter().sum();
+        let total = boundary_mass + tail_mass;
+        if total.abs() < 1e-300 {
+            return Err(ModelError::SpectralFailure(
+                "matrix-geometric normalisation mass vanished".into(),
+            ));
+        }
+        for level in &mut levels {
+            for p in level.iter_mut() {
+                *p /= total;
+            }
+        }
+
+        // Mean queue length: Σ_{j<N} j·v_j·1 + v_N·[N(I−R)⁻¹ + R(I−R)⁻²]·1.
+        let boundary_part: f64 = levels[..servers]
+            .iter()
+            .enumerate()
+            .map(|(j, v)| j as f64 * v.iter().sum::<f64>())
+            .sum();
+        let v_n: Vec<f64> = levels[servers].clone();
+        let geometric_sum = i_minus_r_inv.scale(servers as f64);
+        let weighted = &geometric_sum + &r.matmul(&i_minus_r_inv.matmul(&i_minus_r_inv)?)?;
+        let tail_part: f64 = weighted.vecmat(&v_n)?.iter().sum();
+        let mean_queue_length = boundary_part + tail_part;
+
+        Ok(MatrixGeometricSolution {
+            arrival_rate: config.arrival_rate(),
+            servers,
+            mode_count: s,
+            levels,
+            rate_matrix: r,
+            i_minus_r_inv,
+            mean_queue_length,
+        })
+    }
+}
+
+impl QueueSolver for MatrixGeometricSolver {
+    fn name(&self) -> &'static str {
+        "matrix geometric (R matrix)"
+    }
+
+    fn solve(&self, config: &SystemConfig) -> Result<Box<dyn QueueSolution>> {
+        Ok(Box::new(self.solve_detailed(config)?))
+    }
+}
+
+fn transpose_to_cmatrix(m: &Matrix) -> CMatrix {
+    CMatrix::from_fn(m.cols(), m.rows(), |i, j| Complex::from_real(m[(j, i)]))
+}
+
+/// The steady-state solution produced by [`MatrixGeometricSolver`]: boundary vectors
+/// `v_0..v_N` and the rate matrix `R` that generates all deeper levels.
+#[derive(Debug, Clone)]
+pub struct MatrixGeometricSolution {
+    arrival_rate: f64,
+    servers: usize,
+    mode_count: usize,
+    /// `v_0 ..= v_N`.
+    levels: Vec<Vec<f64>>,
+    rate_matrix: Matrix,
+    i_minus_r_inv: Matrix,
+    mean_queue_length: f64,
+}
+
+impl MatrixGeometricSolution {
+    /// The rate matrix `R` (spectral radius < 1 for a stable queue).
+    pub fn rate_matrix(&self) -> &Matrix {
+        &self.rate_matrix
+    }
+
+    /// Probability vector of level `j` (computed through `v_N·R^{j−N}` for `j > N`).
+    pub fn level_vector(&self, level: usize) -> Vec<f64> {
+        if level <= self.servers {
+            return self.levels[level].clone();
+        }
+        let mut v = self.levels[self.servers].clone();
+        for _ in self.servers..level {
+            v = self
+                .rate_matrix
+                .vecmat(&v)
+                .expect("rate matrix dimensions match by construction");
+        }
+        v
+    }
+}
+
+impl QueueSolution for MatrixGeometricSolution {
+    fn mode_count(&self) -> usize {
+        self.mode_count
+    }
+
+    fn arrival_rate(&self) -> f64 {
+        self.arrival_rate
+    }
+
+    fn state_probability(&self, mode: usize, level: usize) -> f64 {
+        if mode >= self.mode_count {
+            return 0.0;
+        }
+        self.level_vector(level)[mode]
+    }
+
+    fn mode_marginal(&self) -> Vec<f64> {
+        let mut marginal = vec![0.0; self.mode_count];
+        for v in &self.levels[..self.servers] {
+            for (m, p) in marginal.iter_mut().zip(v) {
+                *m += p;
+            }
+        }
+        let tail = self
+            .i_minus_r_inv
+            .vecmat(&self.levels[self.servers])
+            .expect("dimensions match by construction");
+        for (m, p) in marginal.iter_mut().zip(tail) {
+            *m += p;
+        }
+        marginal
+    }
+
+    fn mean_queue_length(&self) -> f64 {
+        self.mean_queue_length
+    }
+
+    fn tail_probability(&self, level: usize) -> f64 {
+        if level + 1 >= self.servers {
+            // P(Z > level) = v_N R^{level+1-N} (I-R)^{-1} · 1
+            let v = self.level_vector(level + 1);
+            self.i_minus_r_inv
+                .vecmat(&v)
+                .expect("dimensions match by construction")
+                .iter()
+                .sum()
+        } else {
+            let below: f64 = (0..=level).map(|j| self.level_probability(j)).sum();
+            (1.0 - below).max(0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServerLifecycle;
+    use crate::solution::consistency_violations;
+    use crate::spectral::SpectralExpansionSolver;
+
+    fn paper_config(servers: usize, lambda: f64) -> SystemConfig {
+        SystemConfig::new(servers, lambda, 1.0, ServerLifecycle::paper_fitted().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn rate_matrix_satisfies_quadratic_equation() {
+        let config = paper_config(3, 2.0);
+        let qbd = QbdMatrices::new(&config).unwrap();
+        let solver = MatrixGeometricSolver::default();
+        let r = solver.rate_matrix(&qbd).unwrap();
+        let residual = &(&qbd.q0() + &r.matmul(&qbd.q1()).unwrap())
+            + &r.matmul(&r).unwrap().matmul(&qbd.q2()).unwrap();
+        assert!(residual.max_abs() < 1e-9, "residual {}", residual.max_abs());
+        // R must be non-negative with spectral radius < 1.
+        for i in 0..r.rows() {
+            for j in 0..r.cols() {
+                assert!(r[(i, j)] > -1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn solution_is_consistent_and_matches_spectral_expansion() {
+        let config = paper_config(4, 3.0);
+        let mg = MatrixGeometricSolver::default().solve_detailed(&config).unwrap();
+        assert!(consistency_violations(&mg, 40, 1e-8).is_empty());
+        let spectral = SpectralExpansionSolver::default().solve_detailed(&config).unwrap();
+        assert!(
+            (mg.mean_queue_length() - spectral.mean_queue_length()).abs()
+                / spectral.mean_queue_length()
+                < 1e-8
+        );
+        for level in 0..30 {
+            assert!(
+                (mg.level_probability(level) - spectral.level_probability(level)).abs() < 1e-9,
+                "level {level}"
+            );
+        }
+    }
+
+    #[test]
+    fn mm1_closed_form() {
+        let lifecycle = ServerLifecycle::exponential(1e-9, 1e3).unwrap();
+        let config = SystemConfig::new(1, 0.7, 1.0, lifecycle).unwrap();
+        let solution = MatrixGeometricSolver::default().solve_detailed(&config).unwrap();
+        assert!((solution.mean_queue_length() - 0.7 / 0.3).abs() < 1e-5);
+    }
+
+    #[test]
+    fn unstable_rejected() {
+        assert!(matches!(
+            MatrixGeometricSolver::default().solve_detailed(&paper_config(2, 9.0)),
+            Err(ModelError::Unstable { .. })
+        ));
+    }
+
+    #[test]
+    fn level_vectors_follow_the_rate_matrix() {
+        let config = paper_config(3, 2.5);
+        let solution = MatrixGeometricSolver::default().solve_detailed(&config).unwrap();
+        let direct = solution.level_vector(6);
+        let via_r = solution
+            .rate_matrix()
+            .vecmat(&solution.level_vector(5))
+            .unwrap();
+        for (a, b) in direct.iter().zip(via_r) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

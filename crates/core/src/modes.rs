@@ -1,0 +1,342 @@
+//! Enumeration of the operational modes of the Markovian environment.
+//!
+//! The environment state of the queue records how many servers sit in each operative
+//! phase and in each inoperative phase: a *mode* is a pair of occupancy vectors
+//! `(X, Y)` with `x₁+…+x_n + y₁+…+y_m = N`.  The number of modes is
+//! `s = C(N+n+m−1, n+m−1)` (paper, equation 12); this module enumerates them in a
+//! deterministic order, maps between modes and indices, and computes the stationary
+//! distribution of the environment (which is independent of the queue and has a simple
+//! multinomial product form — a useful cross-check for the solvers).
+
+use std::collections::HashMap;
+
+use crate::config::{binomial, ServerLifecycle};
+use crate::error::ModelError;
+use crate::Result;
+
+/// One operational mode: the numbers of servers in each operative and inoperative phase.
+///
+/// # Example
+///
+/// ```
+/// use urs_core::{Mode, ModeSpace, ServerLifecycle};
+///
+/// # fn main() -> Result<(), urs_core::ModelError> {
+/// let lifecycle = ServerLifecycle::paper_fitted()?;
+/// let modes = ModeSpace::new(2, &lifecycle)?;
+/// assert_eq!(modes.len(), 6); // (N+2)(N+1)/2 for n = 2, m = 1
+/// let all_operative_phase1 = Mode::new(vec![2, 0], vec![0]);
+/// assert!(modes.index_of(&all_operative_phase1).is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Mode {
+    operative: Vec<usize>,
+    inoperative: Vec<usize>,
+}
+
+impl Mode {
+    /// Creates a mode from explicit occupancy vectors.
+    pub fn new(operative: Vec<usize>, inoperative: Vec<usize>) -> Self {
+        Mode { operative, inoperative }
+    }
+
+    /// Occupancies of the operative phases (`x_j`).
+    pub fn operative(&self) -> &[usize] {
+        &self.operative
+    }
+
+    /// Occupancies of the inoperative phases (`y_k`).
+    pub fn inoperative(&self) -> &[usize] {
+        &self.inoperative
+    }
+
+    /// Total number of operative servers `x = Σ_j x_j`.
+    pub fn operative_count(&self) -> usize {
+        self.operative.iter().sum()
+    }
+
+    /// Total number of inoperative servers `y = Σ_k y_k`.
+    pub fn inoperative_count(&self) -> usize {
+        self.inoperative.iter().sum()
+    }
+
+    /// Total number of servers represented by the mode.
+    pub fn total_servers(&self) -> usize {
+        self.operative_count() + self.inoperative_count()
+    }
+}
+
+/// The full set of operational modes for a system of `N` servers and a given lifecycle.
+#[derive(Debug, Clone)]
+pub struct ModeSpace {
+    servers: usize,
+    operative_phases: usize,
+    inoperative_phases: usize,
+    modes: Vec<Mode>,
+    index: HashMap<Mode, usize>,
+}
+
+impl ModeSpace {
+    /// Enumerates every mode of a system with `servers` servers whose phase structure is
+    /// taken from `lifecycle`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if `servers == 0`.
+    pub fn new(servers: usize, lifecycle: &ServerLifecycle) -> Result<Self> {
+        if servers == 0 {
+            return Err(ModelError::InvalidParameter {
+                name: "servers",
+                value: 0.0,
+                constraint: "must be at least 1",
+            });
+        }
+        let n = lifecycle.operative_phases();
+        let m = lifecycle.inoperative_phases();
+        let mut modes = Vec::with_capacity(binomial(servers + n + m - 1, n + m - 1));
+        let mut current = vec![0usize; n + m];
+        enumerate_compositions(servers, 0, &mut current, &mut |composition| {
+            modes.push(Mode {
+                operative: composition[..n].to_vec(),
+                inoperative: composition[n..].to_vec(),
+            });
+        });
+        let index = modes.iter().cloned().enumerate().map(|(i, mode)| (mode, i)).collect();
+        Ok(ModeSpace { servers, operative_phases: n, inoperative_phases: m, modes, index })
+    }
+
+    /// Number of modes `s`.
+    pub fn len(&self) -> usize {
+        self.modes.len()
+    }
+
+    /// Returns `true` if the space has no modes (never the case after construction).
+    pub fn is_empty(&self) -> bool {
+        self.modes.is_empty()
+    }
+
+    /// Number of servers `N`.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Number of operative phases `n`.
+    pub fn operative_phases(&self) -> usize {
+        self.operative_phases
+    }
+
+    /// Number of inoperative phases `m`.
+    pub fn inoperative_phases(&self) -> usize {
+        self.inoperative_phases
+    }
+
+    /// The mode with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn mode(&self, index: usize) -> &Mode {
+        &self.modes[index]
+    }
+
+    /// All modes in enumeration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Mode> {
+        self.modes.iter()
+    }
+
+    /// Index of a mode, or `None` if it does not belong to this space.
+    pub fn index_of(&self, mode: &Mode) -> Option<usize> {
+        self.index.get(mode).copied()
+    }
+
+    /// Number of operative servers in the mode with the given index.
+    pub fn operative_count(&self, index: usize) -> usize {
+        self.modes[index].operative_count()
+    }
+
+    /// Stationary probability of each mode.
+    ///
+    /// Because servers break down and are repaired independently of the queue, the
+    /// stationary distribution of the environment is multinomial: each server is in
+    /// operative phase `j` with probability `(α_j/ξ_j)/(1/ξ+1/η)` and in inoperative
+    /// phase `k` with probability `(β_k/η_k)/(1/ξ+1/η)`, independently.  The solvers'
+    /// mode marginals must agree with this vector — a strong correctness check.
+    pub fn stationary_distribution(&self, lifecycle: &ServerLifecycle) -> Vec<f64> {
+        let n = self.operative_phases;
+        let m = self.inoperative_phases;
+        let phase_probs: Vec<f64> = (0..n)
+            .map(|j| lifecycle.operative_phase_probability(j))
+            .chain((0..m).map(|k| lifecycle.inoperative_phase_probability(k)))
+            .collect();
+        self.modes
+            .iter()
+            .map(|mode| {
+                let occupancies: Vec<usize> = mode
+                    .operative
+                    .iter()
+                    .chain(mode.inoperative.iter())
+                    .copied()
+                    .collect();
+                multinomial_probability(self.servers, &occupancies, &phase_probs)
+            })
+            .collect()
+    }
+
+    /// Expected number of operative servers under the stationary environment
+    /// distribution; equals `N · availability`.
+    pub fn expected_operative_servers(&self, lifecycle: &ServerLifecycle) -> f64 {
+        self.stationary_distribution(lifecycle)
+            .iter()
+            .zip(&self.modes)
+            .map(|(p, mode)| p * mode.operative_count() as f64)
+            .sum()
+    }
+}
+
+/// Recursively enumerates all compositions of `remaining` into the tail of `current`
+/// starting at `position`, invoking `emit` for each complete composition.
+fn enumerate_compositions(
+    remaining: usize,
+    position: usize,
+    current: &mut Vec<usize>,
+    emit: &mut impl FnMut(&[usize]),
+) {
+    if position + 1 == current.len() {
+        current[position] = remaining;
+        emit(current);
+        return;
+    }
+    for value in 0..=remaining {
+        current[position] = value;
+        enumerate_compositions(remaining - value, position + 1, current, emit);
+    }
+}
+
+/// Multinomial probability `N!/(∏ c_i!) ∏ p_i^{c_i}` computed in log space for
+/// robustness with large `N`.
+fn multinomial_probability(total: usize, counts: &[usize], probs: &[f64]) -> f64 {
+    debug_assert_eq!(counts.len(), probs.len());
+    debug_assert_eq!(counts.iter().sum::<usize>(), total);
+    let mut log_prob = ln_factorial(total);
+    for (&c, &p) in counts.iter().zip(probs) {
+        log_prob -= ln_factorial(c);
+        if c > 0 {
+            if p <= 0.0 {
+                return 0.0;
+            }
+            log_prob += c as f64 * p.ln();
+        }
+    }
+    log_prob.exp()
+}
+
+/// Natural log of `n!` by direct summation (adequate for the server counts involved).
+fn ln_factorial(n: usize) -> f64 {
+    (2..=n).map(|i| (i as f64).ln()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urs_dist::HyperExponential;
+
+    fn paper_lifecycle() -> ServerLifecycle {
+        ServerLifecycle::paper_fitted().unwrap()
+    }
+
+    #[test]
+    fn mode_count_matches_equation_12() {
+        let lc = paper_lifecycle();
+        for servers in [1usize, 2, 5, 10] {
+            let space = ModeSpace::new(servers, &lc).unwrap();
+            assert_eq!(space.len(), (servers + 2) * (servers + 1) / 2);
+            assert!(!space.is_empty());
+        }
+        // A 2-phase repair distribution increases the composition dimension.
+        let lc2 = ServerLifecycle::new(
+            HyperExponential::new(&[0.7, 0.3], &[0.2, 0.01]).unwrap(),
+            HyperExponential::new(&[0.9, 0.1], &[25.0, 1.6]).unwrap(),
+        );
+        let space = ModeSpace::new(3, &lc2).unwrap();
+        // C(3+4-1, 3) = C(6,3) = 20
+        assert_eq!(space.len(), 20);
+    }
+
+    #[test]
+    fn paper_example_n2_has_six_modes() {
+        // Paper, Section 3.1: N = 2, n = 2, m = 1 gives 6 operational modes.
+        let space = ModeSpace::new(2, &paper_lifecycle()).unwrap();
+        assert_eq!(space.len(), 6);
+        // Every mode accounts for both servers.
+        for mode in space.iter() {
+            assert_eq!(mode.total_servers(), 2);
+        }
+        // The specific modes of the paper's example all exist.
+        for (x, y) in [([0, 0], 2), ([1, 0], 1), ([0, 1], 1), ([2, 0], 0), ([1, 1], 0), ([0, 2], 0)]
+        {
+            let mode = Mode::new(x.to_vec(), vec![y]);
+            assert!(space.index_of(&mode).is_some(), "missing mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn indices_round_trip() {
+        let space = ModeSpace::new(4, &paper_lifecycle()).unwrap();
+        for i in 0..space.len() {
+            let mode = space.mode(i).clone();
+            assert_eq!(space.index_of(&mode), Some(i));
+        }
+        assert_eq!(space.index_of(&Mode::new(vec![9, 0], vec![0])), None);
+    }
+
+    #[test]
+    fn zero_servers_rejected() {
+        assert!(ModeSpace::new(0, &paper_lifecycle()).is_err());
+    }
+
+    #[test]
+    fn stationary_distribution_is_a_probability_vector() {
+        let lc = paper_lifecycle();
+        let space = ModeSpace::new(6, &lc).unwrap();
+        let pi = space.stationary_distribution(&lc);
+        assert_eq!(pi.len(), space.len());
+        assert!(pi.iter().all(|p| *p >= 0.0));
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn expected_operative_servers_equals_availability_times_n() {
+        let lc = paper_lifecycle();
+        for servers in [1usize, 3, 8] {
+            let space = ModeSpace::new(servers, &lc).unwrap();
+            let expected = space.expected_operative_servers(&lc);
+            assert!(
+                (expected - servers as f64 * lc.availability()).abs() < 1e-9,
+                "servers {servers}: {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn stationary_distribution_for_single_exponential_server() {
+        // One server, exponential lifecycle: availability = η/(ξ+η) exactly.
+        let lc = ServerLifecycle::exponential(0.5, 2.0).unwrap();
+        let space = ModeSpace::new(1, &lc).unwrap();
+        let pi = space.stationary_distribution(&lc);
+        assert_eq!(space.len(), 2);
+        let up_index = (0..space.len()).find(|&i| space.operative_count(i) == 1).unwrap();
+        assert!((pi[up_index] - 0.8).abs() < 1e-12);
+        assert!((pi[1 - up_index] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn operative_counts_are_consistent() {
+        let space = ModeSpace::new(5, &paper_lifecycle()).unwrap();
+        for (i, mode) in space.iter().enumerate() {
+            assert_eq!(space.operative_count(i), mode.operative_count());
+            assert_eq!(mode.operative_count() + mode.inoperative_count(), 5);
+        }
+    }
+}

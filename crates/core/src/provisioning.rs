@@ -1,0 +1,161 @@
+//! Capacity-planning questions: "what is the minimum number of servers that ensures a
+//! given quality of service?"
+//!
+//! This answers the second question posed in the paper's introduction and reproduced in
+//! Figure 9, where the average response time is plotted against the number of servers
+//! and the smallest `N` meeting a response-time target is read off the curve.
+
+use crate::config::SystemConfig;
+use crate::solution::QueueSolver;
+use crate::Result;
+
+/// One row of a provisioning sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProvisioningPoint {
+    /// Number of servers `N`.
+    pub servers: usize,
+    /// Mean queue length `L`.
+    pub mean_queue_length: f64,
+    /// Mean response time `W = L/λ`.
+    pub mean_response_time: f64,
+}
+
+/// The result of sweeping the performance model over a range of server counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvisioningSweep {
+    points: Vec<ProvisioningPoint>,
+}
+
+impl ProvisioningSweep {
+    /// Evaluates the performance for every server count in `server_range`; unstable
+    /// counts are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures other than instability.
+    pub fn evaluate(
+        solver: &dyn QueueSolver,
+        base_config: &SystemConfig,
+        server_range: std::ops::RangeInclusive<usize>,
+    ) -> Result<Self> {
+        let mut points = Vec::new();
+        for servers in server_range {
+            let config = base_config.with_servers(servers)?;
+            if !config.is_stable() {
+                continue;
+            }
+            let solution = solver.solve(&config)?;
+            points.push(ProvisioningPoint {
+                servers,
+                mean_queue_length: solution.mean_queue_length(),
+                mean_response_time: solution.mean_response_time(),
+            });
+        }
+        Ok(ProvisioningSweep { points })
+    }
+
+    /// All evaluated points, ordered by server count.
+    pub fn points(&self) -> &[ProvisioningPoint] {
+        &self.points
+    }
+
+    /// The smallest number of servers whose mean response time does not exceed
+    /// `target`, if any.
+    pub fn min_servers_for_response_time(&self, target: f64) -> Option<usize> {
+        self.points
+            .iter()
+            .find(|p| p.mean_response_time <= target)
+            .map(|p| p.servers)
+    }
+
+    /// The smallest number of servers whose mean queue length does not exceed `target`,
+    /// if any.
+    pub fn min_servers_for_queue_length(&self, target: f64) -> Option<usize> {
+        self.points
+            .iter()
+            .find(|p| p.mean_queue_length <= target)
+            .map(|p| p.servers)
+    }
+}
+
+/// Convenience wrapper answering the Figure 9 question directly: the minimum number of
+/// servers (searched in `server_range`) for which the mean response time is at most
+/// `target_response_time`.
+///
+/// # Errors
+///
+/// Propagates solver failures other than instability.
+pub fn min_servers_for_response_time(
+    solver: &dyn QueueSolver,
+    base_config: &SystemConfig,
+    server_range: std::ops::RangeInclusive<usize>,
+    target_response_time: f64,
+) -> Result<Option<usize>> {
+    Ok(ProvisioningSweep::evaluate(solver, base_config, server_range)?
+        .min_servers_for_response_time(target_response_time))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServerLifecycle;
+    use crate::spectral::SpectralExpansionSolver;
+
+    #[test]
+    fn response_time_decreases_with_servers() {
+        let lifecycle = ServerLifecycle::paper_fitted().unwrap();
+        let base = SystemConfig::new(8, 6.0, 1.0, lifecycle).unwrap();
+        let sweep =
+            ProvisioningSweep::evaluate(&SpectralExpansionSolver::default(), &base, 7..=12)
+                .unwrap();
+        let points = sweep.points();
+        assert!(points.len() >= 4);
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].mean_response_time <= pair[0].mean_response_time + 1e-9,
+                "W should be non-increasing in N"
+            );
+        }
+    }
+
+    #[test]
+    fn min_servers_queries() {
+        let lifecycle = ServerLifecycle::paper_fitted().unwrap();
+        let base = SystemConfig::new(8, 6.0, 1.0, lifecycle).unwrap();
+        let sweep =
+            ProvisioningSweep::evaluate(&SpectralExpansionSolver::default(), &base, 7..=13)
+                .unwrap();
+        // A generous target is achieved by the smallest stable count; an impossible one
+        // by none.
+        let generous = sweep.min_servers_for_response_time(100.0);
+        assert_eq!(generous, Some(sweep.points()[0].servers));
+        assert_eq!(sweep.min_servers_for_response_time(1e-6), None);
+        let by_queue = sweep.min_servers_for_queue_length(1000.0);
+        assert_eq!(by_queue, Some(sweep.points()[0].servers));
+        // The convenience function agrees with the sweep.
+        let direct = min_servers_for_response_time(
+            &SpectralExpansionSolver::default(),
+            &base,
+            7..=13,
+            100.0,
+        )
+        .unwrap();
+        assert_eq!(direct, generous);
+    }
+
+    #[test]
+    fn tighter_targets_need_more_servers() {
+        let lifecycle = ServerLifecycle::paper_fitted().unwrap();
+        let base = SystemConfig::new(8, 7.5, 1.0, lifecycle).unwrap();
+        let sweep =
+            ProvisioningSweep::evaluate(&SpectralExpansionSolver::default(), &base, 8..=13)
+                .unwrap();
+        let loose = sweep.min_servers_for_response_time(3.0);
+        let tight = sweep.min_servers_for_response_time(1.2);
+        if let (Some(loose), Some(tight)) = (loose, tight) {
+            assert!(tight >= loose);
+        } else {
+            panic!("both targets should be achievable within the range");
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! Generator matrices of the Markov-modulated queue (quasi-birth-death process).
+//!
+//! Following Section 3.1 of the paper, the state of the system is `(i, j)` where `i` is
+//! the operational mode and `j` the number of jobs present.  The transition rates are
+//! collected in the matrices
+//!
+//! * `A`  — mode changes that leave the queue untouched (breakdowns and repairs),
+//! * `B = λI` — arrivals (the mode does not change),
+//! * `C_j` — departures at queue length `j`: `diag(min(x_i, j)·µ)`, which stops
+//!   depending on `j` once `j ≥ N`,
+//! * `Dᴬ` — the diagonal matrix of row sums of `A`.
+//!
+//! For `j ≥ N` the balance equations become the constant-coefficient vector difference
+//! equation with characteristic matrix polynomial `Q(z) = Q0 + Q1·z + Q2·z²`,
+//! `Q0 = B`, `Q1 = A − Dᴬ − B − C`, `Q2 = C` — exactly the quantities exposed here.
+
+use urs_linalg::Matrix;
+
+use crate::config::SystemConfig;
+use crate::modes::{Mode, ModeSpace};
+use crate::Result;
+
+/// The generator matrices of the queue's quasi-birth-death representation.
+///
+/// # Example
+///
+/// ```
+/// use urs_core::{QbdMatrices, ServerLifecycle, SystemConfig};
+///
+/// # fn main() -> Result<(), urs_core::ModelError> {
+/// let config = SystemConfig::new(2, 1.0, 1.0, ServerLifecycle::paper_fitted()?)?;
+/// let qbd = QbdMatrices::new(&config)?;
+/// assert_eq!(qbd.a().rows(), 6); // s = 6 modes for N = 2, n = 2, m = 1
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QbdMatrices {
+    modes: ModeSpace,
+    arrival_rate: f64,
+    service_rate: f64,
+    servers: usize,
+    a: Matrix,
+    da: Matrix,
+    b: Matrix,
+    c: Matrix,
+}
+
+impl QbdMatrices {
+    /// Builds the generator matrices for a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the mode enumeration; the configuration itself was already
+    /// validated at construction.
+    pub fn new(config: &SystemConfig) -> Result<Self> {
+        let modes = ModeSpace::new(config.servers(), config.lifecycle())?;
+        let s = modes.len();
+        let lifecycle = config.lifecycle();
+        let op_weights = lifecycle.operative().weights();
+        let op_rates = lifecycle.operative().rates();
+        let rep_weights = lifecycle.inoperative().weights();
+        let rep_rates = lifecycle.inoperative().rates();
+
+        let mut a = Matrix::zeros(s, s);
+        for (i, mode) in modes.iter().enumerate() {
+            // Breakdowns: a server in operative phase j fails and enters inoperative
+            // phase k with probability β_k; rate x_j·ξ_j·β_k.
+            for (j, &x_j) in mode.operative().iter().enumerate() {
+                if x_j == 0 {
+                    continue;
+                }
+                for (k, &beta_k) in rep_weights.iter().enumerate() {
+                    let mut operative = mode.operative().to_vec();
+                    let mut inoperative = mode.inoperative().to_vec();
+                    operative[j] -= 1;
+                    inoperative[k] += 1;
+                    let target = modes
+                        .index_of(&Mode::new(operative, inoperative))
+                        .expect("breakdown target mode exists by construction");
+                    a[(i, target)] += x_j as f64 * op_rates[j] * beta_k;
+                }
+            }
+            // Repairs: a server in inoperative phase k is repaired and enters operative
+            // phase j with probability α_j; rate y_k·η_k·α_j.
+            for (k, &y_k) in mode.inoperative().iter().enumerate() {
+                if y_k == 0 {
+                    continue;
+                }
+                for (j, &alpha_j) in op_weights.iter().enumerate() {
+                    let mut operative = mode.operative().to_vec();
+                    let mut inoperative = mode.inoperative().to_vec();
+                    operative[j] += 1;
+                    inoperative[k] -= 1;
+                    let target = modes
+                        .index_of(&Mode::new(operative, inoperative))
+                        .expect("repair target mode exists by construction");
+                    a[(i, target)] += y_k as f64 * rep_rates[k] * alpha_j;
+                }
+            }
+        }
+        let da = Matrix::from_diagonal(&a.row_sums());
+        let b = Matrix::identity(s).scale(config.arrival_rate());
+        let c = Matrix::from_diagonal(
+            &(0..s)
+                .map(|i| modes.operative_count(i) as f64 * config.service_rate())
+                .collect::<Vec<_>>(),
+        );
+        Ok(QbdMatrices {
+            modes,
+            arrival_rate: config.arrival_rate(),
+            service_rate: config.service_rate(),
+            servers: config.servers(),
+            a,
+            da,
+            b,
+            c,
+        })
+    }
+
+    /// The mode space underlying the matrices.
+    pub fn modes(&self) -> &ModeSpace {
+        &self.modes
+    }
+
+    /// Number of operational modes `s`.
+    pub fn order(&self) -> usize {
+        self.modes.len()
+    }
+
+    /// Number of servers `N`.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Arrival rate `λ`.
+    pub fn arrival_rate(&self) -> f64 {
+        self.arrival_rate
+    }
+
+    /// Mode-change rate matrix `A` (zero diagonal).
+    pub fn a(&self) -> &Matrix {
+        &self.a
+    }
+
+    /// Diagonal matrix `Dᴬ` of row sums of `A`.
+    pub fn da(&self) -> &Matrix {
+        &self.da
+    }
+
+    /// Arrival matrix `B = λI`.
+    pub fn b(&self) -> &Matrix {
+        &self.b
+    }
+
+    /// Departure matrix `C` for levels `j ≥ N`.
+    pub fn c(&self) -> &Matrix {
+        &self.c
+    }
+
+    /// Level-dependent departure matrix `C_j = diag(min(x_i, j)·µ)`.
+    ///
+    /// For `j ≥ N` this equals [`c`](Self::c); `C_0` is the zero matrix.
+    pub fn c_at(&self, level: usize) -> Matrix {
+        Matrix::from_diagonal(
+            &(0..self.order())
+                .map(|i| self.modes.operative_count(i).min(level) as f64 * self.service_rate)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// `Q0 = B`, the coefficient of `z⁰` in the characteristic matrix polynomial.
+    pub fn q0(&self) -> Matrix {
+        self.b.clone()
+    }
+
+    /// `Q1 = A − Dᴬ − B − C`, the coefficient of `z¹`.
+    pub fn q1(&self) -> Matrix {
+        &(&(&self.a - &self.da) - &self.b) - &self.c
+    }
+
+    /// `Q2 = C`, the coefficient of `z²`.
+    pub fn q2(&self) -> Matrix {
+        self.c.clone()
+    }
+
+    /// The "local" balance matrix at a given level, `Dᴬ + B + C_j − A`, which multiplies
+    /// `v_j` in the level-`j` balance equation written as
+    /// `v_j·(Dᴬ+B+C_j−A) = v_{j−1}·B + v_{j+1}·C_{j+1}`.
+    pub fn local_matrix(&self, level: usize) -> Matrix {
+        &(&(&self.da + &self.b) + &self.c_at(level)) - &self.a
+    }
+
+    /// The generator of the environment process alone (`A − Dᴬ`); its stationary vector
+    /// is the multinomial distribution exposed by
+    /// [`ModeSpace::stationary_distribution`].
+    pub fn environment_generator(&self) -> Matrix {
+        &self.a - &self.da
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServerLifecycle;
+    use urs_linalg::LuDecomposition;
+
+    fn paper_config(servers: usize, lambda: f64) -> SystemConfig {
+        SystemConfig::new(servers, lambda, 1.0, ServerLifecycle::paper_fitted().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn matrix_dimensions_and_diagonals() {
+        let qbd = QbdMatrices::new(&paper_config(3, 2.0)).unwrap();
+        let s = qbd.order();
+        assert_eq!(s, 10);
+        assert_eq!(qbd.a().shape(), (s, s));
+        // A has zero diagonal.
+        for i in 0..s {
+            assert_eq!(qbd.a()[(i, i)], 0.0);
+        }
+        // B = λI.
+        for i in 0..s {
+            assert_eq!(qbd.b()[(i, i)], 2.0);
+        }
+        // DA is the diagonal of row sums.
+        for (i, sum) in qbd.a().row_sums().iter().enumerate() {
+            assert!((qbd.da()[(i, i)] - sum).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn paper_example_matrix_a_structure() {
+        // Paper, Section 3.1 example: N = 2, n = 2, m = 1.  With η the repair rate and
+        // α the operative-phase entry probabilities, the mode with 2 inoperative servers
+        // moves to (1 op in phase 1, 1 inop) at rate 2ηα₁ and to (1 op in phase 2, 1
+        // inop) at rate 2ηα₂.
+        let config = paper_config(2, 1.0);
+        let lc = config.lifecycle().clone();
+        let qbd = QbdMatrices::new(&config).unwrap();
+        let modes = qbd.modes();
+        let both_down = modes.index_of(&Mode::new(vec![0, 0], vec![2])).unwrap();
+        let one_up_phase1 = modes.index_of(&Mode::new(vec![1, 0], vec![1])).unwrap();
+        let one_up_phase2 = modes.index_of(&Mode::new(vec![0, 1], vec![1])).unwrap();
+        let eta = lc.inoperative().rates()[0];
+        let alpha = lc.operative().weights();
+        assert!((qbd.a()[(both_down, one_up_phase1)] - 2.0 * eta * alpha[0]).abs() < 1e-12);
+        assert!((qbd.a()[(both_down, one_up_phase2)] - 2.0 * eta * alpha[1]).abs() < 1e-12);
+        // Breakdown from (2 op phase 1) to (1 op phase 1, 1 inop) at rate 2ξ₁.
+        let two_up_phase1 = modes.index_of(&Mode::new(vec![2, 0], vec![0])).unwrap();
+        let xi = lc.operative().rates();
+        assert!((qbd.a()[(two_up_phase1, one_up_phase1)] - 2.0 * xi[0]).abs() < 1e-12);
+        // No direct transition between (2 op phase 1) and (2 op phase 2).
+        let two_up_phase2 = modes.index_of(&Mode::new(vec![0, 2], vec![0])).unwrap();
+        assert_eq!(qbd.a()[(two_up_phase1, two_up_phase2)], 0.0);
+    }
+
+    #[test]
+    fn departure_matrices_cap_at_level_and_at_servers() {
+        let qbd = QbdMatrices::new(&paper_config(3, 2.0)).unwrap();
+        let s = qbd.order();
+        // C_0 = 0.
+        assert!(qbd.c_at(0).max_abs() < 1e-15);
+        // C_j for j >= N equals C.
+        assert!(qbd.c_at(3).approx_eq(qbd.c(), 1e-15));
+        assert!(qbd.c_at(7).approx_eq(qbd.c(), 1e-15));
+        // C_1 is capped at one server's worth of service.
+        for i in 0..s {
+            let expected = qbd.modes().operative_count(i).min(1) as f64;
+            assert!((qbd.c_at(1)[(i, i)] - expected).abs() < 1e-12);
+        }
+        // C has min(x_i, N)·µ = x_i·µ on the diagonal.
+        for i in 0..s {
+            assert!((qbd.c()[(i, i)] - qbd.modes().operative_count(i) as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn characteristic_polynomial_coefficients_are_consistent() {
+        let qbd = QbdMatrices::new(&paper_config(2, 1.5)).unwrap();
+        let q1 = qbd.q1();
+        let s = qbd.order();
+        // Q(1)·1 = (Q0 + Q1 + Q2)·1 must be the zero vector: the generator of the
+        // repeating portion is conservative.
+        let sum = &(&qbd.q0() + &q1) + &qbd.q2();
+        for i in 0..s {
+            assert!(sum.row(i).iter().sum::<f64>().abs() < 1e-10, "row {i} not conservative");
+        }
+        // local_matrix(N) = DA + B + C - A = -(Q1)
+        let local = qbd.local_matrix(2);
+        assert!(local.approx_eq(&q1.scale(-1.0), 1e-12));
+    }
+
+    #[test]
+    fn environment_generator_stationary_distribution_matches_product_form() {
+        let config = paper_config(4, 1.0);
+        let qbd = QbdMatrices::new(&config).unwrap();
+        let s = qbd.order();
+        // Solve π (A - DA) = 0 with normalisation by replacing one column.
+        let gen = qbd.environment_generator();
+        let mut system = Matrix::zeros(s, s);
+        for i in 0..s {
+            for j in 0..s {
+                system[(j, i)] = gen[(i, j)]; // transpose
+            }
+        }
+        // Replace the first equation with normalisation Σ π_i = 1.
+        for j in 0..s {
+            system[(0, j)] = 1.0;
+        }
+        let mut rhs = vec![0.0; s];
+        rhs[0] = 1.0;
+        let pi = LuDecomposition::new(&system).unwrap().solve(&rhs).unwrap();
+        let expected = qbd.modes().stationary_distribution(config.lifecycle());
+        for (p, e) in pi.iter().zip(&expected) {
+            assert!((p - e).abs() < 1e-9, "stationary mismatch: {p} vs {e}");
+        }
+    }
+
+    #[test]
+    fn total_breakdown_rate_balances_total_repair_rate_in_equilibrium() {
+        // In the stationary environment, the probability flow from operative to
+        // inoperative states must balance the reverse flow.
+        let config = paper_config(5, 1.0);
+        let qbd = QbdMatrices::new(&config).unwrap();
+        let lc = config.lifecycle();
+        let pi = qbd.modes().stationary_distribution(lc);
+        let mut breakdown_flow = 0.0;
+        let mut repair_flow = 0.0;
+        for (i, mode) in qbd.modes().iter().enumerate() {
+            for (j, &x) in mode.operative().iter().enumerate() {
+                breakdown_flow += pi[i] * x as f64 * lc.operative().rates()[j];
+            }
+            for (k, &y) in mode.inoperative().iter().enumerate() {
+                repair_flow += pi[i] * y as f64 * lc.inoperative().rates()[k];
+            }
+        }
+        assert!((breakdown_flow - repair_flow).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,206 @@
+//! The common interface exposed by every solution method.
+//!
+//! The paper computes the same performance measures from the exact spectral expansion,
+//! from the geometric approximation and (implicitly, for validation) from simulation:
+//! the queue-length distribution, its mean `L`, the mean response time `W = L/λ`
+//! (Little's law) and derived cost metrics.  The [`QueueSolution`] trait captures those
+//! measures so that the cost-optimisation and provisioning helpers can work with any
+//! solver, and [`QueueSolver`] abstracts over the solution methods themselves.
+
+use std::fmt;
+
+use crate::config::SystemConfig;
+use crate::Result;
+
+/// A steady-state solution of the multi-server breakdown queue.
+///
+/// Implementations expose the joint distribution of (operational mode, queue length)
+/// and the derived performance measures.  All probabilities refer to the stationary
+/// regime.
+pub trait QueueSolution: fmt::Debug {
+    /// Number of operational modes `s` of the underlying environment.
+    fn mode_count(&self) -> usize;
+
+    /// Arrival rate `λ` of the solved configuration (needed for Little's law).
+    fn arrival_rate(&self) -> f64;
+
+    /// Joint stationary probability of being in operational mode `mode` with `level`
+    /// jobs in the system.
+    fn state_probability(&self, mode: usize, level: usize) -> f64;
+
+    /// Marginal probability of `level` jobs in the system.
+    fn level_probability(&self, level: usize) -> f64 {
+        (0..self.mode_count()).map(|i| self.state_probability(i, level)).sum()
+    }
+
+    /// Marginal distribution over the operational modes.
+    fn mode_marginal(&self) -> Vec<f64>;
+
+    /// Mean number of jobs in the system, `L`.
+    fn mean_queue_length(&self) -> f64;
+
+    /// Probability that the number of jobs exceeds `level`, `P(Z > level)`.
+    fn tail_probability(&self, level: usize) -> f64;
+
+    /// Mean response time `W = L/λ` (Little's law).
+    fn mean_response_time(&self) -> f64 {
+        self.mean_queue_length() / self.arrival_rate()
+    }
+
+    /// The queue-length distribution up to and including `max_level`.
+    fn queue_length_distribution(&self, max_level: usize) -> Vec<f64> {
+        (0..=max_level).map(|j| self.level_probability(j)).collect()
+    }
+
+    /// The probability that the system is empty.
+    fn empty_probability(&self) -> f64 {
+        self.level_probability(0)
+    }
+}
+
+/// A method that produces a [`QueueSolution`] from a [`SystemConfig`].
+///
+/// The three analytic methods of the paper ([`SpectralExpansionSolver`],
+/// [`GeometricApproximation`], and the matrix-geometric cross-check
+/// [`MatrixGeometricSolver`]) all implement this trait, as does the brute-force
+/// [`TruncatedCtmcSolver`]; higher-level analyses (cost optimisation, capacity
+/// planning) accept `&dyn QueueSolver` so the method can be swapped freely.
+///
+/// [`SpectralExpansionSolver`]: crate::SpectralExpansionSolver
+/// [`GeometricApproximation`]: crate::GeometricApproximation
+/// [`MatrixGeometricSolver`]: crate::MatrixGeometricSolver
+/// [`TruncatedCtmcSolver`]: crate::TruncatedCtmcSolver
+pub trait QueueSolver: fmt::Debug {
+    /// Human-readable name of the method (used in reports and experiment output).
+    fn name(&self) -> &'static str;
+
+    /// Solves the model for the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`ModelError::Unstable`](crate::ModelError::Unstable) for
+    /// non-ergodic configurations and method-specific failures otherwise.
+    fn solve(&self, config: &SystemConfig) -> Result<Box<dyn QueueSolution>>;
+}
+
+/// Verifies the elementary consistency properties that every solution must satisfy;
+/// intended for tests and debug assertions.  Returns a list of human-readable
+/// violations (empty when the solution looks sane).
+pub fn consistency_violations(
+    solution: &dyn QueueSolution,
+    levels_to_check: usize,
+    tol: f64,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    let marginal = solution.mode_marginal();
+    if marginal.len() != solution.mode_count() {
+        violations.push(format!(
+            "mode marginal has {} entries for {} modes",
+            marginal.len(),
+            solution.mode_count()
+        ));
+    }
+    let total_mode: f64 = marginal.iter().sum();
+    if (total_mode - 1.0).abs() > tol {
+        violations.push(format!("mode marginal sums to {total_mode}, expected 1"));
+    }
+    for (i, p) in marginal.iter().enumerate() {
+        if *p < -tol {
+            violations.push(format!("mode {i} has negative probability {p}"));
+        }
+    }
+    let mut acc = 0.0;
+    for j in 0..levels_to_check {
+        let p = solution.level_probability(j);
+        if p < -tol {
+            violations.push(format!("level {j} has negative probability {p}"));
+        }
+        acc += p;
+        let tail = solution.tail_probability(j);
+        if (acc + tail - 1.0).abs() > 10.0 * tol {
+            violations.push(format!(
+                "P(Z ≤ {j}) + P(Z > {j}) = {} differs from 1",
+                acc + tail
+            ));
+        }
+    }
+    if solution.mean_queue_length() < -tol {
+        violations.push(format!("negative mean queue length {}", solution.mean_queue_length()));
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hand-built geometric "solution" used to exercise the default methods.
+    #[derive(Debug)]
+    struct GeometricToy {
+        rho: f64,
+    }
+
+    impl QueueSolution for GeometricToy {
+        fn mode_count(&self) -> usize {
+            1
+        }
+        fn arrival_rate(&self) -> f64 {
+            self.rho
+        }
+        fn state_probability(&self, _mode: usize, level: usize) -> f64 {
+            (1.0 - self.rho) * self.rho.powi(level as i32)
+        }
+        fn mode_marginal(&self) -> Vec<f64> {
+            vec![1.0]
+        }
+        fn mean_queue_length(&self) -> f64 {
+            self.rho / (1.0 - self.rho)
+        }
+        fn tail_probability(&self, level: usize) -> f64 {
+            self.rho.powi(level as i32 + 1)
+        }
+    }
+
+    #[test]
+    fn default_methods_are_consistent_for_a_geometric_queue() {
+        let toy = GeometricToy { rho: 0.5 };
+        assert!((toy.level_probability(0) - 0.5).abs() < 1e-15);
+        assert!((toy.empty_probability() - 0.5).abs() < 1e-15);
+        // M/M/1-like: W = L/λ = (ρ/(1-ρ))/ρ = 1/(1-ρ) = 2.
+        assert!((toy.mean_response_time() - 2.0).abs() < 1e-15);
+        let dist = toy.queue_length_distribution(10);
+        assert_eq!(dist.len(), 11);
+        assert!((dist.iter().sum::<f64>() + toy.tail_probability(10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consistency_checker_accepts_good_and_flags_bad() {
+        let good = GeometricToy { rho: 0.3 };
+        assert!(consistency_violations(&good, 20, 1e-9).is_empty());
+
+        #[derive(Debug)]
+        struct Broken;
+        impl QueueSolution for Broken {
+            fn mode_count(&self) -> usize {
+                1
+            }
+            fn arrival_rate(&self) -> f64 {
+                1.0
+            }
+            fn state_probability(&self, _m: usize, _l: usize) -> f64 {
+                -0.1
+            }
+            fn mode_marginal(&self) -> Vec<f64> {
+                vec![0.5]
+            }
+            fn mean_queue_length(&self) -> f64 {
+                -1.0
+            }
+            fn tail_probability(&self, _level: usize) -> f64 {
+                2.0
+            }
+        }
+        let violations = consistency_violations(&Broken, 3, 1e-9);
+        assert!(violations.len() >= 3, "violations: {violations:?}");
+    }
+}

@@ -1,0 +1,245 @@
+//! Sensitivity sweeps used by the paper's Figures 6, 7 and 8.
+//!
+//! These helpers hold everything fixed except one quantity — the variability of the
+//! operative periods, the mean repair time, or the offered load — and report the mean
+//! queue length along the sweep, optionally for several solution methods at once.
+
+use urs_dist::HyperExponential;
+
+use crate::config::{ServerLifecycle, SystemConfig};
+use crate::solution::QueueSolver;
+use crate::Result;
+
+/// One point of a variability sweep (Figure 6): the squared coefficient of variation of
+/// the operative periods and the resulting mean queue length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariabilityPoint {
+    /// Squared coefficient of variation `C²` of the operative periods.
+    pub scv: f64,
+    /// Mean queue length `L`.
+    pub mean_queue_length: f64,
+}
+
+/// Sweeps the squared coefficient of variation of the operative periods while keeping
+/// their mean fixed (Figure 6).  `scv = 1` is the exponential case; values above 1 use
+/// the balanced-means two-phase hyperexponential.
+///
+/// # Errors
+///
+/// Propagates construction and solver errors; unstable configurations are reported as
+/// [`ModelError::Unstable`](crate::ModelError::Unstable) by the solver.
+pub fn queue_length_vs_operative_scv(
+    solver: &dyn QueueSolver,
+    base_config: &SystemConfig,
+    operative_mean: f64,
+    scv_values: &[f64],
+) -> Result<Vec<VariabilityPoint>> {
+    let mut points = Vec::with_capacity(scv_values.len());
+    for &scv in scv_values {
+        let operative = HyperExponential::with_mean_and_scv(operative_mean, scv)?;
+        let lifecycle =
+            ServerLifecycle::new(operative, base_config.lifecycle().inoperative().clone());
+        let config = base_config.with_lifecycle(lifecycle);
+        let solution = solver.solve(&config)?;
+        points.push(VariabilityPoint { scv, mean_queue_length: solution.mean_queue_length() });
+    }
+    Ok(points)
+}
+
+/// One point of a repair-time sweep (Figure 7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepairTimePoint {
+    /// Mean repair (inoperative) time `1/η`.
+    pub mean_repair_time: f64,
+    /// Mean queue length with exponentially distributed operative periods.
+    pub exponential_operative: f64,
+    /// Mean queue length with hyperexponentially distributed operative periods of the
+    /// same mean.
+    pub hyperexponential_operative: f64,
+}
+
+/// Sweeps the mean repair time, comparing exponential and hyperexponential operative
+/// periods with the same mean (Figure 7).
+///
+/// # Errors
+///
+/// Propagates construction and solver errors.
+pub fn queue_length_vs_repair_time(
+    solver: &dyn QueueSolver,
+    base_config: &SystemConfig,
+    hyperexponential_operative: &HyperExponential,
+    mean_repair_times: &[f64],
+) -> Result<Vec<RepairTimePoint>> {
+    use urs_dist::ContinuousDistribution;
+    let operative_mean = hyperexponential_operative.mean();
+    let exponential_operative = HyperExponential::exponential(1.0 / operative_mean)?;
+    let mut points = Vec::with_capacity(mean_repair_times.len());
+    for &repair_time in mean_repair_times {
+        let repair = HyperExponential::exponential(1.0 / repair_time)?;
+        let exp_config = base_config
+            .with_lifecycle(ServerLifecycle::new(exponential_operative.clone(), repair.clone()));
+        let hyper_config = base_config
+            .with_lifecycle(ServerLifecycle::new(hyperexponential_operative.clone(), repair));
+        points.push(RepairTimePoint {
+            mean_repair_time: repair_time,
+            exponential_operative: solver.solve(&exp_config)?.mean_queue_length(),
+            hyperexponential_operative: solver.solve(&hyper_config)?.mean_queue_length(),
+        });
+    }
+    Ok(points)
+}
+
+/// One point of a load sweep (Figure 8): the utilisation and the mean queue length for
+/// each of two solution methods.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadPoint {
+    /// Utilisation `ρ = (λ/µ)/(N·η/(ξ+η))`.
+    pub utilisation: f64,
+    /// Arrival rate that produced this utilisation.
+    pub arrival_rate: f64,
+    /// Mean queue length from the first (reference) solver.
+    pub reference: f64,
+    /// Mean queue length from the second (comparison) solver.
+    pub comparison: f64,
+}
+
+/// Sweeps the offered load by varying the arrival rate, solving each point with two
+/// methods (used to compare the exact solution with the geometric approximation in
+/// Figure 8).
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub fn queue_length_vs_load(
+    reference: &dyn QueueSolver,
+    comparison: &dyn QueueSolver,
+    base_config: &SystemConfig,
+    utilisations: &[f64],
+) -> Result<Vec<LoadPoint>> {
+    let capacity = base_config.effective_servers() * base_config.service_rate();
+    let mut points = Vec::with_capacity(utilisations.len());
+    for &rho in utilisations {
+        let arrival_rate = rho * capacity;
+        let config = base_config.with_arrival_rate(arrival_rate)?;
+        points.push(LoadPoint {
+            utilisation: rho,
+            arrival_rate,
+            reference: reference.solve(&config)?.mean_queue_length(),
+            comparison: comparison.solve(&config)?.mean_queue_length(),
+        });
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::GeometricApproximation;
+    use crate::solution::QueueSolution as _;
+    use crate::spectral::SpectralExpansionSolver;
+    use urs_dist::ContinuousDistribution;
+
+    fn base(servers: usize, lambda: f64, repair_rate: f64) -> SystemConfig {
+        let operative = HyperExponential::with_mean_and_scv(34.62, 4.6).unwrap();
+        let lifecycle =
+            ServerLifecycle::with_exponential_repair(operative, repair_rate).unwrap();
+        SystemConfig::new(servers, lambda, 1.0, lifecycle).unwrap()
+    }
+
+    #[test]
+    fn queue_length_grows_with_operative_variability() {
+        // The qualitative message of Figure 6: L grows with C², and the effect is
+        // noticeable under load.  Mirrors the paper's setting (mean repair time 5,
+        // utilisation well above 0.9) scaled down to 5 servers.
+        let base = base(5, 4.2, 0.2);
+        let points = queue_length_vs_operative_scv(
+            &SpectralExpansionSolver::default(),
+            &base,
+            34.62,
+            &[1.0, 2.0, 4.0, 8.0],
+        )
+        .unwrap();
+        assert_eq!(points.len(), 4);
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].mean_queue_length >= pair[0].mean_queue_length - 1e-9,
+                "L should grow with C²: {pair:?}"
+            );
+        }
+        assert!(points[3].mean_queue_length > points[0].mean_queue_length * 1.05);
+    }
+
+    #[test]
+    fn exponential_assumption_underestimates_queue_length() {
+        // The qualitative message of Figure 7: with the same means, the exponential
+        // operative-period assumption predicts a smaller queue than the
+        // hyperexponential reality, and the gap grows with the repair time.
+        let operative = HyperExponential::with_mean_and_scv(34.62, 4.6).unwrap();
+        let base = base(5, 3.5, 1.0);
+        let points = queue_length_vs_repair_time(
+            &SpectralExpansionSolver::default(),
+            &base,
+            &operative,
+            &[0.5, 1.0, 2.0],
+        )
+        .unwrap();
+        for p in &points {
+            assert!(
+                p.hyperexponential_operative > p.exponential_operative,
+                "hyperexponential should give the larger queue: {p:?}"
+            );
+        }
+        let gap_first = points[0].hyperexponential_operative - points[0].exponential_operative;
+        let gap_last = points[2].hyperexponential_operative - points[2].exponential_operative;
+        assert!(gap_last > gap_first);
+    }
+
+    #[test]
+    fn approximation_error_shrinks_with_load() {
+        let base = base(5, 3.0, 25.0);
+        let points = queue_length_vs_load(
+            &SpectralExpansionSolver::default(),
+            &GeometricApproximation::default(),
+            &base,
+            &[0.85, 0.92, 0.97],
+        )
+        .unwrap();
+        let errors: Vec<f64> = points
+            .iter()
+            .map(|p| (p.comparison - p.reference).abs() / p.reference)
+            .collect();
+        assert!(errors[2] <= errors[0] + 1e-9, "errors {errors:?}");
+        // As in Figure 8, the approximation is within a modest relative error near
+        // saturation but only becomes exact in the limit.
+        assert!(errors[2] < 0.15, "errors {errors:?}");
+        // The arrival rates really produce the requested utilisations.
+        for p in &points {
+            let expected = p.utilisation * base.effective_servers();
+            assert!((p.arrival_rate - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scv_one_matches_plain_exponential_lifecycle() {
+        let base = base(4, 2.5, 1.0);
+        let operative_mean = 34.62;
+        let sweep = queue_length_vs_operative_scv(
+            &SpectralExpansionSolver::default(),
+            &base,
+            operative_mean,
+            &[1.0],
+        )
+        .unwrap();
+        let exp_lifecycle = ServerLifecycle::with_exponential_repair(
+            HyperExponential::exponential(1.0 / operative_mean).unwrap(),
+            base.lifecycle().repair_rate(),
+        )
+        .unwrap();
+        assert!((exp_lifecycle.operative().scv() - 1.0).abs() < 1e-12);
+        let direct = SpectralExpansionSolver::default()
+            .solve_detailed(&base.with_lifecycle(exp_lifecycle))
+            .unwrap()
+            .mean_queue_length();
+        assert!((sweep[0].mean_queue_length - direct).abs() < 1e-8);
+    }
+}

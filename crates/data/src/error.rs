@@ -1,0 +1,66 @@
+//! Error type for trace generation and analysis.
+
+use std::error::Error;
+use std::fmt;
+
+use urs_dist::DistError;
+
+/// Errors produced when generating or analysing breakdown traces.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DataError {
+    /// A generation or analysis parameter is out of range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Value supplied by the caller.
+        value: f64,
+        /// Description of the violated constraint.
+        constraint: &'static str,
+    },
+    /// The trace is empty or contains too few usable rows for the requested analysis.
+    InsufficientData(String),
+    /// An error bubbled up from the statistics layer.
+    Dist(DistError),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::InvalidParameter { name, value, constraint } => {
+                write!(f, "invalid parameter {name} = {value}: {constraint}")
+            }
+            DataError::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
+            DataError::Dist(e) => write!(f, "statistics error: {e}"),
+        }
+    }
+}
+
+impl Error for DataError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DataError::Dist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DistError> for DataError {
+    fn from(e: DistError) -> Self {
+        DataError::Dist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = DataError::InvalidParameter { name: "events", value: 0.0, constraint: "≥ 1" };
+        assert!(e.to_string().contains("events"));
+        assert!(DataError::InsufficientData("empty trace".into()).to_string().contains("empty"));
+        let wrapped: DataError = DistError::InsufficientData("x".into()).into();
+        assert!(wrapped.source().is_some());
+    }
+}

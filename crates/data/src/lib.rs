@@ -1,0 +1,46 @@
+//! Synthetic breakdown traces and the empirical analysis pipeline of Section 2.
+//!
+//! The paper analyses a proprietary Sun Microsystems data set of ~140 000 breakdown
+//! events, each recording an *Outage Duration* and the *Time Between Events*; operative
+//! periods are derived as the difference of the two (Figure 2 of the paper).  That data
+//! set is not publicly available, so this crate substitutes a **synthetic trace
+//! generator** whose ground-truth distributions are the hyperexponential fits published
+//! in the paper, including a configurable fraction of anomalous rows (Time Between
+//! Events smaller than the Outage Duration) matching the ~4% the paper discards.
+//!
+//! The [`analysis`] module then reruns the paper's entire empirical pipeline on such a
+//! trace: cleaning, histogramming, moment estimation, exponential and hyperexponential
+//! fitting, and Kolmogorov–Smirnov goodness-of-fit testing — reproducing Figures 3
+//! and 4 and the quantitative conclusions of Section 2.
+//!
+//! # Example
+//!
+//! ```
+//! use urs_data::{SyntheticTrace, TraceAnalysis};
+//!
+//! # fn main() -> Result<(), urs_data::DataError> {
+//! let trace = SyntheticTrace::paper_like().with_events(20_000).generate(7)?;
+//! let analysis = TraceAnalysis::run(&trace, Default::default())?;
+//! // The exponential hypothesis for operative periods must be rejected…
+//! assert!(!analysis.operative().exponential_accepted_at_5_percent());
+//! // …while the hyperexponential fit is accepted.
+//! assert!(analysis.operative().hyperexponential_accepted_at_5_percent());
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod analysis;
+mod clean;
+mod error;
+mod trace;
+
+pub use analysis::{AnalysisOptions, DensityPoint, PeriodAnalysis, TraceAnalysis};
+pub use clean::CleanedPeriods;
+pub use error::DataError;
+pub use trace::{BreakdownRecord, BreakdownTrace, SyntheticTrace};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DataError>;

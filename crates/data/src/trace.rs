@@ -1,0 +1,272 @@
+//! Synthetic breakdown traces in the format of the Sun Microsystems data set.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use urs_dist::{uniform01, ContinuousDistribution, HyperExponential};
+
+use crate::error::DataError;
+use crate::Result;
+
+/// One row of the breakdown trace: a breakdown event with its outage duration and the
+/// time until the *next* breakdown of the same server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakdownRecord {
+    /// Duration of the outage (inoperative period) that starts at this event.
+    pub outage_duration: f64,
+    /// Time from this breakdown event to the next breakdown event.
+    pub time_between_events: f64,
+}
+
+impl BreakdownRecord {
+    /// The operative period derived from this record (Figure 2 of the paper):
+    /// `Time Between Events − Outage Duration`.
+    pub fn operative_period(&self) -> f64 {
+        self.time_between_events - self.outage_duration
+    }
+
+    /// A record is anomalous when the time between events is smaller than the outage
+    /// duration (roughly 4% of the real data set); such rows are discarded by the
+    /// cleaning step.
+    pub fn is_anomalous(&self) -> bool {
+        self.time_between_events < self.outage_duration
+    }
+}
+
+/// A full breakdown trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakdownTrace {
+    records: Vec<BreakdownRecord>,
+}
+
+impl BreakdownTrace {
+    /// Wraps a list of records as a trace.
+    pub fn new(records: Vec<BreakdownRecord>) -> Self {
+        BreakdownTrace { records }
+    }
+
+    /// The records of the trace.
+    pub fn records(&self) -> &[BreakdownRecord] {
+        &self.records
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if the trace has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of anomalous rows.
+    pub fn anomalous_rows(&self) -> usize {
+        self.records.iter().filter(|r| r.is_anomalous()).count()
+    }
+
+    /// Serialises the trace to CSV (header plus one row per record), the format in
+    /// which such traces are usually exchanged.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("outage_duration,time_between_events\n");
+        for r in &self.records {
+            out.push_str(&format!("{},{}\n", r.outage_duration, r.time_between_events));
+        }
+        out
+    }
+
+    /// Parses a trace from the CSV produced by [`to_csv`](Self::to_csv).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InsufficientData`] if the text contains no parsable rows or
+    /// a malformed line.
+    pub fn from_csv(text: &str) -> Result<Self> {
+        let mut records = Vec::new();
+        for (index, line) in text.lines().enumerate() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with("outage_duration") {
+                continue;
+            }
+            let mut parts = trimmed.split(',');
+            let outage: f64 = parts
+                .next()
+                .and_then(|v| v.trim().parse().ok())
+                .ok_or_else(|| DataError::InsufficientData(format!("bad CSV line {index}")))?;
+            let tbe: f64 = parts
+                .next()
+                .and_then(|v| v.trim().parse().ok())
+                .ok_or_else(|| DataError::InsufficientData(format!("bad CSV line {index}")))?;
+            records.push(BreakdownRecord { outage_duration: outage, time_between_events: tbe });
+        }
+        if records.is_empty() {
+            return Err(DataError::InsufficientData("CSV contained no data rows".into()));
+        }
+        Ok(BreakdownTrace { records })
+    }
+}
+
+/// Generator of synthetic traces with known ground-truth distributions.
+///
+/// The defaults of [`paper_like`](Self::paper_like) mirror the paper's Sun data set:
+/// 140 000 events, operative periods drawn from the published two-phase
+/// hyperexponential fit, inoperative periods from the published repair-time fit, and
+/// ~4% anomalous rows.
+#[derive(Debug, Clone)]
+pub struct SyntheticTrace {
+    events: usize,
+    operative: HyperExponential,
+    inoperative: HyperExponential,
+    anomaly_fraction: f64,
+}
+
+impl SyntheticTrace {
+    /// A generator mirroring the paper's data set.
+    pub fn paper_like() -> Self {
+        SyntheticTrace {
+            events: 140_000,
+            operative: HyperExponential::new(&[0.7246, 0.2754], &[0.1663, 0.0091])
+                .expect("paper parameters are valid"),
+            inoperative: HyperExponential::new(&[0.9303, 0.0697], &[25.0043, 1.6346])
+                .expect("paper parameters are valid"),
+            anomaly_fraction: 0.04,
+        }
+    }
+
+    /// Creates a generator with explicit ground-truth distributions.
+    pub fn new(operative: HyperExponential, inoperative: HyperExponential) -> Self {
+        SyntheticTrace { events: 140_000, operative, inoperative, anomaly_fraction: 0.04 }
+    }
+
+    /// Sets the number of events to generate.
+    pub fn with_events(mut self, events: usize) -> Self {
+        self.events = events;
+        self
+    }
+
+    /// Sets the fraction of anomalous rows (0 disables anomalies).
+    pub fn with_anomaly_fraction(mut self, fraction: f64) -> Self {
+        self.anomaly_fraction = fraction;
+        self
+    }
+
+    /// The ground-truth operative-period distribution.
+    pub fn operative(&self) -> &HyperExponential {
+        &self.operative
+    }
+
+    /// The ground-truth inoperative-period distribution.
+    pub fn inoperative(&self) -> &HyperExponential {
+        &self.inoperative
+    }
+
+    /// Generates a trace with the given random seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidParameter`] if the event count is zero or the
+    /// anomaly fraction lies outside `[0, 1)`.
+    pub fn generate(&self, seed: u64) -> Result<BreakdownTrace> {
+        if self.events == 0 {
+            return Err(DataError::InvalidParameter {
+                name: "events",
+                value: 0.0,
+                constraint: "must generate at least one event",
+            });
+        }
+        if !(0.0..1.0).contains(&self.anomaly_fraction) {
+            return Err(DataError::InvalidParameter {
+                name: "anomaly_fraction",
+                value: self.anomaly_fraction,
+                constraint: "must lie in [0, 1)",
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut records = Vec::with_capacity(self.events);
+        for _ in 0..self.events {
+            let outage = self.inoperative.sample(&mut rng);
+            if uniform01(&mut rng) < self.anomaly_fraction {
+                // Anomalous row: the recorded time between events is shorter than the
+                // outage itself (as observed in the real data set, e.g. due to clock
+                // skew or overlapping tickets).
+                let fraction = uniform01(&mut rng);
+                records.push(BreakdownRecord {
+                    outage_duration: outage,
+                    time_between_events: outage * fraction,
+                });
+            } else {
+                let operative = self.operative.sample(&mut rng);
+                records.push(BreakdownRecord {
+                    outage_duration: outage,
+                    time_between_events: outage + operative,
+                });
+            }
+        }
+        Ok(BreakdownTrace { records })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_derivations() {
+        let good = BreakdownRecord { outage_duration: 0.5, time_between_events: 10.5 };
+        assert!((good.operative_period() - 10.0).abs() < 1e-12);
+        assert!(!good.is_anomalous());
+        let bad = BreakdownRecord { outage_duration: 2.0, time_between_events: 1.0 };
+        assert!(bad.is_anomalous());
+    }
+
+    #[test]
+    fn generator_produces_requested_volume_and_anomaly_rate() {
+        let trace = SyntheticTrace::paper_like().with_events(50_000).generate(1).unwrap();
+        assert_eq!(trace.len(), 50_000);
+        assert!(!trace.is_empty());
+        let anomaly_rate = trace.anomalous_rows() as f64 / trace.len() as f64;
+        assert!((anomaly_rate - 0.04).abs() < 0.005, "anomaly rate {anomaly_rate}");
+    }
+
+    #[test]
+    fn generated_periods_match_ground_truth_means() {
+        let generator = SyntheticTrace::paper_like().with_events(60_000).with_anomaly_fraction(0.0);
+        let trace = generator.generate(3).unwrap();
+        let mean_operative: f64 = trace
+            .records()
+            .iter()
+            .map(BreakdownRecord::operative_period)
+            .sum::<f64>()
+            / trace.len() as f64;
+        let mean_outage: f64 =
+            trace.records().iter().map(|r| r.outage_duration).sum::<f64>() / trace.len() as f64;
+        assert!((mean_operative - generator.operative().mean()).abs() / generator.operative().mean() < 0.03);
+        assert!((mean_outage - generator.inoperative().mean()).abs() / generator.inoperative().mean() < 0.03);
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let generator = SyntheticTrace::paper_like().with_events(1_000);
+        assert_eq!(generator.generate(9).unwrap(), generator.generate(9).unwrap());
+        assert_ne!(generator.generate(9).unwrap(), generator.generate(10).unwrap());
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(SyntheticTrace::paper_like().with_events(0).generate(0).is_err());
+        assert!(SyntheticTrace::paper_like().with_anomaly_fraction(1.5).generate(0).is_err());
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let trace = SyntheticTrace::paper_like().with_events(100).generate(5).unwrap();
+        let csv = trace.to_csv();
+        let parsed = BreakdownTrace::from_csv(&csv).unwrap();
+        assert_eq!(parsed.len(), trace.len());
+        for (a, b) in parsed.records().iter().zip(trace.records()) {
+            assert!((a.outage_duration - b.outage_duration).abs() < 1e-9);
+            assert!((a.time_between_events - b.time_between_events).abs() < 1e-9);
+        }
+        assert!(BreakdownTrace::from_csv("outage_duration,time_between_events\n").is_err());
+        assert!(BreakdownTrace::from_csv("not,a,number\nx,y\n").is_err());
+    }
+}

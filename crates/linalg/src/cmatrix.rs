@@ -1,0 +1,391 @@
+//! Dense, row-major complex matrices.
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+use crate::clu::CluDecomposition;
+use crate::complex::Complex;
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// A dense, row-major matrix of [`Complex`] values.
+///
+/// Complex matrices appear in the spectral-expansion solver when the characteristic
+/// matrix polynomial `Q(z)` is evaluated at a complex eigenvalue and its null space is
+/// extracted.  The API mirrors [`Matrix`] but only carries the operations actually
+/// needed by the solvers.
+///
+/// # Example
+///
+/// ```
+/// use urs_linalg::{CMatrix, Complex};
+///
+/// let mut m = CMatrix::zeros(2, 2);
+/// m[(0, 0)] = Complex::new(1.0, 1.0);
+/// m[(1, 1)] = Complex::new(0.0, -2.0);
+/// assert_eq!(m.trace().unwrap(), Complex::new(1.0, -1.0));
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex>,
+}
+
+impl CMatrix {
+    /// Creates a complex matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMatrix { rows, cols, data: vec![Complex::ZERO; rows * cols] }
+    }
+
+    /// Creates the `n × n` complex identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex::ONE;
+        }
+        m
+    }
+
+    /// Creates a complex matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn<F: FnMut(usize, usize) -> Complex>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut m = CMatrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Embeds a real matrix as a complex matrix with zero imaginary parts.
+    pub fn from_real(a: &Matrix) -> Self {
+        CMatrix::from_fn(a.rows(), a.cols(), |i, j| Complex::from_real(a[(i, j)]))
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Returns `true` if the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Conjugate transpose (Hermitian adjoint).
+    pub fn adjoint(&self) -> CMatrix {
+        CMatrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)].conj())
+    }
+
+    /// Plain transpose (no conjugation).
+    pub fn transpose(&self) -> CMatrix {
+        CMatrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Real parts of all entries as a real matrix.
+    pub fn real_part(&self) -> Matrix {
+        Matrix::from_fn(self.rows, self.cols, |i, j| self[(i, j)].re)
+    }
+
+    /// Largest absolute value of any imaginary part; useful for asserting that a result
+    /// which must be real actually is.
+    pub fn max_imag_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, z| m.max(z.im.abs()))
+    }
+
+    /// Maximum modulus of any entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, z| m.max(z.abs()))
+    }
+
+    /// Sum of the diagonal entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for non-square matrices.
+    pub fn trace(&self) -> Result<Complex> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare { rows: self.rows, cols: self.cols });
+        }
+        Ok((0..self.rows).map(|i| self[(i, i)]).sum())
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &CMatrix) -> Result<CMatrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "complex matrix multiplication",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let mut out = CMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == Complex::ZERO {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let t = aik * rhs[(k, j)];
+                    out[(i, j)] += t;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Row-vector–matrix product `v * self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `v.len() != self.rows()`.
+    pub fn vecmat(&self, v: &[Complex]) -> Result<Vec<Complex>> {
+        if v.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "complex vector-matrix product",
+                left: (1, v.len()),
+                right: self.shape(),
+            });
+        }
+        let mut out = vec![Complex::ZERO; self.cols];
+        for (i, &vi) in v.iter().enumerate() {
+            if vi == Complex::ZERO {
+                continue;
+            }
+            for j in 0..self.cols {
+                out[j] += vi * self[(i, j)];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[Complex]) -> Result<Vec<Complex>> {
+        if v.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "complex matrix-vector product",
+                left: self.shape(),
+                right: (v.len(), 1),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self[(i, j)] * v[j]).sum())
+            .collect())
+    }
+
+    /// LU factorisation with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// See [`CluDecomposition::new`].
+    pub fn lu(&self) -> Result<CluDecomposition> {
+        CluDecomposition::new(self)
+    }
+
+    /// Determinant via complex LU factorisation (0 for singular matrices).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for non-square input.
+    pub fn determinant(&self) -> Result<Complex> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare { rows: self.rows, cols: self.cols });
+        }
+        Ok(CluDecomposition::new_allow_singular(self)?.determinant())
+    }
+
+    /// Entry-wise approximate comparison with absolute tolerance `tol`.
+    pub fn approx_eq(&self, other: &CMatrix, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self.data.iter().zip(&other.data).all(|(a, b)| (*a - *b).abs() <= tol)
+    }
+}
+
+impl Index<(usize, usize)> for CMatrix {
+    type Output = Complex;
+    #[inline]
+    fn index(&self, (row, col): (usize, usize)) -> &Complex {
+        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds for {}x{} matrix", self.rows, self.cols);
+        &self.data[row * self.cols + col]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMatrix {
+    #[inline]
+    fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut Complex {
+        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds for {}x{} matrix", self.rows, self.cols);
+        &mut self.data[row * self.cols + col]
+    }
+}
+
+impl fmt::Debug for CMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CMatrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  [")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Add for &CMatrix {
+    type Output = CMatrix;
+    fn add(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.shape(), rhs.shape(), "complex matrix addition requires equal shapes");
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a + *b).collect(),
+        }
+    }
+}
+
+impl Sub for &CMatrix {
+    type Output = CMatrix;
+    fn sub(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.shape(), rhs.shape(), "complex matrix subtraction requires equal shapes");
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a - *b).collect(),
+        }
+    }
+}
+
+impl Mul<Complex> for &CMatrix {
+    type Output = CMatrix;
+    fn mul(self, rhs: Complex) -> CMatrix {
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&z| z * rhs).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_indexing() {
+        let id = CMatrix::identity(3);
+        assert_eq!(id[(1, 1)], Complex::ONE);
+        assert_eq!(id[(0, 1)], Complex::ZERO);
+        assert_eq!(id.trace().unwrap(), Complex::new(3.0, 0.0));
+    }
+
+    #[test]
+    fn from_real_round_trip() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0][..], &[3.0, 4.0][..]]).unwrap();
+        let c = CMatrix::from_real(&a);
+        assert_eq!(c.real_part(), a);
+        assert_eq!(c.max_imag_abs(), 0.0);
+    }
+
+    #[test]
+    fn adjoint_conjugates_and_transposes() {
+        let mut m = CMatrix::zeros(2, 2);
+        m[(0, 1)] = Complex::new(1.0, 2.0);
+        let adj = m.adjoint();
+        assert_eq!(adj[(1, 0)], Complex::new(1.0, -2.0));
+        let t = m.transpose();
+        assert_eq!(t[(1, 0)], Complex::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn matmul_against_hand_computation() {
+        let i = Complex::I;
+        let mut a = CMatrix::zeros(2, 2);
+        a[(0, 0)] = Complex::ONE;
+        a[(0, 1)] = i;
+        a[(1, 0)] = -i;
+        a[(1, 1)] = Complex::ONE;
+        let prod = a.matmul(&a).unwrap();
+        // [[1, i], [-i, 1]]^2 = [[2, 2i], [-2i, 2]]
+        assert!(prod.approx_eq(
+            &CMatrix::from_fn(2, 2, |r, c| match (r, c) {
+                (0, 0) | (1, 1) => Complex::new(2.0, 0.0),
+                (0, 1) => Complex::new(0.0, 2.0),
+                _ => Complex::new(0.0, -2.0),
+            }),
+            1e-14
+        ));
+    }
+
+    #[test]
+    fn vecmat_and_matvec() {
+        let a = CMatrix::from_fn(2, 2, |i, j| Complex::new((i * 2 + j) as f64, 0.0));
+        let v = [Complex::ONE, Complex::I];
+        let left = a.vecmat(&v).unwrap();
+        assert_eq!(left[0], Complex::new(0.0, 2.0));
+        assert_eq!(left[1], Complex::new(1.0, 3.0));
+        let right = a.matvec(&v).unwrap();
+        assert_eq!(right[0], Complex::new(0.0, 1.0));
+        assert_eq!(right[1], Complex::new(2.0, 3.0));
+        assert!(a.vecmat(&[Complex::ONE]).is_err());
+        assert!(a.matvec(&[Complex::ONE]).is_err());
+    }
+
+    #[test]
+    fn determinant_of_complex_matrix() {
+        let mut a = CMatrix::zeros(2, 2);
+        a[(0, 0)] = Complex::new(1.0, 1.0);
+        a[(1, 1)] = Complex::new(1.0, -1.0);
+        a[(0, 1)] = Complex::new(0.0, 1.0);
+        a[(1, 0)] = Complex::new(0.0, 1.0);
+        // det = (1+i)(1-i) - (i)(i) = 2 + 1 = 3
+        let det = a.determinant().unwrap();
+        assert!((det - Complex::new(3.0, 0.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let a = CMatrix::identity(2);
+        let b = &a + &a;
+        assert_eq!(b[(0, 0)], Complex::new(2.0, 0.0));
+        let c = &b - &a;
+        assert!(c.approx_eq(&a, 0.0));
+        let d = &a * Complex::I;
+        assert_eq!(d[(1, 1)], Complex::I);
+    }
+
+    #[test]
+    fn mismatched_multiplication_rejected() {
+        let a = CMatrix::zeros(2, 3);
+        let b = CMatrix::zeros(2, 3);
+        assert!(matches!(a.matmul(&b), Err(LinalgError::DimensionMismatch { .. })));
+    }
+}

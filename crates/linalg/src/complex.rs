@@ -1,0 +1,422 @@
+//! A small double-precision complex number type.
+//!
+//! The workspace deliberately avoids external numeric crates, so the spectral-expansion
+//! machinery carries its own complex arithmetic.  The type is `Copy`, supports the usual
+//! operators against both `Complex` and `f64` operands, and provides the handful of
+//! transcendental helpers (modulus, argument, square root, exponential) that the
+//! eigenvalue code needs.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+///
+/// # Example
+///
+/// ```
+/// use urs_linalg::Complex;
+///
+/// let z = Complex::new(3.0, 4.0);
+/// assert_eq!(z.abs(), 5.0);
+/// assert_eq!((z * z.conj()).re, 25.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit `i`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from its real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `(r, θ)`.
+    ///
+    /// ```
+    /// use urs_linalg::Complex;
+    /// let z = Complex::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((z.re).abs() < 1e-15 && (z.im - 2.0).abs() < 1e-15);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex { re: r * theta.cos(), im: r * theta.sin() }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Modulus (absolute value), computed with `hypot` to avoid overflow.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus `re² + im²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase angle) in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Uses Smith's algorithm to avoid premature overflow/underflow.
+    #[inline]
+    pub fn recip(self) -> Self {
+        Complex::ONE / self
+    }
+
+    /// Principal square root.
+    ///
+    /// ```
+    /// use urs_linalg::Complex;
+    /// let z = Complex::new(-4.0, 0.0).sqrt();
+    /// assert!((z.re).abs() < 1e-15 && (z.im - 2.0).abs() < 1e-15);
+    /// ```
+    pub fn sqrt(self) -> Self {
+        if self.re == 0.0 && self.im == 0.0 {
+            return Complex::ZERO;
+        }
+        let r = self.abs();
+        let re = ((r + self.re) / 2.0).sqrt();
+        let im_mag = ((r - self.re) / 2.0).sqrt();
+        let im = if self.im >= 0.0 { im_mag } else { -im_mag };
+        Complex { re, im }
+    }
+
+    /// Complex exponential `e^z`.
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        Complex { re: r * self.im.cos(), im: r * self.im.sin() }
+    }
+
+    /// Raises the number to an integer power by repeated squaring.
+    pub fn powi(self, mut exp: u32) -> Self {
+        let mut base = self;
+        let mut acc = Complex::ONE;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Returns `true` when both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Returns `true` when the imaginary part is negligible relative to the modulus.
+    ///
+    /// `tol` is an absolute tolerance on `|im|` when the modulus is tiny, otherwise a
+    /// relative one.
+    #[inline]
+    pub fn is_approx_real(self, tol: f64) -> bool {
+        self.im.abs() <= tol * self.abs().max(1.0)
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::from_real(re)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl Add<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: f64) -> Complex {
+        Complex { re: self.re + rhs, im: self.im }
+    }
+}
+
+impl Add<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        rhs + self
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl Sub<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: f64) -> Complex {
+        Complex { re: self.re - rhs, im: self.im }
+    }
+}
+
+impl Sub<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex { re: self - rhs.re, im: -rhs.im }
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        Complex { re: self.re * rhs, im: self.im * rhs }
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs * self
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl MulAssign<f64> for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    /// Complex division using Smith's algorithm for numerical robustness.
+    fn div(self, rhs: Complex) -> Complex {
+        if rhs.re.abs() >= rhs.im.abs() {
+            let r = rhs.im / rhs.re;
+            let den = rhs.re + r * rhs.im;
+            Complex { re: (self.re + self.im * r) / den, im: (self.im - self.re * r) / den }
+        } else {
+            let r = rhs.re / rhs.im;
+            let den = rhs.im + r * rhs.re;
+            Complex { re: (self.re * r + self.im) / den, im: (self.im * r - self.re) / den }
+        }
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        Complex { re: self.re / rhs, im: self.im / rhs }
+    }
+}
+
+impl Div<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        Complex::from_real(self) / rhs
+    }
+}
+
+impl DivAssign for Complex {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex) {
+        *self = *self / rhs;
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex { re: -self.re, im: -self.im }
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -4.0);
+        assert_eq!(a + b, Complex::new(4.0, -2.0));
+        assert_eq!(a - b, Complex::new(-2.0, 6.0));
+        assert_eq!(a * b, Complex::new(11.0, 2.0));
+        assert!(close(a / b, Complex::new(-0.2, 0.4), 1e-15));
+    }
+
+    #[test]
+    fn mixed_scalar_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        assert_eq!(a + 1.0, Complex::new(2.0, 2.0));
+        assert_eq!(1.0 + a, Complex::new(2.0, 2.0));
+        assert_eq!(a - 1.0, Complex::new(0.0, 2.0));
+        assert_eq!(1.0 - a, Complex::new(0.0, -2.0));
+        assert_eq!(a * 2.0, Complex::new(2.0, 4.0));
+        assert_eq!(2.0 * a, Complex::new(2.0, 4.0));
+        assert_eq!(a / 2.0, Complex::new(0.5, 1.0));
+        assert!(close(2.0 / Complex::new(0.0, 2.0), Complex::new(0.0, -1.0), 1e-15));
+    }
+
+    #[test]
+    fn division_is_inverse_of_multiplication() {
+        let a = Complex::new(0.3, -1.7);
+        let b = Complex::new(-2.5, 0.9);
+        assert!(close((a * b) / b, a, 1e-14));
+        assert!(close(a * a.recip(), Complex::ONE, 1e-14));
+    }
+
+    #[test]
+    fn division_by_tiny_component_is_stable() {
+        let a = Complex::new(1.0, 1.0);
+        let b = Complex::new(1e-300, 1.0);
+        let q = a / b;
+        assert!(q.is_finite());
+        assert!(close(q * b, a, 1e-12));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &(re, im) in &[(4.0, 0.0), (-4.0, 0.0), (0.0, 2.0), (3.0, -4.0), (-1.0, -1.0)] {
+            let z = Complex::new(re, im);
+            let s = z.sqrt();
+            assert!(close(s * s, z, 1e-12), "sqrt failed for {z}");
+            assert!(s.re >= 0.0, "principal branch should have non-negative real part");
+        }
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex::from_polar(2.5, 1.1);
+        assert!((z.abs() - 2.5).abs() < 1e-14);
+        assert!((z.arg() - 1.1).abs() < 1e-14);
+    }
+
+    #[test]
+    fn powi_matches_repeated_multiplication() {
+        let z = Complex::new(0.9, 0.3);
+        let mut expected = Complex::ONE;
+        for _ in 0..7 {
+            expected *= z;
+        }
+        assert!(close(z.powi(7), expected, 1e-13));
+        assert_eq!(z.powi(0), Complex::ONE);
+    }
+
+    #[test]
+    fn exp_of_imaginary_is_on_unit_circle() {
+        let z = Complex::new(0.0, std::f64::consts::PI).exp();
+        assert!(close(z, Complex::new(-1.0, 0.0), 1e-14));
+    }
+
+    #[test]
+    fn approx_real_detection() {
+        assert!(Complex::new(5.0, 1e-12).is_approx_real(1e-9));
+        assert!(!Complex::new(5.0, 0.1).is_approx_real(1e-9));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Complex = (1..=4).map(|k| Complex::new(k as f64, -(k as f64))).sum();
+        assert_eq!(total, Complex::new(10.0, -10.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2i");
+    }
+}

@@ -1,0 +1,63 @@
+//! Dense real and complex linear algebra for the `unreliable-servers` workspace.
+//!
+//! The crates in this workspace reproduce the queueing analysis of Palmer & Mitrani,
+//! *Empirical and Analytical Evaluation of Systems with Multiple Unreliable Servers*
+//! (DSN 2006).  The spectral-expansion solution of a Markov-modulated queue needs a
+//! small but complete set of dense numerical kernels:
+//!
+//! * real matrices with LU factorisation, determinants, inverses and linear solves
+//!   ([`Matrix`], [`LuDecomposition`]),
+//! * complex matrices and complex LU factorisation with null-space extraction
+//!   ([`CMatrix`], [`CluDecomposition`]),
+//! * eigenvalues of general real matrices via balancing, Householder Hessenberg
+//!   reduction and the Francis implicit double-shift QR iteration ([`eigenvalues`]),
+//! * eigenvalues of quadratic matrix polynomials `Q0 + Q1 z + Q2 z^2` through
+//!   companion linearisation ([`QuadraticEigenProblem`]),
+//! * a complex block-tridiagonal solver used for the boundary equations of
+//!   quasi-birth-death processes ([`BlockTridiagonal`]).
+//!
+//! Everything is implemented from scratch on top of `std`; no external BLAS/LAPACK
+//! bindings are used, which keeps the workspace buildable in fully offline
+//! environments.
+//!
+//! # Example
+//!
+//! ```
+//! use urs_linalg::{Matrix, eigenvalues};
+//!
+//! # fn main() -> Result<(), urs_linalg::LinalgError> {
+//! // Companion matrix of z^2 - 3z + 2 = (z - 1)(z - 2).
+//! let m = Matrix::from_rows(&[&[0.0, 1.0][..], &[-2.0, 3.0][..]])?;
+//! let mut eig: Vec<f64> = eigenvalues(&m)?.into_iter().map(|z| z.re).collect();
+//! eig.sort_by(|a, b| a.partial_cmp(b).unwrap());
+//! assert!((eig[0] - 1.0).abs() < 1e-12 && (eig[1] - 2.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod blocktri;
+mod clu;
+mod cmatrix;
+mod complex;
+mod error;
+mod lu;
+mod matrix;
+mod quadratic;
+
+pub mod eigen;
+
+pub use blocktri::BlockTridiagonal;
+pub use clu::CluDecomposition;
+pub use cmatrix::CMatrix;
+pub use complex::Complex;
+pub use eigen::{eigenvalues, EigenOptions};
+pub use error::LinalgError;
+pub use lu::LuDecomposition;
+pub use matrix::Matrix;
+pub use quadratic::{QuadraticEigenProblem, QuadraticEigenvalue};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,329 @@
+//! LU factorisation with partial pivoting for real matrices.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// An LU factorisation `P·A = L·U` of a square real matrix with partial (row) pivoting.
+///
+/// The factors are stored compactly: the strictly lower triangle of `lu` holds the
+/// multipliers of `L` (whose diagonal is implicitly 1) and the upper triangle holds `U`.
+///
+/// # Example
+///
+/// ```
+/// use urs_linalg::{LuDecomposition, Matrix};
+///
+/// # fn main() -> Result<(), urs_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[4.0, 3.0][..], &[6.0, 3.0][..]])?;
+/// let lu = LuDecomposition::new(&a)?;
+/// let x = lu.solve(&[10.0, 12.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    lu: Matrix,
+    /// permutation: row `i` of the factorised matrix corresponds to row `perm[i]` of `A`.
+    perm: Vec<usize>,
+    /// sign of the permutation (+1.0 or -1.0); used for the determinant.
+    perm_sign: f64,
+    /// `true` if a pivot underflowed to (effectively) zero.
+    singular_at: Option<usize>,
+}
+
+/// Relative threshold below which a pivot is considered zero.
+const PIVOT_EPS: f64 = 1e-300;
+
+impl LuDecomposition {
+    /// Factorises a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for non-square input,
+    /// [`LinalgError::InvalidInput`] if the matrix contains non-finite values, and
+    /// [`LinalgError::Singular`] when the matrix is singular to working precision.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let lu = Self::new_allow_singular(a)?;
+        if let Some(pivot) = lu.singular_at {
+            return Err(LinalgError::Singular { pivot });
+        }
+        Ok(lu)
+    }
+
+    /// Factorises a square matrix, tolerating exactly singular input.
+    ///
+    /// The resulting decomposition can still be used for [`determinant`](Self::determinant)
+    /// (which will be 0), but [`solve`](Self::solve) and [`inverse`](Self::inverse) will
+    /// return [`LinalgError::Singular`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] or [`LinalgError::InvalidInput`].
+    pub fn new_allow_singular(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::InvalidInput("matrix contains non-finite values".into()));
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+        let mut singular_at = None;
+
+        for k in 0..n {
+            // Find the pivot row.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            if pivot.abs() < PIVOT_EPS {
+                if singular_at.is_none() {
+                    singular_at = Some(k);
+                }
+                continue;
+            }
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                if factor != 0.0 {
+                    for j in (k + 1)..n {
+                        let delta = factor * lu[(k, j)];
+                        lu[(i, j)] -= delta;
+                    }
+                }
+            }
+        }
+        Ok(LuDecomposition { lu, perm, perm_sign, singular_at })
+    }
+
+    /// Dimension of the factorised matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Returns `true` if the matrix was found to be singular.
+    pub fn is_singular(&self) -> bool {
+        self.singular_at.is_some()
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> f64 {
+        if self.singular_at.is_some() {
+            return 0.0;
+        }
+        let mut det = self.perm_sign;
+        for i in 0..self.dim() {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b` has the wrong length, or
+    /// [`LinalgError::Singular`] if the matrix was singular.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if let Some(pivot) = self.singular_at {
+            return Err(LinalgError::Singular { pivot });
+        }
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "LU solve",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        // Apply the permutation, then forward- and back-substitute.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut sum = x[i];
+            for j in 0..i {
+                sum -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = sum;
+        }
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for j in (i + 1)..n {
+                sum -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = sum / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` for a matrix right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve`](Self::solve), plus a dimension check on `B`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "LU matrix solve",
+                left: (n, n),
+                right: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for col in 0..b.cols() {
+            let rhs = b.column(col);
+            let x = self.solve(&rhs)?;
+            for (i, v) in x.into_iter().enumerate() {
+                out[(i, col)] = v;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Inverse of the original matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Singular`] if the matrix was singular.
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(lu: &LuDecomposition, n: usize) -> Matrix {
+        // Rebuild P^T * L * U to compare against A.
+        let mut l = Matrix::identity(n);
+        let mut u = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                if j < i {
+                    l[(i, j)] = lu.lu[(i, j)];
+                } else {
+                    u[(i, j)] = lu.lu[(i, j)];
+                }
+            }
+        }
+        let plu = l.matmul(&u).unwrap();
+        // Undo the permutation: row i of PLU equals row perm[i] of A.
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(lu.perm[i], j)] = plu[(i, j)];
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn factorisation_reconstructs_original() {
+        let a = Matrix::from_rows(&[
+            &[2.0, 1.0, 1.0][..],
+            &[4.0, -6.0, 0.0][..],
+            &[-2.0, 7.0, 2.0][..],
+        ])
+        .unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!(reconstruct(&lu, 3).approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn determinant_matches_cofactor_expansion() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0][..],
+            &[4.0, 5.0, 6.0][..],
+            &[7.0, 8.0, 10.0][..],
+        ])
+        .unwrap();
+        let det = LuDecomposition::new(&a).unwrap().determinant();
+        assert!((det - (-3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        let a = Matrix::from_rows(&[
+            &[3.0, 2.0, -1.0][..],
+            &[2.0, -2.0, 4.0][..],
+            &[-1.0, 0.5, -1.0][..],
+        ])
+        .unwrap();
+        let x = a.solve(&[1.0, -2.0, 0.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - (-2.0)).abs() < 1e-12);
+        assert!((x[2] - (-2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0][..], &[2.0, 4.0][..]]).unwrap();
+        assert!(matches!(LuDecomposition::new(&a), Err(LinalgError::Singular { .. })));
+        let lu = LuDecomposition::new_allow_singular(&a).unwrap();
+        assert!(lu.is_singular());
+        assert_eq!(lu.determinant(), 0.0);
+        assert!(lu.solve(&[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0][..], &[1.0, 0.0][..]]).unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        let x = lu.solve(&[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+        assert!((lu.determinant() + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn inverse_of_permutation_like_matrix() {
+        let a = Matrix::from_rows(&[
+            &[0.0, 2.0, 0.0][..],
+            &[0.0, 0.0, 3.0][..],
+            &[4.0, 0.0, 0.0][..],
+        ])
+        .unwrap();
+        let inv = a.inverse().unwrap();
+        assert!(a.matmul(&inv).unwrap().approx_eq(&Matrix::identity(3), 1e-12));
+    }
+
+    #[test]
+    fn non_finite_input_rejected() {
+        let a = Matrix::from_rows(&[&[f64::NAN, 1.0][..], &[0.0, 1.0][..]]).unwrap();
+        assert!(matches!(LuDecomposition::new(&a), Err(LinalgError::InvalidInput(_))));
+    }
+
+    #[test]
+    fn wrong_rhs_length_rejected() {
+        let a = Matrix::identity(3);
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!(matches!(lu.solve(&[1.0]), Err(LinalgError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn solve_matrix_right_hand_side() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0][..], &[0.0, 4.0][..]]).unwrap();
+        let b = Matrix::from_rows(&[&[2.0, 4.0][..], &[8.0, 12.0][..]]).unwrap();
+        let x = a.lu().unwrap().solve_matrix(&b).unwrap();
+        assert!(x.approx_eq(&Matrix::from_rows(&[&[1.0, 2.0][..], &[2.0, 3.0][..]]).unwrap(), 1e-12));
+    }
+}

@@ -1,0 +1,607 @@
+//! Dense, row-major real matrices.
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+use crate::error::LinalgError;
+use crate::lu::LuDecomposition;
+use crate::Result;
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// The type is intentionally simple: it owns a `Vec<f64>` of length `rows * cols` and
+/// provides the constructors, element access, and arithmetic that the queueing solvers
+/// need.  All operations that can fail (shape mismatches, singular systems) return a
+/// [`LinalgError`](crate::LinalgError) instead of panicking, with the exception of the
+/// indexing operators which follow the standard library convention of panicking on
+/// out-of-bounds access.
+///
+/// # Example
+///
+/// ```
+/// use urs_linalg::Matrix;
+///
+/// # fn main() -> Result<(), urs_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[1.0, 2.0][..], &[3.0, 4.0][..]])?;
+/// let b = Matrix::identity(2);
+/// let c = a.matmul(&b)?;
+/// assert_eq!(c, a);
+/// assert!((a.determinant()? - (-2.0)).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix of the given shape filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `usize`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows.checked_mul(cols).expect("matrix too large")] }
+    }
+
+    /// Creates a matrix filled with a constant value.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a square diagonal matrix from a slice of diagonal entries.
+    pub fn from_diagonal(diag: &[f64]) -> Self {
+        let mut m = Matrix::zeros(diag.len(), diag.len());
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidInput`] if the rows are empty or have differing
+    /// lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(LinalgError::InvalidInput("matrix must have at least one element".into()));
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            if row.len() != cols {
+                return Err(LinalgError::InvalidInput(format!(
+                    "ragged rows: expected {} columns, found {}",
+                    cols,
+                    row.len()
+                )));
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix { rows: rows.len(), cols, data })
+    }
+
+    /// Creates a matrix from a flat row-major vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidInput`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::InvalidInput(format!(
+                "expected {} elements for a {rows}x{cols} matrix, found {}",
+                rows * cols,
+                data.len()
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Returns `true` if the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow the underlying row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Element access returning `None` when out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> Option<f64> {
+        if row < self.rows && col < self.cols {
+            Some(self.data[row * self.cols + col])
+        } else {
+            None
+        }
+    }
+
+    /// Borrow a row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[f64] {
+        assert!(row < self.rows, "row index {row} out of bounds ({} rows)", self.rows);
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Copy a column into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= self.cols()`.
+    pub fn column(&self, col: usize) -> Vec<f64> {
+        assert!(col < self.cols, "column index {col} out of bounds ({} columns)", self.cols);
+        (0..self.rows).map(|i| self[(i, col)]).collect()
+    }
+
+    /// Returns the main diagonal as a vector (length `min(rows, cols)`).
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).collect()
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Applies a function to every element, returning a new matrix.
+    pub fn map<F: FnMut(f64) -> f64>(&self, mut f: F) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, factor: f64) -> Matrix {
+        self.map(|x| x * factor)
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "matrix multiplication",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                let lhs_row = i * self.cols;
+                let _ = lhs_row;
+                let out_row = i * rhs.cols;
+                let rhs_row = k * rhs.cols;
+                for j in 0..rhs.cols {
+                    out.data[out_row + j] += aik * rhs.data[rhs_row + j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self * v` (v as a column vector).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "matrix-vector product",
+                left: self.shape(),
+                right: (v.len(), 1),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// Row-vector–matrix product `v * self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `v.len() != self.rows()`.
+    pub fn vecmat(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "vector-matrix product",
+                left: (1, v.len()),
+                right: self.shape(),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (i, &vi) in v.iter().enumerate() {
+            if vi == 0.0 {
+                continue;
+            }
+            for j in 0..self.cols {
+                out[j] += vi * self[(i, j)];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sum of the diagonal elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for non-square matrices.
+    pub fn trace(&self) -> Result<f64> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare { rows: self.rows, cols: self.cols });
+        }
+        Ok((0..self.rows).map(|i| self[(i, i)]).sum())
+    }
+
+    /// Row sums, i.e. `self * 1`.
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows).map(|i| self.row(i).iter().sum()).collect()
+    }
+
+    /// Maximum absolute value of any element (the max norm).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Infinity norm (maximum absolute row sum).
+    pub fn inf_norm(&self) -> f64 {
+        (0..self.rows)
+            .map(|i| self.row(i).iter().map(|x| x.abs()).sum::<f64>())
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// Returns `true` when every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Returns `true` when all elements of the two matrices differ by at most `tol`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self.data.iter().zip(&other.data).all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// LU factorisation with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for non-square input or
+    /// [`LinalgError::Singular`] when a zero pivot is encountered.
+    pub fn lu(&self) -> Result<LuDecomposition> {
+        LuDecomposition::new(self)
+    }
+
+    /// Determinant via LU factorisation.
+    ///
+    /// Returns `0.0` for singular matrices rather than an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for non-square input.
+    pub fn determinant(&self) -> Result<f64> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare { rows: self.rows, cols: self.cols });
+        }
+        match LuDecomposition::new(self) {
+            Ok(lu) => Ok(lu.determinant()),
+            Err(LinalgError::Singular { .. }) => Ok(0.0),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Matrix inverse via LU factorisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] or [`LinalgError::Singular`].
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.lu()?.inverse()
+    }
+
+    /// Solves `self * x = b` for `x` (column-vector right-hand side).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`], [`LinalgError::Singular`] or
+    /// [`LinalgError::DimensionMismatch`].
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        self.lu()?.solve(b)
+    }
+
+    /// Solves `x * self = b` for the row vector `x` (i.e. `selfᵀ xᵀ = bᵀ`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`], [`LinalgError::Singular`] or
+    /// [`LinalgError::DimensionMismatch`].
+    pub fn solve_left(&self, b: &[f64]) -> Result<Vec<f64>> {
+        self.transpose().solve(b)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (row, col): (usize, usize)) -> &f64 {
+        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds for {}x{} matrix", self.rows, self.cols);
+        &self.data[row * self.cols + col]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut f64 {
+        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds for {}x{} matrix", self.rows, self.cols);
+        &mut self.data[row * self.cols + col]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  [")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:10.5}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "matrix addition requires equal shapes");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+        }
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "matrix subtraction requires equal shapes");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+        }
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+    fn neg(self) -> Matrix {
+        self.map(|x| -x)
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: f64) -> Matrix {
+        self.scale(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0, 3.0][..], &[4.0, 5.0, 6.0][..]]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let m = sample();
+        assert_eq!(m.shape(), (2, 3));
+        assert!(!m.is_square());
+        assert_eq!(m[(1, 2)], 6.0);
+        assert_eq!(m.get(1, 2), Some(6.0));
+        assert_eq!(m.get(2, 0), None);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        let err = Matrix::from_rows(&[&[1.0, 2.0][..], &[3.0][..]]).unwrap_err();
+        assert!(matches!(err, LinalgError::InvalidInput(_)));
+        assert!(matches!(Matrix::from_rows(&[]).unwrap_err(), LinalgError::InvalidInput(_)));
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]).is_err());
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn identity_and_diagonal() {
+        let id = Matrix::identity(3);
+        assert_eq!(id.trace().unwrap(), 3.0);
+        let d = Matrix::from_diagonal(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.diagonal(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(d.determinant().unwrap(), 6.0);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().shape(), (3, 2));
+        assert_eq!(m.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn matmul_against_hand_computation() {
+        let a = sample();
+        let b = Matrix::from_rows(&[&[1.0, 0.0][..], &[0.0, 1.0][..], &[1.0, 1.0][..]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[&[4.0, 5.0][..], &[10.0, 11.0][..]]).unwrap());
+    }
+
+    #[test]
+    fn matmul_dimension_mismatch() {
+        let a = sample();
+        let err = a.matmul(&a).unwrap_err();
+        assert!(matches!(err, LinalgError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn matvec_and_vecmat() {
+        let a = sample();
+        assert_eq!(a.matvec(&[1.0, 1.0, 1.0]).unwrap(), vec![6.0, 15.0]);
+        assert_eq!(a.vecmat(&[1.0, 1.0]).unwrap(), vec![5.0, 7.0, 9.0]);
+        assert!(a.matvec(&[1.0]).is_err());
+        assert!(a.vecmat(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn row_sums_and_norms() {
+        let a = sample();
+        assert_eq!(a.row_sums(), vec![6.0, 15.0]);
+        assert_eq!(a.max_abs(), 6.0);
+        assert_eq!(a.inf_norm(), 15.0);
+        assert!((a.frobenius_norm() - 91.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let a = sample();
+        let twice = &a + &a;
+        assert_eq!(twice, a.scale(2.0));
+        assert_eq!(&twice - &a, a);
+        assert_eq!((&-(&a))[(0, 0)], -1.0);
+        assert_eq!((&a * 3.0)[(1, 2)], 18.0);
+    }
+
+    #[test]
+    fn solve_simple_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0][..], &[1.0, 3.0][..]]).unwrap();
+        let x = a.solve(&[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_left_matches_transpose_solve() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0][..], &[0.5, 3.0][..]]).unwrap();
+        let b = [1.0, 2.0];
+        let x = a.solve_left(&b).unwrap();
+        // check x * a = b
+        let prod = a.vecmat(&x).unwrap();
+        assert!((prod[0] - b[0]).abs() < 1e-12 && (prod[1] - b[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_self_is_identity() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0][..], &[2.0, 6.0][..]]).unwrap();
+        let inv = a.inverse().unwrap();
+        assert!(a.matmul(&inv).unwrap().approx_eq(&Matrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn determinant_of_singular_matrix_is_zero() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0][..], &[2.0, 4.0][..]]).unwrap();
+        assert_eq!(a.determinant().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn trace_requires_square() {
+        assert!(matches!(sample().trace(), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let m = sample();
+        let _ = m[(5, 0)];
+    }
+
+    #[test]
+    fn debug_output_contains_dimensions() {
+        let text = format!("{:?}", sample());
+        assert!(text.contains("2x3"));
+    }
+}

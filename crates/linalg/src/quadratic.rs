@@ -1,0 +1,316 @@
+//! Eigenvalues and eigenvectors of quadratic matrix polynomials.
+//!
+//! The spectral-expansion method for Markov-modulated queues needs the *generalized
+//! eigenvalues* `z` and left eigenvectors `u` of the characteristic matrix polynomial
+//!
+//! ```text
+//! Q(z) = Q0 + Q1 z + Q2 z²,        u Q(z) = 0,   det Q(z) = 0.
+//! ```
+//!
+//! This module linearises the quadratic problem to an ordinary eigenvalue problem of a
+//! real companion matrix of twice the size and feeds it to the Francis QR solver in
+//! [`crate::eigen`].  Because the leading or trailing coefficient may be singular (in
+//! queueing applications `Q2` has zero rows for environment states with no operative
+//! server), the linearisation is performed on whichever end of the polynomial is
+//! invertible:
+//!
+//! * `Q2` invertible → companion matrix of the monic polynomial in `z`,
+//! * otherwise `Q0` invertible → companion matrix of the *reversed* polynomial in
+//!   `ζ = 1/z`; eigenvalues `ζ = 0` correspond to infinite `z` and are discarded.
+
+use crate::clu::left_null_vector_of;
+use crate::cmatrix::CMatrix;
+use crate::complex::Complex;
+use crate::eigen::{eigenvalues_with, EigenOptions};
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// A single finite eigenvalue of a quadratic matrix polynomial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuadraticEigenvalue {
+    /// The eigenvalue `z` with `det Q(z) = 0`.
+    pub z: Complex,
+}
+
+/// A quadratic matrix polynomial eigenvalue problem `Q(z) = Q0 + Q1 z + Q2 z²`.
+///
+/// # Example
+///
+/// ```
+/// use urs_linalg::{Matrix, QuadraticEigenProblem};
+///
+/// # fn main() -> Result<(), urs_linalg::LinalgError> {
+/// // Scalar case: 2 - 3z + z² = (z - 1)(z - 2).
+/// let q0 = Matrix::from_rows(&[&[2.0][..]])?;
+/// let q1 = Matrix::from_rows(&[&[-3.0][..]])?;
+/// let q2 = Matrix::from_rows(&[&[1.0][..]])?;
+/// let problem = QuadraticEigenProblem::new(q0, q1, q2)?;
+/// let mut roots: Vec<f64> = problem.finite_eigenvalues()?.iter().map(|e| e.z.re).collect();
+/// roots.sort_by(|a, b| a.partial_cmp(b).unwrap());
+/// assert!((roots[0] - 1.0).abs() < 1e-10 && (roots[1] - 2.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuadraticEigenProblem {
+    q0: Matrix,
+    q1: Matrix,
+    q2: Matrix,
+    options: EigenOptions,
+}
+
+impl QuadraticEigenProblem {
+    /// Creates a new problem from the three coefficient matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] if any coefficient is not square or
+    /// [`LinalgError::DimensionMismatch`] if their sizes differ.
+    pub fn new(q0: Matrix, q1: Matrix, q2: Matrix) -> Result<Self> {
+        for m in [&q0, &q1, &q2] {
+            if !m.is_square() {
+                return Err(LinalgError::NotSquare { rows: m.rows(), cols: m.cols() });
+            }
+        }
+        if q0.shape() != q1.shape() || q1.shape() != q2.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "quadratic eigenvalue problem",
+                left: q0.shape(),
+                right: q2.shape(),
+            });
+        }
+        Ok(QuadraticEigenProblem { q0, q1, q2, options: EigenOptions::default() })
+    }
+
+    /// Overrides the eigenvalue-iteration options.
+    pub fn with_options(mut self, options: EigenOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Order `s` of the coefficient matrices.
+    pub fn order(&self) -> usize {
+        self.q0.rows()
+    }
+
+    /// Evaluates `Q(z)` at a complex point.
+    pub fn evaluate(&self, z: Complex) -> CMatrix {
+        let s = self.order();
+        CMatrix::from_fn(s, s, |i, j| {
+            Complex::from_real(self.q0[(i, j)])
+                + z * self.q1[(i, j)]
+                + z * z * self.q2[(i, j)]
+        })
+    }
+
+    /// Evaluates `det Q(z)` at a complex point (useful for verifying eigenvalues).
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the complex LU factorisation.
+    pub fn determinant_at(&self, z: Complex) -> Result<Complex> {
+        self.evaluate(z).determinant()
+    }
+
+    /// Computes every *finite* eigenvalue of the polynomial.
+    ///
+    /// The number of finite eigenvalues is `2s` minus the degree deficiency caused by a
+    /// singular leading coefficient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Singular`] when both `Q0` and `Q2` are singular (the
+    /// companion linearisation then does not exist in this simple form), or any error
+    /// from the underlying QR iteration.
+    pub fn finite_eigenvalues(&self) -> Result<Vec<QuadraticEigenvalue>> {
+        let s = self.order();
+        // Prefer the reversed linearisation on Q0 (always non-singular for the queueing
+        // application, where Q0 = λI); fall back to the direct one on Q2.
+        if let Ok(q0_lu) = self.q0.lu() {
+            let a0 = q0_lu.solve_matrix(&self.q2)?; // Q0^{-1} Q2
+            let a1 = q0_lu.solve_matrix(&self.q1)?; // Q0^{-1} Q1
+            let companion = build_companion(&a0, &a1);
+            let zetas = eigenvalues_with(&companion, self.options)?;
+            // ζ = 1/z; ζ = 0 corresponds to an infinite eigenvalue.
+            let cutoff = zeta_zero_cutoff(&a0, &a1);
+            Ok(zetas
+                .into_iter()
+                .filter(|zeta| zeta.abs() > cutoff)
+                .map(|zeta| QuadraticEigenvalue { z: Complex::ONE / zeta })
+                .collect())
+        } else if let Ok(q2_lu) = self.q2.lu() {
+            let a0 = q2_lu.solve_matrix(&self.q0)?; // Q2^{-1} Q0
+            let a1 = q2_lu.solve_matrix(&self.q1)?; // Q2^{-1} Q1
+            let companion = build_companion(&a0, &a1);
+            let zs = eigenvalues_with(&companion, self.options)?;
+            Ok(zs.into_iter().map(|z| QuadraticEigenvalue { z }).collect())
+        } else {
+            Err(LinalgError::Singular { pivot: s })
+        }
+    }
+
+    /// Computes the eigenvalues strictly inside the unit disk, `|z| < 1 - tol`.
+    ///
+    /// For an ergodic Markov-modulated queue the spectral-expansion theory guarantees
+    /// exactly `s` such eigenvalues.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`finite_eigenvalues`](Self::finite_eigenvalues).
+    pub fn eigenvalues_inside_unit_disk(&self, tol: f64) -> Result<Vec<QuadraticEigenvalue>> {
+        Ok(self
+            .finite_eigenvalues()?
+            .into_iter()
+            .filter(|e| e.z.abs() < 1.0 - tol)
+            .collect())
+    }
+
+    /// Left null vector `u` of `Q(z)` at the given eigenvalue: `u Q(z) ≈ 0`.
+    ///
+    /// The vector is normalised to unit maximum modulus.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the complex factorisation; in particular the call fails
+    /// if `z` is not actually (close to) an eigenvalue.
+    pub fn left_eigenvector(&self, z: Complex) -> Result<Vec<Complex>> {
+        left_null_vector_of(&self.evaluate(z))
+    }
+
+    /// Residual `‖u Q(z)‖_∞` for a candidate eigenpair; small values confirm accuracy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `u` has the wrong length.
+    pub fn residual(&self, z: Complex, u: &[Complex]) -> Result<f64> {
+        let uq = self.evaluate(z).vecmat(u)?;
+        Ok(uq.iter().fold(0.0_f64, |m, c| m.max(c.abs())))
+    }
+}
+
+/// Builds the block companion matrix `[[0, I], [-A0, -A1]]`.
+fn build_companion(a0: &Matrix, a1: &Matrix) -> Matrix {
+    let s = a0.rows();
+    let mut c = Matrix::zeros(2 * s, 2 * s);
+    for i in 0..s {
+        c[(i, s + i)] = 1.0;
+    }
+    for i in 0..s {
+        for j in 0..s {
+            c[(s + i, j)] = -a0[(i, j)];
+            c[(s + i, s + j)] = -a1[(i, j)];
+        }
+    }
+    c
+}
+
+/// Threshold below which a companion eigenvalue ζ is treated as exactly zero
+/// (i.e. the corresponding eigenvalue of the original polynomial is infinite).
+fn zeta_zero_cutoff(a0: &Matrix, a1: &Matrix) -> f64 {
+    let scale = a0.max_abs().max(a1.max_abs()).max(1.0);
+    1e-9 / scale.max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar(v: f64) -> Matrix {
+        Matrix::from_rows(&[&[v][..]]).unwrap()
+    }
+
+    #[test]
+    fn scalar_quadratic_roots() {
+        // 6 - 5z + z² = (z - 2)(z - 3)
+        let p = QuadraticEigenProblem::new(scalar(6.0), scalar(-5.0), scalar(1.0)).unwrap();
+        let mut roots: Vec<f64> = p.finite_eigenvalues().unwrap().iter().map(|e| e.z.re).collect();
+        roots.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((roots[0] - 2.0).abs() < 1e-9);
+        assert!((roots[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scalar_with_zero_leading_coefficient_has_one_finite_root() {
+        // 2 - 4z + 0·z²: single finite root z = 0.5 (the other escapes to infinity).
+        let p = QuadraticEigenProblem::new(scalar(2.0), scalar(-4.0), scalar(0.0)).unwrap();
+        let eig = p.finite_eigenvalues().unwrap();
+        assert_eq!(eig.len(), 1);
+        assert!((eig[0].z - Complex::from_real(0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diagonal_system_decouples() {
+        // Two decoupled scalar quadratics:
+        //   (z-1)(z-4) = 4 - 5z + z²  and  (z-0.5)(z-2) = 1 - 2.5z + z²
+        let q0 = Matrix::from_diagonal(&[4.0, 1.0]);
+        let q1 = Matrix::from_diagonal(&[-5.0, -2.5]);
+        let q2 = Matrix::identity(2);
+        let p = QuadraticEigenProblem::new(q0, q1, q2).unwrap();
+        let mut roots: Vec<f64> = p.finite_eigenvalues().unwrap().iter().map(|e| e.z.re).collect();
+        roots.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expected = [0.5, 1.0, 2.0, 4.0];
+        for (r, e) in roots.iter().zip(expected) {
+            assert!((r - e).abs() < 1e-8, "roots {roots:?}");
+        }
+    }
+
+    #[test]
+    fn eigenvalues_verify_against_determinant() {
+        let q0 = Matrix::from_rows(&[&[1.5, 0.2][..], &[0.1, 2.0][..]]).unwrap();
+        let q1 = Matrix::from_rows(&[&[-3.0, 0.5][..], &[0.3, -4.0][..]]).unwrap();
+        let q2 = Matrix::from_rows(&[&[1.0, 0.1][..], &[0.0, 1.0][..]]).unwrap();
+        let p = QuadraticEigenProblem::new(q0, q1, q2).unwrap();
+        let eig = p.finite_eigenvalues().unwrap();
+        assert_eq!(eig.len(), 4);
+        for e in &eig {
+            let det = p.determinant_at(e.z).unwrap();
+            assert!(det.abs() < 1e-6, "det Q({}) = {det}", e.z);
+        }
+    }
+
+    #[test]
+    fn left_eigenvector_has_small_residual() {
+        let q0 = Matrix::from_rows(&[&[2.0, 0.5][..], &[0.25, 1.0][..]]).unwrap();
+        let q1 = Matrix::from_rows(&[&[-4.0, 0.0][..], &[0.5, -3.0][..]]).unwrap();
+        let q2 = Matrix::identity(2);
+        let p = QuadraticEigenProblem::new(q0, q1, q2).unwrap();
+        for e in p.finite_eigenvalues().unwrap() {
+            let u = p.left_eigenvector(e.z).unwrap();
+            assert!(p.residual(e.z, &u).unwrap() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn unit_disk_filter() {
+        // Roots straddling the unit circle: (z-0.5)(z-2) and (z-0.1)(z-10)
+        let q0 = Matrix::from_diagonal(&[1.0, 1.0]);
+        let q1 = Matrix::from_diagonal(&[-2.5, -10.1]);
+        let q2 = Matrix::identity(2);
+        let p = QuadraticEigenProblem::new(q0, q1, q2).unwrap();
+        let inside = p.eigenvalues_inside_unit_disk(1e-9).unwrap();
+        assert_eq!(inside.len(), 2);
+        let mut vals: Vec<f64> = inside.iter().map(|e| e.z.re).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((vals[0] - 0.1).abs() < 1e-8);
+        assert!((vals[1] - 0.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn mismatched_sizes_rejected() {
+        let err = QuadraticEigenProblem::new(
+            Matrix::identity(2),
+            Matrix::identity(3),
+            Matrix::identity(2),
+        )
+        .unwrap_err();
+        assert!(matches!(err, LinalgError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn both_ends_singular_rejected() {
+        let z = Matrix::zeros(2, 2);
+        let p = QuadraticEigenProblem::new(z.clone(), Matrix::identity(2), z).unwrap();
+        assert!(matches!(p.finite_eigenvalues(), Err(LinalgError::Singular { .. })));
+    }
+}

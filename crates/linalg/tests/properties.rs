@@ -1,0 +1,121 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use proptest::prelude::*;
+use urs_linalg::{eigenvalues, Complex, LuDecomposition, Matrix, QuadraticEigenProblem};
+
+/// Strategy: a well-conditioned-ish square matrix (diagonally boosted random entries).
+fn square_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0_f64..1.0, n * n).prop_map(move |data| {
+        let mut m = Matrix::from_vec(n, n, data).expect("dimensions match by construction");
+        for i in 0..n {
+            m[(i, i)] += 3.0 * (n as f64).sqrt();
+        }
+        m
+    })
+}
+
+/// Strategy: an arbitrary (possibly ill-conditioned) square matrix.
+fn arbitrary_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0_f64..10.0, n * n)
+        .prop_map(move |data| Matrix::from_vec(n, n, data).expect("dimensions match"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Solving A x = b and multiplying back must reproduce b.
+    #[test]
+    fn lu_solve_round_trips(a in square_matrix(5), b in prop::collection::vec(-5.0_f64..5.0, 5)) {
+        let x = a.solve(&b).expect("diagonally dominated matrix is invertible");
+        let back = a.matvec(&x).unwrap();
+        for (orig, rec) in b.iter().zip(back) {
+            prop_assert!((orig - rec).abs() < 1e-8);
+        }
+    }
+
+    /// det(A·B) = det(A)·det(B).
+    #[test]
+    fn determinant_is_multiplicative(a in square_matrix(4), b in square_matrix(4)) {
+        let prod = a.matmul(&b).unwrap();
+        let lhs = prod.determinant().unwrap();
+        let rhs = a.determinant().unwrap() * b.determinant().unwrap();
+        prop_assert!((lhs - rhs).abs() < 1e-6 * rhs.abs().max(1.0));
+    }
+
+    /// A · A⁻¹ = I for diagonally dominant matrices.
+    #[test]
+    fn inverse_round_trips(a in square_matrix(4)) {
+        let inv = a.inverse().unwrap();
+        prop_assert!(a.matmul(&inv).unwrap().approx_eq(&Matrix::identity(4), 1e-8));
+    }
+
+    /// The eigenvalue multiset must have sum = trace and product = determinant.
+    #[test]
+    fn eigenvalues_match_trace_and_determinant(a in arbitrary_matrix(6)) {
+        let eig = eigenvalues(&a).unwrap();
+        let sum: Complex = eig.iter().copied().sum();
+        let tr = a.trace().unwrap();
+        let scale = a.max_abs().max(1.0);
+        prop_assert!((sum.re - tr).abs() < 1e-7 * scale * 6.0, "sum {sum} vs trace {tr}");
+        prop_assert!(sum.im.abs() < 1e-7 * scale * 6.0);
+        let prod = eig.iter().fold(Complex::ONE, |acc, z| acc * *z);
+        let det = a.determinant().unwrap();
+        let det_scale = det.abs().max(scale.powi(6) * 1e-6).max(1.0);
+        prop_assert!((prod.re - det).abs() < 1e-5 * det_scale, "prod {prod} vs det {det}");
+    }
+
+    /// Complex eigenvalues of real matrices come in conjugate pairs.
+    #[test]
+    fn complex_eigenvalues_pair_up(a in arbitrary_matrix(5)) {
+        let eig = eigenvalues(&a).unwrap();
+        let scale = a.max_abs().max(1.0);
+        for z in eig.iter().filter(|z| z.im.abs() > 1e-7 * scale) {
+            let has_conjugate = eig.iter().any(|w| (*w - z.conj()).abs() < 1e-5 * scale);
+            prop_assert!(has_conjugate, "no conjugate for {z} in {eig:?}");
+        }
+    }
+
+    /// LU permutation/decomposition determinant is consistent with eigenvalue product.
+    #[test]
+    fn lu_determinant_finite(a in arbitrary_matrix(5)) {
+        let lu = LuDecomposition::new_allow_singular(&a).unwrap();
+        prop_assert!(lu.determinant().is_finite());
+    }
+
+    /// Every eigenvalue reported by the quadratic solver really makes det Q(z) small.
+    #[test]
+    fn quadratic_eigenvalues_satisfy_determinant(
+        d0 in prop::collection::vec(0.5_f64..4.0, 3),
+        d1 in prop::collection::vec(-6.0_f64..-1.0, 3),
+    ) {
+        let q0 = Matrix::from_diagonal(&d0);
+        let q1 = Matrix::from_diagonal(&d1);
+        let q2 = Matrix::identity(3);
+        let problem = QuadraticEigenProblem::new(q0, q1, q2).unwrap();
+        let eig = problem.finite_eigenvalues().unwrap();
+        prop_assert_eq!(eig.len(), 6);
+        for e in eig {
+            let det = problem.determinant_at(e.z).unwrap();
+            prop_assert!(det.abs() < 1e-5, "det Q({}) = {}", e.z, det);
+        }
+    }
+
+    /// Complex arithmetic: (a*b)/b == a.
+    #[test]
+    fn complex_field_axioms(ar in -10.0_f64..10.0, ai in -10.0_f64..10.0,
+                            br in -10.0_f64..10.0, bi in -10.0_f64..10.0) {
+        prop_assume!(br.abs() + bi.abs() > 1e-6);
+        let a = Complex::new(ar, ai);
+        let b = Complex::new(br, bi);
+        prop_assert!(((a * b) / b - a).abs() < 1e-9 * a.abs().max(1.0));
+        prop_assert!(((a + b) - b - a).abs() < 1e-12);
+    }
+
+    /// sqrt(z)² == z on a wide range of inputs.
+    #[test]
+    fn complex_sqrt_roundtrip(re in -100.0_f64..100.0, im in -100.0_f64..100.0) {
+        let z = Complex::new(re, im);
+        let s = z.sqrt();
+        prop_assert!((s * s - z).abs() < 1e-10 * z.abs().max(1.0));
+    }
+}

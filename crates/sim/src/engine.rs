@@ -1,0 +1,210 @@
+//! A minimal, reusable discrete-event simulation engine.
+//!
+//! The engine is nothing more than a simulation clock plus a pending-event set ordered
+//! by firing time (ties broken by insertion order, so the simulation is fully
+//! deterministic for a given seed).  Events carry an arbitrary payload type; cancelling
+//! is supported through handles so that, for example, a scheduled service completion
+//! can be invalidated when the server breaks down.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A handle identifying a scheduled event; can be used to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+/// An entry in the pending-event set.
+#[derive(Debug, Clone)]
+struct Scheduled<T> {
+    time: f64,
+    sequence: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.sequence == other.sequence
+    }
+}
+impl<T> Eq for Scheduled<T> {}
+
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.sequence.cmp(&self.sequence))
+    }
+}
+
+/// The pending-event set and simulation clock.
+///
+/// # Example
+///
+/// ```
+/// use urs_sim::engine::EventQueue;
+///
+/// let mut queue = EventQueue::new();
+/// queue.schedule(2.0, "second");
+/// queue.schedule(1.0, "first");
+/// assert_eq!(queue.pop().map(|(t, e)| (t, e)), Some((1.0, "first")));
+/// assert_eq!(queue.now(), 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Scheduled<T>>,
+    cancelled: std::collections::HashSet<u64>,
+    next_sequence: u64,
+    now: f64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: std::collections::HashSet::new(),
+            next_sequence: 0,
+            now: 0.0,
+        }
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty event queue with the clock at time 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current simulation time (the firing time of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of events still pending (including cancelled ones not yet skipped).
+    pub fn pending(&self) -> usize {
+        self.heap.len() - self.cancelled.len().min(self.heap.len())
+    }
+
+    /// Returns `true` if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Schedules `payload` to fire at absolute time `time` and returns a cancellation
+    /// handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN or lies in the past (before the current clock).
+    pub fn schedule(&mut self, time: f64, payload: T) -> EventHandle {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        assert!(
+            time >= self.now,
+            "cannot schedule an event at {time} before the current time {}",
+            self.now
+        );
+        let sequence = self.next_sequence;
+        self.next_sequence += 1;
+        self.heap.push(Scheduled { time, sequence, payload });
+        EventHandle(sequence)
+    }
+
+    /// Schedules `payload` to fire `delay` after the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative or NaN.
+    pub fn schedule_in(&mut self, delay: f64, payload: T) -> EventHandle {
+        assert!(delay >= 0.0, "delay must be non-negative, got {delay}");
+        self.schedule(self.now + delay, payload)
+    }
+
+    /// Cancels a previously scheduled event.  Cancelling an already-fired or unknown
+    /// handle is a no-op.
+    pub fn cancel(&mut self, handle: EventHandle) {
+        self.cancelled.insert(handle.0);
+    }
+
+    /// Pops the next live event, advancing the clock to its firing time.
+    pub fn pop(&mut self) -> Option<(f64, T)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.sequence) {
+                continue;
+            }
+            self.now = entry.time;
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order_with_fifo_ties() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, "late");
+        q.schedule(1.0, "early-a");
+        q.schedule(1.0, "early-b");
+        q.schedule(3.0, "middle");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["early-a", "early-b", "middle", "late"]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(2.5, ());
+        q.schedule(7.0, ());
+        assert_eq!(q.now(), 0.0);
+        q.pop();
+        assert_eq!(q.now(), 2.5);
+        q.pop();
+        assert_eq!(q.now(), 7.0);
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut q = EventQueue::new();
+        let keep = q.schedule(1.0, "keep");
+        let drop = q.schedule(2.0, "drop");
+        let _ = keep;
+        q.cancel(drop);
+        assert_eq!(q.pending(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("keep"));
+        assert!(q.pop().is_none());
+        // Cancelling an already-fired handle is harmless.
+        q.cancel(keep);
+    }
+
+    #[test]
+    fn schedule_in_uses_relative_delay() {
+        let mut q = EventQueue::new();
+        q.schedule(4.0, "first");
+        q.pop();
+        q.schedule_in(1.5, "second");
+        let (t, _) = q.pop().unwrap();
+        assert!((t - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "before the current time")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, ());
+        q.pop();
+        q.schedule(1.0, ());
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for simulation configuration and execution.
+
+use std::error::Error;
+use std::fmt;
+
+use urs_dist::DistError;
+
+/// Errors produced when configuring or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration parameter is outside its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The supplied value.
+        value: f64,
+        /// Description of the violated constraint.
+        constraint: &'static str,
+    },
+    /// A required configuration element (e.g. the service distribution) was not set.
+    MissingConfiguration(&'static str),
+    /// The measurement phase produced no observations (horizon too short relative to
+    /// the warm-up period, or no completed jobs).
+    NoObservations(String),
+    /// An error bubbled up from the distribution layer.
+    Dist(DistError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidParameter { name, value, constraint } => {
+                write!(f, "invalid parameter {name} = {value}: {constraint}")
+            }
+            SimError::MissingConfiguration(what) => {
+                write!(f, "missing configuration: {what} must be provided")
+            }
+            SimError::NoObservations(msg) => write!(f, "no observations collected: {msg}"),
+            SimError::Dist(e) => write!(f, "distribution error: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Dist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DistError> for SimError {
+    fn from(e: DistError) -> Self {
+        SimError::Dist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = SimError::InvalidParameter { name: "horizon", value: -1.0, constraint: "positive" };
+        assert!(e.to_string().contains("horizon"));
+        assert!(SimError::MissingConfiguration("service distribution")
+            .to_string()
+            .contains("service distribution"));
+        assert!(SimError::NoObservations("short run".into()).to_string().contains("short run"));
+        let from_dist: SimError = DistError::InsufficientData("x".into()).into();
+        assert!(from_dist.source().is_some());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<SimError>();
+    }
+}

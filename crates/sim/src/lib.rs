@@ -1,0 +1,58 @@
+//! Discrete-event simulation of multi-server queues with server breakdowns and repairs.
+//!
+//! The analytic model of the paper assumes Poisson arrivals, exponential service and
+//! phase-type (hyperexponential) operative/inoperative periods.  The simulator in this
+//! crate relaxes all of those assumptions — any [`urs_dist::ContinuousDistribution`]
+//! can be used for service, operative and inoperative periods — which serves two
+//! purposes:
+//!
+//! 1. **independent validation** of the exact spectral-expansion solution (the
+//!    simulator shares no code with the analytic solvers beyond the distribution
+//!    types), and
+//! 2. **experiments the analytic model cannot express**, such as the deterministic
+//!    (`C² = 0`) operative periods that provide the first point of each curve in the
+//!    paper's Figure 6.
+//!
+//! The crate is split into a small reusable discrete-event [`engine`], the
+//! breakdown-queue model itself ([`BreakdownQueueSimulation`]), and replication /
+//! confidence-interval machinery ([`Replications`]).
+//!
+//! # Example
+//!
+//! ```
+//! use urs_dist::{Exponential, HyperExponential};
+//! use urs_sim::{BreakdownQueueSimulation, SimulationConfig};
+//!
+//! # fn main() -> Result<(), urs_sim::SimError> {
+//! let config = SimulationConfig::builder(2, 0.8)
+//!     .service(Exponential::new(1.0)?)
+//!     .operative(HyperExponential::new(&[0.7246, 0.2754], &[0.1663, 0.0091])?)
+//!     .inoperative(Exponential::with_mean(0.04)?)
+//!     .warmup(1_000.0)
+//!     .horizon(20_000.0)
+//!     .build()?;
+//! let result = BreakdownQueueSimulation::new(config).run(42)?;
+//! assert!(result.mean_queue_length() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod error;
+mod queue_sim;
+mod replication;
+mod stats;
+
+pub mod engine;
+
+pub use error::SimError;
+pub use queue_sim::{
+    BreakdownQueueSimulation, SimulationConfig, SimulationConfigBuilder, SimulationResult,
+};
+pub use replication::{ConfidenceInterval, ReplicationSummary, Replications};
+pub use stats::{TimeWeightedAverage, WelfordAccumulator};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SimError>;

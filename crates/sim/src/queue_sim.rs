@@ -1,0 +1,633 @@
+//! The multi-server breakdown/repair queue simulator.
+//!
+//! The simulated system matches Section 3 of the paper: jobs arrive in a Poisson
+//! stream and wait in an unbounded FCFS queue served by `N` servers.  Each server
+//! alternates between operative and inoperative periods *independently of whether it is
+//! serving*; when a busy server breaks down, its job returns to the front of the queue
+//! and later resumes from the point of interruption (preempt-resume, no switching
+//! overhead).  Unlike the analytic model, the period and service distributions may be
+//! arbitrary [`ContinuousDistribution`]s.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use urs_dist::{ContinuousDistribution, Exponential};
+
+use crate::engine::{EventHandle, EventQueue};
+use crate::error::SimError;
+use crate::stats::{TimeWeightedAverage, WelfordAccumulator};
+use crate::Result;
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimulationConfig {
+    servers: usize,
+    arrival_rate: f64,
+    service: Arc<dyn ContinuousDistribution>,
+    operative: Arc<dyn ContinuousDistribution>,
+    inoperative: Arc<dyn ContinuousDistribution>,
+    warmup: f64,
+    horizon: f64,
+}
+
+impl SimulationConfig {
+    /// Starts building a configuration for `servers` servers and Poisson arrivals with
+    /// rate `arrival_rate`.
+    pub fn builder(servers: usize, arrival_rate: f64) -> SimulationConfigBuilder {
+        SimulationConfigBuilder {
+            servers,
+            arrival_rate,
+            service: None,
+            operative: None,
+            inoperative: None,
+            warmup: 1_000.0,
+            horizon: 50_000.0,
+        }
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Poisson arrival rate `λ`.
+    pub fn arrival_rate(&self) -> f64 {
+        self.arrival_rate
+    }
+
+    /// Length of the warm-up period excluded from the statistics.
+    pub fn warmup(&self) -> f64 {
+        self.warmup
+    }
+
+    /// Total simulated time (including the warm-up period).
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+}
+
+/// Builder for [`SimulationConfig`].
+#[derive(Debug, Clone)]
+pub struct SimulationConfigBuilder {
+    servers: usize,
+    arrival_rate: f64,
+    service: Option<Arc<dyn ContinuousDistribution>>,
+    operative: Option<Arc<dyn ContinuousDistribution>>,
+    inoperative: Option<Arc<dyn ContinuousDistribution>>,
+    warmup: f64,
+    horizon: f64,
+}
+
+impl SimulationConfigBuilder {
+    /// Sets the service-time distribution (required).
+    pub fn service(mut self, dist: impl ContinuousDistribution + 'static) -> Self {
+        self.service = Some(Arc::new(dist));
+        self
+    }
+
+    /// Sets the operative-period distribution (required).
+    pub fn operative(mut self, dist: impl ContinuousDistribution + 'static) -> Self {
+        self.operative = Some(Arc::new(dist));
+        self
+    }
+
+    /// Sets the inoperative (repair) period distribution (required).
+    pub fn inoperative(mut self, dist: impl ContinuousDistribution + 'static) -> Self {
+        self.inoperative = Some(Arc::new(dist));
+        self
+    }
+
+    /// Sets the warm-up period (statistics before this time are discarded; default 1000).
+    pub fn warmup(mut self, warmup: f64) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Sets the total simulated time (default 50 000).
+    pub fn horizon(mut self, horizon: f64) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MissingConfiguration`] if a distribution was not supplied,
+    /// or [`SimError::InvalidParameter`] for non-positive rates/horizons or a warm-up
+    /// period that is not shorter than the horizon.
+    pub fn build(self) -> Result<SimulationConfig> {
+        if self.servers == 0 {
+            return Err(SimError::InvalidParameter {
+                name: "servers",
+                value: 0.0,
+                constraint: "must be at least 1",
+            });
+        }
+        if !(self.arrival_rate.is_finite() && self.arrival_rate > 0.0) {
+            return Err(SimError::InvalidParameter {
+                name: "arrival_rate",
+                value: self.arrival_rate,
+                constraint: "must be finite and positive",
+            });
+        }
+        if !(self.horizon.is_finite() && self.horizon > 0.0) {
+            return Err(SimError::InvalidParameter {
+                name: "horizon",
+                value: self.horizon,
+                constraint: "must be finite and positive",
+            });
+        }
+        if !(self.warmup >= 0.0 && self.warmup < self.horizon) {
+            return Err(SimError::InvalidParameter {
+                name: "warmup",
+                value: self.warmup,
+                constraint: "must be non-negative and shorter than the horizon",
+            });
+        }
+        Ok(SimulationConfig {
+            servers: self.servers,
+            arrival_rate: self.arrival_rate,
+            service: self.service.ok_or(SimError::MissingConfiguration("service distribution"))?,
+            operative: self
+                .operative
+                .ok_or(SimError::MissingConfiguration("operative-period distribution"))?,
+            inoperative: self
+                .inoperative
+                .ok_or(SimError::MissingConfiguration("inoperative-period distribution"))?,
+            warmup: self.warmup,
+            horizon: self.horizon,
+        })
+    }
+}
+
+/// Events driving the simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Event {
+    Arrival,
+    ServiceCompletion { server: usize, generation: u64 },
+    Breakdown { server: usize },
+    Repair { server: usize },
+}
+
+/// A job waiting for (or receiving) service.
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    arrival_time: f64,
+    remaining_service: f64,
+}
+
+/// Per-server bookkeeping.
+#[derive(Debug, Clone)]
+struct Server {
+    operative: bool,
+    job: Option<Job>,
+    service_started_at: f64,
+    completion_handle: Option<EventHandle>,
+    /// Invalidates stale completion events after a preemption.
+    generation: u64,
+}
+
+/// The simulator itself.  Create it once and [`run`](Self::run) it with different seeds
+/// to obtain independent replications.
+#[derive(Debug, Clone)]
+pub struct BreakdownQueueSimulation {
+    config: SimulationConfig,
+}
+
+impl BreakdownQueueSimulation {
+    /// Creates a simulator for the given configuration.
+    pub fn new(config: SimulationConfig) -> Self {
+        BreakdownQueueSimulation { config }
+    }
+
+    /// The configuration being simulated.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// Runs one replication with the given random seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoObservations`] if no job completed during the measurement
+    /// window (horizon too short or system hopelessly overloaded).
+    pub fn run(&self, seed: u64) -> Result<SimulationResult> {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let arrivals = Exponential::new(cfg.arrival_rate)?;
+
+        let mut events: EventQueue<Event> = EventQueue::new();
+        let mut queue: VecDeque<Job> = VecDeque::new();
+        let mut servers: Vec<Server> = (0..cfg.servers)
+            .map(|_| Server {
+                operative: true,
+                job: None,
+                service_started_at: 0.0,
+                completion_handle: None,
+                generation: 0,
+            })
+            .collect();
+
+        // Statistics.
+        let mut jobs_in_system = 0usize;
+        let mut queue_length = TimeWeightedAverage::new(cfg.warmup);
+        let mut operative_servers = TimeWeightedAverage::new(cfg.warmup);
+        let mut busy_servers = TimeWeightedAverage::new(cfg.warmup);
+        let mut response_times = WelfordAccumulator::new();
+        let mut response_samples: Vec<f64> = Vec::new();
+        let mut completions_total = 0u64;
+        let mut arrivals_total = 0u64;
+        let mut breakdowns_total = 0u64;
+
+        // Prime the event queue: first arrival and the first breakdown of every server.
+        events.schedule_in(arrivals.sample(&mut rng), Event::Arrival);
+        for index in 0..cfg.servers {
+            let first_operative = cfg.operative.sample(&mut rng);
+            events.schedule_in(first_operative, Event::Breakdown { server: index });
+        }
+        operative_servers.record(0.0, cfg.servers as f64);
+
+        while let Some((now, event)) = events.pop() {
+            if now > cfg.horizon {
+                break;
+            }
+            match event {
+                Event::Arrival => {
+                    arrivals_total += 1;
+                    jobs_in_system += 1;
+                    queue_length.record(now, jobs_in_system as f64);
+                    let service = cfg.service.sample(&mut rng);
+                    queue.push_back(Job { arrival_time: now, remaining_service: service });
+                    events.schedule_in(arrivals.sample(&mut rng), Event::Arrival);
+                    dispatch(&mut events, &mut servers, &mut queue, now, &mut busy_servers);
+                }
+                Event::ServiceCompletion { server, generation } => {
+                    if servers[server].generation != generation || servers[server].job.is_none() {
+                        continue; // stale event from before a preemption
+                    }
+                    let job = servers[server].job.take().expect("job present checked above");
+                    servers[server].completion_handle = None;
+                    jobs_in_system -= 1;
+                    queue_length.record(now, jobs_in_system as f64);
+                    completions_total += 1;
+                    if now >= cfg.warmup {
+                        response_times.push(now - job.arrival_time);
+                        response_samples.push(now - job.arrival_time);
+                    }
+                    dispatch(&mut events, &mut servers, &mut queue, now, &mut busy_servers);
+                }
+                Event::Breakdown { server } => {
+                    breakdowns_total += 1;
+                    let entry = &mut servers[server];
+                    entry.operative = false;
+                    entry.generation += 1;
+                    if let Some(mut job) = entry.job.take() {
+                        // Preempt: compute the remaining service and put the job back at
+                        // the *front* of the queue (paper's preempt-resume discipline).
+                        let served = now - entry.service_started_at;
+                        job.remaining_service = (job.remaining_service - served).max(0.0);
+                        if let Some(handle) = entry.completion_handle.take() {
+                            events.cancel(handle);
+                        }
+                        queue.push_front(job);
+                    }
+                    operative_servers.record(now, count_operative(&servers));
+                    busy_servers.record(now, count_busy(&servers));
+                    let repair = cfg.inoperative.sample(&mut rng);
+                    events.schedule_in(repair, Event::Repair { server });
+                }
+                Event::Repair { server } => {
+                    servers[server].operative = true;
+                    operative_servers.record(now, count_operative(&servers));
+                    let next_operative_period = cfg.operative.sample(&mut rng);
+                    events.schedule_in(next_operative_period, Event::Breakdown { server });
+                    dispatch(&mut events, &mut servers, &mut queue, now, &mut busy_servers);
+                }
+            }
+        }
+
+        let end = cfg.horizon;
+        if response_times.count() == 0 {
+            return Err(SimError::NoObservations(format!(
+                "no job completed between warm-up {} and horizon {}",
+                cfg.warmup, cfg.horizon
+            )));
+        }
+        response_samples.sort_by(|a, b| a.partial_cmp(b).expect("finite response times"));
+        Ok(SimulationResult {
+            mean_queue_length: queue_length.mean_until(end),
+            mean_response_time: response_times.mean(),
+            response_time_std_error: response_times.standard_error(),
+            mean_operative_servers: operative_servers.mean_until(end),
+            mean_busy_servers: busy_servers.mean_until(end),
+            completed_jobs: completions_total,
+            completed_after_warmup: response_times.count(),
+            arrived_jobs: arrivals_total,
+            breakdowns: breakdowns_total,
+            measured_time: end - cfg.warmup,
+            sorted_response_times: response_samples,
+        })
+    }
+}
+
+/// Starts service on every idle operative server while jobs are waiting.
+fn dispatch(
+    events: &mut EventQueue<Event>,
+    servers: &mut [Server],
+    queue: &mut VecDeque<Job>,
+    now: f64,
+    busy_servers: &mut TimeWeightedAverage,
+) {
+    for (index, server) in servers.iter_mut().enumerate() {
+        if queue.is_empty() {
+            break;
+        }
+        if server.operative && server.job.is_none() {
+            let job = queue.pop_front().expect("queue non-empty inside loop");
+            server.service_started_at = now;
+            server.generation += 1;
+            let handle = events.schedule_in(
+                job.remaining_service,
+                Event::ServiceCompletion { server: index, generation: server.generation },
+            );
+            server.completion_handle = Some(handle);
+            server.job = Some(job);
+        }
+    }
+    busy_servers.record(now, count_busy(servers));
+}
+
+fn count_operative(servers: &[Server]) -> f64 {
+    servers.iter().filter(|s| s.operative).count() as f64
+}
+
+fn count_busy(servers: &[Server]) -> f64 {
+    servers.iter().filter(|s| s.job.is_some()).count() as f64
+}
+
+/// The measurements collected by one simulation replication.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationResult {
+    mean_queue_length: f64,
+    mean_response_time: f64,
+    response_time_std_error: f64,
+    mean_operative_servers: f64,
+    mean_busy_servers: f64,
+    completed_jobs: u64,
+    completed_after_warmup: u64,
+    arrived_jobs: u64,
+    breakdowns: u64,
+    measured_time: f64,
+    sorted_response_times: Vec<f64>,
+}
+
+impl SimulationResult {
+    /// Time-averaged number of jobs in the system, `L`.
+    pub fn mean_queue_length(&self) -> f64 {
+        self.mean_queue_length
+    }
+
+    /// Mean response time of jobs completed after the warm-up period, `W`.
+    pub fn mean_response_time(&self) -> f64 {
+        self.mean_response_time
+    }
+
+    /// Standard error of the mean response time (within this replication).
+    pub fn response_time_std_error(&self) -> f64 {
+        self.response_time_std_error
+    }
+
+    /// Time-averaged number of operative servers.
+    pub fn mean_operative_servers(&self) -> f64 {
+        self.mean_operative_servers
+    }
+
+    /// Time-averaged number of busy servers.
+    pub fn mean_busy_servers(&self) -> f64 {
+        self.mean_busy_servers
+    }
+
+    /// Number of jobs completed over the whole run.
+    pub fn completed_jobs(&self) -> u64 {
+        self.completed_jobs
+    }
+
+    /// Number of jobs that arrived over the whole run.
+    pub fn arrived_jobs(&self) -> u64 {
+        self.arrived_jobs
+    }
+
+    /// Number of breakdown events over the whole run.
+    pub fn breakdowns(&self) -> u64 {
+        self.breakdowns
+    }
+
+    /// Length of the measurement window (horizon minus warm-up).
+    pub fn measured_time(&self) -> f64 {
+        self.measured_time
+    }
+
+    /// Number of jobs completed inside the measurement window (after the warm-up).
+    pub fn completed_after_warmup(&self) -> u64 {
+        self.completed_after_warmup
+    }
+
+    /// Observed throughput: completions inside the measurement window per unit time.
+    /// For a stable queue this converges to the arrival rate.
+    pub fn throughput(&self) -> f64 {
+        self.completed_after_warmup as f64 / (self.measured_time.max(f64::MIN_POSITIVE))
+    }
+
+    /// Empirical percentile of the response time (e.g. `0.9` for the 90th percentile).
+    ///
+    /// The paper's conclusions list the response-time *distribution* — as opposed to its
+    /// mean — as an open problem for the analytic model; the simulator answers it
+    /// empirically.  Returns `None` if `fraction` is outside `(0, 1)` or no job
+    /// completed during the measurement window.
+    pub fn response_time_percentile(&self, fraction: f64) -> Option<f64> {
+        if !(0.0..1.0).contains(&fraction) || fraction <= 0.0 || self.sorted_response_times.is_empty()
+        {
+            return None;
+        }
+        let index = ((self.sorted_response_times.len() as f64 * fraction).ceil() as usize)
+            .clamp(1, self.sorted_response_times.len());
+        Some(self.sorted_response_times[index - 1])
+    }
+
+    /// The sorted response times of the jobs completed after the warm-up.
+    pub fn response_times(&self) -> &[f64] {
+        &self.sorted_response_times
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urs_dist::{Deterministic, HyperExponential};
+
+    fn reliable_servers_config(servers: usize, lambda: f64) -> SimulationConfig {
+        // Breakdowns essentially never happen; repairs are instantaneous.
+        SimulationConfig::builder(servers, lambda)
+            .service(Exponential::new(1.0).unwrap())
+            .operative(Exponential::with_mean(1e9).unwrap())
+            .inoperative(Exponential::with_mean(1e-6).unwrap())
+            .warmup(2_000.0)
+            .horizon(60_000.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(matches!(
+            SimulationConfig::builder(0, 1.0)
+                .service(Exponential::new(1.0).unwrap())
+                .operative(Exponential::new(1.0).unwrap())
+                .inoperative(Exponential::new(1.0).unwrap())
+                .build(),
+            Err(SimError::InvalidParameter { name: "servers", .. })
+        ));
+        assert!(matches!(
+            SimulationConfig::builder(1, 1.0).build(),
+            Err(SimError::MissingConfiguration(_))
+        ));
+        assert!(matches!(
+            SimulationConfig::builder(1, 1.0)
+                .service(Exponential::new(1.0).unwrap())
+                .operative(Exponential::new(1.0).unwrap())
+                .inoperative(Exponential::new(1.0).unwrap())
+                .warmup(100.0)
+                .horizon(50.0)
+                .build(),
+            Err(SimError::InvalidParameter { name: "warmup", .. })
+        ));
+    }
+
+    #[test]
+    fn mm1_simulation_matches_theory() {
+        // M/M/1 with ρ = 0.6: L = 1.5, W = 2.5.
+        let config = reliable_servers_config(1, 0.6);
+        let result = BreakdownQueueSimulation::new(config).run(7).unwrap();
+        assert!((result.mean_queue_length() - 1.5).abs() < 0.15, "L = {}", result.mean_queue_length());
+        assert!((result.mean_response_time() - 2.5).abs() < 0.25, "W = {}", result.mean_response_time());
+        assert!((result.mean_operative_servers() - 1.0).abs() < 1e-3);
+        assert!(result.completed_jobs() > 20_000);
+    }
+
+    #[test]
+    fn little_law_holds_within_noise() {
+        let config = reliable_servers_config(3, 2.0);
+        let result = BreakdownQueueSimulation::new(config).run(11).unwrap();
+        // L ≈ λ_effective · W; with no losses λ_effective = λ.
+        let little = 2.0 * result.mean_response_time();
+        assert!(
+            (result.mean_queue_length() - little).abs() / little < 0.05,
+            "L = {}, λW = {little}",
+            result.mean_queue_length()
+        );
+    }
+
+    #[test]
+    fn breakdowns_reduce_availability_to_the_expected_level() {
+        // Paper-like lifecycle scaled for a quick test: mean operative 10, mean repair 2.5.
+        let config = SimulationConfig::builder(4, 1.0)
+            .service(Exponential::new(1.0).unwrap())
+            .operative(Exponential::with_mean(10.0).unwrap())
+            .inoperative(Exponential::with_mean(2.5).unwrap())
+            .warmup(2_000.0)
+            .horizon(40_000.0)
+            .build()
+            .unwrap();
+        let result = BreakdownQueueSimulation::new(config).run(3).unwrap();
+        // Availability = 10/12.5 = 0.8 -> on average 3.2 operative servers.
+        assert!(
+            (result.mean_operative_servers() - 3.2).abs() < 0.1,
+            "operative {}",
+            result.mean_operative_servers()
+        );
+        assert!(result.breakdowns() > 1_000);
+    }
+
+    #[test]
+    fn deterministic_operative_periods_are_supported() {
+        // The C² = 0 point of Figure 6 requires constant operative periods.
+        let config = SimulationConfig::builder(2, 1.2)
+            .service(Exponential::new(1.0).unwrap())
+            .operative(Deterministic::new(34.62).unwrap())
+            .inoperative(Exponential::with_mean(1.0).unwrap())
+            .warmup(1_000.0)
+            .horizon(30_000.0)
+            .build()
+            .unwrap();
+        let result = BreakdownQueueSimulation::new(config).run(5).unwrap();
+        // Availability = 34.62/35.62 ≈ 0.972 -> ~1.94 operative servers on average.
+        assert!((result.mean_operative_servers() - 1.944).abs() < 0.05);
+        assert!(result.mean_queue_length() > 1.0);
+    }
+
+    #[test]
+    fn hyperexponential_periods_increase_queue_compared_to_exponential() {
+        // Same means, different variability: the hyperexponential case should produce a
+        // longer queue (the message of Figures 6 and 7).
+        let mean_operative = 34.62;
+        let lambda = 1.7;
+        let build = |operative: HyperExponential| {
+            SimulationConfig::builder(2, lambda)
+                .service(Exponential::new(1.0).unwrap())
+                .operative(operative)
+                .inoperative(Exponential::with_mean(5.0).unwrap())
+                .warmup(20_000.0)
+                .horizon(400_000.0)
+                .build()
+                .unwrap()
+        };
+        let exponential = build(HyperExponential::exponential(1.0 / mean_operative).unwrap());
+        let hyper = build(HyperExponential::with_mean_and_scv(mean_operative, 8.0).unwrap());
+        let l_exp = BreakdownQueueSimulation::new(exponential).run(1).unwrap().mean_queue_length();
+        let l_hyper = BreakdownQueueSimulation::new(hyper).run(1).unwrap().mean_queue_length();
+        assert!(l_hyper > l_exp, "hyper {l_hyper} vs exp {l_exp}");
+    }
+
+    #[test]
+    fn response_time_percentiles_match_mm1_theory() {
+        // In an M/M/1 queue the stationary response time is exponential with rate µ−λ,
+        // so the 90th percentile is ln(10)/(µ−λ).
+        let config = reliable_servers_config(1, 0.5);
+        let result = BreakdownQueueSimulation::new(config).run(21).unwrap();
+        let p50 = result.response_time_percentile(0.5).unwrap();
+        let p90 = result.response_time_percentile(0.9).unwrap();
+        let p99 = result.response_time_percentile(0.99).unwrap();
+        assert!(p50 < p90 && p90 < p99);
+        let expected_p90 = 10.0_f64.ln() / 0.5;
+        assert!((p90 - expected_p90).abs() / expected_p90 < 0.1, "p90 {p90} vs {expected_p90}");
+        assert!(result.response_time_percentile(1.5).is_none());
+        assert!(result.response_time_percentile(0.0).is_none());
+        assert!(!result.response_times().is_empty());
+    }
+
+    #[test]
+    fn results_are_reproducible_for_a_fixed_seed() {
+        let config = reliable_servers_config(2, 1.0);
+        let a = BreakdownQueueSimulation::new(config.clone()).run(123).unwrap();
+        let b = BreakdownQueueSimulation::new(config).run(123).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hopeless_overload_reports_no_observations_gracefully() {
+        let config = SimulationConfig::builder(1, 5.0)
+            .service(Exponential::new(1e-6).unwrap())
+            .operative(Exponential::with_mean(1e9).unwrap())
+            .inoperative(Exponential::with_mean(1.0).unwrap())
+            .warmup(0.5)
+            .horizon(1.0)
+            .build()
+            .unwrap();
+        // With a tiny horizon there may simply be no completions after warm-up; either a
+        // valid result or the NoObservations error is acceptable, but never a panic.
+        let _ = BreakdownQueueSimulation::new(config).run(1);
+    }
+}

@@ -1,0 +1,208 @@
+//! Independent replications and confidence intervals.
+
+use crate::error::SimError;
+use crate::queue_sim::{BreakdownQueueSimulation, SimulationResult};
+use crate::stats::WelfordAccumulator;
+use crate::Result;
+
+/// A two-sided confidence interval for a mean estimated from independent replications.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate (mean across replications).
+    pub mean: f64,
+    /// Half-width of the interval at the requested confidence level.
+    pub half_width: f64,
+    /// Confidence level (e.g. 0.95).
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Lower bound of the interval.
+    pub fn lower(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper bound of the interval.
+    pub fn upper(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Returns `true` if the interval contains `value`.
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lower() && value <= self.upper()
+    }
+
+    /// Relative half-width (half-width divided by |mean|; infinite for a zero mean).
+    pub fn relative_half_width(&self) -> f64 {
+        if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            self.half_width / self.mean.abs()
+        }
+    }
+}
+
+/// Two-sided Student-t critical value for the given degrees of freedom at the 95%
+/// confidence level (values for small `df` tabulated, asymptotic 1.96 beyond).
+fn t_critical_95(df: u64) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= 30 {
+        TABLE[(df - 1) as usize]
+    } else if df <= 60 {
+        2.0
+    } else {
+        1.96
+    }
+}
+
+/// Summary of a set of independent replications.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicationSummary {
+    /// Number of replications performed.
+    pub replications: usize,
+    /// 95% confidence interval for the mean queue length `L`.
+    pub mean_queue_length: ConfidenceInterval,
+    /// 95% confidence interval for the mean response time `W`.
+    pub mean_response_time: ConfidenceInterval,
+    /// 95% confidence interval for the average number of operative servers.
+    pub mean_operative_servers: ConfidenceInterval,
+}
+
+/// Runs independent replications of a simulation with consecutive seeds and aggregates
+/// them into confidence intervals.
+///
+/// # Example
+///
+/// ```no_run
+/// use urs_dist::Exponential;
+/// use urs_sim::{BreakdownQueueSimulation, Replications, SimulationConfig};
+///
+/// # fn main() -> Result<(), urs_sim::SimError> {
+/// let config = SimulationConfig::builder(2, 1.0)
+///     .service(Exponential::new(1.0)?)
+///     .operative(Exponential::with_mean(100.0)?)
+///     .inoperative(Exponential::with_mean(1.0)?)
+///     .build()?;
+/// let summary = Replications::new(10, 1).run(&BreakdownQueueSimulation::new(config))?;
+/// println!("L = {} ± {}", summary.mean_queue_length.mean, summary.mean_queue_length.half_width);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Replications {
+    count: usize,
+    base_seed: u64,
+}
+
+impl Replications {
+    /// Creates a replication runner performing `count` replications seeded
+    /// `base_seed, base_seed+1, …`.
+    pub fn new(count: usize, base_seed: u64) -> Self {
+        Replications { count, base_seed }
+    }
+
+    /// Runs the replications and aggregates the results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] when fewer than two replications are
+    /// requested (no variance estimate is possible), and propagates failures of the
+    /// individual runs.
+    pub fn run(&self, simulation: &BreakdownQueueSimulation) -> Result<ReplicationSummary> {
+        if self.count < 2 {
+            return Err(SimError::InvalidParameter {
+                name: "replications",
+                value: self.count as f64,
+                constraint: "at least 2 replications are needed for a confidence interval",
+            });
+        }
+        let results: Vec<SimulationResult> = (0..self.count)
+            .map(|i| simulation.run(self.base_seed + i as u64))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ReplicationSummary {
+            replications: self.count,
+            mean_queue_length: interval(results.iter().map(|r| r.mean_queue_length())),
+            mean_response_time: interval(results.iter().map(|r| r.mean_response_time())),
+            mean_operative_servers: interval(results.iter().map(|r| r.mean_operative_servers())),
+        })
+    }
+}
+
+fn interval(values: impl Iterator<Item = f64>) -> ConfidenceInterval {
+    let mut acc = WelfordAccumulator::new();
+    for v in values {
+        acc.push(v);
+    }
+    let df = acc.count().saturating_sub(1);
+    ConfidenceInterval {
+        mean: acc.mean(),
+        half_width: t_critical_95(df) * acc.standard_error(),
+        level: 0.95,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue_sim::SimulationConfig;
+    use urs_dist::Exponential;
+
+    fn quick_simulation(lambda: f64) -> BreakdownQueueSimulation {
+        let config = SimulationConfig::builder(1, lambda)
+            .service(Exponential::new(1.0).unwrap())
+            .operative(Exponential::with_mean(1e9).unwrap())
+            .inoperative(Exponential::with_mean(1e-6).unwrap())
+            .warmup(500.0)
+            .horizon(15_000.0)
+            .build()
+            .unwrap();
+        BreakdownQueueSimulation::new(config)
+    }
+
+    #[test]
+    fn confidence_interval_arithmetic() {
+        let ci = ConfidenceInterval { mean: 10.0, half_width: 1.5, level: 0.95 };
+        assert_eq!(ci.lower(), 8.5);
+        assert_eq!(ci.upper(), 11.5);
+        assert!(ci.contains(9.0));
+        assert!(!ci.contains(12.0));
+        assert!((ci.relative_half_width() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_table_monotone_towards_normal() {
+        assert!(t_critical_95(1) > t_critical_95(5));
+        assert!(t_critical_95(5) > t_critical_95(30));
+        assert_eq!(t_critical_95(1000), 1.96);
+        assert_eq!(t_critical_95(0), f64::INFINITY);
+    }
+
+    #[test]
+    fn replications_cover_the_true_mm1_value() {
+        // M/M/1 with ρ = 0.5: L = 1.
+        let summary = Replications::new(8, 42).run(&quick_simulation(0.5)).unwrap();
+        assert_eq!(summary.replications, 8);
+        assert!(
+            summary.mean_queue_length.contains(1.0),
+            "interval [{}, {}] should contain 1.0",
+            summary.mean_queue_length.lower(),
+            summary.mean_queue_length.upper()
+        );
+        assert!(summary.mean_response_time.mean > 0.0);
+        assert!((summary.mean_operative_servers.mean - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn too_few_replications_rejected() {
+        assert!(matches!(
+            Replications::new(1, 0).run(&quick_simulation(0.5)),
+            Err(SimError::InvalidParameter { .. })
+        ));
+    }
+}

@@ -1,0 +1,200 @@
+//! Online statistics used by the simulator.
+
+/// Time-weighted average of a piecewise-constant quantity (e.g. the number of jobs in
+/// the system): each observed value is weighted by how long it persisted.
+///
+/// # Example
+///
+/// ```
+/// use urs_sim::TimeWeightedAverage;
+///
+/// let mut avg = TimeWeightedAverage::new(0.0);
+/// avg.record(0.0, 2.0); // value 2 from t = 0
+/// avg.record(1.0, 4.0); // value 4 from t = 1
+/// assert_eq!(avg.mean_until(2.0), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeWeightedAverage {
+    start_time: f64,
+    last_time: f64,
+    last_value: f64,
+    integral: f64,
+}
+
+impl TimeWeightedAverage {
+    /// Creates an accumulator that starts measuring at `start_time` with value 0.
+    pub fn new(start_time: f64) -> Self {
+        TimeWeightedAverage { start_time, last_time: start_time, last_value: 0.0, integral: 0.0 }
+    }
+
+    /// Records that the tracked quantity changed to `value` at time `time`.
+    ///
+    /// Changes reported before the start time simply update the current value without
+    /// accumulating area (used to seed the state at the end of the warm-up period).
+    pub fn record(&mut self, time: f64, value: f64) {
+        if time <= self.start_time {
+            self.last_time = self.start_time;
+            self.last_value = value;
+            return;
+        }
+        let effective_last = self.last_time.max(self.start_time);
+        self.integral += self.last_value * (time - effective_last);
+        self.last_time = time;
+        self.last_value = value;
+    }
+
+    /// The time-weighted mean over `[start_time, end_time]`.
+    ///
+    /// Returns 0 if the interval has zero length.
+    pub fn mean_until(&self, end_time: f64) -> f64 {
+        let duration = end_time - self.start_time;
+        if duration <= 0.0 {
+            return 0.0;
+        }
+        let effective_last = self.last_time.max(self.start_time);
+        let total = self.integral + self.last_value * (end_time - effective_last);
+        total / duration
+    }
+
+    /// The current value of the tracked quantity.
+    pub fn current_value(&self) -> f64 {
+        self.last_value
+    }
+}
+
+/// Welford's online algorithm for the mean and variance of a stream of observations.
+///
+/// # Example
+///
+/// ```
+/// use urs_sim::WelfordAccumulator;
+///
+/// let mut acc = WelfordAccumulator::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     acc.push(x);
+/// }
+/// assert_eq!(acc.mean(), 5.0);
+/// assert!((acc.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WelfordAccumulator {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl WelfordAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+    }
+
+    /// Number of observations seen so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (divides by `n`).
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (divides by `n − 1`; 0 with fewer than two observations).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn standard_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sample_std_dev() / (self.count as f64).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_weighted_average_basic() {
+        let mut avg = TimeWeightedAverage::new(0.0);
+        avg.record(0.0, 1.0);
+        avg.record(2.0, 3.0);
+        avg.record(3.0, 0.0);
+        // ∫ = 1·2 + 3·1 + 0·1 = 5 over 4 time units
+        assert!((avg.mean_until(4.0) - 1.25).abs() < 1e-12);
+        assert_eq!(avg.current_value(), 0.0);
+    }
+
+    #[test]
+    fn warmup_changes_do_not_accumulate() {
+        let mut avg = TimeWeightedAverage::new(10.0);
+        avg.record(2.0, 5.0); // before the measurement window
+        avg.record(12.0, 1.0);
+        // Between t=10 and t=12 the value was 5; then 1 until t=14.
+        assert!((avg.mean_until(14.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_duration_mean_is_zero() {
+        let avg = TimeWeightedAverage::new(5.0);
+        assert_eq!(avg.mean_until(5.0), 0.0);
+        assert_eq!(avg.mean_until(4.0), 0.0);
+    }
+
+    #[test]
+    fn welford_matches_direct_computation() {
+        let data = [1.5, -2.0, 3.25, 0.0, 7.5, 7.5, -1.25];
+        let mut acc = WelfordAccumulator::new();
+        for &x in &data {
+            acc.push(x);
+        }
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        assert!((acc.mean() - mean).abs() < 1e-12);
+        assert!((acc.sample_variance() - var).abs() < 1e-12);
+        assert_eq!(acc.count(), data.len() as u64);
+        assert!(acc.standard_error() > 0.0);
+    }
+
+    #[test]
+    fn welford_edge_cases() {
+        let mut acc = WelfordAccumulator::new();
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.sample_variance(), 0.0);
+        assert_eq!(acc.standard_error(), 0.0);
+        acc.push(3.0);
+        assert_eq!(acc.mean(), 3.0);
+        assert_eq!(acc.sample_variance(), 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Capacity planning: the minimum number of servers meeting a response-time target
+//! (the question behind Figure 9).
+//!
+//! Sweeps the number of servers at λ = 7.5, prints the mean response time predicted by
+//! the exact solution and the geometric approximation, and reports the smallest cluster
+//! meeting a target of W ≤ 1.5.
+//!
+//! Run with `cargo run --release --example capacity_planning`.
+
+use unreliable_servers::core::{
+    GeometricApproximation, ProvisioningSweep, ServerLifecycle, SpectralExpansionSolver,
+    SystemConfig,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lifecycle = ServerLifecycle::paper_fitted()?;
+    let base = SystemConfig::new(8, 7.5, 1.0, lifecycle)?;
+    let target = 1.5;
+
+    let exact = ProvisioningSweep::evaluate(&SpectralExpansionSolver::default(), &base, 8..=13)?;
+    let approx = ProvisioningSweep::evaluate(&GeometricApproximation::default(), &base, 8..=13)?;
+
+    println!("Mean response time W against the number of servers (λ = 7.5, µ = 1)");
+    println!("  {:>3}  {:>12}  {:>14}", "N", "W (exact)", "W (approx.)");
+    for (e, a) in exact.points().iter().zip(approx.points()) {
+        println!("  {:>3}  {:>12.4}  {:>14.4}", e.servers, e.mean_response_time, a.mean_response_time);
+    }
+    println!();
+    match exact.min_servers_for_response_time(target) {
+        Some(n) => println!("Minimum number of servers for W ≤ {target}: {n} (exact solution)"),
+        None => println!("No server count in the range meets W ≤ {target}"),
+    }
+    match approx.min_servers_for_response_time(target) {
+        Some(n) => println!("Minimum number of servers for W ≤ {target}: {n} (approximation)"),
+        None => println!("The approximation finds no feasible count in the range"),
+    }
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! Cost optimisation over the number of servers (the question behind Figure 5).
+//!
+//! For several arrival rates, sweeps the number of servers, evaluates the cost
+//! `C = c₁·L + c₂·N` with the paper's coefficients (c₁ = 4, c₂ = 1), and reports the
+//! cost-optimal cluster size.
+//!
+//! Run with `cargo run --release --example cost_optimization`.
+
+use unreliable_servers::core::{
+    CostModel, CostSweep, ServerLifecycle, SpectralExpansionSolver, SystemConfig,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lifecycle = ServerLifecycle::paper_fitted()?;
+    let cost_model = CostModel::paper_figure5();
+    let solver = SpectralExpansionSolver::default();
+
+    println!("Cost model: C = {}·L + {}·N", cost_model.holding_cost(), cost_model.server_cost());
+    println!();
+
+    for &lambda in &[7.0, 8.0, 8.5] {
+        let base = SystemConfig::new(9, lambda, 1.0, lifecycle.clone())?;
+        let sweep = CostSweep::evaluate(&solver, &base, &cost_model, 9..=17)?;
+        println!("arrival rate λ = {lambda}");
+        println!("  {:>3}  {:>10}  {:>10}", "N", "L", "cost C");
+        for point in sweep.points() {
+            println!(
+                "  {:>3}  {:>10.3}  {:>10.3}",
+                point.servers, point.mean_queue_length, point.cost
+            );
+        }
+        if let Some(best) = sweep.optimum() {
+            println!("  -> optimal number of servers: {} (cost {:.2})", best.servers, best.cost);
+        }
+        println!();
+    }
+    Ok(())
+}

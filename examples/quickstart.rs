@@ -1,0 +1,47 @@
+//! Quickstart: evaluate a cluster of unreliable servers.
+//!
+//! Builds the system of the paper's numerical section (10 servers, the operative-period
+//! distribution fitted to the Sun trace, exponential repairs), solves it exactly and
+//! approximately, and prints the headline performance measures.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use unreliable_servers::core::{
+    GeometricApproximation, QueueSolver, ServerLifecycle, SpectralExpansionSolver, SystemConfig,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 10 servers, Poisson arrivals at rate 8 jobs per unit time, unit service rate, and
+    // the breakdown/repair behaviour fitted to the Sun Microsystems trace in the paper.
+    let config = SystemConfig::new(10, 8.0, 1.0, ServerLifecycle::paper_fitted()?)?;
+
+    println!("System configuration");
+    println!("  servers                 : {}", config.servers());
+    println!("  arrival rate λ          : {}", config.arrival_rate());
+    println!("  offered load λ/µ        : {:.3}", config.offered_load());
+    println!("  server availability     : {:.5}", config.lifecycle().availability());
+    println!("  effective servers       : {:.3}", config.effective_servers());
+    println!("  utilisation ρ           : {:.3}", config.utilisation());
+    println!("  operational modes s     : {}", config.environment_states());
+    println!();
+
+    let exact = SpectralExpansionSolver::default().solve(&config)?;
+    println!("Exact solution (spectral expansion)");
+    println!("  mean jobs in system L   : {:.4}", exact.mean_queue_length());
+    println!("  mean response time  W   : {:.4}", exact.mean_response_time());
+    println!("  P(system empty)         : {:.6}", exact.empty_probability());
+    println!("  P(more than 30 jobs)    : {:.6}", exact.tail_probability(30));
+    println!();
+
+    let approx = GeometricApproximation::default().solve(&config)?;
+    println!("Geometric approximation (heavy traffic)");
+    println!("  mean jobs in system L   : {:.4}", approx.mean_queue_length());
+    println!("  mean response time  W   : {:.4}", approx.mean_response_time());
+    println!();
+
+    println!("Queue length distribution (first 12 levels, exact):");
+    for (level, p) in exact.queue_length_distribution(11).iter().enumerate() {
+        println!("  P(Z = {level:>2}) = {p:.6}");
+    }
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! The empirical workflow of Section 2: from a breakdown trace to fitted distributions.
+//!
+//! Generates a synthetic Sun-like trace (140 000 events by default; pass a number as
+//! the first argument to change it), cleans it, estimates moments, fits exponential and
+//! hyperexponential distributions to the operative and inoperative periods, and runs
+//! the Kolmogorov–Smirnov tests that justify the paper's modelling choices.
+//!
+//! Run with `cargo run --release --example trace_fitting [events]`.
+
+use unreliable_servers::data::{AnalysisOptions, SyntheticTrace, TraceAnalysis};
+use unreliable_servers::dist::ContinuousDistribution;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let events: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(140_000);
+    println!("Generating a synthetic breakdown trace with {events} events …");
+    let trace = SyntheticTrace::paper_like().with_events(events).generate(2006)?;
+    let analysis = TraceAnalysis::run(&trace, AnalysisOptions::default())?;
+
+    println!("Cleaning");
+    println!("  usable rows        : {}", analysis.cleaned_rows());
+    println!("  discarded as anomalous: {:.2}%", 100.0 * analysis.discarded_fraction());
+    println!();
+
+    let operative = analysis.operative();
+    println!("Operative periods");
+    println!("  sample mean        : {:.3}", operative.moments().mean());
+    println!("  sample C²          : {:.3}", operative.moments().scv());
+    let fit = operative.fitted_hyperexponential();
+    println!("  fitted H2 weights  : {:?}", fit.weights());
+    println!("  fitted H2 rates    : {:?}", fit.rates());
+    println!("  fitted H2 mean     : {:.3}  (paper: 34.62)", fit.mean());
+    println!(
+        "  KS (exponential)   : D = {:.4}, 5% critical = {:.4}  -> {}",
+        operative.ks_exponential().statistic(),
+        operative.ks_exponential().critical_value(0.05)?,
+        if operative.exponential_accepted_at_5_percent() { "accepted" } else { "REJECTED" }
+    );
+    println!(
+        "  KS (hyperexp.)     : D = {:.4}, 5% critical = {:.4}  -> {}",
+        operative.ks_hyperexponential().statistic(),
+        operative.ks_hyperexponential().critical_value(0.05)?,
+        if operative.hyperexponential_accepted_at_5_percent() { "accepted" } else { "REJECTED" }
+    );
+    println!();
+
+    let inoperative = analysis.inoperative();
+    println!("Inoperative periods");
+    println!("  sample mean        : {:.4}", inoperative.moments().mean());
+    println!("  sample C²          : {:.3}", inoperative.moments().scv());
+    let rfit = inoperative.fitted_hyperexponential();
+    println!("  fitted H2 weights  : {:?}", rfit.weights());
+    println!("  fitted H2 rates    : {:?}", rfit.rates());
+    println!(
+        "  KS (hyperexp.)     : D = {:.4}, 5% critical = {:.4}  -> {}",
+        inoperative.ks_hyperexponential().statistic(),
+        inoperative.ks_hyperexponential().critical_value(0.05)?,
+        if inoperative.hyperexponential_accepted_at_5_percent() { "accepted" } else { "REJECTED" }
+    );
+    println!();
+
+    println!("Density of the operative periods (first 10 intervals, cf. Figure 3):");
+    println!("  {:>8}  {:>12}  {:>12}", "x", "empirical", "H2 fit");
+    for point in operative.density_series().iter().take(10) {
+        println!("  {:>8.2}  {:>12.6}  {:>12.6}", point.x, point.empirical, point.hyperexponential);
+    }
+    Ok(())
+}

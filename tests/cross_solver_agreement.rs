@@ -1,0 +1,127 @@
+//! Cross-validation of the analytic solution methods.
+//!
+//! The spectral expansion, the matrix-geometric method and the brute-force truncated
+//! CTMC share no numerical machinery beyond the generator matrices, so agreement across
+//! all three is strong evidence that each of them is implemented correctly.
+
+use unreliable_servers::core::{
+    consistency_violations, MatrixGeometricSolver, QueueSolver, ServerLifecycle,
+    SpectralExpansionSolver, SystemConfig, TruncatedCtmcSolver, TruncatedOptions,
+};
+use unreliable_servers::dist::HyperExponential;
+
+fn configs_under_test() -> Vec<(&'static str, SystemConfig)> {
+    let paper = ServerLifecycle::paper_fitted().unwrap();
+    let exponential = ServerLifecycle::exponential(0.1, 1.0).unwrap();
+    let two_phase_repair = ServerLifecycle::new(
+        HyperExponential::new(&[0.7246, 0.2754], &[0.1663, 0.0091]).unwrap(),
+        HyperExponential::new(&[0.9303, 0.0697], &[25.0043, 1.6346]).unwrap(),
+    );
+    vec![
+        ("paper lifecycle, light load", SystemConfig::new(3, 1.5, 1.0, paper.clone()).unwrap()),
+        ("paper lifecycle, heavy load", SystemConfig::new(4, 3.6, 1.0, paper).unwrap()),
+        ("exponential lifecycle", SystemConfig::new(3, 2.0, 1.0, exponential).unwrap()),
+        (
+            "two-phase repairs (n = 2, m = 2)",
+            SystemConfig::new(3, 2.2, 1.0, two_phase_repair).unwrap(),
+        ),
+    ]
+}
+
+#[test]
+fn spectral_and_matrix_geometric_agree_on_every_probability() {
+    for (name, config) in configs_under_test() {
+        let spectral = SpectralExpansionSolver::default().solve(&config).unwrap();
+        let matrix_geometric = MatrixGeometricSolver::default().solve(&config).unwrap();
+        assert!(
+            (spectral.mean_queue_length() - matrix_geometric.mean_queue_length()).abs()
+                / spectral.mean_queue_length()
+                < 1e-7,
+            "{name}: L {} vs {}",
+            spectral.mean_queue_length(),
+            matrix_geometric.mean_queue_length()
+        );
+        for level in 0..40 {
+            assert!(
+                (spectral.level_probability(level) - matrix_geometric.level_probability(level))
+                    .abs()
+                    < 1e-8,
+                "{name}: level {level}"
+            );
+        }
+        for mode in 0..spectral.mode_count() {
+            for level in [0, 1, config.servers(), config.servers() + 3] {
+                assert!(
+                    (spectral.state_probability(mode, level)
+                        - matrix_geometric.state_probability(mode, level))
+                    .abs()
+                        < 1e-8,
+                    "{name}: state ({mode}, {level})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn analytic_solutions_match_the_truncated_reference() {
+    // Use a light-load configuration so a modest truncation captures essentially all of
+    // the probability mass.
+    let lifecycle = ServerLifecycle::exponential(0.25, 1.25).unwrap();
+    let config = SystemConfig::new(2, 1.0, 1.0, lifecycle).unwrap();
+    let spectral = SpectralExpansionSolver::default().solve(&config).unwrap();
+    let truncated = TruncatedCtmcSolver::new(TruncatedOptions {
+        max_level: 150,
+        ..TruncatedOptions::default()
+    })
+    .solve(&config)
+    .unwrap();
+    assert!(
+        (spectral.mean_queue_length() - truncated.mean_queue_length()).abs() < 1e-4,
+        "L {} vs {}",
+        spectral.mean_queue_length(),
+        truncated.mean_queue_length()
+    );
+    for level in 0..30 {
+        assert!(
+            (spectral.level_probability(level) - truncated.level_probability(level)).abs() < 1e-6,
+            "level {level}: {} vs {}",
+            spectral.level_probability(level),
+            truncated.level_probability(level)
+        );
+    }
+}
+
+#[test]
+fn every_solver_produces_an_internally_consistent_solution() {
+    let lifecycle = ServerLifecycle::paper_fitted().unwrap();
+    let config = SystemConfig::new(4, 3.0, 1.0, lifecycle).unwrap();
+    let solvers: Vec<Box<dyn QueueSolver>> = vec![
+        Box::new(SpectralExpansionSolver::default()),
+        Box::new(MatrixGeometricSolver::default()),
+        Box::new(TruncatedCtmcSolver::new(TruncatedOptions {
+            max_level: 250,
+            ..TruncatedOptions::default()
+        })),
+    ];
+    for solver in solvers {
+        let solution = solver.solve(&config).unwrap();
+        let violations = consistency_violations(solution.as_ref(), 60, 1e-6);
+        assert!(violations.is_empty(), "{}: {violations:?}", solver.name());
+    }
+}
+
+#[test]
+fn larger_systems_remain_solvable_and_consistent() {
+    // N = 12 with n = 2, m = 1 gives s = 91 operational modes — a realistic size for the
+    // paper's figures (which go up to N = 17).
+    let lifecycle = ServerLifecycle::paper_fitted().unwrap();
+    let config = SystemConfig::new(12, 10.0, 1.0, lifecycle).unwrap();
+    let spectral = SpectralExpansionSolver::default().solve(&config).unwrap();
+    let mg = MatrixGeometricSolver::default().solve(&config).unwrap();
+    assert!(
+        (spectral.mean_queue_length() - mg.mean_queue_length()).abs() / mg.mean_queue_length()
+            < 1e-6
+    );
+    assert!(consistency_violations(spectral.as_ref(), 80, 1e-6).is_empty());
+}

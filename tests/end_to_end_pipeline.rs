@@ -1,0 +1,82 @@
+//! End-to-end test of the full workflow of the paper:
+//! trace → cleaning → fitting → model → solution → provisioning decision.
+
+use unreliable_servers::core::{
+    CostModel, CostSweep, ProvisioningSweep, QueueSolver, ServerLifecycle,
+    SpectralExpansionSolver, SystemConfig,
+};
+use unreliable_servers::data::{AnalysisOptions, SyntheticTrace, TraceAnalysis};
+use unreliable_servers::dist::ContinuousDistribution;
+
+#[test]
+fn from_breakdown_trace_to_provisioning_decision() {
+    // 1. Empirical phase (Section 2): analyse a synthetic Sun-like trace.
+    let trace = SyntheticTrace::paper_like().with_events(60_000).generate(2006).unwrap();
+    let analysis = TraceAnalysis::run(&trace, AnalysisOptions::default()).unwrap();
+    assert!(!analysis.operative().exponential_accepted_at_5_percent());
+    assert!(analysis.operative().hyperexponential_accepted_at_5_percent());
+
+    // 2. Modelling phase (Section 3): build the queueing model from the *fitted*
+    //    distributions rather than the ground truth.
+    let operative_fit = analysis.operative().fitted_hyperexponential().clone();
+    let repair_rate = 1.0 / analysis.inoperative().moments().mean();
+    let lifecycle = ServerLifecycle::with_exponential_repair(operative_fit, repair_rate).unwrap();
+    let base = SystemConfig::new(10, 8.0, 1.0, lifecycle).unwrap();
+    assert!(base.is_stable());
+
+    // 3. Evaluation phase (Section 4): solve and answer the three questions of the
+    //    introduction.
+    let solver = SpectralExpansionSolver::default();
+    let solution = solver.solve(&base).unwrap();
+    assert!(solution.mean_queue_length() > base.offered_load() * 0.9);
+    assert!(solution.mean_response_time() > 1.0);
+
+    // "What is the minimum number of servers ensuring W ≤ 1.5?"
+    let sweep = ProvisioningSweep::evaluate(&solver, &base, 9..=14).unwrap();
+    let min_servers = sweep.min_servers_for_response_time(1.5);
+    assert!(min_servers.is_some());
+    assert!(min_servers.unwrap() <= 11, "min servers {min_servers:?}");
+
+    // "What is the optimal number of servers under the cost model?"
+    let cost = CostSweep::evaluate(&solver, &base, &CostModel::paper_figure5(), 9..=16).unwrap();
+    let optimum = cost.optimum().unwrap();
+    assert!(
+        (10..=14).contains(&optimum.servers),
+        "optimal server count {} outside the plausible range",
+        optimum.servers
+    );
+}
+
+#[test]
+fn fitted_model_is_close_to_ground_truth_model() {
+    // Solving the queue with fitted parameters should give nearly the same performance
+    // as solving it with the ground-truth parameters used to generate the trace.
+    let generator = SyntheticTrace::paper_like().with_events(100_000);
+    let trace = generator.generate(99).unwrap();
+    let analysis = TraceAnalysis::run(&trace, AnalysisOptions::default()).unwrap();
+
+    let truth_lifecycle = ServerLifecycle::with_exponential_repair(
+        generator.operative().clone(),
+        1.0 / generator.inoperative().mean(),
+    )
+    .unwrap();
+    let fitted_lifecycle = ServerLifecycle::with_exponential_repair(
+        analysis.operative().fitted_hyperexponential().clone(),
+        1.0 / analysis.inoperative().moments().mean(),
+    )
+    .unwrap();
+
+    let solver = SpectralExpansionSolver::default();
+    let truth = solver
+        .solve(&SystemConfig::new(6, 4.5, 1.0, truth_lifecycle).unwrap())
+        .unwrap()
+        .mean_queue_length();
+    let fitted = solver
+        .solve(&SystemConfig::new(6, 4.5, 1.0, fitted_lifecycle).unwrap())
+        .unwrap()
+        .mean_queue_length();
+    assert!(
+        (truth - fitted).abs() / truth < 0.1,
+        "ground truth L = {truth}, fitted L = {fitted}"
+    );
+}

@@ -1,0 +1,120 @@
+//! Property-based tests of the queueing model and its solvers.
+
+use proptest::prelude::*;
+use unreliable_servers::core::{
+    MatrixGeometricSolver, QueueSolver, ServerLifecycle, SpectralExpansionSolver, SystemConfig,
+};
+use unreliable_servers::dist::HyperExponential;
+
+/// Strategy: a random but well-posed lifecycle (hyperexponential operative periods with
+/// C² between 1 and 10, exponential repairs).
+fn lifecycle_strategy() -> impl Strategy<Value = ServerLifecycle> {
+    (5.0_f64..60.0, 1.0_f64..10.0, 0.2_f64..20.0).prop_map(|(mean_op, scv, repair_rate)| {
+        let operative = HyperExponential::with_mean_and_scv(mean_op, scv)
+            .expect("valid mean and scv by construction");
+        ServerLifecycle::with_exponential_repair(operative, repair_rate)
+            .expect("positive repair rate by construction")
+    })
+}
+
+/// Strategy: a stable configuration with 1–5 servers.
+fn stable_config_strategy() -> impl Strategy<Value = SystemConfig> {
+    (lifecycle_strategy(), 1_usize..=5, 0.05_f64..0.95).prop_map(
+        |(lifecycle, servers, utilisation)| {
+            let base = SystemConfig::new(servers, 1.0, 1.0, lifecycle).expect("valid parameters");
+            let arrival = utilisation * base.effective_servers();
+            base.with_arrival_rate(arrival.max(1e-3)).expect("positive arrival rate")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every stable configuration is solvable and yields a valid probability
+    /// distribution with L consistent with Little's law.
+    #[test]
+    fn spectral_solution_is_valid_for_random_stable_systems(config in stable_config_strategy()) {
+        let solution = SpectralExpansionSolver::default().solve(&config).unwrap();
+        // Level probabilities are non-negative and sum (with the tail) to 1.
+        let mut total = 0.0;
+        for level in 0..60 {
+            let p = solution.level_probability(level);
+            prop_assert!(p > -1e-9, "negative probability {p} at level {level}");
+            total += p;
+        }
+        total += solution.tail_probability(59);
+        prop_assert!((total - 1.0).abs() < 1e-6, "total probability {total}");
+        // Little's law.
+        prop_assert!(
+            (solution.mean_response_time() * config.arrival_rate()
+                - solution.mean_queue_length())
+            .abs()
+                < 1e-9
+        );
+        // The mean number of busy servers equals the offered load (flow conservation),
+        // so L is at least the offered load.
+        prop_assert!(solution.mean_queue_length() > config.offered_load() - 1e-6);
+    }
+
+    /// The spectral expansion and the matrix-geometric method agree on random systems.
+    #[test]
+    fn solvers_agree_on_random_stable_systems(config in stable_config_strategy()) {
+        let spectral = SpectralExpansionSolver::default().solve(&config).unwrap();
+        let mg = MatrixGeometricSolver::default().solve(&config).unwrap();
+        let rel = (spectral.mean_queue_length() - mg.mean_queue_length()).abs()
+            / spectral.mean_queue_length().max(1e-9);
+        prop_assert!(rel < 1e-6, "L disagreement {rel}");
+        for level in 0..20 {
+            prop_assert!(
+                (spectral.level_probability(level) - mg.level_probability(level)).abs() < 1e-7
+            );
+        }
+    }
+
+    /// The mean queue length is monotone in the arrival rate.
+    #[test]
+    fn queue_length_is_monotone_in_load(
+        lifecycle in lifecycle_strategy(),
+        servers in 2_usize..=4,
+        base_utilisation in 0.1_f64..0.7,
+    ) {
+        let base = SystemConfig::new(servers, 1.0, 1.0, lifecycle).unwrap();
+        let capacity = base.effective_servers();
+        let low = base.with_arrival_rate(base_utilisation * capacity).unwrap();
+        let high = base.with_arrival_rate((base_utilisation + 0.2) * capacity).unwrap();
+        let solver = SpectralExpansionSolver::default();
+        let l_low = solver.solve(&low).unwrap().mean_queue_length();
+        let l_high = solver.solve(&high).unwrap().mean_queue_length();
+        prop_assert!(l_high > l_low - 1e-9, "L({}) = {l_high} < L({}) = {l_low}",
+            high.arrival_rate(), low.arrival_rate());
+    }
+
+    /// Unstable systems are always rejected with the dedicated error.
+    #[test]
+    fn unstable_systems_are_rejected(
+        lifecycle in lifecycle_strategy(),
+        servers in 1_usize..=4,
+        excess in 1.05_f64..3.0,
+    ) {
+        let base = SystemConfig::new(servers, 1.0, 1.0, lifecycle).unwrap();
+        let arrival = excess * base.effective_servers();
+        let config = base.with_arrival_rate(arrival).unwrap();
+        prop_assert!(!config.is_stable());
+        prop_assert!(SpectralExpansionSolver::default().solve(&config).is_err());
+        prop_assert!(MatrixGeometricSolver::default().solve(&config).is_err());
+    }
+
+    /// The environment marginal produced by the solver matches the closed-form
+    /// multinomial distribution for random systems.
+    #[test]
+    fn mode_marginal_matches_product_form(config in stable_config_strategy()) {
+        use unreliable_servers::core::ModeSpace;
+        let solution = SpectralExpansionSolver::default().solve(&config).unwrap();
+        let modes = ModeSpace::new(config.servers(), config.lifecycle()).unwrap();
+        let expected = modes.stationary_distribution(config.lifecycle());
+        for (got, want) in solution.mode_marginal().iter().zip(&expected) {
+            prop_assert!((got - want).abs() < 1e-5, "marginal {got} vs {want}");
+        }
+    }
+}

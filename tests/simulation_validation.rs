@@ -1,0 +1,110 @@
+//! Validation of the analytic model against the discrete-event simulator.
+//!
+//! The simulator shares nothing with the analytic solvers except the distribution
+//! types, so confidence intervals that cover the exact results provide an end-to-end
+//! check of both the model construction and its solution.
+
+use unreliable_servers::core::{
+    QueueSolver, ServerLifecycle, SpectralExpansionSolver, SystemConfig,
+};
+use unreliable_servers::dist::{ContinuousDistribution, Exponential, HyperExponential};
+use unreliable_servers::sim::{BreakdownQueueSimulation, Replications, SimulationConfig};
+
+fn simulate(config: &SystemConfig, horizon: f64, replications: usize, seed: u64) -> (f64, f64) {
+    let sim_config = SimulationConfig::builder(config.servers(), config.arrival_rate())
+        .service(Exponential::new(config.service_rate()).unwrap())
+        .operative(config.lifecycle().operative().clone())
+        .inoperative(config.lifecycle().inoperative().clone())
+        .warmup(horizon * 0.1)
+        .horizon(horizon)
+        .build()
+        .unwrap();
+    let summary = Replications::new(replications, seed)
+        .run(&BreakdownQueueSimulation::new(sim_config))
+        .unwrap();
+    (summary.mean_queue_length.mean, summary.mean_queue_length.half_width)
+}
+
+#[test]
+fn simulation_confirms_the_exact_solution_for_the_paper_lifecycle() {
+    let lifecycle = ServerLifecycle::paper_fitted().unwrap();
+    let config = SystemConfig::new(4, 3.0, 1.0, lifecycle).unwrap();
+    let exact = SpectralExpansionSolver::default().solve(&config).unwrap().mean_queue_length();
+    let (mean, half_width) = simulate(&config, 150_000.0, 8, 11);
+    // Allow three half-widths to keep the test robust against the ~1-in-20 misses of a
+    // strict 95% interval.
+    assert!(
+        (mean - exact).abs() < 3.0 * half_width.max(0.05 * exact),
+        "simulation {mean} ± {half_width} vs exact {exact}"
+    );
+}
+
+#[test]
+fn simulation_confirms_the_exact_solution_with_hyperexponential_repairs() {
+    let lifecycle = ServerLifecycle::new(
+        HyperExponential::with_mean_and_scv(20.0, 3.0).unwrap(),
+        HyperExponential::new(&[0.9, 0.1], &[2.0, 0.25]).unwrap(),
+    );
+    let config = SystemConfig::new(3, 1.6, 1.0, lifecycle).unwrap();
+    let exact = SpectralExpansionSolver::default().solve(&config).unwrap().mean_queue_length();
+    let (mean, half_width) = simulate(&config, 120_000.0, 8, 23);
+    assert!(
+        (mean - exact).abs() < 3.0 * half_width.max(0.05 * exact),
+        "simulation {mean} ± {half_width} vs exact {exact}"
+    );
+}
+
+#[test]
+fn observed_availability_matches_the_analytic_value() {
+    let lifecycle = ServerLifecycle::paper_fitted().unwrap();
+    let config = SystemConfig::new(6, 4.0, 1.0, lifecycle.clone()).unwrap();
+    let sim_config = SimulationConfig::builder(6, 4.0)
+        .service(Exponential::new(1.0).unwrap())
+        .operative(lifecycle.operative().clone())
+        .inoperative(lifecycle.inoperative().clone())
+        .warmup(5_000.0)
+        .horizon(80_000.0)
+        .build()
+        .unwrap();
+    let result = BreakdownQueueSimulation::new(sim_config).run(5).unwrap();
+    let expected = config.effective_servers();
+    assert!(
+        (result.mean_operative_servers() - expected).abs() < 0.05,
+        "observed {} vs expected {expected}",
+        result.mean_operative_servers()
+    );
+    // Throughput must equal the arrival rate for a stable queue (flow conservation).
+    assert!((result.throughput() - 4.0).abs() < 0.1, "throughput {}", result.throughput());
+}
+
+#[test]
+fn variability_effect_is_visible_in_both_model_and_simulation() {
+    // Compare exponential vs hyperexponential operative periods with identical means at
+    // a moderately high load: both the exact model and the simulation must show the
+    // hyperexponential case producing the longer queue (Figure 6's message).
+    let mean_operative = 34.62;
+    let repair = Exponential::with_mean(5.0).unwrap();
+    let build = |scv: f64| {
+        let operative = if scv <= 1.0 {
+            HyperExponential::exponential(1.0 / mean_operative).unwrap()
+        } else {
+            HyperExponential::with_mean_and_scv(mean_operative, scv).unwrap()
+        };
+        let lifecycle = ServerLifecycle::new(
+            operative,
+            HyperExponential::exponential(repair.rate()).unwrap(),
+        );
+        SystemConfig::new(3, 2.3, 1.0, lifecycle).unwrap()
+    };
+    let low = build(1.0);
+    let high = build(6.0);
+    let exact_low = SpectralExpansionSolver::default().solve(&low).unwrap().mean_queue_length();
+    let exact_high = SpectralExpansionSolver::default().solve(&high).unwrap().mean_queue_length();
+    assert!(exact_high > exact_low);
+    let (sim_low, _) = simulate(&low, 200_000.0, 6, 31);
+    let (sim_high, _) = simulate(&high, 200_000.0, 6, 37);
+    assert!(
+        sim_high > sim_low,
+        "simulation should also show the variability penalty: {sim_high} vs {sim_low}"
+    );
+}
