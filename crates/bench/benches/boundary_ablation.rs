@@ -33,9 +33,7 @@ fn sample_system(rows: usize, size: usize) -> BlockTridiagonal {
                 .set_upper(row, CMatrix::from_fn(size, size, |_, _| Complex::from_real(next())))
                 .unwrap();
         }
-        system
-            .set_rhs(row, (0..size).map(|_| Complex::new(next(), next())).collect())
-            .unwrap();
+        system.set_rhs(row, (0..size).map(|_| Complex::new(next(), next())).collect()).unwrap();
     }
     system
 }

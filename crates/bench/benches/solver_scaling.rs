@@ -22,11 +22,9 @@ fn bench_solvers(c: &mut Criterion) {
             &config,
             |b, cfg| b.iter(|| SpectralExpansionSolver::default().solve(cfg).unwrap()),
         );
-        group.bench_with_input(
-            BenchmarkId::new("matrix_geometric", servers),
-            &config,
-            |b, cfg| b.iter(|| MatrixGeometricSolver::default().solve(cfg).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("matrix_geometric", servers), &config, |b, cfg| {
+            b.iter(|| MatrixGeometricSolver::default().solve(cfg).unwrap())
+        });
         group.bench_with_input(
             BenchmarkId::new("geometric_approximation", servers),
             &config,

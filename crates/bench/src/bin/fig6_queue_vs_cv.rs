@@ -35,7 +35,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for &lambda in &[8.5, 8.6] {
         print_header(
-            &format!("Figure 6: L vs C^2 of operative periods (lambda = {lambda}, N = 10, eta = 0.2)"),
+            &format!(
+                "Figure 6: L vs C^2 of operative periods (lambda = {lambda}, N = 10, eta = 0.2)"
+            ),
             &["C^2", "L"],
         );
         // C² = 0: deterministic operative periods, by simulation (as in the paper).

@@ -19,11 +19,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let analysis = TraceAnalysis::run(&trace, AnalysisOptions::default())?;
 
     println!("Section 2: empirical analysis of a synthetic Sun-like trace ({events} events)");
-    println!("rows discarded as anomalous: {:.2}% (paper: < 4%)", 100.0 * analysis.discarded_fraction());
+    println!(
+        "rows discarded as anomalous: {:.2}% (paper: < 4%)",
+        100.0 * analysis.discarded_fraction()
+    );
 
     let op = analysis.operative();
     println!("\nOperative periods");
-    println!("  estimated mean            : {:>10.4}   (paper ground truth 34.62)", op.moments().mean());
+    println!(
+        "  estimated mean            : {:>10.4}   (paper ground truth 34.62)",
+        op.moments().mean()
+    );
     println!("  estimated C^2             : {:>10.4}   (paper 4.6)", op.moments().scv());
     let fit = op.fitted_hyperexponential();
     println!("  fitted H2 weights         : {:?}   (paper 0.7246, 0.2754)", fit.weights());
@@ -45,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let rep = analysis.inoperative();
     println!("\nInoperative periods");
-    println!("  estimated mean            : {:>10.4}   (paper ground truth 0.0799)", rep.moments().mean());
+    println!(
+        "  estimated mean            : {:>10.4}   (paper ground truth 0.0799)",
+        rep.moments().mean()
+    );
     println!("  estimated C^2             : {:>10.4}", rep.moments().scv());
     let rfit = rep.fitted_hyperexponential();
     println!("  fitted H2 weights         : {:?}   (paper 0.9303, 0.0697)", rfit.weights());

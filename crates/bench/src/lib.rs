@@ -32,8 +32,7 @@ pub fn figure5_lifecycle() -> ServerLifecycle {
 pub fn sensitivity_lifecycle(operative_scv: f64, repair_rate: f64) -> ServerLifecycle {
     let operative = HyperExponential::with_mean_and_scv(34.62, operative_scv)
         .expect("scv >= 1 by construction");
-    ServerLifecycle::with_exponential_repair(operative, repair_rate)
-        .expect("positive repair rate")
+    ServerLifecycle::with_exponential_repair(operative, repair_rate).expect("positive repair rate")
 }
 
 /// Builds a system configuration with unit service rate, the convention used in every

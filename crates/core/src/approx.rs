@@ -58,8 +58,7 @@ impl GeometricApproximation {
         config.ensure_stable()?;
         let qbd = QbdMatrices::new(config)?;
         let margin = if self.unit_disk_margin > 0.0 { self.unit_disk_margin } else { 1e-9 };
-        let problem =
-            urs_linalg::QuadraticEigenProblem::new(qbd.q0(), qbd.q1(), qbd.q2())?;
+        let problem = urs_linalg::QuadraticEigenProblem::new(qbd.q0(), qbd.q1(), qbd.q2())?;
         let inside = problem.eigenvalues_inside_unit_disk(margin)?;
         let dominant = inside
             .iter()

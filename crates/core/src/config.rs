@@ -42,14 +42,8 @@ impl ServerLifecycle {
     /// # Errors
     ///
     /// Returns [`ModelError::Dist`] if `repair_rate` is not positive and finite.
-    pub fn with_exponential_repair(
-        operative: HyperExponential,
-        repair_rate: f64,
-    ) -> Result<Self> {
-        Ok(ServerLifecycle {
-            operative,
-            inoperative: HyperExponential::exponential(repair_rate)?,
-        })
+    pub fn with_exponential_repair(operative: HyperExponential, repair_rate: f64) -> Result<Self> {
+        Ok(ServerLifecycle { operative, inoperative: HyperExponential::exponential(repair_rate)? })
     }
 
     /// A lifecycle in which both periods are exponential — the assumption made by the

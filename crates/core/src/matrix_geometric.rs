@@ -126,7 +126,7 @@ impl MatrixGeometricSolver {
                 transpose_to_cmatrix(&(&qbd.local_matrix(servers) - &r.matmul(c_full)?))
             };
             if j + 1 < block_rows {
-                let upper_real = if j + 1 <= servers { qbd.c_at(j + 1) } else { c_full.clone() };
+                let upper_real = if j < servers { qbd.c_at(j + 1) } else { c_full.clone() };
                 let mut upper = transpose_to_cmatrix(&upper_real);
                 if j == 0 {
                     for col in 0..s {
@@ -150,10 +150,8 @@ impl MatrixGeometricSolver {
             Err(LinalgError::Singular { .. }) => system.solve_dense()?,
             Err(e) => return Err(e.into()),
         };
-        let mut levels: Vec<Vec<f64>> = unknowns
-            .iter()
-            .map(|v| v.iter().map(|c| c.re).collect())
-            .collect();
+        let mut levels: Vec<Vec<f64>> =
+            unknowns.iter().map(|v| v.iter().map(|c| c.re).collect()).collect();
 
         // Normalisation: Σ_{j<N} v_j·1 + v_N·(I−R)⁻¹·1 = 1.
         let identity = Matrix::identity(s);
@@ -238,10 +236,7 @@ impl MatrixGeometricSolution {
         }
         let mut v = self.levels[self.servers].clone();
         for _ in self.servers..level {
-            v = self
-                .rate_matrix
-                .vecmat(&v)
-                .expect("rate matrix dimensions match by construction");
+            v = self.rate_matrix.vecmat(&v).expect("rate matrix dimensions match by construction");
         }
         v
     }
@@ -288,11 +283,7 @@ impl QueueSolution for MatrixGeometricSolution {
         if level + 1 >= self.servers {
             // P(Z > level) = v_N R^{level+1-N} (I-R)^{-1} · 1
             let v = self.level_vector(level + 1);
-            self.i_minus_r_inv
-                .vecmat(&v)
-                .expect("dimensions match by construction")
-                .iter()
-                .sum()
+            self.i_minus_r_inv.vecmat(&v).expect("dimensions match by construction").iter().sum()
         } else {
             let below: f64 = (0..=level).map(|j| self.level_probability(j)).sum();
             (1.0 - below).max(0.0)
@@ -368,10 +359,7 @@ mod tests {
         let config = paper_config(3, 2.5);
         let solution = MatrixGeometricSolver::default().solve_detailed(&config).unwrap();
         let direct = solution.level_vector(6);
-        let via_r = solution
-            .rate_matrix()
-            .vecmat(&solution.level_vector(5))
-            .unwrap();
+        let via_r = solution.rate_matrix().vecmat(&solution.level_vector(5)).unwrap();
         for (a, b) in direct.iter().zip(via_r) {
             assert!((a - b).abs() < 1e-12);
         }

@@ -173,12 +173,8 @@ impl ModeSpace {
         self.modes
             .iter()
             .map(|mode| {
-                let occupancies: Vec<usize> = mode
-                    .operative
-                    .iter()
-                    .chain(mode.inoperative.iter())
-                    .copied()
-                    .collect();
+                let occupancies: Vec<usize> =
+                    mode.operative.iter().chain(mode.inoperative.iter()).copied().collect();
                 multinomial_probability(self.servers, &occupancies, &phase_probs)
             })
             .collect()

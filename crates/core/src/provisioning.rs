@@ -62,19 +62,13 @@ impl ProvisioningSweep {
     /// The smallest number of servers whose mean response time does not exceed
     /// `target`, if any.
     pub fn min_servers_for_response_time(&self, target: f64) -> Option<usize> {
-        self.points
-            .iter()
-            .find(|p| p.mean_response_time <= target)
-            .map(|p| p.servers)
+        self.points.iter().find(|p| p.mean_response_time <= target).map(|p| p.servers)
     }
 
     /// The smallest number of servers whose mean queue length does not exceed `target`,
     /// if any.
     pub fn min_servers_for_queue_length(&self, target: f64) -> Option<usize> {
-        self.points
-            .iter()
-            .find(|p| p.mean_queue_length <= target)
-            .map(|p| p.servers)
+        self.points.iter().find(|p| p.mean_queue_length <= target).map(|p| p.servers)
     }
 }
 
@@ -105,9 +99,8 @@ mod tests {
     fn response_time_decreases_with_servers() {
         let lifecycle = ServerLifecycle::paper_fitted().unwrap();
         let base = SystemConfig::new(8, 6.0, 1.0, lifecycle).unwrap();
-        let sweep =
-            ProvisioningSweep::evaluate(&SpectralExpansionSolver::default(), &base, 7..=12)
-                .unwrap();
+        let sweep = ProvisioningSweep::evaluate(&SpectralExpansionSolver::default(), &base, 7..=12)
+            .unwrap();
         let points = sweep.points();
         assert!(points.len() >= 4);
         for pair in points.windows(2) {
@@ -122,9 +115,8 @@ mod tests {
     fn min_servers_queries() {
         let lifecycle = ServerLifecycle::paper_fitted().unwrap();
         let base = SystemConfig::new(8, 6.0, 1.0, lifecycle).unwrap();
-        let sweep =
-            ProvisioningSweep::evaluate(&SpectralExpansionSolver::default(), &base, 7..=13)
-                .unwrap();
+        let sweep = ProvisioningSweep::evaluate(&SpectralExpansionSolver::default(), &base, 7..=13)
+            .unwrap();
         // A generous target is achieved by the smallest stable count; an impossible one
         // by none.
         let generous = sweep.min_servers_for_response_time(100.0);
@@ -147,9 +139,8 @@ mod tests {
     fn tighter_targets_need_more_servers() {
         let lifecycle = ServerLifecycle::paper_fitted().unwrap();
         let base = SystemConfig::new(8, 7.5, 1.0, lifecycle).unwrap();
-        let sweep =
-            ProvisioningSweep::evaluate(&SpectralExpansionSolver::default(), &base, 8..=13)
-                .unwrap();
+        let sweep = ProvisioningSweep::evaluate(&SpectralExpansionSolver::default(), &base, 8..=13)
+            .unwrap();
         let loose = sweep.min_servers_for_response_time(3.0);
         let tight = sweep.min_servers_for_response_time(1.2);
         if let (Some(loose), Some(tight)) = (loose, tight) {

@@ -118,10 +118,7 @@ pub fn consistency_violations(
         acc += p;
         let tail = solution.tail_probability(j);
         if (acc + tail - 1.0).abs() > 10.0 * tol {
-            violations.push(format!(
-                "P(Z ≤ {j}) + P(Z > {j}) = {} differs from 1",
-                acc + tail
-            ));
+            violations.push(format!("P(Z ≤ {j}) + P(Z > {j}) = {} differs from 1", acc + tail));
         }
     }
     if solution.mean_queue_length() < -tol {

@@ -92,8 +92,7 @@ impl SpectralExpansionSolver {
         let s = qbd.order();
 
         // 1. Eigenvalues and left eigenvectors of Q(z) inside the unit disk.
-        let problem =
-            urs_linalg::QuadraticEigenProblem::new(qbd.q0(), qbd.q1(), qbd.q2())?;
+        let problem = urs_linalg::QuadraticEigenProblem::new(qbd.q0(), qbd.q1(), qbd.q2())?;
         let mut inside = problem.eigenvalues_inside_unit_disk(self.options.unit_disk_margin)?;
         if inside.len() != s {
             return Err(ModelError::SpectralFailure(format!(
@@ -130,14 +129,7 @@ impl SpectralExpansionSolver {
         let boundary = solve_boundary(&qbd, &eigenvalues, &eigenvectors, pin_mode)?;
 
         // 3. Assemble the solution and normalise.
-        SpectralSolution::assemble(
-            config,
-            &qbd,
-            eigenvalues,
-            eigenvectors,
-            boundary,
-            self.options,
-        )
+        SpectralSolution::assemble(config, &qbd, eigenvalues, eigenvectors, boundary, self.options)
     }
 }
 
@@ -204,8 +196,10 @@ fn solve_boundary(
             }
             // Super-diagonal: −C_{j+1}ᵀ towards v_{j+1}, or towards γ when j = N−1.
             if j + 1 < servers {
-                system
-                    .set_upper(j, &transpose_to_cmatrix(&qbd.c_at(j + 1)) * Complex::from_real(-1.0))?;
+                system.set_upper(
+                    j,
+                    &transpose_to_cmatrix(&qbd.c_at(j + 1)) * Complex::from_real(-1.0),
+                )?;
             } else {
                 // Coupling to γ through v_N = γ·U_mat(N):  −(U_mat(N)·C)ᵀ.
                 let coupling = u_mat(servers as u32).matmul(&to_cmatrix(c_full))?;
@@ -312,11 +306,8 @@ impl SpectralSolution {
             .collect();
 
         // Total (un-normalised) probability mass.
-        let boundary_mass: Complex = boundary
-            .levels
-            .iter()
-            .map(|v| v.iter().copied().sum::<Complex>())
-            .sum();
+        let boundary_mass: Complex =
+            boundary.levels.iter().map(|v| v.iter().copied().sum::<Complex>()).sum();
         let tail_mass: Complex = terms
             .iter()
             .map(|t| t.weighted_sum * t.z.powi(servers as u32) / (Complex::ONE - t.z))
@@ -330,16 +321,13 @@ impl SpectralSolution {
         let max_imag = (total.im / total.abs()).abs();
 
         // Normalise: divide every unknown by the total mass.
-        let boundary_real: Vec<Vec<f64>> = boundary
-            .levels
-            .iter()
-            .map(|v| v.iter().map(|c| (*c / total).re).collect())
-            .collect();
+        let boundary_real: Vec<Vec<f64>> =
+            boundary.levels.iter().map(|v| v.iter().map(|c| (*c / total).re).collect()).collect();
         for term in &mut terms {
             for w in &mut term.weighted_vector {
-                *w = *w / total;
+                *w /= total;
             }
-            term.weighted_sum = term.weighted_sum / total;
+            term.weighted_sum /= total;
         }
 
         // Track how far from real the normalised solution is.
@@ -362,16 +350,14 @@ impl SpectralSolution {
 
         // Mean queue length:
         //   L = Σ_{j<N} j·(v_j·1) + Σ_k w_k_sum · z^N (N − (N−1)z) / (1−z)².
-        let boundary_part: f64 = boundary_real
-            .iter()
-            .enumerate()
-            .map(|(j, v)| j as f64 * v.iter().sum::<f64>())
-            .sum();
+        let boundary_part: f64 =
+            boundary_real.iter().enumerate().map(|(j, v)| j as f64 * v.iter().sum::<f64>()).sum();
         let tail_part: Complex = terms
             .iter()
             .map(|t| {
                 let one_minus = Complex::ONE - t.z;
-                t.weighted_sum * t.z.powi(servers as u32)
+                t.weighted_sum
+                    * t.z.powi(servers as u32)
                     * (Complex::from_real(servers as f64) - t.z * (servers as f64 - 1.0))
                     / (one_minus * one_minus)
             })
@@ -434,10 +420,7 @@ impl QueueSolution for SpectralSolution {
         if level < self.servers {
             self.boundary[level][mode]
         } else {
-            self.terms
-                .iter()
-                .map(|t| (t.weighted_vector[mode] * t.z.powi(level as u32)).re)
-                .sum()
+            self.terms.iter().map(|t| (t.weighted_vector[mode] * t.z.powi(level as u32)).re).sum()
         }
     }
 
@@ -576,9 +559,7 @@ mod tests {
     #[test]
     fn little_law_holds() {
         let solution = solve(5, 3.5, ServerLifecycle::paper_fitted().unwrap());
-        assert!(
-            (solution.mean_response_time() - solution.mean_queue_length() / 3.5).abs() < 1e-12
-        );
+        assert!((solution.mean_response_time() - solution.mean_queue_length() / 3.5).abs() < 1e-12);
     }
 
     #[test]

@@ -141,8 +141,7 @@ mod tests {
 
     fn base(servers: usize, lambda: f64, repair_rate: f64) -> SystemConfig {
         let operative = HyperExponential::with_mean_and_scv(34.62, 4.6).unwrap();
-        let lifecycle =
-            ServerLifecycle::with_exponential_repair(operative, repair_rate).unwrap();
+        let lifecycle = ServerLifecycle::with_exponential_repair(operative, repair_rate).unwrap();
         SystemConfig::new(servers, lambda, 1.0, lifecycle).unwrap()
     }
 
@@ -204,10 +203,8 @@ mod tests {
             &[0.85, 0.92, 0.97],
         )
         .unwrap();
-        let errors: Vec<f64> = points
-            .iter()
-            .map(|p| (p.comparison - p.reference).abs() / p.reference)
-            .collect();
+        let errors: Vec<f64> =
+            points.iter().map(|p| (p.comparison - p.reference).abs() / p.reference).collect();
         assert!(errors[2] <= errors[0] + 1e-9, "errors {errors:?}");
         // As in Figure 8, the approximation is within a modest relative error near
         // saturation but only becomes exact in the limit.

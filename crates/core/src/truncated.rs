@@ -52,15 +52,9 @@ impl Default for TruncatedOptions {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct TruncatedCtmcSolver {
     options: TruncatedOptions,
-}
-
-impl Default for TruncatedCtmcSolver {
-    fn default() -> Self {
-        TruncatedCtmcSolver { options: TruncatedOptions::default() }
-    }
 }
 
 impl TruncatedCtmcSolver {
@@ -157,11 +151,8 @@ impl TruncatedCtmcSolver {
         for level in 0..levels {
             levels_vec.push((0..s).map(|mode| pi[state(mode, level)]).collect());
         }
-        let mean_queue_length = levels_vec
-            .iter()
-            .enumerate()
-            .map(|(j, v)| j as f64 * v.iter().sum::<f64>())
-            .sum();
+        let mean_queue_length =
+            levels_vec.iter().enumerate().map(|(j, v)| j as f64 * v.iter().sum::<f64>()).sum();
         Ok(TruncatedSolution {
             arrival_rate: lambda,
             mode_count: s,
@@ -200,10 +191,7 @@ impl TruncatedSolution {
     /// truncation is too aggressive for the offered load.
     pub fn truncation_mass(&self) -> f64 {
         let start = self.levels.len().saturating_sub(self.levels.len() / 100 + 1);
-        self.levels[start..]
-            .iter()
-            .map(|v| v.iter().sum::<f64>())
-            .sum()
+        self.levels[start..].iter().map(|v| v.iter().sum::<f64>()).sum()
     }
 }
 
@@ -239,12 +227,7 @@ impl QueueSolution for TruncatedSolution {
     }
 
     fn tail_probability(&self, level: usize) -> f64 {
-        self.levels
-            .iter()
-            .enumerate()
-            .skip(level + 1)
-            .map(|(_, v)| v.iter().sum::<f64>())
-            .sum()
+        self.levels.iter().enumerate().skip(level + 1).map(|(_, v)| v.iter().sum::<f64>()).sum()
     }
 }
 

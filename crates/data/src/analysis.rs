@@ -101,8 +101,7 @@ impl PeriodAnalysis {
                 (x, below as f64 / n)
             })
             .collect();
-        let ks_exponential =
-            KsTest::from_grid(&empirical_cdf, |x| fitted_exponential.cdf(x))?;
+        let ks_exponential = KsTest::from_grid(&empirical_cdf, |x| fitted_exponential.cdf(x))?;
         let ks_hyperexponential =
             KsTest::from_grid(&empirical_cdf, |x| fitted_hyperexponential.cdf(x))?;
 

@@ -231,16 +231,19 @@ mod tests {
     fn generated_periods_match_ground_truth_means() {
         let generator = SyntheticTrace::paper_like().with_events(60_000).with_anomaly_fraction(0.0);
         let trace = generator.generate(3).unwrap();
-        let mean_operative: f64 = trace
-            .records()
-            .iter()
-            .map(BreakdownRecord::operative_period)
-            .sum::<f64>()
-            / trace.len() as f64;
+        let mean_operative: f64 =
+            trace.records().iter().map(BreakdownRecord::operative_period).sum::<f64>()
+                / trace.len() as f64;
         let mean_outage: f64 =
             trace.records().iter().map(|r| r.outage_duration).sum::<f64>() / trace.len() as f64;
-        assert!((mean_operative - generator.operative().mean()).abs() / generator.operative().mean() < 0.03);
-        assert!((mean_outage - generator.inoperative().mean()).abs() / generator.inoperative().mean() < 0.03);
+        assert!(
+            (mean_operative - generator.operative().mean()).abs() / generator.operative().mean()
+                < 0.03
+        );
+        assert!(
+            (mean_outage - generator.inoperative().mean()).abs() / generator.inoperative().mean()
+                < 0.03
+        );
     }
 
     #[test]

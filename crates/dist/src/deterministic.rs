@@ -1,0 +1,109 @@
+//! The deterministic (degenerate) distribution.
+
+use rand::RngCore;
+
+use crate::error::DistError;
+use crate::traits::ContinuousDistribution;
+use crate::Result;
+
+/// Degenerate distribution concentrated at a single positive value.
+///
+/// Used for the `C² = 0` points of the paper's Figure 6, which the analytic
+/// model cannot express but the simulator can.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Deterministic {
+    value: f64,
+}
+
+impl Deterministic {
+    /// Creates a distribution concentrated at `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidParameter`] unless `value` is positive and finite.
+    pub fn new(value: f64) -> Result<Self> {
+        if !(value.is_finite() && value > 0.0) {
+            return Err(DistError::InvalidParameter {
+                name: "value",
+                value,
+                constraint: "must be finite and positive",
+            });
+        }
+        Ok(Deterministic { value })
+    }
+
+    /// The constant value.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+impl ContinuousDistribution for Deterministic {
+    /// The distribution has no density; by convention this returns `∞` at the
+    /// atom and `0` elsewhere.
+    fn pdf(&self, x: f64) -> f64 {
+        if x == self.value {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x >= self.value {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn sample(&self, _rng: &mut dyn RngCore) -> f64 {
+        self.value
+    }
+
+    fn moment(&self, k: u32) -> f64 {
+        self.value.powi(k as i32)
+    }
+
+    fn mean(&self) -> f64 {
+        self.value
+    }
+
+    fn variance(&self) -> f64 {
+        0.0
+    }
+
+    fn scv(&self) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constructor_validates() {
+        assert!(Deterministic::new(34.62).is_ok());
+        assert!(Deterministic::new(0.0).is_err());
+        assert!(Deterministic::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn degenerate_quantities() {
+        let d = Deterministic::new(2.5).unwrap();
+        assert_eq!(d.value(), 2.5);
+        assert_eq!(d.mean(), 2.5);
+        assert_eq!(d.variance(), 0.0);
+        assert_eq!(d.scv(), 0.0);
+        assert_eq!(d.moment(2), 6.25);
+        assert_eq!(d.cdf(2.0), 0.0);
+        assert_eq!(d.cdf(2.5), 1.0);
+        assert_eq!(d.cdf(3.0), 1.0);
+        assert_eq!(d.pdf(1.0), 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(d.sample(&mut rng), 2.5);
+    }
+}

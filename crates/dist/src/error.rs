@@ -1,0 +1,57 @@
+//! Error type for distribution construction, estimation and fitting.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the distribution and statistics layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DistError {
+    /// A distribution or estimator parameter is outside its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The supplied value.
+        value: f64,
+        /// Description of the violated constraint.
+        constraint: &'static str,
+    },
+    /// A sample was empty or too small for the requested estimate.
+    InsufficientData(String),
+    /// A fitting procedure could not produce a valid distribution (e.g. the
+    /// requested moments are not attainable by the chosen family).
+    FitFailure(String),
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::InvalidParameter { name, value, constraint } => {
+                write!(f, "invalid parameter {name} = {value}: {constraint}")
+            }
+            DistError::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
+            DistError::FitFailure(msg) => write!(f, "fit failed: {msg}"),
+        }
+    }
+}
+
+impl Error for DistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = DistError::InvalidParameter { name: "rate", value: -1.0, constraint: "positive" };
+        assert!(e.to_string().contains("rate"));
+        assert!(DistError::InsufficientData("empty".into()).to_string().contains("empty"));
+        assert!(DistError::FitFailure("scv below 1".into()).to_string().contains("scv"));
+    }
+
+    #[test]
+    fn error_is_send_sync_clone_eq() {
+        fn check<T: Send + Sync + Clone + PartialEq>() {}
+        check::<DistError>();
+    }
+}

@@ -1,0 +1,131 @@
+//! The exponential distribution.
+
+use rand::RngCore;
+
+use crate::error::DistError;
+use crate::traits::{factorial, uniform01, ContinuousDistribution};
+use crate::Result;
+
+/// Exponential distribution with rate `λ`: density `λ e^{−λx}` on `x ≥ 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidParameter`] unless `rate` is positive and finite.
+    pub fn new(rate: f64) -> Result<Self> {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(DistError::InvalidParameter {
+                name: "rate",
+                value: rate,
+                constraint: "must be finite and positive",
+            });
+        }
+        Ok(Exponential { rate })
+    }
+
+    /// Creates an exponential distribution with the given mean `1/λ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidParameter`] unless `mean` is positive and finite.
+    pub fn with_mean(mean: f64) -> Result<Self> {
+        if !(mean.is_finite() && mean > 0.0) {
+            return Err(DistError::InvalidParameter {
+                name: "mean",
+                value: mean,
+                constraint: "must be finite and positive",
+            });
+        }
+        Ok(Exponential { rate: 1.0 / mean })
+    }
+
+    /// The rate `λ`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl ContinuousDistribution for Exponential {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * x).exp()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.rate * x).exp()
+        }
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        // 1 − U ∈ (0, 1], so the logarithm is always finite.
+        -(1.0 - uniform01(rng)).ln() / self.rate
+    }
+
+    fn moment(&self, k: u32) -> f64 {
+        factorial(k) / self.rate.powi(k as i32)
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+
+    fn scv(&self) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constructors_validate() {
+        assert!(Exponential::new(2.0).is_ok());
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(f64::NAN).is_err());
+        assert!(Exponential::with_mean(-1.0).is_err());
+        let e = Exponential::with_mean(4.0).unwrap();
+        assert!((e.rate() - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn analytic_quantities() {
+        let e = Exponential::new(0.5).unwrap();
+        assert!((e.mean() - 2.0).abs() < 1e-15);
+        assert!((e.variance() - 4.0).abs() < 1e-15);
+        assert!((e.scv() - 1.0).abs() < 1e-15);
+        assert!((e.moment(3) - 6.0 * 8.0).abs() < 1e-9);
+        assert!((e.pdf(0.0) - 0.5).abs() < 1e-15);
+        assert_eq!(e.pdf(-1.0), 0.0);
+        assert_eq!(e.cdf(-1.0), 0.0);
+        assert!((e.cdf(2.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-15);
+        assert!((e.survival(2.0) - (-1.0f64).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sample_mean_converges() {
+        let e = Exponential::with_mean(3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| e.sample(&mut rng)).sum();
+        assert!((sum / n as f64 - 3.0).abs() < 0.03);
+    }
+}

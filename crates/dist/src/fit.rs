@@ -1,0 +1,526 @@
+//! Fitting hyperexponential distributions to trace data (paper, Sections 2–3).
+//!
+//! The paper fits two-phase hyperexponentials to the operative and inoperative
+//! periods of the Sun breakdown trace.  This module implements the procedures it
+//! describes, plus two standard alternatives used as cross-checks:
+//!
+//! * [`fit_hyperexp2_moments`] — closed-form matching of the first three raw
+//!   moments (a two-phase Prony / Hankel construction);
+//! * [`fit_hyperexp2_mean_scv`] — the balanced-means construction from the mean
+//!   and squared coefficient of variation only;
+//! * [`fit_hyperexp_brute_force`] — the paper's brute-force search over a grid of
+//!   candidate rates, choosing weights by least-squares moment matching;
+//! * [`fit_hyperexp_em`] — maximum-likelihood fitting of a mixture of
+//!   exponentials by expectation–maximisation.
+
+use crate::error::DistError;
+use crate::hyperexp::HyperExponential;
+use crate::traits::factorial;
+use crate::Result;
+
+/// Fits a two-phase hyperexponential matching the given mean and squared
+/// coefficient of variation by the balanced-means construction.
+///
+/// Equivalent to [`HyperExponential::with_mean_and_scv`]; provided under this
+/// name for symmetry with the other fitting procedures.
+///
+/// # Errors
+///
+/// Returns [`DistError::InvalidParameter`] unless `mean > 0` and `scv ≥ 1`.
+pub fn fit_hyperexp2_mean_scv(mean: f64, scv: f64) -> Result<HyperExponential> {
+    HyperExponential::with_mean_and_scv(mean, scv)
+}
+
+/// Fits a two-phase hyperexponential matching the first three raw moments
+/// `m₁ = E[X]`, `m₂ = E[X²]`, `m₃ = E[X³]` exactly.
+///
+/// Writing `uₖ = mₖ/k! = Σ wᵢ xᵢᵏ` with `xᵢ = 1/λᵢ`, the phase means are the
+/// roots of `x² − ax + b` where `a` and `b` solve the 2×2 Hankel system, and the
+/// weights follow from matching `u₁`.
+///
+/// # Errors
+///
+/// Returns [`DistError::FitFailure`] when the moments are not attainable by a
+/// two-phase hyperexponential (e.g. `C² ≤ 1`, complex roots, or weights outside
+/// `[0, 1]`) and [`DistError::InvalidParameter`] for non-positive moments.
+pub fn fit_hyperexp2_moments(m1: f64, m2: f64, m3: f64) -> Result<HyperExponential> {
+    for (name, value) in [("m1", m1), ("m2", m2), ("m3", m3)] {
+        if !(value.is_finite() && value > 0.0) {
+            return Err(DistError::InvalidParameter {
+                name,
+                value,
+                constraint: "raw moments must be finite and positive",
+            });
+        }
+    }
+    let u1 = m1;
+    let u2 = m2 / 2.0;
+    let u3 = m3 / 6.0;
+    let denom = u2 - u1 * u1;
+    if denom <= 1e-12 * u1 * u1 {
+        return Err(DistError::FitFailure(format!(
+            "moments imply scv <= 1 (m2/m1^2 = {:.6}); use the balanced-means fit",
+            m2 / (m1 * m1)
+        )));
+    }
+    let a = (u3 - u1 * u2) / denom;
+    let b = a * u1 - u2;
+    let discriminant = a * a - 4.0 * b;
+    if discriminant < 0.0 {
+        return Err(DistError::FitFailure(
+            "phase-mean quadratic has complex roots; moments not attainable by H2".into(),
+        ));
+    }
+    let root = discriminant.sqrt();
+    let x1 = (a + root) / 2.0;
+    let x2 = (a - root) / 2.0;
+    if !(x1 > 0.0 && x2 > 0.0 && x1 != x2) {
+        return Err(DistError::FitFailure(format!(
+            "phase means must be positive and distinct (got {x1}, {x2})"
+        )));
+    }
+    let w1 = (u1 - x2) / (x1 - x2);
+    if !(-1e-9..=1.0 + 1e-9).contains(&w1) {
+        return Err(DistError::FitFailure(format!(
+            "weight {w1} outside [0, 1]; moments not attainable by H2"
+        )));
+    }
+    let w1 = w1.clamp(0.0, 1.0);
+    HyperExponential::new(&[w1, 1.0 - w1], &[1.0 / x1, 1.0 / x2])
+}
+
+/// Options for [`fit_hyperexp_brute_force`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BruteForceOptions {
+    /// Number of candidate rates on the search grid.
+    pub grid_points: usize,
+    /// Smallest candidate rate as a multiple of `1/m₁`.
+    pub min_rate_factor: f64,
+    /// Largest candidate rate as a multiple of `1/m₁`.
+    pub max_rate_factor: f64,
+}
+
+impl Default for BruteForceOptions {
+    fn default() -> Self {
+        BruteForceOptions { grid_points: 40, min_rate_factor: 0.05, max_rate_factor: 50.0 }
+    }
+}
+
+/// Fits an `phases`-phase hyperexponential to the raw moments `moments[k-1] = E[X^k]`
+/// by brute force, as described in the paper's Section 3: candidate rates are drawn
+/// from a logarithmic grid around the scale `1/m₁`, the weights for each rate
+/// combination are chosen by least-squares moment matching (subject to summing
+/// to 1 and lying in `[0, 1]`), and the combination with the smallest relative
+/// moment error wins.
+///
+/// # Errors
+///
+/// Returns [`DistError::InvalidParameter`] for empty/non-positive moments, zero
+/// phases, or a degenerate grid, and [`DistError::FitFailure`] when no candidate
+/// rate combination admits valid weights.
+pub fn fit_hyperexp_brute_force(
+    moments: &[f64],
+    phases: usize,
+    options: &BruteForceOptions,
+) -> Result<HyperExponential> {
+    if moments.len() < phases {
+        return Err(DistError::InvalidParameter {
+            name: "moments",
+            value: moments.len() as f64,
+            constraint: "need at least as many moments as phases",
+        });
+    }
+    for &m in moments {
+        if !(m.is_finite() && m > 0.0) {
+            return Err(DistError::InvalidParameter {
+                name: "moment",
+                value: m,
+                constraint: "raw moments must be finite and positive",
+            });
+        }
+    }
+    if phases == 0 {
+        return Err(DistError::InvalidParameter {
+            name: "phases",
+            value: 0.0,
+            constraint: "must fit at least one phase",
+        });
+    }
+    if options.grid_points < phases
+        || !(options.min_rate_factor > 0.0 && options.max_rate_factor > options.min_rate_factor)
+    {
+        return Err(DistError::InvalidParameter {
+            name: "grid_points",
+            value: options.grid_points as f64,
+            constraint: "grid must have at least `phases` points and positive, ordered bounds",
+        });
+    }
+
+    // Reduced moments u_k = m_k / k! = Σ w_i x_i^k.
+    let reduced: Vec<f64> =
+        moments.iter().enumerate().map(|(i, m)| m / factorial(i as u32 + 1)).collect();
+    let base_rate = 1.0 / moments[0];
+    let log_min = (base_rate * options.min_rate_factor).ln();
+    let log_max = (base_rate * options.max_rate_factor).ln();
+    let grid: Vec<f64> = (0..options.grid_points)
+        .map(|i| {
+            let t = i as f64 / (options.grid_points - 1).max(1) as f64;
+            (log_min + t * (log_max - log_min)).exp()
+        })
+        .collect();
+
+    let mut best: Option<(f64, Vec<f64>, Vec<f64>)> = None;
+    let mut combination = (0..phases).collect::<Vec<usize>>();
+    loop {
+        let rates: Vec<f64> = combination.iter().map(|&i| grid[i]).collect();
+        if let Some(weights) = weights_for_rates(&rates, &reduced) {
+            let score = moment_error(&weights, &rates, &reduced);
+            if best.as_ref().is_none_or(|(s, _, _)| score < *s) {
+                best = Some((score, weights, rates));
+            }
+        }
+        if !next_combination(&mut combination, grid.len()) {
+            break;
+        }
+    }
+
+    let (mut score, mut weights, mut rates) = best.ok_or_else(|| {
+        DistError::FitFailure("no rate combination on the grid admits valid weights".into())
+    })?;
+
+    // Local refinement: starting from the best grid point, repeatedly perturb each
+    // rate by a shrinking multiplicative step and keep any improvement.  This
+    // sharpens the coarse grid answer without changing its brute-force character.
+    let mut step = if grid.len() > 1 { grid[1] / grid[0] } else { 2.0 };
+    for _ in 0..12 {
+        let mut improved = true;
+        while improved {
+            improved = false;
+            for phase in 0..phases {
+                for factor in [1.0 / step, step] {
+                    let mut candidate = rates.clone();
+                    candidate[phase] *= factor;
+                    if let Some(w) = weights_for_rates(&candidate, &reduced) {
+                        let candidate_score = moment_error(&w, &candidate, &reduced);
+                        if candidate_score < score {
+                            score = candidate_score;
+                            weights = w;
+                            rates = candidate;
+                            improved = true;
+                        }
+                    }
+                }
+            }
+        }
+        step = step.sqrt();
+    }
+
+    HyperExponential::new(&weights, &rates)
+}
+
+/// Advances `combination` to the next strictly increasing index tuple below `n`.
+fn next_combination(combination: &mut [usize], n: usize) -> bool {
+    let k = combination.len();
+    let mut i = k;
+    while i > 0 {
+        i -= 1;
+        if combination[i] < n - (k - i) {
+            combination[i] += 1;
+            for j in i + 1..k {
+                combination[j] = combination[j - 1] + 1;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+/// Least-squares weights for fixed phase rates, or `None` when they leave `[0, 1]`.
+fn weights_for_rates(rates: &[f64], reduced: &[f64]) -> Option<Vec<f64>> {
+    let p = rates.len();
+    // Rows: normalisation (Σw = 1) plus one scaled row per reduced moment.
+    let mut rows: Vec<(Vec<f64>, f64)> = Vec::with_capacity(reduced.len() + 1);
+    rows.push((vec![1.0; p], 1.0));
+    for (k, &u) in reduced.iter().enumerate() {
+        let row: Vec<f64> = rates.iter().map(|&r| (1.0 / r).powi(k as i32 + 1) / u).collect();
+        rows.push((row, 1.0));
+    }
+    // Normal equations Aᵀ A w = Aᵀ b.
+    let mut ata = vec![vec![0.0; p]; p];
+    let mut atb = vec![0.0; p];
+    for (row, target) in &rows {
+        for i in 0..p {
+            for j in 0..p {
+                ata[i][j] += row[i] * row[j];
+            }
+            atb[i] += row[i] * target;
+        }
+    }
+    let weights = solve_dense(&mut ata, &mut atb)?;
+    if weights.iter().any(|&w| !(-1e-6..=1.0 + 1e-6).contains(&w)) {
+        return None;
+    }
+    let mut weights: Vec<f64> = weights.iter().map(|w| w.clamp(0.0, 1.0)).collect();
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return None;
+    }
+    for w in &mut weights {
+        *w /= total;
+    }
+    Some(weights)
+}
+
+/// Sum of squared relative errors of the reduced moments.
+fn moment_error(weights: &[f64], rates: &[f64], reduced: &[f64]) -> f64 {
+    reduced
+        .iter()
+        .enumerate()
+        .map(|(k, &u)| {
+            let fit: f64 =
+                weights.iter().zip(rates).map(|(w, r)| w * (1.0 / r).powi(k as i32 + 1)).sum();
+            ((fit - u) / u).powi(2)
+        })
+        .sum()
+}
+
+/// Gaussian elimination with partial pivoting on a small dense system.
+#[allow(clippy::needless_range_loop)] // elimination updates row `row` from row `col` in place
+fn solve_dense(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite pivots")
+        })?;
+        if a[pivot][col].abs() < 1e-14 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut sum = b[row];
+        for col in row + 1..n {
+            sum -= a[row][col] * x[col];
+        }
+        x[row] = sum / a[row][row];
+    }
+    Some(x)
+}
+
+/// Fits an `phases`-phase hyperexponential to a sample by
+/// expectation–maximisation, running exactly `iterations` EM steps from a
+/// quantile-based initial guess.
+///
+/// # Errors
+///
+/// Returns [`DistError::InsufficientData`] when the sample has fewer
+/// observations than phases and [`DistError::InvalidParameter`] for zero
+/// phases/iterations or non-finite/negative observations.
+pub fn fit_hyperexp_em(
+    samples: &[f64],
+    phases: usize,
+    iterations: usize,
+) -> Result<HyperExponential> {
+    if phases == 0 || iterations == 0 {
+        return Err(DistError::InvalidParameter {
+            name: "phases",
+            value: phases.min(iterations) as f64,
+            constraint: "phases and iterations must both be at least 1",
+        });
+    }
+    if samples.len() < phases {
+        return Err(DistError::InsufficientData(format!(
+            "EM needs at least {phases} observations, got {}",
+            samples.len()
+        )));
+    }
+    for &x in samples {
+        if !(x.is_finite() && x >= 0.0) {
+            return Err(DistError::InvalidParameter {
+                name: "sample",
+                value: x,
+                constraint: "observations must be finite and non-negative",
+            });
+        }
+    }
+
+    // Initial guess: split the sorted sample into `phases` equal-count groups and
+    // use each group's mean as a phase mean.
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let group = sorted.len() / phases;
+    let mut weights = vec![1.0 / phases as f64; phases];
+    let mut rates: Vec<f64> = (0..phases)
+        .map(|j| {
+            let lo = j * group;
+            let hi = if j + 1 == phases { sorted.len() } else { (j + 1) * group };
+            let mean = sorted[lo..hi].iter().sum::<f64>() / (hi - lo).max(1) as f64;
+            1.0 / mean.max(1e-12)
+        })
+        .collect();
+
+    let n = samples.len() as f64;
+    let mut responsibilities = vec![0.0; phases];
+    for _ in 0..iterations {
+        let mut weight_sums = vec![0.0; phases];
+        let mut weighted_x = vec![0.0; phases];
+        for &x in samples {
+            let mut total = 0.0;
+            for j in 0..phases {
+                let density = weights[j] * rates[j] * (-rates[j] * x).exp();
+                responsibilities[j] = density;
+                total += density;
+            }
+            if total <= f64::MIN_POSITIVE {
+                // Far tail where every phase density underflows: attribute the
+                // observation to the slowest phase.
+                let j = rates
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite rates"))
+                    .map(|(j, _)| j)
+                    .unwrap_or(0);
+                weight_sums[j] += 1.0;
+                weighted_x[j] += x;
+                continue;
+            }
+            for j in 0..phases {
+                let r = responsibilities[j] / total;
+                weight_sums[j] += r;
+                weighted_x[j] += r * x;
+            }
+        }
+        for j in 0..phases {
+            weights[j] = (weight_sums[j] / n).max(1e-12);
+            rates[j] = (weight_sums[j] / weighted_x[j].max(1e-300)).clamp(1e-9, 1e12);
+        }
+        let total: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= total;
+        }
+    }
+    HyperExponential::new(&weights, &rates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::SampleMoments;
+    use crate::traits::ContinuousDistribution;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The operative-period fit published in the paper's Section 2
+    /// (mean ≈ 34.62, C² ≈ 4.6).
+    fn sun_operative() -> HyperExponential {
+        HyperExponential::new(&[0.7246, 0.2754], &[0.1663, 0.0091]).unwrap()
+    }
+
+    fn sorted_rates(h: &HyperExponential) -> Vec<f64> {
+        let mut rates = h.rates().to_vec();
+        rates.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        rates
+    }
+
+    #[test]
+    fn moment_fit_recovers_exact_parameters_from_analytic_moments() {
+        let truth = sun_operative();
+        let fit = fit_hyperexp2_moments(truth.moment(1), truth.moment(2), truth.moment(3)).unwrap();
+        let (truth_rates, fit_rates) = (sorted_rates(&truth), sorted_rates(&fit));
+        for (t, f) in truth_rates.iter().zip(&fit_rates) {
+            assert!((t - f).abs() / t < 1e-9, "rate {f} vs {t}");
+        }
+        assert!((fit.mean() - truth.mean()).abs() / truth.mean() < 1e-12);
+        assert!((fit.scv() - truth.scv()).abs() / truth.scv() < 1e-9);
+    }
+
+    #[test]
+    fn moment_fit_recovers_sun_trace_parameters_from_synthetic_samples() {
+        // The satellite requirement: recover the paper's operative-period
+        // parameters (mean 34.62, C² 4.6) from samples of the published fit.
+        let truth = sun_operative();
+        let mut rng = StdRng::seed_from_u64(2006);
+        let samples: Vec<f64> = (0..200_000).map(|_| truth.sample(&mut rng)).collect();
+        let m = SampleMoments::from_samples(&samples).unwrap();
+        let fit = fit_hyperexp2_moments(m.raw_moment(1), m.raw_moment(2), m.raw_moment(3)).unwrap();
+        assert!((fit.mean() - 34.62).abs() / 34.62 < 0.02, "mean {}", fit.mean());
+        assert!((fit.scv() - 4.6).abs() / 4.6 < 0.15, "scv {}", fit.scv());
+        let rates = sorted_rates(&fit);
+        assert!((rates[0] - 0.1663).abs() / 0.1663 < 0.25, "xi1 {}", rates[0]);
+        assert!((rates[1] - 0.0091).abs() / 0.0091 < 0.25, "xi2 {}", rates[1]);
+    }
+
+    #[test]
+    fn moment_fit_rejects_unattainable_moments() {
+        // Exponential moments (scv = 1) have no two-phase representation.
+        assert!(fit_hyperexp2_moments(1.0, 2.0, 6.0).is_err());
+        // scv < 1 certainly fails.
+        assert!(fit_hyperexp2_moments(1.0, 1.2, 2.0).is_err());
+        assert!(fit_hyperexp2_moments(-1.0, 2.0, 6.0).is_err());
+    }
+
+    #[test]
+    fn mean_scv_fit_round_trips() {
+        let fit = fit_hyperexp2_mean_scv(34.62, 4.6).unwrap();
+        assert!((fit.mean() - 34.62).abs() < 1e-9);
+        assert!((fit.scv() - 4.6).abs() < 1e-9);
+        assert!(fit_hyperexp2_mean_scv(34.62, 0.5).is_err());
+    }
+
+    #[test]
+    fn brute_force_matches_the_target_moments() {
+        let truth = sun_operative();
+        let moments: Vec<f64> = (1..=5).map(|k| truth.moment(k)).collect();
+        let options = BruteForceOptions::default();
+        let fit = fit_hyperexp_brute_force(&moments, 2, &options).unwrap();
+        assert!((fit.mean() - truth.mean()).abs() / truth.mean() < 0.02, "mean {}", fit.mean());
+        assert!((fit.scv() - truth.scv()).abs() / truth.scv() < 0.15, "scv {}", fit.scv());
+    }
+
+    #[test]
+    fn brute_force_validates_inputs() {
+        assert!(fit_hyperexp_brute_force(&[1.0], 2, &BruteForceOptions::default()).is_err());
+        assert!(fit_hyperexp_brute_force(&[1.0, -3.0], 2, &BruteForceOptions::default()).is_err());
+        let bad_grid = BruteForceOptions { grid_points: 1, ..BruteForceOptions::default() };
+        assert!(fit_hyperexp_brute_force(&[1.0, 3.0], 2, &bad_grid).is_err());
+    }
+
+    #[test]
+    fn em_recovers_an_accurate_mixture_from_samples() {
+        let truth = sun_operative();
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples: Vec<f64> = (0..30_000).map(|_| truth.sample(&mut rng)).collect();
+        let fit = fit_hyperexp_em(&samples, 2, 200).unwrap();
+        assert!((fit.mean() - truth.mean()).abs() / truth.mean() < 0.05, "mean {}", fit.mean());
+        assert!((fit.scv() - truth.scv()).abs() / truth.scv() < 0.25, "scv {}", fit.scv());
+    }
+
+    #[test]
+    fn em_validates_inputs() {
+        assert!(fit_hyperexp_em(&[1.0], 2, 10).is_err());
+        assert!(fit_hyperexp_em(&[1.0, 2.0], 0, 10).is_err());
+        assert!(fit_hyperexp_em(&[1.0, 2.0], 2, 0).is_err());
+        assert!(fit_hyperexp_em(&[1.0, f64::NAN], 1, 10).is_err());
+        assert!(fit_hyperexp_em(&[1.0, 2.0, 3.0], 1, 10).is_ok());
+    }
+
+    #[test]
+    fn combination_iterator_visits_all_pairs() {
+        let mut combination = vec![0usize, 1];
+        let mut seen = vec![combination.clone()];
+        while next_combination(&mut combination, 4) {
+            seen.push(combination.clone());
+        }
+        assert_eq!(seen.len(), 6); // C(4, 2)
+        assert!(seen.iter().all(|c| c[0] < c[1]));
+    }
+}

@@ -1,0 +1,280 @@
+//! The hyperexponential (mixture-of-exponentials) distribution.
+
+use rand::RngCore;
+
+use crate::error::DistError;
+use crate::traits::{factorial, uniform01, ContinuousDistribution};
+use crate::Result;
+
+/// Hyperexponential distribution `H_n`: with probability `w_i` the value is drawn
+/// from an exponential with rate `λ_i`.
+///
+/// This is the paper's central modelling ingredient: the operative and
+/// inoperative periods of the Sun breakdown trace are well described by two-phase
+/// hyperexponentials (Section 2), and the Markov-modulated queue of Section 3 is
+/// built from their phases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HyperExponential {
+    weights: Vec<f64>,
+    rates: Vec<f64>,
+}
+
+impl HyperExponential {
+    /// Creates a hyperexponential distribution from phase weights and rates.
+    ///
+    /// The weights must be non-negative and sum to 1 (up to a `1e-6` tolerance;
+    /// they are renormalised exactly), and every rate must be positive and finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidParameter`] when the slices are empty, their
+    /// lengths differ, or any value violates the constraints above.
+    pub fn new(weights: &[f64], rates: &[f64]) -> Result<Self> {
+        if weights.is_empty() || weights.len() != rates.len() {
+            return Err(DistError::InvalidParameter {
+                name: "weights",
+                value: weights.len() as f64,
+                constraint: "weights and rates must be non-empty and of equal length",
+            });
+        }
+        for &w in weights {
+            if !(w.is_finite() && w >= 0.0) {
+                return Err(DistError::InvalidParameter {
+                    name: "weight",
+                    value: w,
+                    constraint: "must be finite and non-negative",
+                });
+            }
+        }
+        for &r in rates {
+            if !(r.is_finite() && r > 0.0) {
+                return Err(DistError::InvalidParameter {
+                    name: "rate",
+                    value: r,
+                    constraint: "must be finite and positive",
+                });
+            }
+        }
+        let total: f64 = weights.iter().sum();
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(DistError::InvalidParameter {
+                name: "weights",
+                value: total,
+                constraint: "must sum to 1",
+            });
+        }
+        Ok(HyperExponential {
+            weights: weights.iter().map(|w| w / total).collect(),
+            rates: rates.to_vec(),
+        })
+    }
+
+    /// Creates the single-phase hyperexponential, i.e. a plain exponential with
+    /// the given rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidParameter`] unless `rate` is positive and finite.
+    pub fn exponential(rate: f64) -> Result<Self> {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(DistError::InvalidParameter {
+                name: "rate",
+                value: rate,
+                constraint: "must be finite and positive",
+            });
+        }
+        Ok(HyperExponential { weights: vec![1.0], rates: vec![rate] })
+    }
+
+    /// Creates a distribution with the given mean and squared coefficient of
+    /// variation by the balanced-means two-phase construction.
+    ///
+    /// For `scv > 1` the two phases satisfy `w₁/λ₁ = w₂/λ₂` (each contributes half
+    /// the mean), which fixes all four parameters:
+    /// `w₁ = (1 + √((C²−1)/(C²+1)))/2`, `λ₁ = 2w₁/m`, and symmetrically for
+    /// phase 2.  For `scv = 1` (up to `1e-9`) the result is the single-phase
+    /// exponential with rate `1/mean`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidParameter`] unless `mean` is positive and
+    /// finite and `scv ≥ 1` (a hyperexponential cannot have `C² < 1`).
+    pub fn with_mean_and_scv(mean: f64, scv: f64) -> Result<Self> {
+        if !(mean.is_finite() && mean > 0.0) {
+            return Err(DistError::InvalidParameter {
+                name: "mean",
+                value: mean,
+                constraint: "must be finite and positive",
+            });
+        }
+        if !scv.is_finite() || scv < 1.0 - 1e-9 {
+            return Err(DistError::InvalidParameter {
+                name: "scv",
+                value: scv,
+                constraint: "must be finite and at least 1 for a hyperexponential",
+            });
+        }
+        if scv <= 1.0 + 1e-9 {
+            return HyperExponential::exponential(1.0 / mean);
+        }
+        let t = ((scv - 1.0) / (scv + 1.0)).sqrt();
+        let w1 = 0.5 * (1.0 + t);
+        let w2 = 1.0 - w1;
+        let rates = vec![2.0 * w1 / mean, 2.0 * w2 / mean];
+        Ok(HyperExponential { weights: vec![w1, w2], rates })
+    }
+
+    /// Number of phases.
+    pub fn phases(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// The phase weights (mixing probabilities), summing to 1.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The phase rates.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+}
+
+impl ContinuousDistribution for HyperExponential {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        self.weights.iter().zip(&self.rates).map(|(w, r)| w * r * (-r * x).exp()).sum()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        1.0 - self.weights.iter().zip(&self.rates).map(|(w, r)| w * (-r * x).exp()).sum::<f64>()
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let mut u = uniform01(&mut *rng);
+        let mut rate = *self.rates.last().expect("constructors require at least one phase");
+        for (w, r) in self.weights.iter().zip(&self.rates) {
+            if u < *w {
+                rate = *r;
+                break;
+            }
+            u -= w;
+        }
+        -(1.0 - uniform01(&mut *rng)).ln() / rate
+    }
+
+    fn moment(&self, k: u32) -> f64 {
+        factorial(k)
+            * self.weights.iter().zip(&self.rates).map(|(w, r)| w / r.powi(k as i32)).sum::<f64>()
+    }
+
+    fn mean(&self) -> f64 {
+        self.weights.iter().zip(&self.rates).map(|(w, r)| w / r).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The operative-period fit published in the paper's Section 2.
+    fn paper_operative() -> HyperExponential {
+        HyperExponential::new(&[0.7246, 0.2754], &[0.1663, 0.0091]).unwrap()
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(HyperExponential::new(&[], &[]).is_err());
+        assert!(HyperExponential::new(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(HyperExponential::new(&[0.5, 0.2], &[1.0, 2.0]).is_err());
+        assert!(HyperExponential::new(&[0.5, 0.5], &[1.0, -2.0]).is_err());
+        assert!(HyperExponential::new(&[-0.2, 1.2], &[1.0, 2.0]).is_err());
+        assert!(HyperExponential::new(&[0.5, 0.5], &[1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn paper_parameters_have_published_statistics() {
+        let h = paper_operative();
+        assert_eq!(h.phases(), 2);
+        // Mean ≈ 34.62 and C² ≈ 4.6 as published in Section 2.
+        assert!((h.mean() - 34.62).abs() < 0.05, "mean {}", h.mean());
+        assert!((h.scv() - 4.6).abs() < 0.1, "scv {}", h.scv());
+    }
+
+    #[test]
+    fn exponential_special_case() {
+        let h = HyperExponential::exponential(0.25).unwrap();
+        assert_eq!(h.phases(), 1);
+        assert!((h.mean() - 4.0).abs() < 1e-12);
+        assert!((h.scv() - 1.0).abs() < 1e-12);
+        assert!(HyperExponential::exponential(0.0).is_err());
+    }
+
+    #[test]
+    fn with_mean_and_scv_round_trips() {
+        for &(mean, scv) in
+            &[(34.62, 4.6), (1.0, 1.5), (0.08, 19.0), (250.0, 2.0), (5.0, 1.0000000001)]
+        {
+            let h = HyperExponential::with_mean_and_scv(mean, scv).unwrap();
+            assert!((h.mean() - mean).abs() / mean < 1e-12, "mean {} vs {mean}", h.mean());
+            assert!((h.scv() - scv).abs() / scv < 1e-6, "scv {} vs {scv}", h.scv());
+        }
+        // scv = 1 collapses to a single exponential phase.
+        let exp = HyperExponential::with_mean_and_scv(10.0, 1.0).unwrap();
+        assert_eq!(exp.phases(), 1);
+        assert!(HyperExponential::with_mean_and_scv(10.0, 0.5).is_err());
+        assert!(HyperExponential::with_mean_and_scv(-1.0, 2.0).is_err());
+    }
+
+    #[test]
+    fn balanced_means_construction_is_balanced() {
+        let h = HyperExponential::with_mean_and_scv(20.0, 6.0).unwrap();
+        let contributions: Vec<f64> =
+            h.weights().iter().zip(h.rates()).map(|(w, r)| w / r).collect();
+        assert!((contributions[0] - contributions[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pdf_cdf_and_moments_are_consistent() {
+        let h = paper_operative();
+        assert_eq!(h.pdf(-1.0), 0.0);
+        assert_eq!(h.cdf(-1.0), 0.0);
+        assert!((h.cdf(0.0)).abs() < 1e-12);
+        // Numeric integral of the pdf approximates the cdf.
+        let (mut integral, dx) = (0.0, 0.01);
+        let mut x = 0.0;
+        while x < 100.0 {
+            integral += h.pdf(x + dx / 2.0) * dx;
+            x += dx;
+        }
+        assert!((integral - h.cdf(100.0)).abs() < 1e-3);
+        // moment(1) matches mean, moment(2) matches variance relation.
+        assert!((h.moment(1) - h.mean()).abs() < 1e-12);
+        assert!((h.variance() - (h.moment(2) - h.mean().powi(2))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_matches_analytic_mean_and_scv() {
+        let h = paper_operative();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 300_000;
+        let (mut sum, mut sum2) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = h.sample(&mut rng);
+            assert!(x >= 0.0);
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!((mean - h.mean()).abs() / h.mean() < 0.02, "mean {mean}");
+        assert!((var / (mean * mean) - h.scv()).abs() / h.scv() < 0.05);
+    }
+}

@@ -1,0 +1,160 @@
+//! One-sample Kolmogorov–Smirnov goodness-of-fit testing.
+//!
+//! The paper compares the empirical distribution of the operative and
+//! inoperative periods against fitted exponential and hyperexponential
+//! hypotheses at a fixed number of evaluation points (50 and 40 respectively)
+//! and accepts or rejects at the 5% level.  [`KsTest`] reproduces exactly that
+//! procedure via [`KsTest::from_grid`], and also offers the classical
+//! all-jump-points variant via [`KsTest::from_samples`].
+
+use crate::error::DistError;
+use crate::Result;
+
+/// Result of a one-sample Kolmogorov–Smirnov test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsTest {
+    statistic: f64,
+    points: usize,
+}
+
+impl KsTest {
+    /// Computes the KS statistic from a pre-evaluated empirical CDF.
+    ///
+    /// `grid` holds `(x, F̂(x))` pairs; `hypothesis` is the CDF of the fitted
+    /// distribution.  The number of grid points is used as the sample size of the
+    /// test, matching the paper's use of 50/40 evaluation points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InsufficientData`] for an empty grid.
+    pub fn from_grid<F: Fn(f64) -> f64>(grid: &[(f64, f64)], hypothesis: F) -> Result<Self> {
+        if grid.is_empty() {
+            return Err(DistError::InsufficientData("KS test needs at least one point".into()));
+        }
+        let statistic = grid
+            .iter()
+            .map(|&(x, empirical)| (empirical - hypothesis(x)).abs())
+            .fold(0.0, f64::max);
+        Ok(KsTest { statistic, points: grid.len() })
+    }
+
+    /// Computes the classical one-sample KS statistic over all jump points of the
+    /// empirical CDF.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InsufficientData`] for an empty sample.
+    pub fn from_samples<F: Fn(f64) -> f64>(samples: &[f64], hypothesis: F) -> Result<Self> {
+        if samples.is_empty() {
+            return Err(DistError::InsufficientData("KS test needs at least one sample".into()));
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+        let n = sorted.len() as f64;
+        let mut statistic: f64 = 0.0;
+        for (i, &x) in sorted.iter().enumerate() {
+            let f = hypothesis(x);
+            let below = i as f64 / n;
+            let above = (i + 1) as f64 / n;
+            statistic = statistic.max((f - below).abs()).max((f - above).abs());
+        }
+        Ok(KsTest { statistic, points: sorted.len() })
+    }
+
+    /// The KS statistic `D = sup |F̂ − F|`.
+    pub fn statistic(&self) -> f64 {
+        self.statistic
+    }
+
+    /// Number of points the statistic was computed from.
+    pub fn points(&self) -> usize {
+        self.points
+    }
+
+    /// Critical value of the test at significance level `alpha` (asymptotic
+    /// Kolmogorov formula `√(ln(2/α)/2) / √n`; e.g. `1.3581/√n` at 5%).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidParameter`] unless `0 < alpha < 1`.
+    pub fn critical_value(&self, alpha: f64) -> Result<f64> {
+        if !(alpha.is_finite() && alpha > 0.0 && alpha < 1.0) {
+            return Err(DistError::InvalidParameter {
+                name: "alpha",
+                value: alpha,
+                constraint: "significance level must lie in (0, 1)",
+            });
+        }
+        let c = ((2.0 / alpha).ln() / 2.0).sqrt();
+        Ok(c / (self.points as f64).sqrt())
+    }
+
+    /// Whether the hypothesis is accepted at level `alpha`
+    /// (`D < critical value`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidParameter`] unless `0 < alpha < 1`.
+    pub fn passes(&self, alpha: f64) -> Result<bool> {
+        Ok(self.statistic < self.critical_value(alpha)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exponential::Exponential;
+    use crate::hyperexp::HyperExponential;
+    use crate::traits::ContinuousDistribution;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn critical_values_match_the_published_table() {
+        let test = KsTest { statistic: 0.0, points: 50 };
+        // 1.3581/√50 ≈ 0.1921 — the paper's 5% threshold for Figure 3's 50 points.
+        assert!((test.critical_value(0.05).unwrap() - 0.19206).abs() < 2e-4);
+        let test40 = KsTest { statistic: 0.0, points: 40 };
+        assert!((test40.critical_value(0.05).unwrap() - 0.21476).abs() < 3e-4);
+        assert!(test.critical_value(0.0).is_err());
+        assert!(test.critical_value(1.0).is_err());
+        // Stricter levels have larger critical values.
+        assert!(test.critical_value(0.01).unwrap() > test.critical_value(0.10).unwrap());
+    }
+
+    #[test]
+    fn accepts_its_own_distribution() {
+        let h = HyperExponential::new(&[0.7246, 0.2754], &[0.1663, 0.0091]).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let samples: Vec<f64> = (0..50_000).map(|_| h.sample(&mut rng)).collect();
+        let test = KsTest::from_samples(&samples, |x| h.cdf(x)).unwrap();
+        // With n = 50 000 the 5% critical value is ≈ 0.006; sampling from the
+        // hypothesis itself must stay below it.
+        assert!(test.passes(0.05).unwrap(), "D = {}", test.statistic());
+    }
+
+    #[test]
+    fn rejects_a_wrong_hypothesis() {
+        let h = HyperExponential::new(&[0.7246, 0.2754], &[0.1663, 0.0091]).unwrap();
+        let wrong = Exponential::with_mean(h.mean()).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let samples: Vec<f64> = (0..20_000).map(|_| h.sample(&mut rng)).collect();
+        let test = KsTest::from_samples(&samples, |x| wrong.cdf(x)).unwrap();
+        assert!(!test.passes(0.05).unwrap(), "D = {}", test.statistic());
+        assert!(test.statistic() > 0.1);
+    }
+
+    #[test]
+    fn grid_variant_matches_hand_computation() {
+        let grid = [(0.5, 0.4), (1.5, 0.9)];
+        let test = KsTest::from_grid(&grid, |x| x / 2.0).unwrap();
+        assert_eq!(test.points(), 2);
+        assert!((test.statistic() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        assert!(KsTest::from_grid(&[], |x| x).is_err());
+        assert!(KsTest::from_samples(&[], |x| x).is_err());
+    }
+}

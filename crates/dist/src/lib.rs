@@ -1,0 +1,57 @@
+//! Distributions and statistics for the `unreliable-servers` workspace.
+//!
+//! Palmer & Mitrani's analysis of systems with multiple unreliable servers rests
+//! on one statistical observation: the operative and inoperative periods of real
+//! servers are **not** exponential but are well described by two-phase
+//! **hyperexponential** distributions (Section 2 of the paper).  This crate
+//! provides that modelling layer for every other crate in the workspace:
+//!
+//! * the object-safe [`ContinuousDistribution`] trait with pdf/cdf/moments and
+//!   random sampling, implemented by [`Exponential`], [`HyperExponential`] and
+//!   [`Deterministic`];
+//! * empirical statistics — [`SampleMoments`], [`Histogram`] and the
+//!   [`uniform01`] sampling helper;
+//! * the trace-fitting procedures of the paper's Sections 2–3 in [`fit`]
+//!   (three-moment matching, balanced means, brute-force rate search, EM);
+//! * Kolmogorov–Smirnov goodness-of-fit testing in [`ks`].
+//!
+//! # Example
+//!
+//! ```
+//! use urs_dist::{ContinuousDistribution, HyperExponential};
+//!
+//! # fn main() -> Result<(), urs_dist::DistError> {
+//! // The operative-period distribution fitted to the Sun trace in the paper.
+//! let operative = HyperExponential::new(&[0.7246, 0.2754], &[0.1663, 0.0091])?;
+//! assert!((operative.mean() - 34.62).abs() < 0.05);
+//! assert!((operative.scv() - 4.6).abs() < 0.1);
+//!
+//! // The same mean and variability via the balanced-means construction.
+//! let balanced = HyperExponential::with_mean_and_scv(34.62, 4.6)?;
+//! assert!((balanced.mean() - operative.mean()).abs() < 0.01);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod deterministic;
+mod error;
+mod exponential;
+mod hyperexp;
+mod stats;
+mod traits;
+
+pub mod fit;
+pub mod ks;
+
+pub use deterministic::Deterministic;
+pub use error::DistError;
+pub use exponential::Exponential;
+pub use hyperexp::HyperExponential;
+pub use stats::{Histogram, SampleMoments};
+pub use traits::{uniform, uniform01, ContinuousDistribution};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DistError>;

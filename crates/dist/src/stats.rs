@@ -1,0 +1,237 @@
+//! Empirical statistics: sample moments and histograms.
+
+use crate::error::DistError;
+use crate::Result;
+
+/// Highest raw moment tracked by [`SampleMoments`].
+const MAX_MOMENT: usize = 5;
+
+/// Raw sample moments of a data set, as used by the paper's Section-2 pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleMoments {
+    count: usize,
+    raw: [f64; MAX_MOMENT],
+}
+
+impl SampleMoments {
+    /// Estimates the first five raw moments from a sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InsufficientData`] for an empty sample and
+    /// [`DistError::InvalidParameter`] if any observation is not finite.
+    pub fn from_samples(samples: &[f64]) -> Result<Self> {
+        if samples.is_empty() {
+            return Err(DistError::InsufficientData(
+                "cannot estimate moments from an empty sample".into(),
+            ));
+        }
+        let mut raw = [0.0; MAX_MOMENT];
+        for &x in samples {
+            if !x.is_finite() {
+                return Err(DistError::InvalidParameter {
+                    name: "sample",
+                    value: x,
+                    constraint: "must be finite",
+                });
+            }
+            let mut power = 1.0;
+            for slot in &mut raw {
+                power *= x;
+                *slot += power;
+            }
+        }
+        let n = samples.len() as f64;
+        for slot in &mut raw {
+            *slot /= n;
+        }
+        Ok(SampleMoments { count: samples.len(), raw })
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// `k`-th raw moment `(1/n) Σ xᵢᵏ` for `1 ≤ k ≤ 5`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or greater than 5.
+    pub fn raw_moment(&self, k: usize) -> f64 {
+        assert!((1..=MAX_MOMENT).contains(&k), "raw_moment supports k in 1..=5, got {k}");
+        self.raw[k - 1]
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.raw[0]
+    }
+
+    /// (Biased) sample variance `m₂ − m₁²`.
+    pub fn variance(&self) -> f64 {
+        (self.raw[1] - self.raw[0] * self.raw[0]).max(0.0)
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Squared coefficient of variation `C² = variance / mean²`.
+    pub fn scv(&self) -> f64 {
+        let m = self.mean();
+        self.variance() / (m * m)
+    }
+}
+
+/// Equal-width histogram over a fixed range, used for the density comparisons of
+/// the paper's Figures 3 and 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    counts: Vec<usize>,
+    total: usize,
+    low: f64,
+    high: f64,
+}
+
+impl Histogram {
+    /// Builds a histogram of `samples` with `bins` equal intervals over
+    /// `[low, high]`.  Samples outside the range are ignored by the counts but
+    /// still included in the density denominator, so the reported densities refer
+    /// to the full sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InsufficientData`] for an empty sample and
+    /// [`DistError::InvalidParameter`] for `bins == 0` or a degenerate range.
+    pub fn with_range(samples: &[f64], bins: usize, low: f64, high: f64) -> Result<Self> {
+        if samples.is_empty() {
+            return Err(DistError::InsufficientData(
+                "cannot build a histogram from an empty sample".into(),
+            ));
+        }
+        if bins == 0 {
+            return Err(DistError::InvalidParameter {
+                name: "bins",
+                value: 0.0,
+                constraint: "must be at least 1",
+            });
+        }
+        if !(low.is_finite() && high.is_finite() && high > low) {
+            return Err(DistError::InvalidParameter {
+                name: "high",
+                value: high,
+                constraint: "range must be finite with high > low",
+            });
+        }
+        let width = (high - low) / bins as f64;
+        let mut counts = vec![0usize; bins];
+        for &x in samples {
+            if x < low || x > high || !x.is_finite() {
+                continue;
+            }
+            let index = (((x - low) / width) as usize).min(bins - 1);
+            counts[index] += 1;
+        }
+        Ok(Histogram { counts, total: samples.len(), low, high })
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Width of each bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.high - self.low) / self.counts.len() as f64
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Midpoint of every bin.
+    pub fn midpoints(&self) -> Vec<f64> {
+        let width = self.bin_width();
+        (0..self.counts.len()).map(|i| self.low + (i as f64 + 0.5) * width).collect()
+    }
+
+    /// Empirical density of every bin: `count / (n · width)`, so that the
+    /// histogram integrates to the fraction of the sample inside the range.
+    pub fn densities(&self) -> Vec<f64> {
+        let scale = 1.0 / (self.total as f64 * self.bin_width());
+        self.counts.iter().map(|&c| c as f64 * scale).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_of_a_known_sample() {
+        let samples = [1.0, 2.0, 3.0, 4.0];
+        let m = SampleMoments::from_samples(&samples).unwrap();
+        assert_eq!(m.count(), 4);
+        assert!((m.mean() - 2.5).abs() < 1e-12);
+        assert!((m.raw_moment(2) - 7.5).abs() < 1e-12);
+        assert!((m.raw_moment(3) - 25.0).abs() < 1e-12);
+        assert!((m.variance() - 1.25).abs() < 1e-12);
+        assert!((m.std_dev() - 1.25f64.sqrt()).abs() < 1e-12);
+        assert!((m.scv() - 1.25 / 6.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moments_reject_bad_input() {
+        assert!(SampleMoments::from_samples(&[]).is_err());
+        assert!(SampleMoments::from_samples(&[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "raw_moment supports k in 1..=5")]
+    fn raw_moment_rejects_out_of_range_order() {
+        let m = SampleMoments::from_samples(&[1.0]).unwrap();
+        let _ = m.raw_moment(0);
+    }
+
+    #[test]
+    fn histogram_counts_and_densities() {
+        // 10 samples uniform over [0, 10) midpoints.
+        let samples: Vec<f64> = (0..10).map(|i| i as f64 + 0.5).collect();
+        let h = Histogram::with_range(&samples, 5, 0.0, 10.0).unwrap();
+        assert_eq!(h.bins(), 5);
+        assert!((h.bin_width() - 2.0).abs() < 1e-12);
+        assert_eq!(h.counts(), &[2, 2, 2, 2, 2]);
+        for d in h.densities() {
+            assert!((d - 0.1).abs() < 1e-12);
+        }
+        let mids = h.midpoints();
+        assert!((mids[0] - 1.0).abs() < 1e-12);
+        assert!((mids[4] - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_samples_shrink_the_density_mass() {
+        let samples = [0.5, 1.5, 100.0, 200.0];
+        let h = Histogram::with_range(&samples, 2, 0.0, 2.0).unwrap();
+        assert_eq!(h.counts(), &[1, 1]);
+        // Density integrates to 1/2 because half of the sample is outside.
+        let integral: f64 = h.densities().iter().map(|d| d * h.bin_width()).sum();
+        assert!((integral - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_rejects_bad_input() {
+        assert!(Histogram::with_range(&[], 5, 0.0, 1.0).is_err());
+        assert!(Histogram::with_range(&[1.0], 0, 0.0, 1.0).is_err());
+        assert!(Histogram::with_range(&[1.0], 5, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn boundary_sample_lands_in_last_bin() {
+        let h = Histogram::with_range(&[2.0], 4, 0.0, 2.0).unwrap();
+        assert_eq!(h.counts(), &[0, 0, 0, 1]);
+    }
+}

@@ -1,0 +1,99 @@
+//! The [`ContinuousDistribution`] trait and basic sampling helpers.
+
+use std::fmt;
+
+use rand::RngCore;
+
+/// A continuous, non-negative distribution usable for service times and
+/// operative/inoperative periods.
+///
+/// The trait is object safe — the simulator stores distributions as
+/// `Arc<dyn ContinuousDistribution>` — which is why [`sample`](Self::sample)
+/// takes a `&mut dyn RngCore` rather than a generic parameter.
+pub trait ContinuousDistribution: fmt::Debug + Send + Sync {
+    /// Probability density at `x`.
+    fn pdf(&self, x: f64) -> f64;
+
+    /// Cumulative distribution function `P(X ≤ x)`.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Draws one observation using the supplied generator.
+    fn sample(&self, rng: &mut dyn RngCore) -> f64;
+
+    /// `k`-th raw moment `E[X^k]` (`k = 0` gives 1).
+    fn moment(&self, k: u32) -> f64;
+
+    /// Expected value `E[X]`.
+    fn mean(&self) -> f64 {
+        self.moment(1)
+    }
+
+    /// Variance `E[X²] − E[X]²`.
+    fn variance(&self) -> f64 {
+        let m1 = self.moment(1);
+        (self.moment(2) - m1 * m1).max(0.0)
+    }
+
+    /// Squared coefficient of variation `C² = Var[X]/E[X]²`.
+    fn scv(&self) -> f64 {
+        let m1 = self.mean();
+        self.variance() / (m1 * m1)
+    }
+
+    /// Survival function `P(X > x)`.
+    fn survival(&self, x: f64) -> f64 {
+        (1.0 - self.cdf(x)).max(0.0)
+    }
+}
+
+/// Uniform draw from `[0, 1)` with 53 bits of precision.
+pub fn uniform01<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform draw from `[low, high)`.
+pub fn uniform<R: RngCore + ?Sized>(rng: &mut R, low: f64, high: f64) -> f64 {
+    low + uniform01(rng) * (high - low)
+}
+
+/// Factorial of `k` as a float (exact for `k ≤ 20`, used for moment formulas).
+pub(crate) fn factorial(k: u32) -> f64 {
+    (1..=u64::from(k)).map(|i| i as f64).product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform01_stays_in_unit_interval_and_looks_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u = uniform01(&mut rng);
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        assert!((sum / n as f64 - 0.5).abs() < 0.005);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = uniform(&mut rng, -3.0, 7.0);
+            assert!((-3.0..7.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn factorial_small_values() {
+        assert_eq!(factorial(0), 1.0);
+        assert_eq!(factorial(1), 1.0);
+        assert_eq!(factorial(5), 120.0);
+        assert_eq!(factorial(10), 3_628_800.0);
+    }
+}

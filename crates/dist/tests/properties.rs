@@ -1,0 +1,88 @@
+//! Property-based tests for the distribution layer.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use urs_dist::{ContinuousDistribution, Exponential, HyperExponential, SampleMoments};
+
+/// Strategy: a well-posed hyperexponential via the balanced-means construction.
+fn hyperexp_strategy() -> impl Strategy<Value = HyperExponential> {
+    (0.05_f64..100.0, 1.0_f64..20.0).prop_map(|(mean, scv)| {
+        HyperExponential::with_mean_and_scv(mean, scv).expect("valid mean and scv")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The CDF is monotone non-decreasing and stays within [0, 1].
+    #[test]
+    fn cdf_is_monotone_and_bounded(h in hyperexp_strategy(), scale in 0.1_f64..10.0) {
+        let mut previous = 0.0;
+        for i in 0..200 {
+            let x = scale * h.mean() * i as f64 / 50.0;
+            let value = h.cdf(x);
+            prop_assert!((0.0..=1.0).contains(&value), "cdf({x}) = {value}");
+            prop_assert!(value + 1e-12 >= previous, "cdf not monotone at {x}");
+            previous = value;
+        }
+    }
+
+    /// The density is non-negative everywhere.
+    #[test]
+    fn pdf_is_non_negative(h in hyperexp_strategy(), scale in 0.0_f64..20.0) {
+        let x = scale * h.mean();
+        prop_assert!(h.pdf(x) >= 0.0);
+        prop_assert!(h.pdf(-x - 1.0) == 0.0);
+    }
+
+    /// Sample moments converge to the analytic moments.
+    #[test]
+    fn sample_moments_converge_to_analytic_moments(
+        h in hyperexp_strategy(),
+        seed in 0_u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples: Vec<f64> = (0..60_000).map(|_| h.sample(&mut rng)).collect();
+        let m = SampleMoments::from_samples(&samples).unwrap();
+        prop_assert!(
+            (m.mean() - h.mean()).abs() / h.mean() < 0.1,
+            "sample mean {} vs analytic {}", m.mean(), h.mean()
+        );
+        // The second moment is noisier for high-variability draws; bound loosely.
+        prop_assert!(
+            (m.raw_moment(2) - h.moment(2)).abs() / h.moment(2) < 0.35,
+            "sample m2 {} vs analytic {}", m.raw_moment(2), h.moment(2)
+        );
+    }
+
+    /// The single-phase hyperexponential is exactly exponential: C² = 1 and the
+    /// distribution functions match the plain exponential.
+    #[test]
+    fn single_phase_hyperexponential_is_exponential(rate in 0.01_f64..50.0, x in 0.0_f64..100.0) {
+        let h = HyperExponential::exponential(rate).unwrap();
+        let e = Exponential::new(rate).unwrap();
+        prop_assert!((h.scv() - 1.0).abs() < 1e-12);
+        prop_assert!((h.mean() - e.mean()).abs() < 1e-12);
+        prop_assert!((h.cdf(x) - e.cdf(x)).abs() < 1e-12);
+        prop_assert!((h.pdf(x) - e.pdf(x)).abs() < 1e-9 * rate.max(1.0));
+    }
+
+    /// `with_mean_and_scv` round-trips its arguments for any valid pair.
+    #[test]
+    fn with_mean_and_scv_round_trips(mean in 0.01_f64..500.0, scv in 1.0_f64..30.0) {
+        let h = HyperExponential::with_mean_and_scv(mean, scv).unwrap();
+        prop_assert!((h.mean() - mean).abs() / mean < 1e-9);
+        prop_assert!((h.scv() - scv).abs() / scv < 1e-6);
+    }
+
+    /// Weights always sum to 1 and moments are consistent with mean/variance.
+    #[test]
+    fn internal_consistency(h in hyperexp_strategy()) {
+        let total: f64 = h.weights().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-12);
+        prop_assert!((h.moment(1) - h.mean()).abs() < 1e-9 * h.mean());
+        let variance = h.moment(2) - h.mean() * h.mean();
+        prop_assert!((h.variance() - variance).abs() < 1e-6 * variance.max(1e-12));
+    }
+}

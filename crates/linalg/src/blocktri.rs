@@ -127,9 +127,7 @@ impl BlockTridiagonal {
     pub fn set_lower(&mut self, row: usize, block: CMatrix) -> Result<()> {
         self.check_row(row)?;
         if row == 0 {
-            return Err(LinalgError::InvalidInput(
-                "block row 0 has no sub-diagonal block".into(),
-            ));
+            return Err(LinalgError::InvalidInput("block row 0 has no sub-diagonal block".into()));
         }
         self.check_block(&block)?;
         self.lower[row] = Some(block);
@@ -311,10 +309,7 @@ mod tests {
         let dense = sys.to_dense();
         let flat: Vec<Complex> = x.iter().flat_map(|b| b.iter().copied()).collect();
         let ax = dense.matvec(&flat).unwrap();
-        ax.iter()
-            .zip(sys.dense_rhs())
-            .map(|(a, b)| (*a - b).abs())
-            .fold(0.0_f64, f64::max)
+        ax.iter().zip(sys.dense_rhs()).map(|(a, b)| (*a - b).abs()).fold(0.0_f64, f64::max)
     }
 
     #[test]
@@ -393,10 +388,12 @@ mod tests {
             }
             sys.set_diagonal(i, d).unwrap();
             if i > 0 {
-                sys.set_lower(i, CMatrix::from_fn(s, s, |_, _| Complex::new(next(), next()))).unwrap();
+                sys.set_lower(i, CMatrix::from_fn(s, s, |_, _| Complex::new(next(), next())))
+                    .unwrap();
             }
             if i + 1 < k {
-                sys.set_upper(i, CMatrix::from_fn(s, s, |_, _| Complex::new(next(), next()))).unwrap();
+                sys.set_upper(i, CMatrix::from_fn(s, s, |_, _| Complex::new(next(), next())))
+                    .unwrap();
             }
             sys.set_rhs(i, (0..s).map(|_| Complex::new(next(), next())).collect()).unwrap();
         }

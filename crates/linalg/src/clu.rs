@@ -149,6 +149,7 @@ impl CluDecomposition {
     ///
     /// Returns [`LinalgError::Singular`] if the matrix is singular or
     /// [`LinalgError::DimensionMismatch`] for a wrong-sized right-hand side.
+    #[allow(clippy::needless_range_loop)] // triangular solves read x[j] while writing x[i]
     pub fn solve(&self, b: &[Complex]) -> Result<Vec<Complex>> {
         if self.min_pivot.1 < PIVOT_EPS {
             return Err(LinalgError::Singular { pivot: self.min_pivot.0 });
@@ -190,6 +191,7 @@ impl CluDecomposition {
     ///
     /// Returns [`LinalgError::InvalidInput`] if the back-substitution produces a
     /// non-finite vector (which indicates the matrix was not actually near-singular).
+    #[allow(clippy::needless_range_loop)] // back-substitution reads x[j] while writing x[i]
     pub fn null_vector(&self) -> Result<Vec<Complex>> {
         let n = self.dim();
         let k = self.min_pivot.0;
@@ -243,7 +245,13 @@ impl CluDecomposition {
                 let mut sum = Complex::ZERO;
                 let upper = i.min(j);
                 for k in 0..=upper {
-                    let l = if k == i { Complex::ONE } else if k < i { self.lu[(i, k)] } else { Complex::ZERO };
+                    let l = if k == i {
+                        Complex::ONE
+                    } else if k < i {
+                        self.lu[(i, k)]
+                    } else {
+                        Complex::ZERO
+                    };
                     let u = if k <= j { self.lu[(k, j)] } else { Complex::ZERO };
                     sum += l * u;
                 }
@@ -314,11 +322,7 @@ mod tests {
     fn left_null_vector_annihilates_rows() {
         let mut a = CMatrix::zeros(3, 3);
         // Columns 0 and 1 independent, column 2 = column 0 + column 1 -> singular.
-        let vals = [
-            [1.0, 2.0, 3.0],
-            [0.5, -1.0, -0.5],
-            [2.0, 1.0, 3.0],
-        ];
+        let vals = [[1.0, 2.0, 3.0], [0.5, -1.0, -0.5], [2.0, 1.0, 3.0]];
         for i in 0..3 {
             for j in 0..3 {
                 a[(i, j)] = Complex::new(vals[i][j], 0.0);
@@ -345,7 +349,8 @@ mod tests {
         for j in 0..2 {
             a[(1, j)] = a[(0, j)] * 2.0;
         }
-        let via_method = CluDecomposition::new_allow_singular(&a).unwrap().left_null_vector().unwrap();
+        let via_method =
+            CluDecomposition::new_allow_singular(&a).unwrap().left_null_vector().unwrap();
         let ua = a.vecmat(&via_method).unwrap();
         assert!(ua.iter().all(|z| z.abs() < 1e-12));
     }

@@ -193,9 +193,7 @@ impl CMatrix {
                 right: (v.len(), 1),
             });
         }
-        Ok((0..self.rows)
-            .map(|i| (0..self.cols).map(|j| self[(i, j)] * v[j]).sum())
-            .collect())
+        Ok((0..self.rows).map(|i| (0..self.cols).map(|j| self[(i, j)] * v[j]).sum()).collect())
     }
 
     /// LU factorisation with partial pivoting.
@@ -230,7 +228,12 @@ impl Index<(usize, usize)> for CMatrix {
     type Output = Complex;
     #[inline]
     fn index(&self, (row, col): (usize, usize)) -> &Complex {
-        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds for {}x{} matrix", self.rows, self.cols);
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row},{col}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
         &self.data[row * self.cols + col]
     }
 }
@@ -238,7 +241,12 @@ impl Index<(usize, usize)> for CMatrix {
 impl IndexMut<(usize, usize)> for CMatrix {
     #[inline]
     fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut Complex {
-        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds for {}x{} matrix", self.rows, self.cols);
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row},{col}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
         &mut self.data[row * self.cols + col]
     }
 }

@@ -306,7 +306,7 @@ fn hqr(h: &mut Matrix, max_its: usize) -> Result<Vec<Complex>> {
                     iterations: its,
                 });
             }
-            if its > 0 && its % 10 == 0 {
+            if its > 0 && its.is_multiple_of(10) {
                 // Exceptional shift to break (near-)cyclic behaviour.
                 t += x;
                 for i in 0..=nn {
@@ -339,8 +339,7 @@ fn hqr(h: &mut Matrix, max_its: usize) -> Result<Vec<Complex>> {
                     break;
                 }
                 let u = at(h, m, m - 1).abs() * (q.abs() + r.abs());
-                let v = p.abs()
-                    * (at(h, m - 1, m - 1).abs() + z.abs() + at(h, m + 1, m + 1).abs());
+                let v = p.abs() * (at(h, m - 1, m - 1).abs() + z.abs() + at(h, m + 1, m + 1).abs());
                 if u <= f64::EPSILON * v {
                     break;
                 }
@@ -354,7 +353,7 @@ fn hqr(h: &mut Matrix, max_its: usize) -> Result<Vec<Complex>> {
             }
             // Double QR step on rows l..nn and columns m..nn.
             let mut k = m;
-            while k <= nn - 1 {
+            while k < nn {
                 if k != m {
                     p = at(h, k, k - 1);
                     q = at(h, k + 1, k - 1);
@@ -472,11 +471,7 @@ mod tests {
         assert_eq!(eigenvalues(&a).unwrap(), vec![Complex::from_real(5.0)]);
 
         let b = Matrix::from_rows(&[&[0.0, 1.0][..], &[-1.0, 0.0][..]]).unwrap();
-        assert_spectrum(
-            eigenvalues(&b).unwrap(),
-            vec![Complex::I, -Complex::I],
-            1e-12,
-        );
+        assert_spectrum(eigenvalues(&b).unwrap(), vec![Complex::I, -Complex::I], 1e-12);
     }
 
     #[test]
@@ -581,12 +576,9 @@ mod tests {
     #[test]
     fn defective_matrix_jordan_block() {
         // A 3x3 Jordan block with eigenvalue 2 (algebraic multiplicity 3).
-        let a = Matrix::from_rows(&[
-            &[2.0, 1.0, 0.0][..],
-            &[0.0, 2.0, 1.0][..],
-            &[0.0, 0.0, 2.0][..],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[2.0, 1.0, 0.0][..], &[0.0, 2.0, 1.0][..], &[0.0, 0.0, 2.0][..]])
+                .unwrap();
         let eig = eigenvalues(&a).unwrap();
         for z in eig {
             // Multiple eigenvalues of defective matrices are only accurate to ~eps^(1/3).
@@ -609,10 +601,7 @@ mod tests {
 
     #[test]
     fn rejects_invalid_input() {
-        assert!(matches!(
-            eigenvalues(&Matrix::zeros(2, 3)),
-            Err(LinalgError::NotSquare { .. })
-        ));
+        assert!(matches!(eigenvalues(&Matrix::zeros(2, 3)), Err(LinalgError::NotSquare { .. })));
         let nan = Matrix::from_rows(&[&[f64::NAN, 0.0][..], &[0.0, 1.0][..]]).unwrap();
         assert!(eigenvalues(&nan).is_err());
     }
@@ -641,11 +630,7 @@ mod tests {
 
     #[test]
     fn balance_preserves_eigenvalue_trace() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 1000.0][..],
-            &[0.001, 2.0][..],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 1000.0][..], &[0.001, 2.0][..]]).unwrap();
         let mut b = a.clone();
         balance(&mut b);
         assert!((b.trace().unwrap() - a.trace().unwrap()).abs() < 1e-12);

@@ -143,6 +143,7 @@ impl LuDecomposition {
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `b` has the wrong length, or
     /// [`LinalgError::Singular`] if the matrix was singular.
+    #[allow(clippy::needless_range_loop)] // triangular solves read x[j] while writing x[i]
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         if let Some(pivot) = self.singular_at {
             return Err(LinalgError::Singular { pivot });
@@ -251,12 +252,9 @@ mod tests {
 
     #[test]
     fn determinant_matches_cofactor_expansion() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0, 3.0][..],
-            &[4.0, 5.0, 6.0][..],
-            &[7.0, 8.0, 10.0][..],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[1.0, 2.0, 3.0][..], &[4.0, 5.0, 6.0][..], &[7.0, 8.0, 10.0][..]])
+                .unwrap();
         let det = LuDecomposition::new(&a).unwrap().determinant();
         assert!((det - (-3.0)).abs() < 1e-12);
     }
@@ -296,12 +294,9 @@ mod tests {
 
     #[test]
     fn inverse_of_permutation_like_matrix() {
-        let a = Matrix::from_rows(&[
-            &[0.0, 2.0, 0.0][..],
-            &[0.0, 0.0, 3.0][..],
-            &[4.0, 0.0, 0.0][..],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[0.0, 2.0, 0.0][..], &[0.0, 0.0, 3.0][..], &[4.0, 0.0, 0.0][..]])
+                .unwrap();
         let inv = a.inverse().unwrap();
         assert!(a.matmul(&inv).unwrap().approx_eq(&Matrix::identity(3), 1e-12));
     }
@@ -324,6 +319,8 @@ mod tests {
         let a = Matrix::from_rows(&[&[2.0, 0.0][..], &[0.0, 4.0][..]]).unwrap();
         let b = Matrix::from_rows(&[&[2.0, 4.0][..], &[8.0, 12.0][..]]).unwrap();
         let x = a.lu().unwrap().solve_matrix(&b).unwrap();
-        assert!(x.approx_eq(&Matrix::from_rows(&[&[1.0, 2.0][..], &[2.0, 3.0][..]]).unwrap(), 1e-12));
+        assert!(
+            x.approx_eq(&Matrix::from_rows(&[&[1.0, 2.0][..], &[2.0, 3.0][..]]).unwrap(), 1e-12)
+        );
     }
 }

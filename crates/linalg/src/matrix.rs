@@ -196,11 +196,7 @@ impl Matrix {
 
     /// Applies a function to every element, returning a new matrix.
     pub fn map<F: FnMut(f64) -> f64>(&self, mut f: F) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Multiplies every element by a scalar.
@@ -253,9 +249,7 @@ impl Matrix {
                 right: (v.len(), 1),
             });
         }
-        Ok((0..self.rows)
-            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect())
+        Ok((0..self.rows).map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum()).collect())
     }
 
     /// Row-vector–matrix product `v * self`.
@@ -390,7 +384,12 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
     #[inline]
     fn index(&self, (row, col): (usize, usize)) -> &f64 {
-        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds for {}x{} matrix", self.rows, self.cols);
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row},{col}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
         &self.data[row * self.cols + col]
     }
 }
@@ -398,7 +397,12 @@ impl Index<(usize, usize)> for Matrix {
 impl IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut f64 {
-        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds for {}x{} matrix", self.rows, self.cols);
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row},{col}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
         &mut self.data[row * self.cols + col]
     }
 }

@@ -98,9 +98,7 @@ impl QuadraticEigenProblem {
     pub fn evaluate(&self, z: Complex) -> CMatrix {
         let s = self.order();
         CMatrix::from_fn(s, s, |i, j| {
-            Complex::from_real(self.q0[(i, j)])
-                + z * self.q1[(i, j)]
-                + z * z * self.q2[(i, j)]
+            Complex::from_real(self.q0[(i, j)]) + z * self.q1[(i, j)] + z * z * self.q2[(i, j)]
         })
     }
 
@@ -159,11 +157,7 @@ impl QuadraticEigenProblem {
     ///
     /// Same conditions as [`finite_eigenvalues`](Self::finite_eigenvalues).
     pub fn eigenvalues_inside_unit_disk(&self, tol: f64) -> Result<Vec<QuadraticEigenvalue>> {
-        Ok(self
-            .finite_eigenvalues()?
-            .into_iter()
-            .filter(|e| e.z.abs() < 1.0 - tol)
-            .collect())
+        Ok(self.finite_eigenvalues()?.into_iter().filter(|e| e.z.abs() < 1.0 - tol).collect())
     }
 
     /// Left null vector `u` of `Q(z)` at the given eigenvalue: `u Q(z) ≈ 0`.

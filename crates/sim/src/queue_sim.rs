@@ -448,7 +448,9 @@ impl SimulationResult {
     /// empirically.  Returns `None` if `fraction` is outside `(0, 1)` or no job
     /// completed during the measurement window.
     pub fn response_time_percentile(&self, fraction: f64) -> Option<f64> {
-        if !(0.0..1.0).contains(&fraction) || fraction <= 0.0 || self.sorted_response_times.is_empty()
+        if !(0.0..1.0).contains(&fraction)
+            || fraction <= 0.0
+            || self.sorted_response_times.is_empty()
         {
             return None;
         }
@@ -511,8 +513,16 @@ mod tests {
         // M/M/1 with ρ = 0.6: L = 1.5, W = 2.5.
         let config = reliable_servers_config(1, 0.6);
         let result = BreakdownQueueSimulation::new(config).run(7).unwrap();
-        assert!((result.mean_queue_length() - 1.5).abs() < 0.15, "L = {}", result.mean_queue_length());
-        assert!((result.mean_response_time() - 2.5).abs() < 0.25, "W = {}", result.mean_response_time());
+        assert!(
+            (result.mean_queue_length() - 1.5).abs() < 0.15,
+            "L = {}",
+            result.mean_queue_length()
+        );
+        assert!(
+            (result.mean_response_time() - 2.5).abs() < 0.25,
+            "W = {}",
+            result.mean_response_time()
+        );
         assert!((result.mean_operative_servers() - 1.0).abs() < 1e-3);
         assert!(result.completed_jobs() > 20_000);
     }

@@ -1,0 +1,235 @@
+//! Offline stand-in for the parts of the [`criterion`](https://crates.io/crates/criterion)
+//! benchmarking harness used by this workspace.
+//!
+//! The build environment has no access to the crates.io registry, so this crate
+//! implements the subset of the Criterion API that the `urs-bench` benchmarks use:
+//! [`Criterion::bench_function`], benchmark groups with [`BenchmarkGroup::sample_size`]
+//! and [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.  Timing is a simple wall-clock
+//! measurement: each benchmark is warmed up once and then run for a bounded number of
+//! iterations, reporting the mean time per iteration.  There is no statistical
+//! analysis, plotting or state persistence.
+
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Upper bound on the measurement time spent per benchmark.
+const MEASUREMENT_BUDGET: Duration = Duration::from_millis(500);
+
+/// Prevents the compiler from optimising away a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Timing loop handed to every benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+    /// In test mode (`--test`) the routine runs exactly once, untimed.
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up round, also used to size the measurement loop.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed();
+        let iterations = if once.is_zero() {
+            1000
+        } else {
+            (MEASUREMENT_BUDGET.as_nanos() / once.as_nanos().max(1)).clamp(1, 1000) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = iterations;
+    }
+
+    fn report(&self, name: &str) {
+        if self.iterations == 0 {
+            println!("{name:<60} (no measurement)");
+            return;
+        }
+        let per_iter = self.elapsed.as_secs_f64() / self.iterations as f64;
+        println!("{name:<60} {:>12.3} µs/iter ({} iterations)", per_iter * 1e6, self.iterations);
+    }
+}
+
+/// Identifier of a parameterised benchmark, e.g. `solver/spectral_expansion/10`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an identifier from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples (accepted for API compatibility; the stub's
+    /// measurement loop is sized by wall-clock budget instead).
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&name, routine);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&name, |b| routine(b, input));
+        self
+    }
+
+    /// Finishes the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    /// When true (set by `--test`, as passed by `cargo test`), run each
+    /// benchmark body once without timing, as upstream Criterion does.
+    test_mode: bool,
+}
+
+impl Criterion {
+    fn from_args() -> Self {
+        Criterion { test_mode: std::env::args().any(|a| a == "--test") }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut routine: F) {
+        let mut bencher = Bencher { test_mode: self.test_mode, ..Bencher::default() };
+        routine(&mut bencher);
+        if self.test_mode {
+            println!("{name:<60} ok (test mode)");
+        } else {
+            bencher.report(name);
+        }
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, routine: F) -> &mut Self {
+        self.run_one(name, routine);
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+}
+
+/// Declares a function that runs a list of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::__from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `fn main` running one or more benchmark groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+impl Criterion {
+    /// Implementation detail of [`criterion_group!`].
+    #[doc(hidden)]
+    pub fn __from_args() -> Self {
+        Criterion::from_args()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut runs = 0u64;
+        Criterion::default().bench_function("noop", |b| {
+            b.iter(|| runs += 1);
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn test_mode_runs_the_routine_exactly_once() {
+        let mut runs = 0u64;
+        let mut criterion = Criterion { test_mode: true };
+        criterion.bench_function("probe", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn groups_and_ids_compose_names() {
+        let id = BenchmarkId::new("solver", 10);
+        assert_eq!(id.to_string(), "solver/10");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).bench_function("f", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        group.finish();
+    }
+}

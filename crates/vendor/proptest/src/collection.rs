@@ -1,0 +1,83 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Length specification for [`vec`]: a fixed length or a half-open range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        SizeRange { min: len, max_exclusive: len + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(
+            range.start < range.end,
+            "invalid use of empty range {}..{}",
+            range.start,
+            range.end
+        );
+        SizeRange { min: range.start, max_exclusive: range.end }
+    }
+}
+
+/// Strategy generating vectors whose elements come from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max_exclusive - self.size.min) as u64;
+        let len = self.size.min + rng.below(span) as usize;
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_length_vectors() {
+        let mut rng = TestRng::from_name("vec_fixed");
+        let strategy = vec(0.0_f64..1.0, 25);
+        let v = strategy.new_value(&mut rng);
+        assert_eq!(v.len(), 25);
+        assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid use of empty range")]
+    fn empty_length_range_panics() {
+        let _ = vec(0_u32..10, 4..4);
+    }
+
+    #[test]
+    fn ranged_length_vectors() {
+        let mut rng = TestRng::from_name("vec_ranged");
+        let strategy = vec(0_u32..10, 2..6);
+        for _ in 0..200 {
+            let v = strategy.new_value(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Offline stand-in for the parts of the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate used by this workspace.
+//!
+//! The build environment has no access to the crates.io registry, so this crate
+//! implements the subset of the proptest API the workspace's property tests rely on:
+//!
+//! * the [`Strategy`](strategy::Strategy) trait with
+//!   [`prop_map`](strategy::Strategy::prop_map), implemented for numeric ranges and
+//!   tuples of strategies;
+//! * [`collection::vec`] for fixed-length vectors;
+//! * the [`proptest!`] item macro with `#![proptest_config(...)]` support and the
+//!   [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`] macros;
+//! * [`ProptestConfig`](test_runner::ProptestConfig) with
+//!   [`with_cases`](test_runner::ProptestConfig::with_cases).
+//!
+//! Differences from upstream: values are generated from a deterministic per-test
+//! xoshiro-style stream (seeded from the test name), there is **no shrinking**, and
+//! rejected cases (`prop_assume!`) simply retry up to a bounded number of attempts.
+
+#![deny(missing_docs)]
+
+pub mod strategy;
+
+pub mod collection;
+
+pub mod test_runner;
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Mirror of the upstream `prop` module namespace (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Declares property tests.
+///
+/// Supports an optional leading `#![proptest_config(expr)]` attribute followed by any
+/// number of `#[test] fn name(arg in strategy, ...) { body }` items.  Each generated
+/// test runs the body for `config.cases` generated inputs; `prop_assume!` rejections
+/// retry with fresh inputs (up to 20× the case count).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one test item and recurses.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(20).max(20);
+            while accepted < config.cases {
+                if attempts >= max_attempts {
+                    panic!(
+                        "proptest '{}': too many rejected cases ({} accepted of {} wanted)",
+                        stringify!($name), accepted, config.cases
+                    );
+                }
+                attempts += 1;
+                $(
+                    let $arg = $crate::strategy::Strategy::new_value(&($strategy), &mut rng);
+                )+
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => accepted += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(message),
+                    ) => {
+                        panic!(
+                            "proptest '{}' failed on case {}: {}",
+                            stringify!($name), accepted + 1, message
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+}
+
+/// Fails the current property-test case when the condition does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current property-test case when the two values are not equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Fails the current property-test case when the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: {} != {} (both: {:?})",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Rejects the current case (it is retried with fresh inputs) when the
+/// precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

@@ -1,0 +1,212 @@
+//! The [`Strategy`] trait and its implementations for ranges and tuples.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of some type.
+///
+/// Unlike upstream proptest there is no value tree or shrinking: a strategy simply
+/// draws a fresh value from the per-test random stream.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through a function.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, map }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.inner.new_value(rng))
+    }
+}
+
+/// Strategy for a constant value (mirrors `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(
+            self.start < self.end,
+            "invalid use of empty range {:?}..{:?}",
+            self.start,
+            self.end
+        );
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(
+            self.start() <= self.end(),
+            "invalid use of empty range {:?}..={:?}",
+            self.start(),
+            self.end()
+        );
+        self.start() + rng.unit_f64() * (self.end() - self.start())
+    }
+}
+
+macro_rules! integer_range_strategies {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "invalid use of empty range {}..{}", self.start, self.end
+                );
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(
+                    self.start() <= self.end(),
+                    "invalid use of empty range {}..={}", self.start(), self.end()
+                );
+                let span = (*self.end() - *self.start()) as u64;
+                if span == u64::MAX {
+                    // Full 64-bit domain: `span + 1` would overflow.
+                    return rng.next_u64() as $t;
+                }
+                *self.start() + rng.below(span + 1) as $t
+            }
+        }
+    )+};
+}
+
+integer_range_strategies!(usize, u64, u32, u16, u8);
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategies! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("float_ranges");
+        let strategy = -1.5_f64..2.5;
+        for _ in 0..1000 {
+            let v = strategy.new_value(&mut rng);
+            assert!((-1.5..2.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn integer_ranges_cover_all_values() {
+        let mut rng = TestRng::from_name("int_ranges");
+        let strategy = 1_usize..=5;
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            let v = strategy.new_value(&mut rng);
+            assert!((1..=5).contains(&v));
+            seen[v] = true;
+        }
+        assert!(seen[1..=5].iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid use of empty range")]
+    fn empty_integer_range_panics() {
+        let mut rng = TestRng::from_name("empty_int");
+        let _ = (3_usize..3).new_value(&mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid use of empty range")]
+    fn empty_float_range_panics() {
+        let mut rng = TestRng::from_name("empty_float");
+        let _ = (1.0_f64..1.0).new_value(&mut rng);
+    }
+
+    #[test]
+    fn full_u64_domain_does_not_overflow() {
+        let mut rng = TestRng::from_name("full_domain");
+        for _ in 0..100 {
+            let _ = (0_u64..=u64::MAX).new_value(&mut rng);
+        }
+    }
+
+    #[test]
+    fn prop_map_and_tuples_compose() {
+        let mut rng = TestRng::from_name("compose");
+        let strategy = (0.0_f64..1.0, 1_u32..10).prop_map(|(x, n)| x * n as f64);
+        for _ in 0..100 {
+            let v = strategy.new_value(&mut rng);
+            assert!((0.0..10.0).contains(&v));
+        }
+    }
+}

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Mean response time W against the number of servers (λ = 7.5, µ = 1)");
     println!("  {:>3}  {:>12}  {:>14}", "N", "W (exact)", "W (approx.)");
     for (e, a) in exact.points().iter().zip(approx.points()) {
-        println!("  {:>3}  {:>12.4}  {:>14.4}", e.servers, e.mean_response_time, a.mean_response_time);
+        println!(
+            "  {:>3}  {:>12.4}  {:>14.4}",
+            e.servers, e.mean_response_time, a.mean_response_time
+        );
     }
     println!();
     match exact.min_servers_for_response_time(target) {

@@ -21,8 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = SystemConfig::new(5, 4.0, 1.0, lifecycle.clone())?;
 
     let analytic = SpectralExpansionSolver::default().solve(&config)?;
-    println!("Analytic (spectral expansion): L = {:.4}, W = {:.4}",
-        analytic.mean_queue_length(), analytic.mean_response_time());
+    println!(
+        "Analytic (spectral expansion): L = {:.4}, W = {:.4}",
+        analytic.mean_queue_length(),
+        analytic.mean_response_time()
+    );
 
     let sim_config = SimulationConfig::builder(config.servers(), config.arrival_rate())
         .service(Exponential::new(config.service_rate())?)

@@ -2,8 +2,8 @@
 //! trace → cleaning → fitting → model → solution → provisioning decision.
 
 use unreliable_servers::core::{
-    CostModel, CostSweep, ProvisioningSweep, QueueSolver, ServerLifecycle,
-    SpectralExpansionSolver, SystemConfig,
+    CostModel, CostSweep, ProvisioningSweep, QueueSolver, ServerLifecycle, SpectralExpansionSolver,
+    SystemConfig,
 };
 use unreliable_servers::data::{AnalysisOptions, SyntheticTrace, TraceAnalysis};
 use unreliable_servers::dist::ContinuousDistribution;
@@ -75,8 +75,5 @@ fn fitted_model_is_close_to_ground_truth_model() {
         .solve(&SystemConfig::new(6, 4.5, 1.0, fitted_lifecycle).unwrap())
         .unwrap()
         .mean_queue_length();
-    assert!(
-        (truth - fitted).abs() / truth < 0.1,
-        "ground truth L = {truth}, fitted L = {fitted}"
-    );
+    assert!((truth - fitted).abs() / truth < 0.1, "ground truth L = {truth}, fitted L = {fitted}");
 }

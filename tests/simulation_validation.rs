@@ -7,7 +7,7 @@
 use unreliable_servers::core::{
     QueueSolver, ServerLifecycle, SpectralExpansionSolver, SystemConfig,
 };
-use unreliable_servers::dist::{ContinuousDistribution, Exponential, HyperExponential};
+use unreliable_servers::dist::{Exponential, HyperExponential};
 use unreliable_servers::sim::{BreakdownQueueSimulation, Replications, SimulationConfig};
 
 fn simulate(config: &SystemConfig, horizon: f64, replications: usize, seed: u64) -> (f64, f64) {
@@ -90,10 +90,8 @@ fn variability_effect_is_visible_in_both_model_and_simulation() {
         } else {
             HyperExponential::with_mean_and_scv(mean_operative, scv).unwrap()
         };
-        let lifecycle = ServerLifecycle::new(
-            operative,
-            HyperExponential::exponential(repair.rate()).unwrap(),
-        );
+        let lifecycle =
+            ServerLifecycle::new(operative, HyperExponential::exponential(repair.rate()).unwrap());
         SystemConfig::new(3, 2.3, 1.0, lifecycle).unwrap()
     };
     let low = build(1.0);
