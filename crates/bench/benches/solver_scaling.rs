@@ -7,8 +7,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use urs_bench::{figure5_lifecycle, system};
+use urs_core::sweeps::queue_length_vs_load_with;
 use urs_core::{
-    GeometricApproximation, MatrixGeometricSolver, QueueSolver, SpectralExpansionSolver,
+    CostModel, CostSweep, GeometricApproximation, MatrixGeometricSolver, QueueSolver, SolverCache,
+    SpectralExpansionSolver, ThreadPool,
 };
 
 fn bench_solvers(c: &mut Criterion) {
@@ -34,5 +36,62 @@ fn bench_solvers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_solvers);
+/// The Figure 8 load sweep (12 arrival rates, one lifecycle) under the three execution
+/// strategies introduced by the performance subsystem:
+///
+/// * `load_sweep_serial` — the pre-existing one-thread path;
+/// * `load_sweep_parallel` — the default worker pool (the win scales with cores);
+/// * `load_sweep_cached` — a *fresh* cache per iteration, so what is measured is
+///   genuine within-sweep skeleton reuse, not memoisation of a previous iteration.
+fn bench_sweeps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweeps");
+    group.sample_size(10);
+    let base = system(10, 8.0, figure5_lifecycle());
+    let utilisations: Vec<f64> = (0..12).map(|i| 0.89 + i as f64 * 0.009).collect();
+    let approx = GeometricApproximation::default();
+
+    group.bench_function("load_sweep_serial", |b| {
+        let solver = SpectralExpansionSolver::default();
+        b.iter(|| {
+            queue_length_vs_load_with(&solver, &approx, &base, &utilisations, &ThreadPool::serial())
+                .unwrap()
+        })
+    });
+    group.bench_function("load_sweep_parallel", |b| {
+        let solver = SpectralExpansionSolver::default();
+        let pool = ThreadPool::default();
+        b.iter(|| queue_length_vs_load_with(&solver, &approx, &base, &utilisations, &pool).unwrap())
+    });
+    group.bench_function("load_sweep_cached", |b| {
+        b.iter(|| {
+            let solver = SpectralExpansionSolver::default().with_cache(SolverCache::shared());
+            queue_length_vs_load_with(&solver, &approx, &base, &utilisations, &ThreadPool::serial())
+                .unwrap()
+        })
+    });
+
+    // Re-running a cost sweep with a different cost model re-solves the identical
+    // configurations: with a shared cache the second sweep is answered from memory.
+    group.bench_function("cost_resweep_uncached", |b| {
+        let solver = SpectralExpansionSolver::default();
+        b.iter(|| {
+            for cost in [CostModel::new(4.0, 1.0), CostModel::new(2.0, 1.0)] {
+                CostSweep::evaluate_with(&solver, &base, &cost, 9..=14, &ThreadPool::serial())
+                    .unwrap();
+            }
+        })
+    });
+    group.bench_function("cost_resweep_cached", |b| {
+        b.iter(|| {
+            let solver = SpectralExpansionSolver::default().with_cache(SolverCache::shared());
+            for cost in [CostModel::new(4.0, 1.0), CostModel::new(2.0, 1.0)] {
+                CostSweep::evaluate_with(&solver, &base, &cost, 9..=14, &ThreadPool::serial())
+                    .unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers, bench_sweeps);
 criterion_main!(benches);

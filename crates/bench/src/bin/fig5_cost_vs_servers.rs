@@ -5,13 +5,17 @@
 //! 13 for λ = 8.5.
 
 use urs_bench::{figure5_lifecycle, print_header, print_row, system};
-use urs_core::{CostModel, CostSweep, SpectralExpansionSolver};
+use urs_core::{CostModel, CostSweep, SolverCache, SpectralExpansionSolver};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let solver = SpectralExpansionSolver::default();
+    // The three λ sweeps share the same lifecycle and server range, so the cache
+    // builds each N's QBD skeleton once instead of three times.
+    let cache = SolverCache::shared();
+    let solver = SpectralExpansionSolver::default().with_cache(cache.clone());
     let cost_model = CostModel::paper_figure5();
+    let base = system(9, 7.0, figure5_lifecycle());
     for &lambda in &[7.0, 8.0, 8.5] {
-        let base = system(9, lambda, figure5_lifecycle());
+        let base = base.with_arrival_rate(lambda)?;
         let sweep = CostSweep::evaluate(&solver, &base, &cost_model, 9..=17)?;
         print_header(
             &format!("Figure 5: cost vs number of servers (lambda = {lambda}, c1 = 4, c2 = 1)"),
@@ -32,5 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
+    let stats = cache.stats();
+    println!(
+        "\nsolver cache: {} skeleton builds reused {} times",
+        stats.skeleton_misses, stats.skeleton_hits
+    );
     Ok(())
 }

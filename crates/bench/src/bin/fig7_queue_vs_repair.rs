@@ -8,6 +8,7 @@ use urs_bench::{paper_operative, print_header, print_row, sensitivity_lifecycle,
 use urs_core::{sweeps::queue_length_vs_repair_time, SpectralExpansionSolver};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // No cache here: every grid point has a distinct lifecycle, so nothing repeats.
     let solver = SpectralExpansionSolver::default();
     let repair_times: Vec<f64> = (0..10).map(|i| 1.0 + i as f64 * 4.0 / 9.0).collect();
     let base = system(10, 8.0, sensitivity_lifecycle(4.6, 1.0));

@@ -5,15 +5,19 @@
 //! load (utilisation) ranges from 0.89 to very close to 1.
 
 use urs_bench::{figure5_lifecycle, print_header, print_row, system};
-use urs_core::{sweeps::queue_length_vs_load, GeometricApproximation, SpectralExpansionSolver};
+use urs_core::{
+    sweeps::queue_length_vs_load, GeometricApproximation, SolverCache, SpectralExpansionSolver,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = system(10, 8.0, figure5_lifecycle());
     // Loads from 0.89 up to 0.995 — the queue must stay strictly stable.
     let mut utilisations: Vec<f64> = (0..11).map(|i| 0.89 + i as f64 * 0.01).collect();
     utilisations.push(0.995);
+    // Only λ varies along this sweep: the cached solver builds the QBD skeleton once
+    // for all twelve grid points.
     let points = queue_length_vs_load(
-        &SpectralExpansionSolver::default(),
+        &SpectralExpansionSolver::default().with_cache(SolverCache::shared()),
         &GeometricApproximation::default(),
         &base,
         &utilisations,

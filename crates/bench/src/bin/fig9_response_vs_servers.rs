@@ -10,6 +10,8 @@ use urs_core::{GeometricApproximation, ProvisioningSweep, SpectralExpansionSolve
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = system(8, 7.5, figure5_lifecycle());
+    // No cache here: each server count is solved exactly once.  The sweep itself runs
+    // its grid points on the default worker pool.
     let exact = ProvisioningSweep::evaluate(&SpectralExpansionSolver::default(), &base, 8..=13)?;
     let approx = ProvisioningSweep::evaluate(&GeometricApproximation::default(), &base, 8..=13)?;
 

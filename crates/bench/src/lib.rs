@@ -4,6 +4,23 @@
 //! (DSN 2006); this library holds the parameter sets used across several experiments
 //! and small utilities for printing aligned result tables.  Run the binaries in release
 //! mode, e.g. `cargo run --release -p urs-bench --bin fig5_cost_vs_servers`.
+//!
+//! # Paper map
+//!
+//! | Binary | Paper artefact |
+//! |---|---|
+//! | `section2_tables` | §2 trace statistics |
+//! | `fig3_operative_density`, `fig4_inoperative_density` | Figures 3–4 |
+//! | `fig5_cost_vs_servers` | Figure 5 (cost optimisation) |
+//! | `fig6_queue_vs_cv`, `fig7_queue_vs_repair`, `fig8_exact_vs_approx` | Figures 6–8 |
+//! | `fig9_response_vs_servers` | Figure 9 (provisioning) |
+//!
+//! The sweep-driven binaries (Figures 5–9) run their grids on `urs_core`'s parallel
+//! [`ThreadPool`](urs_core::ThreadPool); the ones whose grids revisit a lifecycle
+//! (Figures 5, 6 and 8) additionally attach a [`SolverCache`](urs_core::SolverCache)
+//! so repeated `(N, µ, lifecycle)` combinations reuse their QBD skeletons.  Results
+//! are bit-identical to the serial, uncached paths.  The `solver_scaling` criterion
+//! bench measures both mechanisms.
 
 use urs_core::{ServerLifecycle, SystemConfig};
 use urs_dist::HyperExponential;

@@ -1,0 +1,320 @@
+//! Keyed caching of the expensive, reusable pieces of the spectral solution.
+//!
+//! Profiling the sweeps behind the paper's Figures 5–9 shows that every grid point
+//! used to rebuild two kinds of state from scratch:
+//!
+//! 1. the **QBD skeleton** — the mode enumeration and the generator blocks `A`, `Dᴬ`,
+//!    `C_0..C_N` — which depends only on `(N, µ, lifecycle)` and not on the arrival
+//!    rate, so a load sweep (Figure 8) rebuilds the identical skeleton at every point;
+//! 2. the **full spectral factorisation and solution**, which is repeated verbatim
+//!    whenever the same configuration is solved twice (re-running a cost sweep with a
+//!    different cost model, comparing solvers on the same grid, interactive
+//!    exploration).
+//!
+//! [`SolverCache`] memoises both levels behind `f64`-bit-exact keys.  It is `Sync`
+//! (internally a pair of mutex-protected maps), so a single cache can be shared by
+//! every worker thread of a [`ThreadPool`](crate::ThreadPool) during a parallel sweep.
+//! Cached hits return the stored value unchanged, so cached and uncached runs are
+//! bit-identical.
+//!
+//! The cache is unbounded: sweeps touch at most a few hundred distinct keys.  An
+//! eviction policy will be needed once heterogeneous server classes multiply the key
+//! space (see ROADMAP).
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use urs_core::{ServerLifecycle, SolverCache, SpectralExpansionSolver, SystemConfig};
+//!
+//! # fn main() -> Result<(), urs_core::ModelError> {
+//! let cache = SolverCache::shared();
+//! let solver = SpectralExpansionSolver::default().with_cache(Arc::clone(&cache));
+//! let base = SystemConfig::new(10, 8.0, 1.0, ServerLifecycle::paper_fitted()?)?;
+//!
+//! // Two arrival rates, same (N, µ, lifecycle): the skeleton is built once.
+//! solver.solve_detailed(&base)?;
+//! solver.solve_detailed(&base.with_arrival_rate(8.5)?)?;
+//! assert_eq!(cache.stats().skeleton_misses, 1);
+//! assert_eq!(cache.stats().skeleton_hits, 1);
+//!
+//! // Solving the identical configuration again is a pure cache hit.
+//! solver.solve_detailed(&base)?;
+//! assert_eq!(cache.stats().solution_hits, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use urs_dist::HyperExponential;
+
+use crate::config::{ServerLifecycle, SystemConfig};
+use crate::qbd::QbdSkeleton;
+use crate::spectral::{SpectralOptions, SpectralSolution};
+use crate::Result;
+
+/// Bit-exact identity of a [`ServerLifecycle`]: phase weights and rates of both period
+/// distributions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct LifecycleKey {
+    operative: Vec<(u64, u64)>,
+    inoperative: Vec<(u64, u64)>,
+}
+
+impl LifecycleKey {
+    fn new(lifecycle: &ServerLifecycle) -> Self {
+        fn phases(dist: &HyperExponential) -> Vec<(u64, u64)> {
+            dist.weights()
+                .iter()
+                .zip(dist.rates())
+                .map(|(w, r)| (w.to_bits(), r.to_bits()))
+                .collect()
+        }
+        LifecycleKey {
+            operative: phases(lifecycle.operative()),
+            inoperative: phases(lifecycle.inoperative()),
+        }
+    }
+}
+
+/// Key of the λ-independent skeleton: `(N, µ, lifecycle)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SkeletonKey {
+    servers: usize,
+    service_rate: u64,
+    lifecycle: LifecycleKey,
+}
+
+impl SkeletonKey {
+    fn new(config: &SystemConfig) -> Self {
+        SkeletonKey {
+            servers: config.servers(),
+            service_rate: config.service_rate().to_bits(),
+            lifecycle: LifecycleKey::new(config.lifecycle()),
+        }
+    }
+}
+
+/// Key of a complete spectral solution: skeleton key plus arrival rate and solver
+/// options (solutions depend on the tolerances through the failure conditions).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SolutionKey {
+    skeleton: SkeletonKey,
+    arrival_rate: u64,
+    options: [u64; 3],
+}
+
+impl SolutionKey {
+    fn new(config: &SystemConfig, options: &SpectralOptions) -> Self {
+        // Exhaustive destructuring: adding a field to SpectralOptions must break this
+        // line rather than silently conflating solutions computed under different
+        // options.
+        let SpectralOptions { unit_disk_margin, reality_tolerance, residual_tolerance } = *options;
+        SolutionKey {
+            skeleton: SkeletonKey::new(config),
+            arrival_rate: config.arrival_rate().to_bits(),
+            options: [
+                unit_disk_margin.to_bits(),
+                reality_tolerance.to_bits(),
+                residual_tolerance.to_bits(),
+            ],
+        }
+    }
+}
+
+/// Hit/miss counters of a [`SolverCache`], for reporting and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Skeleton lookups answered from the cache.
+    pub skeleton_hits: u64,
+    /// Skeleton lookups that had to build the skeleton.
+    pub skeleton_misses: u64,
+    /// Full-solution lookups answered from the cache.
+    pub solution_hits: u64,
+    /// Full-solution lookups that had to run the solver.
+    pub solution_misses: u64,
+}
+
+/// A thread-safe cache of QBD skeletons and complete spectral solutions.
+///
+/// Attach one to a [`SpectralExpansionSolver`](crate::SpectralExpansionSolver) with
+/// [`with_cache`](crate::SpectralExpansionSolver::with_cache); the sweep helpers and
+/// figure binaries then reuse the λ-independent factorisation pieces across grid
+/// points automatically.  See the example above in the module docs.
+#[derive(Debug, Default)]
+pub struct SolverCache {
+    skeletons: Mutex<HashMap<SkeletonKey, Arc<QbdSkeleton>>>,
+    solutions: Mutex<HashMap<SolutionKey, Arc<SpectralSolution>>>,
+    skeleton_hits: AtomicU64,
+    skeleton_misses: AtomicU64,
+    solution_hits: AtomicU64,
+    solution_misses: AtomicU64,
+}
+
+impl SolverCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        SolverCache::default()
+    }
+
+    /// Creates an empty cache already wrapped in an [`Arc`], ready to be shared
+    /// between solvers and threads.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(SolverCache::new())
+    }
+
+    /// Returns the QBD skeleton for `(N, µ, lifecycle)` of the configuration, building
+    /// and caching it on first use.
+    ///
+    /// The skeleton is built outside the cache lock, so concurrent sweeps never stall
+    /// behind a build; if two threads race on the same key the first inserted skeleton
+    /// wins and both threads share it (the builds are deterministic, so the values are
+    /// interchangeable).
+    ///
+    /// # Errors
+    ///
+    /// Propagates skeleton-construction errors (`servers == 0`).
+    pub fn skeleton(&self, config: &SystemConfig) -> Result<Arc<QbdSkeleton>> {
+        let key = SkeletonKey::new(config);
+        if let Some(hit) = lock(&self.skeletons).get(&key) {
+            self.skeleton_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        self.skeleton_misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(QbdSkeleton::new(
+            config.servers(),
+            config.service_rate(),
+            config.lifecycle(),
+        )?);
+        Ok(Arc::clone(lock(&self.skeletons).entry(key).or_insert(built)))
+    }
+
+    /// Looks up a complete solution for the configuration and options.
+    pub(crate) fn lookup_solution(
+        &self,
+        config: &SystemConfig,
+        options: &SpectralOptions,
+    ) -> Option<Arc<SpectralSolution>> {
+        let found = lock(&self.solutions).get(&SolutionKey::new(config, options)).cloned();
+        match &found {
+            Some(_) => self.solution_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.solution_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores a freshly computed solution.
+    pub(crate) fn store_solution(
+        &self,
+        config: &SystemConfig,
+        options: &SpectralOptions,
+        solution: SpectralSolution,
+    ) {
+        lock(&self.solutions).insert(SolutionKey::new(config, options), Arc::new(solution));
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            skeleton_hits: self.skeleton_hits.load(Ordering::Relaxed),
+            skeleton_misses: self.skeleton_misses.load(Ordering::Relaxed),
+            solution_hits: self.solution_hits.load(Ordering::Relaxed),
+            solution_misses: self.solution_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of cached skeletons and solutions, respectively.
+    pub fn len(&self) -> (usize, usize) {
+        (lock(&self.skeletons).len(), lock(&self.solutions).len())
+    }
+
+    /// Returns `true` if nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == (0, 0)
+    }
+
+    /// Drops every cached entry; the counters keep accumulating.
+    pub fn clear(&self) {
+        lock(&self.skeletons).clear();
+        lock(&self.solutions).clear();
+    }
+}
+
+/// Locks a cache map, recovering from poisoning (a panic elsewhere cannot corrupt a
+/// map we only ever insert complete entries into).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solution::QueueSolution as _;
+    use crate::spectral::SpectralExpansionSolver;
+
+    fn config(servers: usize, lambda: f64) -> SystemConfig {
+        SystemConfig::new(servers, lambda, 1.0, ServerLifecycle::paper_fitted().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn skeletons_are_shared_per_lifecycle_and_server_count() {
+        let cache = SolverCache::new();
+        let first = cache.skeleton(&config(4, 2.0)).unwrap();
+        let again = cache.skeleton(&config(4, 3.5)).unwrap(); // same N, µ, lifecycle
+        assert!(Arc::ptr_eq(&first, &again), "λ must not affect the skeleton key");
+        let other = cache.skeleton(&config(5, 2.0)).unwrap();
+        assert!(!Arc::ptr_eq(&first, &other));
+        let stats = cache.stats();
+        assert_eq!((stats.skeleton_hits, stats.skeleton_misses), (1, 2));
+        assert_eq!(cache.len().0, 2);
+    }
+
+    #[test]
+    fn different_lifecycles_get_different_skeletons() {
+        let cache = SolverCache::new();
+        let a = cache.skeleton(&config(3, 2.0)).unwrap();
+        let exp = ServerLifecycle::exponential(0.1, 2.0).unwrap();
+        let b = cache.skeleton(&SystemConfig::new(3, 2.0, 1.0, exp).unwrap()).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().skeleton_misses, 2);
+    }
+
+    #[test]
+    fn solutions_are_memoised_bit_identically() {
+        let cache = SolverCache::shared();
+        let solver = SpectralExpansionSolver::default().with_cache(Arc::clone(&cache));
+        let cfg = config(4, 2.5);
+        let fresh = solver.solve_detailed(&cfg).unwrap();
+        let cached = solver.solve_detailed(&cfg).unwrap();
+        assert_eq!(fresh.mean_queue_length().to_bits(), cached.mean_queue_length().to_bits());
+        assert_eq!(fresh.boundary_levels(), cached.boundary_levels());
+        let stats = cache.stats();
+        assert_eq!(stats.solution_hits, 1);
+        assert_eq!(stats.solution_misses, 1);
+    }
+
+    #[test]
+    fn clear_empties_the_cache() {
+        let cache = SolverCache::new();
+        cache.skeleton(&config(3, 1.0)).unwrap();
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_lookups_share_one_skeleton() {
+        use crate::parallel::ThreadPool;
+        let cache = SolverCache::shared();
+        let configs: Vec<SystemConfig> = (1..=8).map(|i| config(6, 0.5 * i as f64)).collect();
+        let skeletons =
+            ThreadPool::new(4).try_par_map(&configs, |cfg| cache.skeleton(cfg)).unwrap();
+        for s in &skeletons {
+            assert!(Arc::ptr_eq(s, &skeletons[0]));
+        }
+        assert_eq!(cache.len().0, 1);
+    }
+}

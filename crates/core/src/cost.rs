@@ -12,6 +12,7 @@
 //! parameter set there is an optimal number of servers — the content of Figure 5.
 
 use crate::config::SystemConfig;
+use crate::parallel::ThreadPool;
 use crate::solution::QueueSolver;
 use crate::Result;
 
@@ -80,7 +81,8 @@ pub struct CostSweep {
 impl CostSweep {
     /// Evaluates the cost for every server count in `server_range`, using `solver` for
     /// the performance model.  Server counts for which the system is unstable are
-    /// skipped (their cost is effectively infinite).
+    /// skipped (their cost is effectively infinite).  Grid points are evaluated in
+    /// parallel on the default [`ThreadPool`].
     ///
     /// # Errors
     ///
@@ -91,21 +93,35 @@ impl CostSweep {
         cost_model: &CostModel,
         server_range: std::ops::RangeInclusive<usize>,
     ) -> Result<Self> {
-        let mut points = Vec::new();
-        for servers in server_range {
+        Self::evaluate_with(solver, base_config, cost_model, server_range, &ThreadPool::default())
+    }
+
+    /// [`evaluate`](Self::evaluate) with an explicit worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures other than instability (first failing grid point).
+    pub fn evaluate_with(
+        solver: &dyn QueueSolver,
+        base_config: &SystemConfig,
+        cost_model: &CostModel,
+        server_range: std::ops::RangeInclusive<usize>,
+        pool: &ThreadPool,
+    ) -> Result<Self> {
+        let counts: Vec<usize> = server_range.collect();
+        let points = pool.try_par_map(&counts, |&servers| -> Result<Option<CostPoint>> {
             let config = base_config.with_servers(servers)?;
             if !config.is_stable() {
-                continue;
+                return Ok(None);
             }
-            let solution = solver.solve(&config)?;
-            let l = solution.mean_queue_length();
-            points.push(CostPoint {
+            let l = solver.solve(&config)?.mean_queue_length();
+            Ok(Some(CostPoint {
                 servers,
                 mean_queue_length: l,
                 cost: cost_model.evaluate(l, servers),
-            });
-        }
-        Ok(CostSweep { points })
+            }))
+        })?;
+        Ok(CostSweep { points: points.into_iter().flatten().collect() })
     }
 
     /// All evaluated points, ordered by server count.

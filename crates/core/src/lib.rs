@@ -18,6 +18,31 @@
 //! capacity planning ([`ProvisioningSweep`]) and the sensitivity sweeps behind
 //! Figures 6–8 ([`sweeps`]).
 //!
+//! # Paper map
+//!
+//! | Paper section | Module |
+//! |---|---|
+//! | §3 state space (modes, eq. 12) | [`ModeSpace`] |
+//! | §3.1 QBD generator blocks | [`QbdMatrices`], [`QbdSkeleton`] |
+//! | §3.1 spectral expansion (exact) | [`SpectralExpansionSolver`] |
+//! | §3.2 heavy-traffic geometric approximation | [`GeometricApproximation`] |
+//! | §4 cost model (eq. 22) and Figure 5 | [`CostModel`], [`CostSweep`] |
+//! | Figures 6–8 sensitivity sweeps | [`sweeps`] |
+//! | Figure 9 capacity planning | [`ProvisioningSweep`] |
+//!
+//! # Performance subsystem
+//!
+//! Every figure of the paper is a parameter sweep that re-solves the model per grid
+//! point.  Two building blocks make those sweeps fast without changing their results:
+//!
+//! * [`ThreadPool`] — a scoped-thread worker pool whose `par_map` returns results in
+//!   input order, so parallel sweeps are bit-identical to serial ones.  All sweep
+//!   helpers fan out over it; pass [`ThreadPool::serial`] (or set `URS_THREADS=1`) to
+//!   force the serial path.
+//! * [`SolverCache`] — a shared, thread-safe cache of λ-independent QBD skeletons and
+//!   complete spectral solutions, attached to a solver via
+//!   [`SpectralExpansionSolver::with_cache`].
+//!
 //! # Quick start
 //!
 //! ```
@@ -38,11 +63,13 @@
 #![deny(missing_debug_implementations)]
 
 mod approx;
+mod cache;
 mod config;
 mod cost;
 mod error;
 mod matrix_geometric;
 mod modes;
+mod parallel;
 mod provisioning;
 mod qbd;
 mod solution;
@@ -52,6 +79,7 @@ mod truncated;
 pub mod sweeps;
 
 pub use approx::{dominant_eigenvalue, GeometricApproximation, GeometricSolution};
+pub use cache::{CacheStats, SolverCache};
 pub use config::{ServerLifecycle, SystemConfig};
 pub use cost::{CostModel, CostPoint, CostSweep};
 pub use error::ModelError;
@@ -59,8 +87,9 @@ pub use matrix_geometric::{
     MatrixGeometricOptions, MatrixGeometricSolution, MatrixGeometricSolver,
 };
 pub use modes::{Mode, ModeSpace};
+pub use parallel::ThreadPool;
 pub use provisioning::{min_servers_for_response_time, ProvisioningPoint, ProvisioningSweep};
-pub use qbd::QbdMatrices;
+pub use qbd::{QbdMatrices, QbdSkeleton};
 pub use solution::{consistency_violations, QueueSolution, QueueSolver};
 pub use spectral::{SpectralExpansionSolver, SpectralOptions, SpectralSolution};
 pub use truncated::{TruncatedCtmcSolver, TruncatedOptions, TruncatedSolution};

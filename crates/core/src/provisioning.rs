@@ -6,6 +6,7 @@
 //! and the smallest `N` meeting a response-time target is read off the curve.
 
 use crate::config::SystemConfig;
+use crate::parallel::ThreadPool;
 use crate::solution::QueueSolver;
 use crate::Result;
 
@@ -28,7 +29,8 @@ pub struct ProvisioningSweep {
 
 impl ProvisioningSweep {
     /// Evaluates the performance for every server count in `server_range`; unstable
-    /// counts are skipped.
+    /// counts are skipped.  Grid points are evaluated in parallel on the default
+    /// [`ThreadPool`].
     ///
     /// # Errors
     ///
@@ -38,20 +40,35 @@ impl ProvisioningSweep {
         base_config: &SystemConfig,
         server_range: std::ops::RangeInclusive<usize>,
     ) -> Result<Self> {
-        let mut points = Vec::new();
-        for servers in server_range {
-            let config = base_config.with_servers(servers)?;
-            if !config.is_stable() {
-                continue;
-            }
-            let solution = solver.solve(&config)?;
-            points.push(ProvisioningPoint {
-                servers,
-                mean_queue_length: solution.mean_queue_length(),
-                mean_response_time: solution.mean_response_time(),
-            });
-        }
-        Ok(ProvisioningSweep { points })
+        Self::evaluate_with(solver, base_config, server_range, &ThreadPool::default())
+    }
+
+    /// [`evaluate`](Self::evaluate) with an explicit worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures other than instability (first failing grid point).
+    pub fn evaluate_with(
+        solver: &dyn QueueSolver,
+        base_config: &SystemConfig,
+        server_range: std::ops::RangeInclusive<usize>,
+        pool: &ThreadPool,
+    ) -> Result<Self> {
+        let counts: Vec<usize> = server_range.collect();
+        let points =
+            pool.try_par_map(&counts, |&servers| -> Result<Option<ProvisioningPoint>> {
+                let config = base_config.with_servers(servers)?;
+                if !config.is_stable() {
+                    return Ok(None);
+                }
+                let solution = solver.solve(&config)?;
+                Ok(Some(ProvisioningPoint {
+                    servers,
+                    mean_queue_length: solution.mean_queue_length(),
+                    mean_response_time: solution.mean_response_time(),
+                }))
+            })?;
+        Ok(ProvisioningSweep { points: points.into_iter().flatten().collect() })
     }
 
     /// All evaluated points, ordered by server count.

@@ -13,50 +13,55 @@
 //! For `j ≥ N` the balance equations become the constant-coefficient vector difference
 //! equation with characteristic matrix polynomial `Q(z) = Q0 + Q1·z + Q2·z²`,
 //! `Q0 = B`, `Q1 = A − Dᴬ − B − C`, `Q2 = C` — exactly the quantities exposed here.
+//!
+//! Of those matrices only `B = λI` depends on the arrival rate; everything else is a
+//! function of `(N, µ, lifecycle)` alone.  [`QbdSkeleton`] captures that λ-independent
+//! part so that parameter sweeps varying only λ (the load sweep of Figure 8, for
+//! instance) can build it once — typically via [`SolverCache`](crate::SolverCache) —
+//! and stamp out a [`QbdMatrices`] per grid point for the price of one diagonal
+//! matrix.
+
+use std::sync::Arc;
 
 use urs_linalg::Matrix;
 
-use crate::config::SystemConfig;
+use crate::config::{ServerLifecycle, SystemConfig};
 use crate::modes::{Mode, ModeSpace};
 use crate::Result;
 
-/// The generator matrices of the queue's quasi-birth-death representation.
+/// The λ-independent part of the QBD generator matrices: the mode space, the
+/// mode-change matrix `A` with its row-sum diagonal `Dᴬ`, and the level-dependent
+/// departure matrices `C_0 … C_N`.
 ///
-/// # Example
-///
-/// ```
-/// use urs_core::{QbdMatrices, ServerLifecycle, SystemConfig};
-///
-/// # fn main() -> Result<(), urs_core::ModelError> {
-/// let config = SystemConfig::new(2, 1.0, 1.0, ServerLifecycle::paper_fitted()?)?;
-/// let qbd = QbdMatrices::new(&config)?;
-/// assert_eq!(qbd.a().rows(), 6); // s = 6 modes for N = 2, n = 2, m = 1
-/// # Ok(())
-/// # }
-/// ```
-#[derive(Debug, Clone)]
-pub struct QbdMatrices {
+/// A skeleton is immutable once built and is shared behind an [`Arc`], so one build
+/// can serve every arrival rate of a sweep — and every worker thread of a
+/// [`ThreadPool`](crate::ThreadPool) — simultaneously.
+#[derive(Debug)]
+pub struct QbdSkeleton {
     modes: ModeSpace,
-    arrival_rate: f64,
     service_rate: f64,
     servers: usize,
     a: Matrix,
     da: Matrix,
-    b: Matrix,
-    c: Matrix,
+    /// `A − Dᴬ − C`: the arrival-free part of `Q1`, precomputed once.
+    q1_base: Matrix,
+    /// `C_j = diag(min(x_i, j)·µ)` for `j = 0..=N`; `C_N` is the repeating-level `C`.
+    c_levels: Vec<Matrix>,
+    /// Mode with the largest stationary environment probability; used by the spectral
+    /// solver to pin one balance equation (λ-independent, so computed once here).
+    pin_mode: usize,
 }
 
-impl QbdMatrices {
-    /// Builds the generator matrices for a configuration.
+impl QbdSkeleton {
+    /// Builds the λ-independent generator structure for `servers` servers with service
+    /// rate `service_rate` and the given per-server lifecycle.
     ///
     /// # Errors
     ///
-    /// Propagates errors from the mode enumeration; the configuration itself was already
-    /// validated at construction.
-    pub fn new(config: &SystemConfig) -> Result<Self> {
-        let modes = ModeSpace::new(config.servers(), config.lifecycle())?;
+    /// Propagates errors from the mode enumeration (`servers == 0`).
+    pub fn new(servers: usize, service_rate: f64, lifecycle: &ServerLifecycle) -> Result<Self> {
+        let modes = ModeSpace::new(servers, lifecycle)?;
         let s = modes.len();
-        let lifecycle = config.lifecycle();
         let op_weights = lifecycle.operative().weights();
         let op_rates = lifecycle.operative().rates();
         let rep_weights = lifecycle.inoperative().weights();
@@ -100,22 +105,24 @@ impl QbdMatrices {
             }
         }
         let da = Matrix::from_diagonal(&a.row_sums());
-        let b = Matrix::identity(s).scale(config.arrival_rate());
-        let c = Matrix::from_diagonal(
-            &(0..s)
-                .map(|i| modes.operative_count(i) as f64 * config.service_rate())
-                .collect::<Vec<_>>(),
-        );
-        Ok(QbdMatrices {
-            modes,
-            arrival_rate: config.arrival_rate(),
-            service_rate: config.service_rate(),
-            servers: config.servers(),
-            a,
-            da,
-            b,
-            c,
-        })
+        let c_levels: Vec<Matrix> = (0..=servers)
+            .map(|level| {
+                Matrix::from_diagonal(
+                    &(0..s)
+                        .map(|i| modes.operative_count(i).min(level) as f64 * service_rate)
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let q1_base = &(&a - &da) - &c_levels[servers];
+        let pin_mode = modes
+            .stationary_distribution(lifecycle)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        Ok(QbdSkeleton { modes, service_rate, servers, a, da, q1_base, c_levels, pin_mode })
     }
 
     /// The mode space underlying the matrices.
@@ -133,9 +140,9 @@ impl QbdMatrices {
         self.servers
     }
 
-    /// Arrival rate `λ`.
-    pub fn arrival_rate(&self) -> f64 {
-        self.arrival_rate
+    /// Service rate `µ` of one operative server.
+    pub fn service_rate(&self) -> f64 {
+        self.service_rate
     }
 
     /// Mode-change rate matrix `A` (zero diagonal).
@@ -148,6 +155,103 @@ impl QbdMatrices {
         &self.da
     }
 
+    /// Departure matrix `C` for levels `j ≥ N`.
+    pub fn c(&self) -> &Matrix {
+        &self.c_levels[self.servers]
+    }
+
+    /// Level-dependent departure matrix `C_j = diag(min(x_i, j)·µ)` by reference.
+    ///
+    /// For `j ≥ N` this equals [`c`](Self::c); `C_0` is the zero matrix.
+    pub fn c_at(&self, level: usize) -> &Matrix {
+        &self.c_levels[level.min(self.servers)]
+    }
+
+    /// Index of the mode with the largest stationary environment probability.
+    pub fn pin_mode(&self) -> usize {
+        self.pin_mode
+    }
+}
+
+/// The generator matrices of the queue's quasi-birth-death representation: a shared
+/// [`QbdSkeleton`] plus the arrival matrix `B = λI`.
+///
+/// # Example
+///
+/// ```
+/// use urs_core::{QbdMatrices, ServerLifecycle, SystemConfig};
+///
+/// # fn main() -> Result<(), urs_core::ModelError> {
+/// let config = SystemConfig::new(2, 1.0, 1.0, ServerLifecycle::paper_fitted()?)?;
+/// let qbd = QbdMatrices::new(&config)?;
+/// assert_eq!(qbd.a().rows(), 6); // s = 6 modes for N = 2, n = 2, m = 1
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QbdMatrices {
+    skeleton: Arc<QbdSkeleton>,
+    arrival_rate: f64,
+    b: Matrix,
+}
+
+impl QbdMatrices {
+    /// Builds the generator matrices for a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the mode enumeration; the configuration itself was already
+    /// validated at construction.
+    pub fn new(config: &SystemConfig) -> Result<Self> {
+        let skeleton =
+            QbdSkeleton::new(config.servers(), config.service_rate(), config.lifecycle())?;
+        Ok(QbdMatrices::with_skeleton(Arc::new(skeleton), config.arrival_rate()))
+    }
+
+    /// Stamps out the matrices for a given arrival rate from a prebuilt skeleton.
+    ///
+    /// This is the cheap path used by [`SolverCache`](crate::SolverCache): only the
+    /// diagonal matrix `B = λI` is allocated.
+    pub fn with_skeleton(skeleton: Arc<QbdSkeleton>, arrival_rate: f64) -> Self {
+        let b = Matrix::identity(skeleton.order()).scale(arrival_rate);
+        QbdMatrices { skeleton, arrival_rate, b }
+    }
+
+    /// The λ-independent skeleton the matrices were stamped from.
+    pub fn skeleton(&self) -> &Arc<QbdSkeleton> {
+        &self.skeleton
+    }
+
+    /// The mode space underlying the matrices.
+    pub fn modes(&self) -> &ModeSpace {
+        self.skeleton.modes()
+    }
+
+    /// Number of operational modes `s`.
+    pub fn order(&self) -> usize {
+        self.skeleton.order()
+    }
+
+    /// Number of servers `N`.
+    pub fn servers(&self) -> usize {
+        self.skeleton.servers()
+    }
+
+    /// Arrival rate `λ`.
+    pub fn arrival_rate(&self) -> f64 {
+        self.arrival_rate
+    }
+
+    /// Mode-change rate matrix `A` (zero diagonal).
+    pub fn a(&self) -> &Matrix {
+        self.skeleton.a()
+    }
+
+    /// Diagonal matrix `Dᴬ` of row sums of `A`.
+    pub fn da(&self) -> &Matrix {
+        self.skeleton.da()
+    }
+
     /// Arrival matrix `B = λI`.
     pub fn b(&self) -> &Matrix {
         &self.b
@@ -155,18 +259,21 @@ impl QbdMatrices {
 
     /// Departure matrix `C` for levels `j ≥ N`.
     pub fn c(&self) -> &Matrix {
-        &self.c
+        self.skeleton.c()
     }
 
     /// Level-dependent departure matrix `C_j = diag(min(x_i, j)·µ)`.
     ///
-    /// For `j ≥ N` this equals [`c`](Self::c); `C_0` is the zero matrix.
+    /// For `j ≥ N` this equals [`c`](Self::c); `C_0` is the zero matrix.  The matrices
+    /// are precomputed in the skeleton; this accessor clones, use
+    /// [`c_level`](Self::c_level) to borrow.
     pub fn c_at(&self, level: usize) -> Matrix {
-        Matrix::from_diagonal(
-            &(0..self.order())
-                .map(|i| self.modes.operative_count(i).min(level) as f64 * self.service_rate)
-                .collect::<Vec<_>>(),
-        )
+        self.skeleton.c_at(level).clone()
+    }
+
+    /// Level-dependent departure matrix `C_j` by reference.
+    pub fn c_level(&self, level: usize) -> &Matrix {
+        self.skeleton.c_at(level)
     }
 
     /// `Q0 = B`, the coefficient of `z⁰` in the characteristic matrix polynomial.
@@ -176,26 +283,26 @@ impl QbdMatrices {
 
     /// `Q1 = A − Dᴬ − B − C`, the coefficient of `z¹`.
     pub fn q1(&self) -> Matrix {
-        &(&(&self.a - &self.da) - &self.b) - &self.c
+        &self.skeleton.q1_base - &self.b
     }
 
     /// `Q2 = C`, the coefficient of `z²`.
     pub fn q2(&self) -> Matrix {
-        self.c.clone()
+        self.skeleton.c().clone()
     }
 
     /// The "local" balance matrix at a given level, `Dᴬ + B + C_j − A`, which multiplies
     /// `v_j` in the level-`j` balance equation written as
     /// `v_j·(Dᴬ+B+C_j−A) = v_{j−1}·B + v_{j+1}·C_{j+1}`.
     pub fn local_matrix(&self, level: usize) -> Matrix {
-        &(&(&self.da + &self.b) + &self.c_at(level)) - &self.a
+        &(&(self.skeleton.da() + &self.b) + self.skeleton.c_at(level)) - self.skeleton.a()
     }
 
     /// The generator of the environment process alone (`A − Dᴬ`); its stationary vector
     /// is the multinomial distribution exposed by
     /// [`ModeSpace::stationary_distribution`].
     pub fn environment_generator(&self) -> Matrix {
-        &self.a - &self.da
+        self.skeleton.a() - self.skeleton.da()
     }
 }
 

@@ -66,11 +66,16 @@ pub trait QueueSolution: fmt::Debug {
 /// [`TruncatedCtmcSolver`]; higher-level analyses (cost optimisation, capacity
 /// planning) accept `&dyn QueueSolver` so the method can be swapped freely.
 ///
+/// Solvers are required to be `Send + Sync`: the sweep helpers hand one `&dyn
+/// QueueSolver` to every worker thread of a [`ThreadPool`](crate::ThreadPool), so
+/// solving must be safe to invoke concurrently.  All solvers in this crate are either
+/// stateless option structs or share only a thread-safe [`SolverCache`](crate::SolverCache).
+///
 /// [`SpectralExpansionSolver`]: crate::SpectralExpansionSolver
 /// [`GeometricApproximation`]: crate::GeometricApproximation
 /// [`MatrixGeometricSolver`]: crate::MatrixGeometricSolver
 /// [`TruncatedCtmcSolver`]: crate::TruncatedCtmcSolver
-pub trait QueueSolver: fmt::Debug {
+pub trait QueueSolver: fmt::Debug + Send + Sync {
     /// Human-readable name of the method (used in reports and experiment output).
     fn name(&self) -> &'static str;
 

@@ -20,8 +20,11 @@
 //!   probability of a well-chosen reference state to 1; the whole solution is rescaled
 //!   afterwards.  Any single balance equation is redundant, so this is exact.
 
+use std::sync::Arc;
+
 use urs_linalg::{BlockTridiagonal, CMatrix, Complex, LinalgError, Matrix};
 
+use crate::cache::SolverCache;
 use crate::config::SystemConfig;
 use crate::error::ModelError;
 use crate::qbd::QbdMatrices;
@@ -66,15 +69,33 @@ impl Default for SpectralOptions {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+///
+/// For parameter sweeps, attach a shared [`SolverCache`] with
+/// [`with_cache`](Self::with_cache): grid points that differ only in the arrival rate
+/// then reuse the λ-independent QBD skeleton, and repeated configurations are answered
+/// from the cache outright — bit-identically in both cases.
+#[derive(Debug, Clone, Default)]
 pub struct SpectralExpansionSolver {
     options: SpectralOptions,
+    cache: Option<Arc<SolverCache>>,
 }
 
 impl SpectralExpansionSolver {
     /// Creates a solver with explicit options.
     pub fn new(options: SpectralOptions) -> Self {
-        SpectralExpansionSolver { options }
+        SpectralExpansionSolver { options, cache: None }
+    }
+
+    /// Attaches a cache of QBD skeletons and complete solutions.  The same cache can
+    /// be shared by several solvers and by every thread of a parallel sweep.
+    pub fn with_cache(mut self, cache: Arc<SolverCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached cache, if any.
+    pub fn cache(&self) -> Option<&Arc<SolverCache>> {
+        self.cache.as_ref()
     }
 
     /// Solves the model, returning the concrete [`SpectralSolution`] (richer than the
@@ -88,7 +109,26 @@ impl SpectralExpansionSolver {
     /// situation the paper's geometric approximation is designed for).
     pub fn solve_detailed(&self, config: &SystemConfig) -> Result<SpectralSolution> {
         config.ensure_stable()?;
-        let qbd = QbdMatrices::new(config)?;
+        match &self.cache {
+            Some(cache) => {
+                if let Some(hit) = cache.lookup_solution(config, &self.options) {
+                    return Ok((*hit).clone());
+                }
+                let qbd =
+                    QbdMatrices::with_skeleton(cache.skeleton(config)?, config.arrival_rate());
+                let solution = self.solve_qbd(config, &qbd)?;
+                cache.store_solution(config, &self.options, solution.clone());
+                Ok(solution)
+            }
+            None => {
+                let qbd = QbdMatrices::new(config)?;
+                self.solve_qbd(config, &qbd)
+            }
+        }
+    }
+
+    /// Runs the spectral expansion on prebuilt QBD matrices.
+    fn solve_qbd(&self, config: &SystemConfig, qbd: &QbdMatrices) -> Result<SpectralSolution> {
         let s = qbd.order();
 
         // 1. Eigenvalues and left eigenvectors of Q(z) inside the unit disk.
@@ -125,11 +165,13 @@ impl SpectralExpansionSolver {
         }
 
         // 2. Boundary equations: block-tridiagonal system over v_0..v_{N-1} and γ.
-        let pin_mode = pin_mode_index(&qbd, config);
-        let boundary = solve_boundary(&qbd, &eigenvalues, &eigenvectors, pin_mode)?;
+        // The pin mode (largest stationary environment probability) is λ-independent
+        // and precomputed in the skeleton.
+        let pin_mode = qbd.skeleton().pin_mode();
+        let boundary = solve_boundary(qbd, &eigenvalues, &eigenvectors, pin_mode)?;
 
         // 3. Assemble the solution and normalise.
-        SpectralSolution::assemble(config, &qbd, eigenvalues, eigenvectors, boundary, self.options)
+        SpectralSolution::assemble(config, qbd, eigenvalues, eigenvectors, boundary, self.options)
     }
 }
 
@@ -141,19 +183,6 @@ impl QueueSolver for SpectralExpansionSolver {
     fn solve(&self, config: &SystemConfig) -> Result<Box<dyn QueueSolution>> {
         Ok(Box::new(self.solve_detailed(config)?))
     }
-}
-
-/// Chooses the state whose balance equation is replaced by the pinning equation: the
-/// mode with the largest stationary environment probability (at queue length 0), which
-/// is guaranteed to carry non-negligible probability mass.
-fn pin_mode_index(qbd: &QbdMatrices, config: &SystemConfig) -> usize {
-    qbd.modes()
-        .stationary_distribution(config.lifecycle())
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-        .map(|(i, _)| i)
-        .unwrap_or(0)
 }
 
 /// Raw (un-normalised) boundary unknowns: `v_0..v_{N-1}` followed by the coefficient
@@ -198,7 +227,7 @@ fn solve_boundary(
             if j + 1 < servers {
                 system.set_upper(
                     j,
-                    &transpose_to_cmatrix(&qbd.c_at(j + 1)) * Complex::from_real(-1.0),
+                    &transpose_to_cmatrix(qbd.c_level(j + 1)) * Complex::from_real(-1.0),
                 )?;
             } else {
                 // Coupling to γ through v_N = γ·U_mat(N):  −(U_mat(N)·C)ᵀ.
@@ -213,7 +242,7 @@ fn solve_boundary(
                 }
                 if servers > 1 {
                     // Zero the pin row of the super-diagonal block as well.
-                    let mut upper = transpose_to_cmatrix(&qbd.c_at(1));
+                    let mut upper = transpose_to_cmatrix(qbd.c_level(1));
                     for col in 0..s {
                         upper[(pin_mode, col)] = Complex::ZERO;
                     }

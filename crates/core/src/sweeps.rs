@@ -3,10 +3,17 @@
 //! These helpers hold everything fixed except one quantity — the variability of the
 //! operative periods, the mean repair time, or the offered load — and report the mean
 //! queue length along the sweep, optionally for several solution methods at once.
+//!
+//! Grid points are independent, so every sweep fans out over a
+//! [`ThreadPool`]: the plain functions use the default pool
+//! (all available cores, or `URS_THREADS`), and each has a `*_with` twin taking an
+//! explicit pool.  Results are returned in grid order and are bit-identical for every
+//! thread count — see the `parallel_equivalence` integration tests.
 
 use urs_dist::HyperExponential;
 
 use crate::config::{ServerLifecycle, SystemConfig};
+use crate::parallel::ThreadPool;
 use crate::solution::QueueSolver;
 use crate::Result;
 
@@ -34,16 +41,35 @@ pub fn queue_length_vs_operative_scv(
     operative_mean: f64,
     scv_values: &[f64],
 ) -> Result<Vec<VariabilityPoint>> {
-    let mut points = Vec::with_capacity(scv_values.len());
-    for &scv in scv_values {
+    queue_length_vs_operative_scv_with(
+        solver,
+        base_config,
+        operative_mean,
+        scv_values,
+        &ThreadPool::default(),
+    )
+}
+
+/// [`queue_length_vs_operative_scv`] with an explicit worker pool.
+///
+/// # Errors
+///
+/// Propagates construction and solver errors (first failing grid point).
+pub fn queue_length_vs_operative_scv_with(
+    solver: &dyn QueueSolver,
+    base_config: &SystemConfig,
+    operative_mean: f64,
+    scv_values: &[f64],
+    pool: &ThreadPool,
+) -> Result<Vec<VariabilityPoint>> {
+    let inoperative = base_config.lifecycle().inoperative();
+    pool.try_par_map(scv_values, |&scv| {
         let operative = HyperExponential::with_mean_and_scv(operative_mean, scv)?;
-        let lifecycle =
-            ServerLifecycle::new(operative, base_config.lifecycle().inoperative().clone());
-        let config = base_config.with_lifecycle(lifecycle);
+        let config =
+            base_config.with_lifecycle(ServerLifecycle::new(operative, inoperative.clone()));
         let solution = solver.solve(&config)?;
-        points.push(VariabilityPoint { scv, mean_queue_length: solution.mean_queue_length() });
-    }
-    Ok(points)
+        Ok(VariabilityPoint { scv, mean_queue_length: solution.mean_queue_length() })
+    })
 }
 
 /// One point of a repair-time sweep (Figure 7).
@@ -70,23 +96,42 @@ pub fn queue_length_vs_repair_time(
     hyperexponential_operative: &HyperExponential,
     mean_repair_times: &[f64],
 ) -> Result<Vec<RepairTimePoint>> {
+    queue_length_vs_repair_time_with(
+        solver,
+        base_config,
+        hyperexponential_operative,
+        mean_repair_times,
+        &ThreadPool::default(),
+    )
+}
+
+/// [`queue_length_vs_repair_time`] with an explicit worker pool.
+///
+/// # Errors
+///
+/// Propagates construction and solver errors (first failing grid point).
+pub fn queue_length_vs_repair_time_with(
+    solver: &dyn QueueSolver,
+    base_config: &SystemConfig,
+    hyperexponential_operative: &HyperExponential,
+    mean_repair_times: &[f64],
+    pool: &ThreadPool,
+) -> Result<Vec<RepairTimePoint>> {
     use urs_dist::ContinuousDistribution;
     let operative_mean = hyperexponential_operative.mean();
     let exponential_operative = HyperExponential::exponential(1.0 / operative_mean)?;
-    let mut points = Vec::with_capacity(mean_repair_times.len());
-    for &repair_time in mean_repair_times {
+    pool.try_par_map(mean_repair_times, |&repair_time| {
         let repair = HyperExponential::exponential(1.0 / repair_time)?;
         let exp_config = base_config
             .with_lifecycle(ServerLifecycle::new(exponential_operative.clone(), repair.clone()));
         let hyper_config = base_config
             .with_lifecycle(ServerLifecycle::new(hyperexponential_operative.clone(), repair));
-        points.push(RepairTimePoint {
+        Ok(RepairTimePoint {
             mean_repair_time: repair_time,
             exponential_operative: solver.solve(&exp_config)?.mean_queue_length(),
             hyperexponential_operative: solver.solve(&hyper_config)?.mean_queue_length(),
-        });
-    }
-    Ok(points)
+        })
+    })
 }
 
 /// One point of a load sweep (Figure 8): the utilisation and the mean queue length for
@@ -116,19 +161,42 @@ pub fn queue_length_vs_load(
     base_config: &SystemConfig,
     utilisations: &[f64],
 ) -> Result<Vec<LoadPoint>> {
+    queue_length_vs_load_with(
+        reference,
+        comparison,
+        base_config,
+        utilisations,
+        &ThreadPool::default(),
+    )
+}
+
+/// [`queue_length_vs_load`] with an explicit worker pool.
+///
+/// Only the arrival rate varies along this sweep, so a
+/// [`SolverCache`](crate::SolverCache)-backed solver builds the QBD skeleton once for
+/// the whole grid.
+///
+/// # Errors
+///
+/// Propagates solver errors (first failing grid point).
+pub fn queue_length_vs_load_with(
+    reference: &dyn QueueSolver,
+    comparison: &dyn QueueSolver,
+    base_config: &SystemConfig,
+    utilisations: &[f64],
+    pool: &ThreadPool,
+) -> Result<Vec<LoadPoint>> {
     let capacity = base_config.effective_servers() * base_config.service_rate();
-    let mut points = Vec::with_capacity(utilisations.len());
-    for &rho in utilisations {
+    pool.try_par_map(utilisations, |&rho| {
         let arrival_rate = rho * capacity;
         let config = base_config.with_arrival_rate(arrival_rate)?;
-        points.push(LoadPoint {
+        Ok(LoadPoint {
             utilisation: rho,
             arrival_rate,
             reference: reference.solve(&config)?.mean_queue_length(),
             comparison: comparison.solve(&config)?.mean_queue_length(),
-        });
-    }
-    Ok(points)
+        })
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,239 @@
+//! Parallel-vs-serial and cached-vs-uncached equivalence.
+//!
+//! The performance subsystem promises that neither the [`ThreadPool`] nor the
+//! [`SolverCache`] changes any result: every parallelised sweep must return exactly —
+//! bit for bit — what the serial path returns, in the same order, and a cached solver
+//! must reproduce the uncached solution.  These tests pin that contract, including
+//! property tests over randomly drawn configurations.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use urs_core::sweeps::{
+    queue_length_vs_load_with, queue_length_vs_operative_scv_with, queue_length_vs_repair_time_with,
+};
+use urs_core::{
+    CostModel, CostSweep, GeometricApproximation, ProvisioningSweep, QueueSolution,
+    ServerLifecycle, SolverCache, SpectralExpansionSolver, SystemConfig, ThreadPool,
+};
+use urs_dist::HyperExponential;
+
+fn paper_base(servers: usize, lambda: f64, repair_rate: f64) -> SystemConfig {
+    let operative = HyperExponential::with_mean_and_scv(34.62, 4.6).unwrap();
+    let lifecycle = ServerLifecycle::with_exponential_repair(operative, repair_rate).unwrap();
+    SystemConfig::new(servers, lambda, 1.0, lifecycle).unwrap()
+}
+
+fn pools() -> Vec<ThreadPool> {
+    vec![ThreadPool::new(2), ThreadPool::new(4), ThreadPool::new(7)]
+}
+
+#[test]
+fn scv_sweep_is_thread_count_invariant() {
+    let solver = SpectralExpansionSolver::default();
+    let base = paper_base(5, 4.2, 0.2);
+    let grid = [1.0, 2.0, 4.0, 8.0, 12.0];
+    let serial =
+        queue_length_vs_operative_scv_with(&solver, &base, 34.62, &grid, &ThreadPool::serial())
+            .unwrap();
+    for pool in pools() {
+        let parallel =
+            queue_length_vs_operative_scv_with(&solver, &base, 34.62, &grid, &pool).unwrap();
+        assert_eq!(serial, parallel, "{} threads changed the sweep", pool.threads());
+    }
+}
+
+#[test]
+fn repair_sweep_is_thread_count_invariant() {
+    let solver = SpectralExpansionSolver::default();
+    let operative = HyperExponential::with_mean_and_scv(34.62, 4.6).unwrap();
+    let base = paper_base(5, 3.5, 1.0);
+    let grid = [0.5, 1.0, 1.5, 2.0];
+    let serial =
+        queue_length_vs_repair_time_with(&solver, &base, &operative, &grid, &ThreadPool::serial())
+            .unwrap();
+    for pool in pools() {
+        let parallel =
+            queue_length_vs_repair_time_with(&solver, &base, &operative, &grid, &pool).unwrap();
+        assert_eq!(serial, parallel);
+    }
+}
+
+#[test]
+fn load_sweep_is_thread_count_invariant() {
+    let exact = SpectralExpansionSolver::default();
+    let approx = GeometricApproximation::default();
+    let base = paper_base(5, 3.0, 25.0);
+    let grid = [0.85, 0.9, 0.93, 0.96];
+    let serial =
+        queue_length_vs_load_with(&exact, &approx, &base, &grid, &ThreadPool::serial()).unwrap();
+    for pool in pools() {
+        let parallel = queue_length_vs_load_with(&exact, &approx, &base, &grid, &pool).unwrap();
+        assert_eq!(serial, parallel);
+    }
+}
+
+#[test]
+fn cost_sweep_is_thread_count_invariant_and_skips_unstable_counts() {
+    let solver = SpectralExpansionSolver::default();
+    let cost = CostModel::paper_figure5();
+    // λ = 7 makes N = 5..=7 unstable: the skip logic must also be order-preserving.
+    let base = paper_base(5, 7.0, 25.0);
+    let serial =
+        CostSweep::evaluate_with(&solver, &base, &cost, 5..=12, &ThreadPool::serial()).unwrap();
+    assert!(serial.points().iter().all(|p| p.servers >= 8));
+    for pool in pools() {
+        let parallel = CostSweep::evaluate_with(&solver, &base, &cost, 5..=12, &pool).unwrap();
+        assert_eq!(serial, parallel);
+    }
+}
+
+#[test]
+fn provisioning_sweep_is_thread_count_invariant() {
+    let solver = SpectralExpansionSolver::default();
+    let base = paper_base(8, 6.0, 25.0);
+    let serial =
+        ProvisioningSweep::evaluate_with(&solver, &base, 7..=12, &ThreadPool::serial()).unwrap();
+    for pool in pools() {
+        let parallel = ProvisioningSweep::evaluate_with(&solver, &base, 7..=12, &pool).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(
+            serial.min_servers_for_response_time(2.0),
+            parallel.min_servers_for_response_time(2.0)
+        );
+    }
+}
+
+#[test]
+fn cached_solver_is_bit_identical_to_uncached() {
+    let plain = SpectralExpansionSolver::default();
+    let cached = SpectralExpansionSolver::default().with_cache(SolverCache::shared());
+    let base = paper_base(4, 2.5, 25.0);
+    for lambda in [1.0, 2.5, 3.5] {
+        let config = base.with_arrival_rate(lambda).unwrap();
+        let expected = plain.solve_detailed(&config).unwrap();
+        // First call populates the cache (skeleton reused after λ = 1.0), the second is
+        // answered from the solution cache; both must match the uncached bits.
+        for _ in 0..2 {
+            let got = cached.solve_detailed(&config).unwrap();
+            assert_eq!(expected.mean_queue_length().to_bits(), got.mean_queue_length().to_bits());
+            assert_eq!(expected.boundary_levels(), got.boundary_levels());
+            assert_eq!(expected.eigenvalues(), got.eigenvalues());
+        }
+    }
+    let stats = cached.cache().unwrap().stats();
+    assert_eq!(stats.skeleton_misses, 1, "one lifecycle, one skeleton build");
+    assert_eq!(stats.solution_hits, 3);
+}
+
+#[test]
+fn cached_sweep_matches_uncached_sweep() {
+    let plain = SpectralExpansionSolver::default();
+    let cached = SpectralExpansionSolver::default().with_cache(SolverCache::shared());
+    let approx = GeometricApproximation::default();
+    let base = paper_base(5, 3.0, 25.0);
+    let grid = [0.85, 0.9, 0.95];
+    let without =
+        queue_length_vs_load_with(&plain, &approx, &base, &grid, &ThreadPool::serial()).unwrap();
+    let with =
+        queue_length_vs_load_with(&cached, &approx, &base, &grid, &ThreadPool::new(3)).unwrap();
+    assert_eq!(without, with);
+    // The whole sweep shares one skeleton.  (Assert on the cache contents, not the
+    // miss counter: threads racing through the empty-cache window each count a miss.)
+    assert_eq!(cached.cache().unwrap().len().0, 1);
+}
+
+#[test]
+fn shared_cache_works_across_solvers_and_threads() {
+    let cache = SolverCache::shared();
+    let solver_a = SpectralExpansionSolver::default().with_cache(Arc::clone(&cache));
+    let solver_b = SpectralExpansionSolver::default().with_cache(Arc::clone(&cache));
+    let base = paper_base(6, 4.0, 25.0);
+    let grid: Vec<f64> = (0..8).map(|i| 0.80 + i as f64 * 0.02).collect();
+    let a = queue_length_vs_load_with(
+        &solver_a,
+        &SpectralExpansionSolver::default(),
+        &base,
+        &grid,
+        &ThreadPool::new(4),
+    )
+    .unwrap();
+    let b = queue_length_vs_load_with(
+        &solver_b,
+        &SpectralExpansionSolver::default(),
+        &base,
+        &grid,
+        &ThreadPool::serial(),
+    )
+    .unwrap();
+    assert_eq!(a, b);
+    // One skeleton in the cache (the miss counter can exceed 1 when threads race
+    // through the empty-cache window, so assert on the contents).
+    assert_eq!(cache.len().0, 1);
+    // The second, serial sweep re-solves the identical configurations: all hits.
+    assert!(cache.stats().solution_hits >= grid.len() as u64);
+}
+
+/// Strategy: a stable paper-like configuration with 2–5 servers and varied lifecycle.
+fn config_strategy() -> impl Strategy<Value = SystemConfig> {
+    (2_usize..=5, 1.5_f64..8.0, 0.3_f64..0.9, 0.3_f64..30.0).prop_map(
+        |(servers, scv, utilisation, repair_rate)| {
+            let operative = HyperExponential::with_mean_and_scv(34.62, scv).unwrap();
+            let lifecycle =
+                ServerLifecycle::with_exponential_repair(operative, repair_rate).unwrap();
+            let base = SystemConfig::new(servers, 1.0, 1.0, lifecycle).unwrap();
+            let arrival = (utilisation * base.effective_servers()).max(1e-3);
+            base.with_arrival_rate(arrival).unwrap()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random configurations, random utilisation grids: parallel load sweeps are
+    /// bit-identical to serial ones, cached or not.
+    #[test]
+    fn random_load_sweeps_are_thread_and_cache_invariant(
+        config in config_strategy(),
+        threads in 2_usize..6,
+    ) {
+        let grid = [0.75, 0.85, 0.92];
+        let exact = SpectralExpansionSolver::default();
+        let cached = SpectralExpansionSolver::default().with_cache(SolverCache::shared());
+        let approx = GeometricApproximation::default();
+        let serial =
+            queue_length_vs_load_with(&exact, &approx, &config, &grid, &ThreadPool::serial())
+                .unwrap();
+        let parallel =
+            queue_length_vs_load_with(&exact, &approx, &config, &grid, &ThreadPool::new(threads))
+                .unwrap();
+        let parallel_cached =
+            queue_length_vs_load_with(&cached, &approx, &config, &grid, &ThreadPool::new(threads))
+                .unwrap();
+        prop_assert_eq!(&serial, &parallel);
+        prop_assert_eq!(&serial, &parallel_cached);
+    }
+
+    /// Random provisioning sweeps: same contract for the server-count grids of
+    /// Figures 5 and 9.
+    #[test]
+    fn random_provisioning_sweeps_are_thread_invariant(
+        config in config_strategy(),
+        threads in 2_usize..6,
+    ) {
+        let lo = config.servers();
+        let solver = SpectralExpansionSolver::default();
+        let serial =
+            ProvisioningSweep::evaluate_with(&solver, &config, lo..=lo + 4, &ThreadPool::serial())
+                .unwrap();
+        let parallel = ProvisioningSweep::evaluate_with(
+            &solver,
+            &config,
+            lo..=lo + 4,
+            &ThreadPool::new(threads),
+        )
+        .unwrap();
+        prop_assert_eq!(serial, parallel);
+    }
+}

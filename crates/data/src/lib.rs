@@ -8,10 +8,18 @@
 //! in the paper, including a configurable fraction of anomalous rows (Time Between
 //! Events smaller than the Outage Duration) matching the ~4% the paper discards.
 //!
-//! The [`analysis`] module then reruns the paper's entire empirical pipeline on such a
+//! The [`TraceAnalysis`] pipeline then reruns the paper's entire empirical analysis on such a
 //! trace: cleaning, histogramming, moment estimation, exponential and hyperexponential
 //! fitting, and Kolmogorov–Smirnov goodness-of-fit testing — reproducing Figures 3
 //! and 4 and the quantitative conclusions of Section 2.
+//!
+//! # Paper map
+//!
+//! | Paper artefact | Here |
+//! |---|---|
+//! | §2 Sun breakdown trace (proprietary) | [`SyntheticTrace`] stand-in |
+//! | §2 cleaning of anomalous rows (~4%) | the cleaning step of [`TraceAnalysis`] |
+//! | §2 fits and KS decisions, Figures 3–4 | [`TraceAnalysis`], [`PeriodAnalysis`] |
 //!
 //! # Example
 //!

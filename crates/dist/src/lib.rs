@@ -15,6 +15,14 @@
 //!   (three-moment matching, balanced means, brute-force rate search, EM);
 //! * Kolmogorov–Smirnov goodness-of-fit testing in [`ks`].
 //!
+//! # Paper map
+//!
+//! | Paper artefact | Here |
+//! |---|---|
+//! | §2 hyperexponential fits of the Sun trace | [`HyperExponential`], [`fit`] |
+//! | §2 goodness-of-fit decisions (Figures 3–4) | [`ks::KsTest`] |
+//! | §3 balanced-means `H₂(mean, C²)` construction | [`HyperExponential::with_mean_and_scv`] |
+//!
 //! # Example
 //!
 //! ```

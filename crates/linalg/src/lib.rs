@@ -20,6 +20,14 @@
 //! bindings are used, which keeps the workspace buildable in fully offline
 //! environments.
 //!
+//! # Paper map
+//!
+//! This crate is the numerical engine behind the paper's Section 3: the quadratic
+//! eigenproblem of the characteristic polynomial `Q(z)` (§3.1, spectral expansion)
+//! lives in [`QuadraticEigenProblem`], and the boundary balance equations are solved
+//! through [`BlockTridiagonal`].  Everything here is immutable once constructed and
+//! safe to share across the worker threads of `urs_core`'s parallel sweeps.
+//!
 //! # Example
 //!
 //! ```

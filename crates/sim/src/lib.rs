@@ -17,6 +17,20 @@
 //! breakdown-queue model itself ([`BreakdownQueueSimulation`]), and replication /
 //! confidence-interval machinery ([`Replications`]).
 //!
+//! # Paper map
+//!
+//! | Paper artefact | Here |
+//! |---|---|
+//! | validation of the exact solution (Table, §3) | [`BreakdownQueueSimulation`] vs `urs_core` |
+//! | deterministic `C² = 0` point of Figure 6 | [`urs_dist::Deterministic`] operative periods |
+//! | simulation confidence intervals | [`Replications`], [`ConfidenceInterval`] |
+//!
+//! Replications run in parallel by default: they are independent by construction
+//! (consecutive seeds), so [`Replications::run`] fans them out over a
+//! [`urs_core::ThreadPool`] while keeping per-replication seeding and result order
+//! fixed — summaries are bit-identical for every thread count.  Use
+//! [`Replications::run_with`] to control the pool explicitly.
+//!
 //! # Example
 //!
 //! ```

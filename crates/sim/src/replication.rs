@@ -1,4 +1,12 @@
 //! Independent replications and confidence intervals.
+//!
+//! Replications are statistically independent by construction (consecutive seeds feed
+//! independent RNG streams), so [`Replications::run`] fans them out across the worker
+//! threads of a [`ThreadPool`]: replication `i` always uses seed `base_seed + i` and
+//! the per-replication results are aggregated in replication order, making the summary
+//! bit-identical for every thread count.
+
+use urs_core::ThreadPool;
 
 use crate::error::SimError;
 use crate::queue_sim::{BreakdownQueueSimulation, SimulationResult};
@@ -107,7 +115,8 @@ impl Replications {
         Replications { count, base_seed }
     }
 
-    /// Runs the replications and aggregates the results.
+    /// Runs the replications — in parallel on the default [`ThreadPool`] — and
+    /// aggregates the results.
     ///
     /// # Errors
     ///
@@ -115,6 +124,23 @@ impl Replications {
     /// requested (no variance estimate is possible), and propagates failures of the
     /// individual runs.
     pub fn run(&self, simulation: &BreakdownQueueSimulation) -> Result<ReplicationSummary> {
+        self.run_with(simulation, &ThreadPool::default())
+    }
+
+    /// [`run`](Self::run) with an explicit worker pool.
+    ///
+    /// Replication `i` is always seeded `base_seed + i` and the summary aggregates
+    /// results in replication order, so the outcome is bit-identical for every thread
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run`](Self::run).
+    pub fn run_with(
+        &self,
+        simulation: &BreakdownQueueSimulation,
+        pool: &ThreadPool,
+    ) -> Result<ReplicationSummary> {
         if self.count < 2 {
             return Err(SimError::InvalidParameter {
                 name: "replications",
@@ -122,9 +148,9 @@ impl Replications {
                 constraint: "at least 2 replications are needed for a confidence interval",
             });
         }
-        let results: Vec<SimulationResult> = (0..self.count)
-            .map(|i| simulation.run(self.base_seed + i as u64))
-            .collect::<Result<Vec<_>>>()?;
+        let seeds: Vec<u64> = (0..self.count as u64).map(|i| self.base_seed + i).collect();
+        let results: Vec<SimulationResult> =
+            pool.try_par_map(&seeds, |&seed| simulation.run(seed))?;
         Ok(ReplicationSummary {
             replications: self.count,
             mean_queue_length: interval(results.iter().map(|r| r.mean_queue_length())),
@@ -196,6 +222,21 @@ mod tests {
         );
         assert!(summary.mean_response_time.mean > 0.0);
         assert!((summary.mean_operative_servers.mean - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn parallel_replications_bit_identical_to_serial() {
+        // Per-replication seeding is by index, so the summary must not depend on the
+        // thread count — down to the last bit.
+        let simulation = quick_simulation(0.7);
+        let runner = Replications::new(6, 13);
+        let serial = runner.run_with(&simulation, &ThreadPool::serial()).unwrap();
+        for threads in [2, 4] {
+            let parallel = runner.run_with(&simulation, &ThreadPool::new(threads)).unwrap();
+            assert_eq!(serial, parallel, "thread count {threads} changed the summary");
+        }
+        // The implicit-pool entry point agrees as well.
+        assert_eq!(serial, runner.run(&simulation).unwrap());
     }
 
     #[test]

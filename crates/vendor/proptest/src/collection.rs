@@ -5,7 +5,7 @@ use std::ops::Range;
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 
-/// Length specification for [`vec`]: a fixed length or a half-open range.
+/// Length specification for [`vec()`]: a fixed length or a half-open range.
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     min: usize,
@@ -35,7 +35,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     VecStrategy { element, size: size.into() }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

@@ -22,6 +22,12 @@
 //! * [`linalg`] (`urs-linalg`) — the dense real/complex linear algebra and eigenvalue
 //!   machinery everything else is built on.
 //!
+//! Parameter sweeps and simulation replications run in parallel by default on
+//! [`core::ThreadPool`] (scoped threads, deterministic result order — set
+//! `URS_THREADS=1` to force the serial path), and [`core::SolverCache`] lets repeated
+//! or λ-only-varying solves reuse the expensive spectral factorisation state; both are
+//! bit-identity-preserving.  See the README's "Performance" section.
+//!
 //! This umbrella crate simply re-exports the sub-crates under convenient names so that
 //! an application can depend on a single crate:
 //!
