@@ -4,11 +4,13 @@
 //! Sun-like trace together with the density of the fitted two-phase hyperexponential
 //! and, for contrast, of the rejected exponential fit — the three curves of Figure 3.
 
-use urs_bench::{print_header, print_row};
+use urs_bench::{print_header, print_row, smoke};
 use urs_data::{AnalysisOptions, SyntheticTrace, TraceAnalysis};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let events: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(140_000);
+    let default_events = if smoke() { 20_000 } else { 140_000 };
+    let events: usize =
+        std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(default_events);
     let trace = SyntheticTrace::paper_like().with_events(events).generate(2006)?;
     let analysis = TraceAnalysis::run(&trace, AnalysisOptions::default())?;
 

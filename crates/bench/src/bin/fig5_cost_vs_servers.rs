@@ -4,7 +4,7 @@
 //! Paper reference: the optimal number of servers is 11 for λ = 7, 12 for λ = 8 and
 //! 13 for λ = 8.5.
 
-use urs_bench::{figure5_lifecycle, print_header, print_row, system};
+use urs_bench::{figure5_lifecycle, print_header, print_row, smoke, system};
 use urs_core::{CostModel, CostSweep, SolverCache, SpectralExpansionSolver};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -14,9 +14,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let solver = SpectralExpansionSolver::default().with_cache(cache.clone());
     let cost_model = CostModel::paper_figure5();
     let base = system(9, 7.0, figure5_lifecycle());
-    for &lambda in &[7.0, 8.0, 8.5] {
+    let lambdas: &[f64] = if smoke() { &[8.0] } else { &[7.0, 8.0, 8.5] };
+    let top_n = if smoke() { 13 } else { 17 };
+    for &lambda in lambdas {
         let base = base.with_arrival_rate(lambda)?;
-        let sweep = CostSweep::evaluate(&solver, &base, &cost_model, 9..=17)?;
+        let sweep = CostSweep::evaluate(&solver, &base, &cost_model, 9..=top_n)?;
         print_header(
             &format!("Figure 5: cost vs number of servers (lambda = {lambda}, c1 = 4, c2 = 1)"),
             &["N", "L", "cost C"],

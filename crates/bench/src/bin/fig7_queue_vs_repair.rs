@@ -4,13 +4,15 @@
 //! Parameters as in the paper: N = 10, λ = 8, µ = 1, mean operative period 34.62
 //! (ξ = 0.0289); the mean repair time 1/η ranges from 1 to 5.
 
-use urs_bench::{paper_operative, print_header, print_row, sensitivity_lifecycle, system};
+use urs_bench::{paper_operative, print_header, print_row, sensitivity_lifecycle, smoke, system};
 use urs_core::{sweeps::queue_length_vs_repair_time, SpectralExpansionSolver};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // No cache here: every grid point has a distinct lifecycle, so nothing repeats.
     let solver = SpectralExpansionSolver::default();
-    let repair_times: Vec<f64> = (0..10).map(|i| 1.0 + i as f64 * 4.0 / 9.0).collect();
+    let grid_points = if smoke() { 3 } else { 10 };
+    let repair_times: Vec<f64> =
+        (0..grid_points).map(|i| 1.0 + i as f64 * 4.0 / (grid_points - 1) as f64).collect();
     let base = system(10, 8.0, sensitivity_lifecycle(4.6, 1.0));
     let points = queue_length_vs_repair_time(&solver, &base, &paper_operative(), &repair_times)?;
 

@@ -7,7 +7,7 @@
 //! of servers and reports the mean together with the 90th, 95th and 99th percentiles of
 //! the response time, alongside the analytic mean for reference.
 
-use urs_bench::{figure5_lifecycle, print_header, system};
+use urs_bench::{figure5_lifecycle, print_header, smoke, system};
 use urs_core::{QueueSolver, SpectralExpansionSolver};
 use urs_dist::Exponential;
 use urs_sim::{BreakdownQueueSimulation, SimulationConfig};
@@ -18,15 +18,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Open problem: response-time percentiles by simulation (lambda = 7.5, eta = 25)",
         &["N", "W analytic", "W simulated", "90th pct", "95th pct", "99th pct"],
     );
-    for servers in 9..=13 {
+    let (last_n, warmup, horizon) =
+        if smoke() { (10, 3_000.0, 30_000.0) } else { (13, 20_000.0, 220_000.0) };
+    for servers in 9..=last_n {
         let config = system(servers, 7.5, lifecycle.clone());
         let analytic = SpectralExpansionSolver::default().solve(&config)?.mean_response_time();
         let sim_config = SimulationConfig::builder(servers, 7.5)
             .service(Exponential::new(1.0)?)
             .operative(lifecycle.operative().clone())
             .inoperative(lifecycle.inoperative().clone())
-            .warmup(20_000.0)
-            .horizon(220_000.0)
+            .warmup(warmup)
+            .horizon(horizon)
             .build()?;
         let result = BreakdownQueueSimulation::new(sim_config).run(2006)?;
         println!(

@@ -7,11 +7,12 @@
 
 use std::time::Instant;
 
-use urs_bench::{figure5_lifecycle, system};
+use urs_bench::{figure5_lifecycle, smoke, system};
 use urs_core::{GeometricApproximation, QueueSolver, SpectralExpansionSolver};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let max_n: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(20);
+    let default_max = if smoke() { 8 } else { 20 };
+    let max_n: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(default_max);
     println!("Solver scaling at utilisation 0.9 (exact spectral expansion vs approximation)");
     println!(
         "{:>4}  {:>6}  {:>12}  {:>12}  {:>12}  {:>10}  {:>10}",

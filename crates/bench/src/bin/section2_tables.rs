@@ -11,10 +11,13 @@
 //! with D = 0.1412 (50 points).  Inoperative periods: hyperexponential fit
 //! β = (0.9303, 0.0697), η = (25.0043, 1.6346), D = 0.1832 (40 points).
 
+use urs_bench::smoke;
 use urs_data::{AnalysisOptions, SyntheticTrace, TraceAnalysis};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let events: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(140_000);
+    let default_events = if smoke() { 20_000 } else { 140_000 };
+    let events: usize =
+        std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(default_events);
     let trace = SyntheticTrace::paper_like().with_events(events).generate(2006)?;
     let analysis = TraceAnalysis::run(&trace, AnalysisOptions::default())?;
 

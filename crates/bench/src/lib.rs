@@ -14,6 +14,7 @@
 //! | `fig5_cost_vs_servers` | Figure 5 (cost optimisation) |
 //! | `fig6_queue_vs_cv`, `fig7_queue_vs_repair`, `fig8_exact_vs_approx` | Figures 6–8 |
 //! | `fig9_response_vs_servers` | Figure 9 (provisioning) |
+//! | `het_mixed_fleet` | §6 future work: heterogeneous server classes |
 //!
 //! The sweep-driven binaries (Figures 5–9) run their grids on `urs_core`'s parallel
 //! [`ThreadPool`](urs_core::ThreadPool); the ones whose grids revisit a lifecycle
@@ -56,6 +57,15 @@ pub fn sensitivity_lifecycle(operative_scv: f64, repair_rate: f64) -> ServerLife
 /// numerical experiment of the paper.
 pub fn system(servers: usize, arrival_rate: f64, lifecycle: ServerLifecycle) -> SystemConfig {
     SystemConfig::new(servers, arrival_rate, 1.0, lifecycle).expect("valid configuration")
+}
+
+/// `true` when the `URS_SMOKE` environment variable is set to a non-empty value other
+/// than `0`.  The figure binaries then shrink their grids, horizons and replication
+/// budgets so CI can smoke-run every binary in seconds — catching solver/binary drift
+/// that library tests alone would miss — while the default full-size runs reproduce
+/// the paper's figures unchanged.
+pub fn smoke() -> bool {
+    std::env::var("URS_SMOKE").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
 }
 
 /// Prints a header line followed by a separator, for simple aligned tables.

@@ -14,8 +14,11 @@
 //! asymptotically exact in heavy traffic (Mitrani 2005) — exactly the behaviour
 //! reproduced in Figure 8.
 
+use std::sync::Arc;
+
 use urs_linalg::Complex;
 
+use crate::cache::{EigenEntry, SolverCache};
 use crate::config::SystemConfig;
 use crate::error::ModelError;
 use crate::qbd::QbdMatrices;
@@ -36,16 +39,61 @@ use crate::Result;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+///
+/// When the approximation is compared against the exact solution on the same grid
+/// (Figures 8 and 9), attach the *same* [`SolverCache`] to both solvers with
+/// [`with_cache`](Self::with_cache): the approximation then reuses the eigensystem
+/// the spectral solver factorised for the identical `(skeleton, λ)` instead of
+/// re-solving the quadratic eigenproblem.
+#[derive(Debug, Clone)]
 pub struct GeometricApproximation {
     /// Margin used to separate eigenvalues inside the unit disk from the one at 1.
     unit_disk_margin: f64,
+    cache: Option<Arc<SolverCache>>,
+}
+
+impl Default for GeometricApproximation {
+    fn default() -> Self {
+        GeometricApproximation { unit_disk_margin: 1e-9, cache: None }
+    }
 }
 
 impl GeometricApproximation {
     /// Creates the approximation with an explicit unit-disk classification margin.
-    pub fn with_margin(unit_disk_margin: f64) -> Self {
-        GeometricApproximation { unit_disk_margin }
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] when the margin is not positive and
+    /// finite (mirroring the validation of
+    /// [`SpectralOptions`](crate::SpectralOptions) keys — a non-positive margin would
+    /// misclassify the eigenvalue at 1 as "inside the unit disk").
+    pub fn with_margin(unit_disk_margin: f64) -> Result<Self> {
+        if !(unit_disk_margin.is_finite() && unit_disk_margin > 0.0) {
+            return Err(ModelError::InvalidParameter {
+                name: "unit_disk_margin",
+                value: unit_disk_margin,
+                constraint: "must be finite and positive",
+            });
+        }
+        Ok(GeometricApproximation { unit_disk_margin, cache: None })
+    }
+
+    /// The unit-disk classification margin in use.
+    pub fn margin(&self) -> f64 {
+        self.unit_disk_margin
+    }
+
+    /// Attaches a [`SolverCache`]; share it with a
+    /// [`SpectralExpansionSolver`](crate::SpectralExpansionSolver) so the two solvers
+    /// factorise each `(skeleton, λ)` eigenproblem once between them.
+    pub fn with_cache(mut self, cache: Arc<SolverCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached cache, if any.
+    pub fn cache(&self) -> Option<&Arc<SolverCache>> {
+        self.cache.as_ref()
     }
 
     /// Solves the model, returning the concrete [`GeometricSolution`].
@@ -56,49 +104,110 @@ impl GeometricApproximation {
     /// [`ModelError::SpectralFailure`] if no admissible dominant eigenvalue is found.
     pub fn solve_detailed(&self, config: &SystemConfig) -> Result<GeometricSolution> {
         config.ensure_stable()?;
-        let qbd = QbdMatrices::new(config)?;
-        let margin = if self.unit_disk_margin > 0.0 { self.unit_disk_margin } else { 1e-9 };
+        let margin = self.unit_disk_margin;
+        let Some(cache) = &self.cache else {
+            let qbd = QbdMatrices::new(config)?;
+            let problem = urs_linalg::QuadraticEigenProblem::new(qbd.q0(), qbd.q1(), qbd.q2())?;
+            let inside: Vec<Complex> =
+                problem.eigenvalues_inside_unit_disk(margin)?.iter().map(|e| e.z).collect();
+            let dominant = dominant_index(&inside)?;
+            let u = problem.left_eigenvector(inside[dominant])?;
+            return assemble_solution(config, inside[dominant], &u);
+        };
+        if let Some(entry) = cache.lookup_eigensystem(config, margin)? {
+            let dominant = dominant_index(&entry.eigenvalues)?;
+            let z = entry.eigenvalues[dominant];
+            let u = match &entry.eigenvectors[dominant] {
+                Some(u) => u.clone(),
+                None => {
+                    // Entry produced without this eigenvector (both current producers
+                    // do store it, but a partial entry is legal) — one linear solve,
+                    // no repeated eigenvalue factorisation, and the enriched entry is
+                    // written back so the solve happens at most once per key.
+                    let qbd =
+                        QbdMatrices::with_skeleton(cache.skeleton(config)?, config.arrival_rate());
+                    let u = urs_linalg::QuadraticEigenProblem::new(qbd.q0(), qbd.q1(), qbd.q2())?
+                        .left_eigenvector(z)?;
+                    let mut enriched = (*entry).clone();
+                    enriched.eigenvectors[dominant] = Some(u.clone());
+                    cache.store_eigensystem(config, margin, enriched)?;
+                    u
+                }
+            };
+            return assemble_solution(config, z, &u);
+        }
+        // Miss: factorise once and publish the eigenvalues plus the dominant
+        // eigenvector so later solves (either solver) can reuse them.
+        let qbd = QbdMatrices::with_skeleton(cache.skeleton(config)?, config.arrival_rate());
         let problem = urs_linalg::QuadraticEigenProblem::new(qbd.q0(), qbd.q1(), qbd.q2())?;
-        let inside = problem.eigenvalues_inside_unit_disk(margin)?;
-        let dominant = inside
-            .iter()
-            .map(|e| e.z)
-            .filter(|z| z.im.abs() < 1e-8 && z.re > 0.0)
-            .max_by(|a, b| a.re.partial_cmp(&b.re).unwrap_or(std::cmp::Ordering::Equal))
-            .ok_or_else(|| {
-                ModelError::SpectralFailure(
-                    "no real positive eigenvalue found inside the unit disk".into(),
-                )
-            })?;
-        let u = problem.left_eigenvector(dominant)?;
-        // The eigenvector of a real eigenvalue can be taken real; normalise it to a
-        // probability vector over the modes.
-        let mut real_u: Vec<f64> = u.iter().map(|c| c.re).collect();
-        let sum: f64 = real_u.iter().sum();
-        if sum.abs() < 1e-300 {
-            return Err(ModelError::SpectralFailure(
-                "dominant eigenvector has vanishing component sum".into(),
-            ));
-        }
-        for value in &mut real_u {
-            *value /= sum;
-        }
-        // The stationary mode distribution is non-negative; flip sign conventions if
-        // necessary and reject genuinely mixed-sign vectors.
-        if real_u.iter().any(|p| *p < -1e-8) {
-            return Err(ModelError::SpectralFailure(
-                "dominant eigenvector is not a non-negative vector".into(),
-            ));
-        }
-        for value in &mut real_u {
-            *value = value.max(0.0);
-        }
-        Ok(GeometricSolution {
-            arrival_rate: config.arrival_rate(),
-            decay_rate: dominant.re,
-            mode_distribution: real_u,
-        })
+        let inside: Vec<Complex> =
+            problem.eigenvalues_inside_unit_disk(margin)?.iter().map(|e| e.z).collect();
+        let dominant = dominant_index(&inside)?;
+        let u = problem.left_eigenvector(inside[dominant])?;
+        let eigenvectors =
+            (0..inside.len()).map(|i| if i == dominant { Some(u.clone()) } else { None }).collect();
+        cache.store_eigensystem(
+            config,
+            margin,
+            EigenEntry { eigenvalues: inside.clone(), eigenvectors },
+        )?;
+        assemble_solution(config, inside[dominant], &u)
     }
+}
+
+/// Index of the dominant admissible eigenvalue: the largest real positive one.
+///
+/// # Errors
+///
+/// Returns [`ModelError::SpectralFailure`] when no real positive eigenvalue exists.
+fn dominant_index(eigenvalues: &[Complex]) -> Result<usize> {
+    eigenvalues
+        .iter()
+        .enumerate()
+        .filter(|(_, z)| z.im.abs() < 1e-8 && z.re > 0.0)
+        .max_by(|(_, a), (_, b)| a.re.partial_cmp(&b.re).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .ok_or_else(|| {
+            ModelError::SpectralFailure(
+                "no real positive eigenvalue found inside the unit disk".into(),
+            )
+        })
+}
+
+/// Normalises the dominant left eigenvector into a probability vector over the modes
+/// and assembles the geometric solution.
+fn assemble_solution(
+    config: &SystemConfig,
+    dominant: Complex,
+    u: &[Complex],
+) -> Result<GeometricSolution> {
+    // The eigenvector of a real eigenvalue can be taken real; normalise it to a
+    // probability vector over the modes.
+    let mut real_u: Vec<f64> = u.iter().map(|c| c.re).collect();
+    let sum: f64 = real_u.iter().sum();
+    if sum.abs() < 1e-300 {
+        return Err(ModelError::SpectralFailure(
+            "dominant eigenvector has vanishing component sum".into(),
+        ));
+    }
+    for value in &mut real_u {
+        *value /= sum;
+    }
+    // The stationary mode distribution is non-negative; flip sign conventions if
+    // necessary and reject genuinely mixed-sign vectors.
+    if real_u.iter().any(|p| *p < -1e-8) {
+        return Err(ModelError::SpectralFailure(
+            "dominant eigenvector is not a non-negative vector".into(),
+        ));
+    }
+    for value in &mut real_u {
+        *value = value.max(0.0);
+    }
+    Ok(GeometricSolution {
+        arrival_rate: config.arrival_rate(),
+        decay_rate: dominant.re,
+        mode_distribution: real_u,
+    })
 }
 
 impl QueueSolver for GeometricApproximation {
@@ -168,12 +277,6 @@ impl QueueSolution for GeometricSolution {
 /// Same conditions as [`GeometricApproximation::solve_detailed`].
 pub fn dominant_eigenvalue(config: &SystemConfig) -> Result<f64> {
     Ok(GeometricApproximation::default().solve_detailed(config)?.decay_rate())
-}
-
-/// Checks that a complex number is (numerically) a real probability-like decay rate.
-#[allow(dead_code)]
-fn is_admissible(z: Complex) -> bool {
-    z.im.abs() < 1e-8 && z.re > 0.0 && z.re < 1.0
 }
 
 #[cfg(test)]

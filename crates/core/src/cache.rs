@@ -1,25 +1,33 @@
 //! Keyed caching of the expensive, reusable pieces of the spectral solution.
 //!
 //! Profiling the sweeps behind the paper's Figures 5–9 shows that every grid point
-//! used to rebuild two kinds of state from scratch:
+//! used to rebuild three kinds of state from scratch:
 //!
 //! 1. the **QBD skeleton** — the mode enumeration and the generator blocks `A`, `Dᴬ`,
-//!    `C_0..C_N` — which depends only on `(N, µ, lifecycle)` and not on the arrival
-//!    rate, so a load sweep (Figure 8) rebuilds the identical skeleton at every point;
-//! 2. the **full spectral factorisation and solution**, which is repeated verbatim
-//!    whenever the same configuration is solved twice (re-running a cost sweep with a
-//!    different cost model, comparing solvers on the same grid, interactive
-//!    exploration).
+//!    `C_0..C_N` — which depends only on the server classes (`N`, `µ`, lifecycle per
+//!    class) and not on the arrival rate, so a load sweep (Figure 8) rebuilds the
+//!    identical skeleton at every point;
+//! 2. the **quadratic eigensystem** of `Q(z)` — which the spectral solver *and* the
+//!    geometric approximation each need for the same `(skeleton, λ)`, so Figures 8
+//!    and 9 used to pay the companion-matrix QR factorisation twice per grid point;
+//! 3. the **full spectral solution**, which is repeated verbatim whenever the same
+//!    configuration is solved twice (re-running a cost sweep with a different cost
+//!    model, comparing solvers on the same grid, interactive exploration).
 //!
-//! [`SolverCache`] memoises both levels behind `f64`-bit-exact keys.  It is `Sync`
-//! (internally a pair of mutex-protected maps), so a single cache can be shared by
-//! every worker thread of a [`ThreadPool`](crate::ThreadPool) during a parallel sweep.
-//! Cached hits return the stored value unchanged, so cached and uncached runs are
-//! bit-identical.
+//! [`SolverCache`] memoises all three levels behind `f64`-bit-exact keys.  Key
+//! construction normalises signed zero (`-0.0` and `0.0` hash identically) and
+//! rejects non-finite values, so NaN can never be admitted as a silently-unequal
+//! cache key.  The cache is `Sync` (internally mutex-protected maps), so a single
+//! cache can be shared by every worker thread of a
+//! [`ThreadPool`](crate::ThreadPool) during a parallel sweep.  Cached hits return the
+//! stored value unchanged, so cached and uncached runs are bit-identical.
 //!
-//! The cache is unbounded: sweeps touch at most a few hundred distinct keys.  An
-//! eviction policy will be needed once heterogeneous server classes multiply the key
-//! space (see ROADMAP).
+//! Every level is a **size-capped LRU**: heterogeneous server classes multiply the
+//! key space combinatorially, so the unbounded maps of the original design would
+//! grow without limit under class-mix sweeps.  When a map reaches its capacity the
+//! least-recently-used entry is evicted (and counted in [`CacheStats`]).  The
+//! defaults are generous enough that the paper-scale sweeps never evict; tighten
+//! them with [`SolverCache::with_capacities`] for long-running services.
 //!
 //! # Example
 //!
@@ -46,18 +54,42 @@
 //! ```
 
 use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use urs_dist::HyperExponential;
+use urs_linalg::Complex;
 
-use crate::config::{ServerLifecycle, SystemConfig};
+use crate::config::{canonical_bits, ServerClass, SystemConfig};
+use crate::error::ModelError;
 use crate::qbd::QbdSkeleton;
 use crate::spectral::{SpectralOptions, SpectralSolution};
 use crate::Result;
 
-/// Bit-exact identity of a [`ServerLifecycle`]: phase weights and rates of both period
-/// distributions.
+/// Default capacity of the skeleton map (skeletons are the largest entries).
+const DEFAULT_SKELETON_CAPACITY: usize = 64;
+/// Default capacity of the full-solution map.
+const DEFAULT_SOLUTION_CAPACITY: usize = 4096;
+/// Default capacity of the eigensystem map.
+const DEFAULT_EIGEN_CAPACITY: usize = 1024;
+
+/// Bit pattern of an `f64` for use inside a cache key: signed zero is normalised
+/// (`-0.0` keys identically to `0.0`, via the same [`canonical_bits`] rule that
+/// drives class merging in `config.rs`) and non-finite values are rejected rather
+/// than silently admitted as never-matching NaN keys.
+fn key_bits(name: &'static str, value: f64) -> Result<u64> {
+    if !value.is_finite() {
+        return Err(ModelError::InvalidParameter {
+            name,
+            value,
+            constraint: "cache keys require finite values",
+        });
+    }
+    Ok(canonical_bits(value))
+}
+
+/// Bit-exact identity of the two period distributions of a lifecycle.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct LifecycleKey {
     operative: Vec<(u64, u64)>,
@@ -65,36 +97,50 @@ struct LifecycleKey {
 }
 
 impl LifecycleKey {
-    fn new(lifecycle: &ServerLifecycle) -> Self {
-        fn phases(dist: &HyperExponential) -> Vec<(u64, u64)> {
+    fn new(lifecycle: &crate::config::ServerLifecycle) -> Result<Self> {
+        fn phases(dist: &HyperExponential) -> Result<Vec<(u64, u64)>> {
             dist.weights()
                 .iter()
                 .zip(dist.rates())
-                .map(|(w, r)| (w.to_bits(), r.to_bits()))
+                .map(|(w, r)| Ok((key_bits("phase weight", *w)?, key_bits("phase rate", *r)?)))
                 .collect()
         }
-        LifecycleKey {
-            operative: phases(lifecycle.operative()),
-            inoperative: phases(lifecycle.inoperative()),
-        }
+        Ok(LifecycleKey {
+            operative: phases(lifecycle.operative())?,
+            inoperative: phases(lifecycle.inoperative())?,
+        })
     }
 }
 
-/// Key of the λ-independent skeleton: `(N, µ, lifecycle)`.
+/// Bit-exact identity of one server class: `(count, µ, lifecycle)`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct SkeletonKey {
-    servers: usize,
+struct ClassKey {
+    count: usize,
     service_rate: u64,
     lifecycle: LifecycleKey,
 }
 
+impl ClassKey {
+    fn new(class: &ServerClass) -> Result<Self> {
+        Ok(ClassKey {
+            count: class.count(),
+            service_rate: key_bits("service_rate", class.service_rate())?,
+            lifecycle: LifecycleKey::new(class.lifecycle())?,
+        })
+    }
+}
+
+/// Key of the λ-independent skeleton: the canonical server-class list.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SkeletonKey {
+    classes: Vec<ClassKey>,
+}
+
 impl SkeletonKey {
-    fn new(config: &SystemConfig) -> Self {
-        SkeletonKey {
-            servers: config.servers(),
-            service_rate: config.service_rate().to_bits(),
-            lifecycle: LifecycleKey::new(config.lifecycle()),
-        }
+    fn new(config: &SystemConfig) -> Result<Self> {
+        Ok(SkeletonKey {
+            classes: config.classes().iter().map(ClassKey::new).collect::<Result<_>>()?,
+        })
     }
 }
 
@@ -108,24 +154,110 @@ struct SolutionKey {
 }
 
 impl SolutionKey {
-    fn new(config: &SystemConfig, options: &SpectralOptions) -> Self {
+    fn new(config: &SystemConfig, options: &SpectralOptions) -> Result<Self> {
         // Exhaustive destructuring: adding a field to SpectralOptions must break this
         // line rather than silently conflating solutions computed under different
         // options.
         let SpectralOptions { unit_disk_margin, reality_tolerance, residual_tolerance } = *options;
-        SolutionKey {
-            skeleton: SkeletonKey::new(config),
-            arrival_rate: config.arrival_rate().to_bits(),
+        Ok(SolutionKey {
+            skeleton: SkeletonKey::new(config)?,
+            arrival_rate: key_bits("arrival_rate", config.arrival_rate())?,
             options: [
-                unit_disk_margin.to_bits(),
-                reality_tolerance.to_bits(),
-                residual_tolerance.to_bits(),
+                key_bits("unit_disk_margin", unit_disk_margin)?,
+                key_bits("reality_tolerance", reality_tolerance)?,
+                key_bits("residual_tolerance", residual_tolerance)?,
             ],
-        }
+        })
     }
 }
 
-/// Hit/miss counters of a [`SolverCache`], for reporting and tests.
+/// Key of a cached eigensystem: `(skeleton, λ, unit-disk margin)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct EigenKey {
+    skeleton: SkeletonKey,
+    arrival_rate: u64,
+    margin: u64,
+}
+
+impl EigenKey {
+    fn new(config: &SystemConfig, margin: f64) -> Result<Self> {
+        Ok(EigenKey {
+            skeleton: SkeletonKey::new(config)?,
+            arrival_rate: key_bits("arrival_rate", config.arrival_rate())?,
+            margin: key_bits("unit_disk_margin", margin)?,
+        })
+    }
+}
+
+/// The eigensystem of the characteristic matrix polynomial `Q(z)` restricted to the
+/// open unit disk, shared between the spectral solver (producer of the full system)
+/// and the geometric approximation (consumer of the dominant pair).
+#[derive(Debug, Clone)]
+pub(crate) struct EigenEntry {
+    /// Eigenvalues strictly inside the unit disk.
+    pub eigenvalues: Vec<Complex>,
+    /// Left eigenvectors aligned with `eigenvalues`; `None` where the producer did
+    /// not need that eigenvector (the approximation stores only the dominant one).
+    pub eigenvectors: Vec<Option<Vec<Complex>>>,
+}
+
+/// A mutex-protected `HashMap` with a recency stamp per entry and least-recently-used
+/// eviction once `capacity` is reached.  Eviction scans are `O(len)`, which is
+/// negligible against the cost of the solves being cached.
+#[derive(Debug)]
+struct LruMap<K, V> {
+    map: HashMap<K, (V, u64)>,
+    capacity: usize,
+    clock: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
+    fn new(capacity: usize) -> Self {
+        LruMap { map: HashMap::new(), capacity: capacity.max(1), clock: 0 }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn get(&mut self, key: &K) -> Option<&V> {
+        let stamp = self.tick();
+        match self.map.get_mut(key) {
+            Some((value, last_used)) => {
+                *last_used = stamp;
+                Some(value)
+            }
+            None => None,
+        }
+    }
+
+    /// Inserts (or replaces) an entry; returns `true` if another entry was evicted.
+    fn insert(&mut self, key: K, value: V) -> bool {
+        let stamp = self.tick();
+        let mut evicted = false;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(victim) =
+                self.map.iter().min_by_key(|(_, (_, used))| *used).map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+                evicted = true;
+            }
+        }
+        self.map.insert(key, (value, stamp));
+        evicted
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+/// Hit/miss/eviction counters of a [`SolverCache`], for reporting and tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Skeleton lookups answered from the cache.
@@ -136,28 +268,81 @@ pub struct CacheStats {
     pub solution_hits: u64,
     /// Full-solution lookups that had to run the solver.
     pub solution_misses: u64,
+    /// Eigensystem lookups answered from the cache: the geometric approximation
+    /// reusing the spectral solver's factorisation, or its own from an earlier solve.
+    /// (The spectral solver only *publishes* eigensystems; it never looks them up —
+    /// its own reuse happens at the full-solution level.)
+    pub eigen_hits: u64,
+    /// Eigensystem lookups that had to solve the quadratic eigenproblem.
+    pub eigen_misses: u64,
+    /// Skeletons evicted by the LRU policy.
+    pub skeleton_evictions: u64,
+    /// Solutions evicted by the LRU policy.
+    pub solution_evictions: u64,
+    /// Eigensystems evicted by the LRU policy.
+    pub eigen_evictions: u64,
 }
 
-/// A thread-safe cache of QBD skeletons and complete spectral solutions.
+/// A thread-safe, size-capped LRU cache of QBD skeletons, quadratic eigensystems and
+/// complete spectral solutions.
 ///
 /// Attach one to a [`SpectralExpansionSolver`](crate::SpectralExpansionSolver) with
-/// [`with_cache`](crate::SpectralExpansionSolver::with_cache); the sweep helpers and
-/// figure binaries then reuse the λ-independent factorisation pieces across grid
-/// points automatically.  See the example above in the module docs.
-#[derive(Debug, Default)]
+/// [`with_cache`](crate::SpectralExpansionSolver::with_cache) and to a
+/// [`GeometricApproximation`](crate::GeometricApproximation) with
+/// [`with_cache`](crate::GeometricApproximation::with_cache); sharing *one* cache
+/// between both solvers lets the approximation reuse the eigensystem the spectral
+/// solver just factorised for the identical configuration (Figures 8 and 9 compare
+/// the two on the same grids).  See the example above in the module docs.
+#[derive(Debug)]
 pub struct SolverCache {
-    skeletons: Mutex<HashMap<SkeletonKey, Arc<QbdSkeleton>>>,
-    solutions: Mutex<HashMap<SolutionKey, Arc<SpectralSolution>>>,
+    skeletons: Mutex<LruMap<SkeletonKey, Arc<QbdSkeleton>>>,
+    solutions: Mutex<LruMap<SolutionKey, Arc<SpectralSolution>>>,
+    eigensystems: Mutex<LruMap<EigenKey, Arc<EigenEntry>>>,
     skeleton_hits: AtomicU64,
     skeleton_misses: AtomicU64,
     solution_hits: AtomicU64,
     solution_misses: AtomicU64,
+    eigen_hits: AtomicU64,
+    eigen_misses: AtomicU64,
+    skeleton_evictions: AtomicU64,
+    solution_evictions: AtomicU64,
+    eigen_evictions: AtomicU64,
+}
+
+impl Default for SolverCache {
+    fn default() -> Self {
+        SolverCache::new()
+    }
 }
 
 impl SolverCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default capacities (64 skeletons, 4096
+    /// solutions, 1024 eigensystems — ample for every sweep in this repository).
     pub fn new() -> Self {
-        SolverCache::default()
+        SolverCache::with_capacities(
+            DEFAULT_SKELETON_CAPACITY,
+            DEFAULT_SOLUTION_CAPACITY,
+            DEFAULT_EIGEN_CAPACITY,
+        )
+    }
+
+    /// Creates an empty cache with explicit LRU capacities (each clamped to at least
+    /// 1) for skeletons, solutions and eigensystems respectively.
+    pub fn with_capacities(skeletons: usize, solutions: usize, eigensystems: usize) -> Self {
+        SolverCache {
+            skeletons: Mutex::new(LruMap::new(skeletons)),
+            solutions: Mutex::new(LruMap::new(solutions)),
+            eigensystems: Mutex::new(LruMap::new(eigensystems)),
+            skeleton_hits: AtomicU64::new(0),
+            skeleton_misses: AtomicU64::new(0),
+            solution_hits: AtomicU64::new(0),
+            solution_misses: AtomicU64::new(0),
+            eigen_hits: AtomicU64::new(0),
+            eigen_misses: AtomicU64::new(0),
+            skeleton_evictions: AtomicU64::new(0),
+            solution_evictions: AtomicU64::new(0),
+            eigen_evictions: AtomicU64::new(0),
+        }
     }
 
     /// Creates an empty cache already wrapped in an [`Arc`], ready to be shared
@@ -166,7 +351,7 @@ impl SolverCache {
         Arc::new(SolverCache::new())
     }
 
-    /// Returns the QBD skeleton for `(N, µ, lifecycle)` of the configuration, building
+    /// Returns the QBD skeleton for the server classes of the configuration, building
     /// and caching it on first use.
     ///
     /// The skeleton is built outside the cache lock, so concurrent sweeps never stall
@@ -176,20 +361,24 @@ impl SolverCache {
     ///
     /// # Errors
     ///
-    /// Propagates skeleton-construction errors (`servers == 0`).
+    /// Propagates skeleton-construction errors and rejects configurations whose
+    /// parameters cannot form a sound cache key (non-finite values).
     pub fn skeleton(&self, config: &SystemConfig) -> Result<Arc<QbdSkeleton>> {
-        let key = SkeletonKey::new(config);
+        let key = SkeletonKey::new(config)?;
         if let Some(hit) = lock(&self.skeletons).get(&key) {
             self.skeleton_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(hit));
         }
         self.skeleton_misses.fetch_add(1, Ordering::Relaxed);
-        let built = Arc::new(QbdSkeleton::new(
-            config.servers(),
-            config.service_rate(),
-            config.lifecycle(),
-        )?);
-        Ok(Arc::clone(lock(&self.skeletons).entry(key).or_insert(built)))
+        let built = Arc::new(QbdSkeleton::for_classes(config.classes())?);
+        let mut map = lock(&self.skeletons);
+        if let Some(racing_winner) = map.get(&key) {
+            return Ok(Arc::clone(racing_winner));
+        }
+        if map.insert(key, Arc::clone(&built)) {
+            self.skeleton_evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(built)
     }
 
     /// Looks up a complete solution for the configuration and options.
@@ -197,13 +386,14 @@ impl SolverCache {
         &self,
         config: &SystemConfig,
         options: &SpectralOptions,
-    ) -> Option<Arc<SpectralSolution>> {
-        let found = lock(&self.solutions).get(&SolutionKey::new(config, options)).cloned();
+    ) -> Result<Option<Arc<SpectralSolution>>> {
+        let key = SolutionKey::new(config, options)?;
+        let found = lock(&self.solutions).get(&key).cloned();
         match &found {
             Some(_) => self.solution_hits.fetch_add(1, Ordering::Relaxed),
             None => self.solution_misses.fetch_add(1, Ordering::Relaxed),
         };
-        found
+        Ok(found)
     }
 
     /// Stores a freshly computed solution.
@@ -212,34 +402,82 @@ impl SolverCache {
         config: &SystemConfig,
         options: &SpectralOptions,
         solution: SpectralSolution,
-    ) {
-        lock(&self.solutions).insert(SolutionKey::new(config, options), Arc::new(solution));
+    ) -> Result<()> {
+        let key = SolutionKey::new(config, options)?;
+        if lock(&self.solutions).insert(key, Arc::new(solution)) {
+            self.solution_evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
     }
 
-    /// Current hit/miss counters.
+    /// Looks up the unit-disk eigensystem for `(skeleton, λ, margin)`.
+    pub(crate) fn lookup_eigensystem(
+        &self,
+        config: &SystemConfig,
+        margin: f64,
+    ) -> Result<Option<Arc<EigenEntry>>> {
+        let key = EigenKey::new(config, margin)?;
+        let found = lock(&self.eigensystems).get(&key).cloned();
+        match &found {
+            Some(_) => self.eigen_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.eigen_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        Ok(found)
+    }
+
+    /// Stores a freshly computed eigensystem.  Entries with more eigenvectors win:
+    /// a full entry (from the spectral solver) is never replaced by a dominant-only
+    /// entry (from the approximation) racing on the same key.
+    pub(crate) fn store_eigensystem(
+        &self,
+        config: &SystemConfig,
+        margin: f64,
+        entry: EigenEntry,
+    ) -> Result<()> {
+        let key = EigenKey::new(config, margin)?;
+        let mut map = lock(&self.eigensystems);
+        if let Some(existing) = map.get(&key) {
+            let existing_vectors = existing.eigenvectors.iter().flatten().count();
+            if existing_vectors >= entry.eigenvectors.iter().flatten().count() {
+                return Ok(());
+            }
+        }
+        if map.insert(key, Arc::new(entry)) {
+            self.eigen_evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Current hit/miss/eviction counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             skeleton_hits: self.skeleton_hits.load(Ordering::Relaxed),
             skeleton_misses: self.skeleton_misses.load(Ordering::Relaxed),
             solution_hits: self.solution_hits.load(Ordering::Relaxed),
             solution_misses: self.solution_misses.load(Ordering::Relaxed),
+            eigen_hits: self.eigen_hits.load(Ordering::Relaxed),
+            eigen_misses: self.eigen_misses.load(Ordering::Relaxed),
+            skeleton_evictions: self.skeleton_evictions.load(Ordering::Relaxed),
+            solution_evictions: self.solution_evictions.load(Ordering::Relaxed),
+            eigen_evictions: self.eigen_evictions.load(Ordering::Relaxed),
         }
     }
 
-    /// Number of cached skeletons and solutions, respectively.
-    pub fn len(&self) -> (usize, usize) {
-        (lock(&self.skeletons).len(), lock(&self.solutions).len())
+    /// Number of cached skeletons, solutions and eigensystems, respectively.
+    pub fn len(&self) -> (usize, usize, usize) {
+        (lock(&self.skeletons).len(), lock(&self.solutions).len(), lock(&self.eigensystems).len())
     }
 
     /// Returns `true` if nothing is cached yet.
     pub fn is_empty(&self) -> bool {
-        self.len() == (0, 0)
+        self.len() == (0, 0, 0)
     }
 
     /// Drops every cached entry; the counters keep accumulating.
     pub fn clear(&self) {
         lock(&self.skeletons).clear();
         lock(&self.solutions).clear();
+        lock(&self.eigensystems).clear();
     }
 }
 
@@ -252,6 +490,7 @@ fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ServerLifecycle;
     use crate::solution::QueueSolution as _;
     use crate::spectral::SpectralExpansionSolver;
 
@@ -316,5 +555,92 @@ mod tests {
             assert!(Arc::ptr_eq(s, &skeletons[0]));
         }
         assert_eq!(cache.len().0, 1);
+    }
+
+    #[test]
+    fn signed_zero_normalises_in_keys() {
+        assert_eq!(key_bits("x", 0.0).unwrap(), key_bits("x", -0.0).unwrap());
+        assert_eq!(key_bits("x", 1.5).unwrap(), 1.5f64.to_bits());
+    }
+
+    #[test]
+    fn non_finite_key_values_are_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(
+                key_bits("x", bad),
+                Err(ModelError::InvalidParameter { name: "x", .. })
+            ));
+        }
+        // A NaN smuggled in through the solver options must be rejected, not admitted
+        // as a key that can never be found again.
+        let cache = SolverCache::new();
+        let bad_options = SpectralOptions { reality_tolerance: f64::NAN, ..Default::default() };
+        assert!(cache.lookup_solution(&config(2, 1.0), &bad_options).is_err());
+        assert!(cache.lookup_eigensystem(&config(2, 1.0), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_skeleton() {
+        let cache = SolverCache::with_capacities(2, 4, 4);
+        let a = config(2, 1.0);
+        let b = config(3, 1.0);
+        let c = config(4, 1.0);
+        cache.skeleton(&a).unwrap();
+        cache.skeleton(&b).unwrap();
+        cache.skeleton(&a).unwrap(); // A is now more recently used than B
+        cache.skeleton(&c).unwrap(); // evicts B
+        assert_eq!(cache.len().0, 2);
+        assert_eq!(cache.stats().skeleton_evictions, 1);
+        // A survives (hit), B was evicted (miss rebuilds it).
+        cache.skeleton(&a).unwrap();
+        assert_eq!(cache.stats().skeleton_hits, 2);
+        cache.skeleton(&b).unwrap();
+        assert_eq!(cache.stats().skeleton_misses, 4);
+    }
+
+    #[test]
+    fn lru_capacity_bounds_the_solution_map() {
+        let cache = SolverCache::with_capacities(4, 2, 4);
+        let options = SpectralOptions::default();
+        for lambda in [1.0, 1.25, 1.5, 1.75, 2.0] {
+            let cfg = config(3, lambda);
+            let solution = SpectralExpansionSolver::default().solve_detailed(&cfg).unwrap();
+            cache.store_solution(&cfg, &options, solution).unwrap();
+        }
+        assert_eq!(cache.len().1, 2, "solution map must stay at its capacity");
+        assert_eq!(cache.stats().solution_evictions, 3);
+    }
+
+    #[test]
+    fn heterogeneous_class_lists_key_distinctly() {
+        use crate::config::ServerClass;
+        let cache = SolverCache::new();
+        let lc_a = ServerLifecycle::exponential(0.1, 2.0).unwrap();
+        let lc_b = ServerLifecycle::exponential(0.05, 4.0).unwrap();
+        let mixed = SystemConfig::heterogeneous(
+            1.0,
+            vec![
+                ServerClass::new(2, 2.0, lc_a.clone()).unwrap(),
+                ServerClass::new(2, 1.0, lc_b.clone()).unwrap(),
+            ],
+        )
+        .unwrap();
+        // A permutation of the same classes canonicalises to the same key.
+        let permuted = SystemConfig::heterogeneous(
+            1.0,
+            vec![
+                ServerClass::new(2, 1.0, lc_b).unwrap(),
+                ServerClass::new(2, 2.0, lc_a.clone()).unwrap(),
+            ],
+        )
+        .unwrap();
+        let s1 = cache.skeleton(&mixed).unwrap();
+        let s2 = cache.skeleton(&permuted).unwrap();
+        assert!(Arc::ptr_eq(&s1, &s2), "permuted class lists must share a skeleton");
+        // A genuinely different mix gets its own skeleton.
+        let other = SystemConfig::heterogeneous(1.0, vec![ServerClass::new(4, 2.0, lc_a).unwrap()])
+            .unwrap();
+        let s3 = cache.skeleton(&other).unwrap();
+        assert!(!Arc::ptr_eq(&s1, &s3));
     }
 }

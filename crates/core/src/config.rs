@@ -123,11 +123,125 @@ impl ServerLifecycle {
     }
 }
 
+/// A group of statistically identical servers: `count` servers sharing one service
+/// rate `µ` and one breakdown/repair [`ServerLifecycle`].
+///
+/// The paper models `N` i.i.d. servers — a single class.  Its "future work" extension
+/// to distinct server classes is obtained by giving a [`SystemConfig`] several classes
+/// via [`SystemConfig::heterogeneous`]; the operational mode space then becomes the
+/// product of the per-class occupancy spaces.
+///
+/// # Example
+///
+/// ```
+/// use urs_core::{ServerClass, ServerLifecycle};
+///
+/// # fn main() -> Result<(), urs_core::ModelError> {
+/// let fast = ServerClass::new(4, 1.5, ServerLifecycle::exponential(0.05, 5.0)?)?;
+/// assert_eq!(fast.count(), 4);
+/// assert!((fast.effective_capacity() - 4.0 * fast.availability() * 1.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerClass {
+    count: usize,
+    service_rate: f64,
+    lifecycle: ServerLifecycle,
+}
+
+impl ServerClass {
+    /// Creates a validated server class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] when `count == 0` or the service rate
+    /// is not positive and finite.
+    pub fn new(count: usize, service_rate: f64, lifecycle: ServerLifecycle) -> Result<Self> {
+        if count == 0 {
+            return Err(ModelError::InvalidParameter {
+                name: "servers",
+                value: 0.0,
+                constraint: "a server class must contain at least 1 server",
+            });
+        }
+        if !(service_rate.is_finite() && service_rate > 0.0) {
+            return Err(ModelError::InvalidParameter {
+                name: "service_rate",
+                value: service_rate,
+                constraint: "must be finite and positive",
+            });
+        }
+        Ok(ServerClass { count, service_rate, lifecycle })
+    }
+
+    /// Number of servers in the class.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Service rate `µ` of one operative server of this class.
+    pub fn service_rate(&self) -> f64 {
+        self.service_rate
+    }
+
+    /// The breakdown/repair lifecycle shared by the servers of this class.
+    pub fn lifecycle(&self) -> &ServerLifecycle {
+        &self.lifecycle
+    }
+
+    /// Long-run fraction of time one server of this class is operative.
+    pub fn availability(&self) -> f64 {
+        self.lifecycle.availability()
+    }
+
+    /// Steady-state service capacity contributed by the class,
+    /// `count · availability · µ` (jobs per unit time).
+    pub fn effective_capacity(&self) -> f64 {
+        self.count as f64 * self.availability() * self.service_rate
+    }
+
+    /// Returns a copy of the class with a different server count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if `count == 0`.
+    pub fn with_count(&self, count: usize) -> Result<Self> {
+        ServerClass::new(count, self.service_rate, self.lifecycle.clone())
+    }
+
+    /// Canonical ordering key: bit patterns of the service rate and of every phase
+    /// weight/rate, so that permuted class lists canonicalise identically.  Uses the
+    /// same [`canonical_bits`] rule as the cache keys in `cache.rs`, so two classes
+    /// merge here exactly when they share a cache slot there.
+    fn canonical_key(&self) -> (u64, Vec<u64>, Vec<u64>) {
+        let dist_bits = |dist: &HyperExponential| -> Vec<u64> {
+            dist.weights().iter().chain(dist.rates()).map(|v| canonical_bits(*v)).collect()
+        };
+        (
+            canonical_bits(self.service_rate),
+            dist_bits(self.lifecycle.operative()),
+            dist_bits(self.lifecycle.inoperative()),
+        )
+    }
+
+    /// `true` when the two classes have bit-identical service rates and lifecycles
+    /// (and therefore can be merged into one class).
+    fn same_parameters(&self, other: &Self) -> bool {
+        self.canonical_key() == other.canonical_key()
+    }
+}
+
 /// Full configuration of the multi-server system with breakdowns and repairs.
 ///
-/// Jobs arrive in a Poisson stream with rate `λ`, are served at rate `µ` by any
-/// operative server, and each of the `N` servers follows the given
-/// [`ServerLifecycle`].
+/// Jobs arrive in a Poisson stream with rate `λ` and are served by any operative
+/// server.  In the paper's model all `N` servers are statistically identical
+/// ([`SystemConfig::new`]); the heterogeneous extension
+/// ([`SystemConfig::heterogeneous`]) partitions the servers into [`ServerClass`]es
+/// with distinct service rates and lifecycles.  Jobs are allocated to the fastest
+/// operative servers first (classes are kept sorted by decreasing service rate), the
+/// allocation assumed by the class-aware generator blocks in
+/// [`QbdSkeleton`](crate::QbdSkeleton).
 ///
 /// # Example
 ///
@@ -143,14 +257,15 @@ impl ServerLifecycle {
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
-    servers: usize,
     arrival_rate: f64,
-    service_rate: f64,
-    lifecycle: ServerLifecycle,
+    /// Invariant: non-empty, sorted by decreasing service rate (ties broken by the
+    /// canonical lifecycle key), with bit-identical classes merged.
+    classes: Vec<ServerClass>,
 }
 
 impl SystemConfig {
-    /// Creates a validated configuration.
+    /// Creates a validated homogeneous configuration: `servers` identical servers with
+    /// service rate `service_rate` and the given lifecycle (the paper's model).
     ///
     /// # Errors
     ///
@@ -171,13 +286,7 @@ impl SystemConfig {
                 constraint: "must be at least 1",
             });
         }
-        if !(arrival_rate.is_finite() && arrival_rate > 0.0) {
-            return Err(ModelError::InvalidParameter {
-                name: "arrival_rate",
-                value: arrival_rate,
-                constraint: "must be finite and positive",
-            });
-        }
+        Self::validate_arrival(arrival_rate)?;
         if !(service_rate.is_finite() && service_rate > 0.0) {
             return Err(ModelError::InvalidParameter {
                 name: "service_rate",
@@ -185,12 +294,79 @@ impl SystemConfig {
                 constraint: "must be finite and positive",
             });
         }
-        Ok(SystemConfig { servers, arrival_rate, service_rate, lifecycle })
+        Ok(SystemConfig {
+            arrival_rate,
+            classes: vec![ServerClass { count: servers, service_rate, lifecycle }],
+        })
     }
 
-    /// Number of servers `N`.
+    /// Creates a validated heterogeneous configuration from explicit server classes
+    /// (the extension the paper flags as future work).
+    ///
+    /// The class list is canonicalised: classes are sorted by decreasing service rate
+    /// (jobs are allocated fastest-first) and classes with bit-identical parameters
+    /// are merged.  A class list in which every class has the same rates therefore
+    /// produces *exactly* the homogeneous configuration, so all solvers reproduce the
+    /// homogeneous solution bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] when `classes` is empty or the arrival
+    /// rate is not positive and finite.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use urs_core::{ServerClass, ServerLifecycle, SystemConfig};
+    ///
+    /// # fn main() -> Result<(), urs_core::ModelError> {
+    /// let fast = ServerClass::new(4, 1.5, ServerLifecycle::exponential(0.1, 2.0)?)?;
+    /// let slow = ServerClass::new(6, 1.0, ServerLifecycle::exponential(0.02, 5.0)?)?;
+    /// let config = SystemConfig::heterogeneous(7.0, vec![slow, fast])?;
+    /// assert_eq!(config.servers(), 10);
+    /// assert_eq!(config.classes().len(), 2);
+    /// // Canonical order: fastest class first.
+    /// assert_eq!(config.classes()[0].service_rate(), 1.5);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn heterogeneous(arrival_rate: f64, classes: Vec<ServerClass>) -> Result<Self> {
+        if classes.is_empty() {
+            return Err(ModelError::InvalidParameter {
+                name: "classes",
+                value: 0.0,
+                constraint: "at least one server class is required",
+            });
+        }
+        Self::validate_arrival(arrival_rate)?;
+        Ok(SystemConfig { arrival_rate, classes: canonicalise_classes(classes) })
+    }
+
+    fn validate_arrival(arrival_rate: f64) -> Result<()> {
+        if !(arrival_rate.is_finite() && arrival_rate > 0.0) {
+            return Err(ModelError::InvalidParameter {
+                name: "arrival_rate",
+                value: arrival_rate,
+                constraint: "must be finite and positive",
+            });
+        }
+        Ok(())
+    }
+
+    /// Total number of servers `N` across all classes.
     pub fn servers(&self) -> usize {
-        self.servers
+        self.classes.iter().map(ServerClass::count).sum()
+    }
+
+    /// The server classes in canonical (fastest-first) order.  Homogeneous
+    /// configurations have exactly one class.
+    pub fn classes(&self) -> &[ServerClass] {
+        &self.classes
+    }
+
+    /// `true` when all servers belong to one class (the paper's i.i.d. model).
+    pub fn is_homogeneous(&self) -> bool {
+        self.classes.len() == 1
     }
 
     /// Poisson arrival rate `λ`.
@@ -198,14 +374,16 @@ impl SystemConfig {
         self.arrival_rate
     }
 
-    /// Service rate `µ` of one operative server.
+    /// Service rate `µ` of one operative server of the *fastest* class (the only
+    /// class of a homogeneous configuration).
     pub fn service_rate(&self) -> f64 {
-        self.service_rate
+        self.classes[0].service_rate
     }
 
-    /// The per-server breakdown/repair lifecycle.
+    /// The breakdown/repair lifecycle of the *fastest* class (the only class of a
+    /// homogeneous configuration).
     pub fn lifecycle(&self) -> &ServerLifecycle {
-        &self.lifecycle
+        &self.classes[0].lifecycle
     }
 
     /// Returns a copy of the configuration with a different number of servers — handy
@@ -213,9 +391,24 @@ impl SystemConfig {
     ///
     /// # Errors
     ///
-    /// Returns [`ModelError::InvalidParameter`] if `servers == 0`.
+    /// Returns [`ModelError::InvalidParameter`] if `servers == 0`, or if the
+    /// configuration is heterogeneous (scaling a multi-class mix to a total count is
+    /// ambiguous — rebuild the class list explicitly instead).
     pub fn with_servers(&self, servers: usize) -> Result<Self> {
-        SystemConfig::new(servers, self.arrival_rate, self.service_rate, self.lifecycle.clone())
+        if !self.is_homogeneous() {
+            return Err(ModelError::InvalidParameter {
+                name: "servers",
+                value: servers as f64,
+                constraint: "with_servers requires a homogeneous configuration; \
+                             rebuild the class list explicitly",
+            });
+        }
+        SystemConfig::new(
+            servers,
+            self.arrival_rate,
+            self.classes[0].service_rate,
+            self.classes[0].lifecycle.clone(),
+        )
     }
 
     /// Returns a copy of the configuration with a different arrival rate.
@@ -224,27 +417,45 @@ impl SystemConfig {
     ///
     /// Returns [`ModelError::InvalidParameter`] if the rate is not positive and finite.
     pub fn with_arrival_rate(&self, arrival_rate: f64) -> Result<Self> {
-        SystemConfig::new(self.servers, arrival_rate, self.service_rate, self.lifecycle.clone())
+        Self::validate_arrival(arrival_rate)?;
+        Ok(SystemConfig { arrival_rate, classes: self.classes.clone() })
     }
 
-    /// Returns a copy of the configuration with a different lifecycle.
+    /// Returns a copy of the configuration in which *every* class uses the given
+    /// lifecycle (for homogeneous configurations: simply the new lifecycle).
     pub fn with_lifecycle(&self, lifecycle: ServerLifecycle) -> Self {
-        SystemConfig {
-            servers: self.servers,
-            arrival_rate: self.arrival_rate,
-            service_rate: self.service_rate,
-            lifecycle,
+        let classes = self
+            .classes
+            .iter()
+            .map(|c| ServerClass {
+                count: c.count,
+                service_rate: c.service_rate,
+                lifecycle: lifecycle.clone(),
+            })
+            .collect();
+        SystemConfig { arrival_rate: self.arrival_rate, classes: canonicalise_classes(classes) }
+    }
+
+    /// Offered load (expected work arriving per unit time, in server-units): `λ/µ` for
+    /// a homogeneous configuration; for a heterogeneous one, `λ` divided by the
+    /// availability-weighted mean service rate.
+    pub fn offered_load(&self) -> f64 {
+        if self.is_homogeneous() {
+            self.arrival_rate / self.classes[0].service_rate
+        } else {
+            self.arrival_rate / (self.effective_capacity() / self.effective_servers())
         }
     }
 
-    /// Offered load `λ/µ` (expected work arriving per unit time, in server-units).
-    pub fn offered_load(&self) -> f64 {
-        self.arrival_rate / self.service_rate
+    /// Steady-state average number of operative servers, `Σ_c N_c·η_c/(ξ_c+η_c)`.
+    pub fn effective_servers(&self) -> f64 {
+        self.classes.iter().map(|c| c.count as f64 * c.availability()).sum()
     }
 
-    /// Steady-state average number of operative servers `N·η/(ξ+η)`.
-    pub fn effective_servers(&self) -> f64 {
-        self.servers as f64 * self.lifecycle.availability()
+    /// Steady-state service capacity `Σ_c N_c·availability_c·µ_c` (jobs per unit
+    /// time); the queue is stable iff `λ` is below this.
+    pub fn effective_capacity(&self) -> f64 {
+        self.classes.iter().map(ServerClass::effective_capacity).sum()
     }
 
     /// Server utilisation `ρ = offered load / effective servers`; the queue is stable
@@ -253,7 +464,8 @@ impl SystemConfig {
         self.offered_load() / self.effective_servers()
     }
 
-    /// Stability condition of the paper (equation 11): `λ/µ < N·η/(ξ+η)`.
+    /// Stability condition (paper, equation 11, capacity-weighted for classes):
+    /// `λ/µ < N·η/(ξ+η)` in the homogeneous case, `λ < Σ_c N_c·a_c·µ_c` in general.
     pub fn is_stable(&self) -> bool {
         self.offered_load() < self.effective_servers()
     }
@@ -274,12 +486,51 @@ impl SystemConfig {
         }
     }
 
-    /// Number of operational modes `s = C(N+n+m−1, n+m−1)` of the Markovian
-    /// environment (paper, equation 12).
+    /// Number of operational modes of the Markovian environment: the product over
+    /// classes of `C(N_c+n_c+m_c−1, n_c+m_c−1)` (paper, equation 12; one factor for
+    /// the homogeneous model).
     pub fn environment_states(&self) -> usize {
-        let n = self.lifecycle.operative_phases();
-        let m = self.lifecycle.inoperative_phases();
-        binomial(self.servers + n + m - 1, n + m - 1)
+        self.classes
+            .iter()
+            .map(|c| {
+                let n = c.lifecycle.operative_phases();
+                let m = c.lifecycle.inoperative_phases();
+                binomial(c.count + n + m - 1, n + m - 1)
+            })
+            .product()
+    }
+}
+
+/// Sorts classes fastest-first (ties broken by the canonical lifecycle key, so any
+/// permutation of the same classes canonicalises identically) and merges classes with
+/// bit-identical parameters.  Equal-parameter class lists therefore collapse to the
+/// homogeneous representation.
+fn canonicalise_classes(mut classes: Vec<ServerClass>) -> Vec<ServerClass> {
+    classes.sort_by(|a, b| {
+        b.service_rate
+            .total_cmp(&a.service_rate)
+            .then_with(|| a.canonical_key().cmp(&b.canonical_key()))
+    });
+    let mut merged: Vec<ServerClass> = Vec::with_capacity(classes.len());
+    for class in classes {
+        match merged.last_mut() {
+            Some(last) if last.same_parameters(&class) => last.count += class.count,
+            _ => merged.push(class),
+        }
+    }
+    merged
+}
+
+/// Canonical bit pattern of an `f64` for identity comparisons: signed zero is
+/// normalised so `-0.0` and `0.0` are the same value.  This single rule underlies
+/// both the class merging in [`SystemConfig::heterogeneous`] and the cache keys in
+/// `cache.rs` (which additionally rejects non-finite values), keeping "these classes
+/// are identical" consistent between canonicalisation and caching.
+pub(crate) fn canonical_bits(value: f64) -> u64 {
+    if value == 0.0 {
+        0
+    } else {
+        value.to_bits()
     }
 }
 
@@ -364,6 +615,76 @@ mod tests {
         assert_eq!(cfg_fast.arrival_rate(), 9.5);
         assert!(cfg.with_servers(0).is_err());
         assert!((cfg.utilisation() - 8.0 / cfg.effective_servers()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn server_class_validation() {
+        let lc = ServerLifecycle::paper_fitted().unwrap();
+        assert!(ServerClass::new(0, 1.0, lc.clone()).is_err());
+        assert!(ServerClass::new(2, 0.0, lc.clone()).is_err());
+        assert!(ServerClass::new(2, f64::NAN, lc.clone()).is_err());
+        let class = ServerClass::new(3, 2.0, lc.clone()).unwrap();
+        assert_eq!(class.count(), 3);
+        assert_eq!(class.service_rate(), 2.0);
+        assert!((class.effective_capacity() - 3.0 * lc.availability() * 2.0).abs() < 1e-12);
+        assert_eq!(class.with_count(5).unwrap().count(), 5);
+        assert!(class.with_count(0).is_err());
+    }
+
+    #[test]
+    fn heterogeneous_canonicalisation_sorts_and_merges() {
+        let lc = ServerLifecycle::paper_fitted().unwrap();
+        let slow = ServerClass::new(2, 1.0, lc.clone()).unwrap();
+        let fast = ServerClass::new(1, 2.0, lc.clone()).unwrap();
+        let also_slow = ServerClass::new(3, 1.0, lc.clone()).unwrap();
+        let config = SystemConfig::heterogeneous(3.0, vec![slow, fast, also_slow]).unwrap();
+        // Fastest first; the two µ = 1 classes merged.
+        assert_eq!(config.classes().len(), 2);
+        assert_eq!(config.classes()[0].service_rate(), 2.0);
+        assert_eq!(config.classes()[1].count(), 5);
+        assert_eq!(config.servers(), 6);
+        assert!(!config.is_homogeneous());
+        // Equal-parameter classes collapse to the homogeneous representation.
+        let split = SystemConfig::heterogeneous(
+            3.0,
+            vec![
+                ServerClass::new(4, 1.0, lc.clone()).unwrap(),
+                ServerClass::new(2, 1.0, lc.clone()).unwrap(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(split, SystemConfig::new(6, 3.0, 1.0, lc).unwrap());
+        assert!(split.is_homogeneous());
+        assert!(SystemConfig::heterogeneous(1.0, vec![]).is_err());
+    }
+
+    #[test]
+    fn heterogeneous_capacity_and_stability() {
+        let reliable = ServerLifecycle::exponential(1e-9, 1e3).unwrap();
+        let fast = ServerClass::new(2, 2.0, reliable.clone()).unwrap();
+        let slow = ServerClass::new(4, 0.5, reliable.clone()).unwrap();
+        let config = SystemConfig::heterogeneous(5.0, vec![fast, slow]).unwrap();
+        // Capacity ≈ 2·2 + 4·0.5 = 6 (availability ≈ 1).
+        assert!((config.effective_capacity() - 6.0).abs() < 1e-6);
+        assert!((config.effective_servers() - 6.0).abs() < 1e-6);
+        assert!(config.is_stable());
+        assert!((config.utilisation() - 5.0 / 6.0).abs() < 1e-6);
+        // λ above the capacity is unstable even though λ/µ_max < N.
+        let overloaded = config.with_arrival_rate(6.5).unwrap();
+        assert!(!overloaded.is_stable());
+        // Product-form environment state count: one factor per class.
+        let lc2 = ServerLifecycle::paper_fitted().unwrap();
+        let mixed = SystemConfig::heterogeneous(
+            1.0,
+            vec![
+                ServerClass::new(2, 2.0, lc2).unwrap(),
+                ServerClass::new(3, 1.0, reliable).unwrap(),
+            ],
+        )
+        .unwrap();
+        // Paper lifecycle class (n=2, m=1, N=2): C(4,2) = 6; exponential class
+        // (n=m=1, N=3): C(4,1) = 4.
+        assert_eq!(mixed.environment_states(), 24);
     }
 
     #[test]

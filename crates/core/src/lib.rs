@@ -18,6 +18,14 @@
 //! capacity planning ([`ProvisioningSweep`]) and the sensitivity sweeps behind
 //! Figures 6–8 ([`sweeps`]).
 //!
+//! The model also implements the extension the paper flags as future work:
+//! **heterogeneous server classes**.  [`SystemConfig::heterogeneous`] partitions the
+//! fleet into [`ServerClass`]es with distinct service rates and lifecycles, the mode
+//! space becomes the per-class product ([`ModeSpace::for_classes`]), jobs go to the
+//! fastest operative servers first, and every solver above handles the extended model
+//! unchanged — with equal-parameter classes collapsing to the homogeneous path bit
+//! for bit.
+//!
 //! # Paper map
 //!
 //! | Paper section | Module |
@@ -29,6 +37,8 @@
 //! | §4 cost model (eq. 22) and Figure 5 | [`CostModel`], [`CostSweep`] |
 //! | Figures 6–8 sensitivity sweeps | [`sweeps`] |
 //! | Figure 9 capacity planning | [`ProvisioningSweep`] |
+//! | §6 future work: distinct server classes | [`ServerClass`], [`SystemConfig::heterogeneous`], [`ModeSpace::for_classes`], [`QbdSkeleton::for_classes`] |
+//! | §6 future work: class-mix exploration | [`sweeps::queue_length_vs_class_mix`] |
 //!
 //! # Performance subsystem
 //!
@@ -39,9 +49,11 @@
 //!   input order, so parallel sweeps are bit-identical to serial ones.  All sweep
 //!   helpers fan out over it; pass [`ThreadPool::serial`] (or set `URS_THREADS=1`) to
 //!   force the serial path.
-//! * [`SolverCache`] — a shared, thread-safe cache of λ-independent QBD skeletons and
-//!   complete spectral solutions, attached to a solver via
-//!   [`SpectralExpansionSolver::with_cache`].
+//! * [`SolverCache`] — a shared, thread-safe, size-capped LRU cache of λ-independent
+//!   QBD skeletons, unit-disk eigensystems and complete spectral solutions, attached
+//!   via [`SpectralExpansionSolver::with_cache`] and
+//!   [`GeometricApproximation::with_cache`]; sharing one cache between the two
+//!   solvers factorises each `(skeleton, λ)` eigenproblem once, not twice.
 //!
 //! # Quick start
 //!
@@ -80,7 +92,7 @@ pub mod sweeps;
 
 pub use approx::{dominant_eigenvalue, GeometricApproximation, GeometricSolution};
 pub use cache::{CacheStats, SolverCache};
-pub use config::{ServerLifecycle, SystemConfig};
+pub use config::{ServerClass, ServerLifecycle, SystemConfig};
 pub use cost::{CostModel, CostPoint, CostSweep};
 pub use error::ModelError;
 pub use matrix_geometric::{

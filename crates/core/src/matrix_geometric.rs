@@ -101,14 +101,9 @@ impl MatrixGeometricSolver {
 
         // Boundary equations for levels 0..N with v_{N+1} = v_N·R substituted into the
         // level-N equation; one equation is replaced by pinning a reference state.
-        let pin_mode = qbd
-            .modes()
-            .stationary_distribution(config.lifecycle())
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-            .map(|(i, _)| i)
-            .unwrap_or(0);
+        // The pin mode (largest stationary environment probability) is λ-independent
+        // and precomputed — class-aware — in the skeleton.
+        let pin_mode = qbd.skeleton().pin_mode();
 
         let block_rows = servers + 1;
         let mut system = BlockTridiagonal::new(block_rows, s)?;

@@ -9,8 +9,9 @@
 //! multinomial product form — a useful cross-check for the solvers).
 
 use std::collections::HashMap;
+use std::ops::Range;
 
-use crate::config::{binomial, ServerLifecycle};
+use crate::config::{binomial, ServerClass, ServerLifecycle};
 use crate::error::ModelError;
 use crate::Result;
 
@@ -68,12 +69,38 @@ impl Mode {
     }
 }
 
-/// The full set of operational modes for a system of `N` servers and a given lifecycle.
+/// Phase-structure of one server class inside a [`ModeSpace`]: its server count, its
+/// phase counts and the offsets of its phase block in the concatenated occupancy
+/// vectors of a [`Mode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ClassLayout {
+    count: usize,
+    operative_phases: usize,
+    inoperative_phases: usize,
+    operative_offset: usize,
+    inoperative_offset: usize,
+}
+
+impl ClassLayout {
+    fn total_phases(&self) -> usize {
+        self.operative_phases + self.inoperative_phases
+    }
+}
+
+/// The full set of operational modes for a system of `N` servers.
+///
+/// For the paper's homogeneous model the occupancy vectors range over the `n`
+/// operative and `m` inoperative phases of the single lifecycle.  For heterogeneous
+/// server classes ([`ModeSpace::for_classes`]) each class contributes its own phase
+/// block, a mode is the concatenation of per-class occupancy vectors, and the space is
+/// the cartesian product of the per-class spaces in a deterministic order (class 0
+/// varies slowest).
 #[derive(Debug, Clone)]
 pub struct ModeSpace {
     servers: usize,
     operative_phases: usize,
     inoperative_phases: usize,
+    layouts: Vec<ClassLayout>,
     modes: Vec<Mode>,
     index: HashMap<Mode, usize>,
 }
@@ -86,6 +113,39 @@ impl ModeSpace {
     ///
     /// Returns [`ModelError::InvalidParameter`] if `servers == 0`.
     pub fn new(servers: usize, lifecycle: &ServerLifecycle) -> Result<Self> {
+        Self::from_structure(&[(
+            servers,
+            lifecycle.operative_phases(),
+            lifecycle.inoperative_phases(),
+        )])
+    }
+
+    /// Enumerates the product mode space of heterogeneous server classes, in the order
+    /// of the given class list (class 0 varies slowest).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if `classes` is empty.
+    pub fn for_classes(classes: &[ServerClass]) -> Result<Self> {
+        if classes.is_empty() {
+            return Err(ModelError::InvalidParameter {
+                name: "classes",
+                value: 0.0,
+                constraint: "at least one server class is required",
+            });
+        }
+        let structure: Vec<(usize, usize, usize)> = classes
+            .iter()
+            .map(|c| {
+                (c.count(), c.lifecycle().operative_phases(), c.lifecycle().inoperative_phases())
+            })
+            .collect();
+        Self::from_structure(&structure)
+    }
+
+    /// Builds the space from `(count, operative_phases, inoperative_phases)` triples.
+    fn from_structure(structure: &[(usize, usize, usize)]) -> Result<Self> {
+        let servers: usize = structure.iter().map(|&(count, _, _)| count).sum();
         if servers == 0 {
             return Err(ModelError::InvalidParameter {
                 name: "servers",
@@ -93,18 +153,74 @@ impl ModeSpace {
                 constraint: "must be at least 1",
             });
         }
-        let n = lifecycle.operative_phases();
-        let m = lifecycle.inoperative_phases();
-        let mut modes = Vec::with_capacity(binomial(servers + n + m - 1, n + m - 1));
-        let mut current = vec![0usize; n + m];
-        enumerate_compositions(servers, 0, &mut current, &mut |composition| {
-            modes.push(Mode {
-                operative: composition[..n].to_vec(),
-                inoperative: composition[n..].to_vec(),
+        let mut layouts = Vec::with_capacity(structure.len());
+        let (mut op_offset, mut inop_offset) = (0usize, 0usize);
+        for &(count, n, m) in structure {
+            layouts.push(ClassLayout {
+                count,
+                operative_phases: n,
+                inoperative_phases: m,
+                operative_offset: op_offset,
+                inoperative_offset: inop_offset,
             });
-        });
+            op_offset += n;
+            inop_offset += m;
+        }
+        // Per-class composition lists, each in the deterministic lexicographic order of
+        // `enumerate_compositions`.
+        let per_class: Vec<Vec<Vec<usize>>> = layouts
+            .iter()
+            .map(|l| {
+                let mut list = Vec::with_capacity(binomial(
+                    l.count + l.total_phases() - 1,
+                    l.total_phases() - 1,
+                ));
+                let mut current = vec![0usize; l.total_phases()];
+                enumerate_compositions(l.count, 0, &mut current, &mut |c| list.push(c.to_vec()));
+                list
+            })
+            .collect();
+        // Cartesian product, class 0 outermost (slowest varying).
+        let total: usize = per_class.iter().map(Vec::len).product();
+        let mut modes = Vec::with_capacity(total);
+        let mut cursor = vec![0usize; layouts.len()];
+        loop {
+            let mut operative = Vec::with_capacity(op_offset);
+            let mut inoperative = Vec::with_capacity(inop_offset);
+            for (layout, (choices, &pick)) in
+                layouts.iter().zip(per_class.iter().zip(cursor.iter()))
+            {
+                let composition = &choices[pick];
+                operative.extend_from_slice(&composition[..layout.operative_phases]);
+                inoperative.extend_from_slice(&composition[layout.operative_phases..]);
+            }
+            modes.push(Mode { operative, inoperative });
+            // Odometer increment, last class fastest.
+            let mut position = layouts.len();
+            loop {
+                if position == 0 {
+                    break;
+                }
+                position -= 1;
+                cursor[position] += 1;
+                if cursor[position] < per_class[position].len() {
+                    break;
+                }
+                cursor[position] = 0;
+            }
+            if cursor.iter().all(|&c| c == 0) {
+                break;
+            }
+        }
         let index = modes.iter().cloned().enumerate().map(|(i, mode)| (mode, i)).collect();
-        Ok(ModeSpace { servers, operative_phases: n, inoperative_phases: m, modes, index })
+        Ok(ModeSpace {
+            servers,
+            operative_phases: op_offset,
+            inoperative_phases: inop_offset,
+            layouts,
+            modes,
+            index,
+        })
     }
 
     /// Number of modes `s`.
@@ -122,14 +238,57 @@ impl ModeSpace {
         self.servers
     }
 
-    /// Number of operative phases `n`.
+    /// Number of operative phases `n` (summed over classes for heterogeneous spaces).
     pub fn operative_phases(&self) -> usize {
         self.operative_phases
     }
 
-    /// Number of inoperative phases `m`.
+    /// Number of inoperative phases `m` (summed over classes for heterogeneous spaces).
     pub fn inoperative_phases(&self) -> usize {
         self.inoperative_phases
+    }
+
+    /// Number of server classes (1 for the paper's homogeneous model).
+    pub fn class_count(&self) -> usize {
+        self.layouts.len()
+    }
+
+    /// Number of servers in class `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class >= self.class_count()`.
+    pub fn class_servers(&self, class: usize) -> usize {
+        self.layouts[class].count
+    }
+
+    /// Range of class `class`'s block inside [`Mode::operative`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class >= self.class_count()`.
+    pub fn class_operative_range(&self, class: usize) -> Range<usize> {
+        let l = &self.layouts[class];
+        l.operative_offset..l.operative_offset + l.operative_phases
+    }
+
+    /// Range of class `class`'s block inside [`Mode::inoperative`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class >= self.class_count()`.
+    pub fn class_inoperative_range(&self, class: usize) -> Range<usize> {
+        let l = &self.layouts[class];
+        l.inoperative_offset..l.inoperative_offset + l.inoperative_phases
+    }
+
+    /// Number of operative servers of class `class` in the mode with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()` or `class >= self.class_count()`.
+    pub fn class_operative_count(&self, index: usize, class: usize) -> usize {
+        self.modes[index].operative()[self.class_operative_range(class)].iter().sum()
     }
 
     /// The mode with the given index.
@@ -163,19 +322,80 @@ impl ModeSpace {
     /// operative phase `j` with probability `(α_j/ξ_j)/(1/ξ+1/η)` and in inoperative
     /// phase `k` with probability `(β_k/η_k)/(1/ξ+1/η)`, independently.  The solvers'
     /// mode marginals must agree with this vector — a strong correctness check.
+    /// # Panics
+    ///
+    /// Panics when the space was built from several heterogeneous classes — use
+    /// [`stationary_distribution_classes`](Self::stationary_distribution_classes).
     pub fn stationary_distribution(&self, lifecycle: &ServerLifecycle) -> Vec<f64> {
-        let n = self.operative_phases;
-        let m = self.inoperative_phases;
-        let phase_probs: Vec<f64> = (0..n)
-            .map(|j| lifecycle.operative_phase_probability(j))
-            .chain((0..m).map(|k| lifecycle.inoperative_phase_probability(k)))
+        assert!(
+            self.layouts.len() == 1,
+            "stationary_distribution takes one lifecycle; this space has {} classes — \
+             use stationary_distribution_classes",
+            self.layouts.len()
+        );
+        self.stationary_distribution_parts(&[lifecycle])
+    }
+
+    /// Stationary probability of each mode of a heterogeneous space: classes evolve
+    /// independently, so the distribution is the product of per-class multinomials.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `classes` does not match the class structure the space was built
+    /// from (class count or phase counts differ).
+    pub fn stationary_distribution_classes(&self, classes: &[ServerClass]) -> Vec<f64> {
+        assert!(
+            classes.len() == self.layouts.len(),
+            "{} classes supplied for a space with {} classes",
+            classes.len(),
+            self.layouts.len()
+        );
+        let lifecycles: Vec<&ServerLifecycle> =
+            classes.iter().map(ServerClass::lifecycle).collect();
+        self.stationary_distribution_parts(&lifecycles)
+    }
+
+    fn stationary_distribution_parts(&self, lifecycles: &[&ServerLifecycle]) -> Vec<f64> {
+        let per_class_probs: Vec<Vec<f64>> = self
+            .layouts
+            .iter()
+            .zip(lifecycles)
+            .map(|(layout, lifecycle)| {
+                assert!(
+                    lifecycle.operative_phases() == layout.operative_phases
+                        && lifecycle.inoperative_phases() == layout.inoperative_phases,
+                    "lifecycle phase structure does not match the mode space"
+                );
+                (0..layout.operative_phases)
+                    .map(|j| lifecycle.operative_phase_probability(j))
+                    .chain(
+                        (0..layout.inoperative_phases)
+                            .map(|k| lifecycle.inoperative_phase_probability(k)),
+                    )
+                    .collect()
+            })
             .collect();
         self.modes
             .iter()
             .map(|mode| {
-                let occupancies: Vec<usize> =
-                    mode.operative.iter().chain(mode.inoperative.iter()).copied().collect();
-                multinomial_probability(self.servers, &occupancies, &phase_probs)
+                let mut probability = 1.0;
+                for (class, layout) in self.layouts.iter().enumerate() {
+                    let occupancies: Vec<usize> = mode.operative[layout.operative_offset
+                        ..layout.operative_offset + layout.operative_phases]
+                        .iter()
+                        .chain(
+                            &mode.inoperative[layout.inoperative_offset
+                                ..layout.inoperative_offset + layout.inoperative_phases],
+                        )
+                        .copied()
+                        .collect();
+                    probability *= multinomial_probability(
+                        layout.count,
+                        &occupancies,
+                        &per_class_probs[class],
+                    );
+                }
+                probability
             })
             .collect()
     }

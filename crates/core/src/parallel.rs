@@ -59,16 +59,17 @@ impl ThreadPool {
         ThreadPool::new(1)
     }
 
+    /// Upper bound applied to `URS_THREADS`: requests beyond this are almost certainly
+    /// typos, and scoped-spawning tens of thousands of OS threads per sweep would
+    /// thrash rather than parallelise.
+    pub const MAX_THREADS: usize = 512;
+
     /// A pool sized from the environment: the `URS_THREADS` variable when it parses to
-    /// a positive integer, otherwise [`std::thread::available_parallelism`].
+    /// an integer — clamped to `1 ..= MAX_THREADS`, so `URS_THREADS=0` forces the
+    /// serial path instead of being silently ignored — otherwise
+    /// [`std::thread::available_parallelism`].
     pub fn auto() -> Self {
-        let from_env = std::env::var("URS_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n >= 1);
-        let threads = from_env
-            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
-        ThreadPool { threads }
+        ThreadPool { threads: threads_from_env(std::env::var("URS_THREADS").ok().as_deref()) }
     }
 
     /// The number of worker threads this pool will use.
@@ -148,6 +149,25 @@ impl Default for ThreadPool {
     }
 }
 
+/// Hardware thread count, defaulting to 1 where it cannot be queried.
+fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Resolves the raw `URS_THREADS` value (or its absence) to a worker count: parsed
+/// integers are clamped to `1 ..= MAX_THREADS`; unparsable or missing values fall
+/// back to hardware parallelism.  Pure, so it is testable without mutating the
+/// process environment (which is not thread-safe to write concurrently).
+fn threads_from_env(raw: Option<&str>) -> usize {
+    match raw {
+        Some(value) => match value.trim().parse::<usize>() {
+            Ok(n) => n.clamp(1, ThreadPool::MAX_THREADS),
+            Err(_) => available_parallelism(),
+        },
+        None => available_parallelism(),
+    }
+}
+
 /// Locks a mutex, recovering the guard even if another worker panicked while holding
 /// it (the panic itself still propagates through the thread scope).
 fn lock_ignoring_poison<'a, T>(mutex: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
@@ -164,6 +184,26 @@ mod tests {
         assert_eq!(ThreadPool::new(0).threads(), 1);
         assert_eq!(ThreadPool::serial().threads(), 1);
         assert!(ThreadPool::default().threads() >= 1);
+    }
+
+    #[test]
+    fn urs_threads_env_is_clamped_not_ignored() {
+        // `threads_from_env` is the pure core of `auto()`, so the clamping rules are
+        // testable without mutating the process environment (writes race with every
+        // other test reading it through ThreadPool::default()).
+        // A zero request is a floor-clamp to the serial path, not a silent fallback
+        // to all cores.
+        assert_eq!(threads_from_env(Some("0")), 1);
+        assert_eq!(threads_from_env(Some("3")), 3);
+        assert_eq!(threads_from_env(Some(" 7 ")), 7);
+        // Absurd widths are capped rather than spawning thousands of threads.
+        assert_eq!(threads_from_env(Some("999999999")), ThreadPool::MAX_THREADS);
+        assert_eq!(threads_from_env(Some(&usize::MAX.to_string())), ThreadPool::MAX_THREADS);
+        // Garbage and absence both fall back to hardware parallelism.
+        assert_eq!(threads_from_env(Some("not-a-number")), available_parallelism());
+        assert_eq!(threads_from_env(Some("-2")), available_parallelism());
+        assert_eq!(threads_from_env(None), available_parallelism());
+        assert!(ThreadPool::auto().threads() >= 1);
     }
 
     #[test]

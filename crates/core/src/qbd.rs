@@ -4,9 +4,12 @@
 //! the operational mode and `j` the number of jobs present.  The transition rates are
 //! collected in the matrices
 //!
-//! * `A`  — mode changes that leave the queue untouched (breakdowns and repairs),
+//! * `A`  — mode changes that leave the queue untouched (breakdowns and repairs;
+//!   with heterogeneous classes, each class acts on its own phase block),
 //! * `B = λI` — arrivals (the mode does not change),
-//! * `C_j` — departures at queue length `j`: `diag(min(x_i, j)·µ)`, which stops
+//! * `C_j` — departures at queue length `j`: `diag(min(x_i, j)·µ)` for the paper's
+//!   homogeneous model, and in general the greedy fastest-first allocation of `j`
+//!   jobs to the operative servers (`Σ_c busy_c·µ_c`); either way `C_j` stops
 //!   depending on `j` once `j ≥ N`,
 //! * `Dᴬ` — the diagonal matrix of row sums of `A`.
 //!
@@ -15,17 +18,17 @@
 //! `Q0 = B`, `Q1 = A − Dᴬ − B − C`, `Q2 = C` — exactly the quantities exposed here.
 //!
 //! Of those matrices only `B = λI` depends on the arrival rate; everything else is a
-//! function of `(N, µ, lifecycle)` alone.  [`QbdSkeleton`] captures that λ-independent
-//! part so that parameter sweeps varying only λ (the load sweep of Figure 8, for
-//! instance) can build it once — typically via [`SolverCache`](crate::SolverCache) —
-//! and stamp out a [`QbdMatrices`] per grid point for the price of one diagonal
-//! matrix.
+//! function of the server classes (`N`, `µ`, lifecycle per class) alone.
+//! [`QbdSkeleton`] captures that λ-independent part so that parameter sweeps varying
+//! only λ (the load sweep of Figure 8, for instance) can build it once — typically
+//! via [`SolverCache`](crate::SolverCache) — and stamp out a [`QbdMatrices`] per grid
+//! point for the price of one diagonal matrix.
 
 use std::sync::Arc;
 
 use urs_linalg::Matrix;
 
-use crate::config::{ServerLifecycle, SystemConfig};
+use crate::config::{ServerClass, ServerLifecycle, SystemConfig};
 use crate::modes::{Mode, ModeSpace};
 use crate::Result;
 
@@ -39,13 +42,15 @@ use crate::Result;
 #[derive(Debug)]
 pub struct QbdSkeleton {
     modes: ModeSpace,
-    service_rate: f64,
+    classes: Vec<ServerClass>,
     servers: usize,
     a: Matrix,
     da: Matrix,
     /// `A − Dᴬ − C`: the arrival-free part of `Q1`, precomputed once.
     q1_base: Matrix,
-    /// `C_j = diag(min(x_i, j)·µ)` for `j = 0..=N`; `C_N` is the repeating-level `C`.
+    /// `C_j` for `j = 0..=N`; `C_N` is the repeating-level `C`.  For the homogeneous
+    /// model `C_j = diag(min(x_i, j)·µ)`; with server classes the diagonal entries are
+    /// the greedy fastest-first allocation of `j` jobs to the operative servers.
     c_levels: Vec<Matrix>,
     /// Mode with the largest stationary environment probability; used by the spectral
     /// solver to pin one balance equation (λ-independent, so computed once here).
@@ -53,54 +58,79 @@ pub struct QbdSkeleton {
 }
 
 impl QbdSkeleton {
-    /// Builds the λ-independent generator structure for `servers` servers with service
-    /// rate `service_rate` and the given per-server lifecycle.
+    /// Builds the λ-independent generator structure for `servers` identical servers
+    /// with service rate `service_rate` and the given per-server lifecycle.
     ///
     /// # Errors
     ///
-    /// Propagates errors from the mode enumeration (`servers == 0`).
+    /// Propagates errors from the mode enumeration (`servers == 0`) and class
+    /// validation.
     pub fn new(servers: usize, service_rate: f64, lifecycle: &ServerLifecycle) -> Result<Self> {
-        let modes = ModeSpace::new(servers, lifecycle)?;
+        Self::for_classes(&[ServerClass::new(servers, service_rate, lifecycle.clone())?])
+    }
+
+    /// Builds the λ-independent generator structure for heterogeneous server classes.
+    ///
+    /// Breakdowns and repairs act within each class's own phase block of the product
+    /// mode space; the departure matrices allocate jobs to operative servers *in class
+    /// order*, so callers should list classes fastest-first
+    /// ([`SystemConfig::heterogeneous`] canonicalises the order automatically).
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the mode enumeration (empty class list).
+    pub fn for_classes(classes: &[ServerClass]) -> Result<Self> {
+        let modes = ModeSpace::for_classes(classes)?;
         let s = modes.len();
-        let op_weights = lifecycle.operative().weights();
-        let op_rates = lifecycle.operative().rates();
-        let rep_weights = lifecycle.inoperative().weights();
-        let rep_rates = lifecycle.inoperative().rates();
+        let servers: usize = classes.iter().map(ServerClass::count).sum();
 
         let mut a = Matrix::zeros(s, s);
         for (i, mode) in modes.iter().enumerate() {
-            // Breakdowns: a server in operative phase j fails and enters inoperative
-            // phase k with probability β_k; rate x_j·ξ_j·β_k.
-            for (j, &x_j) in mode.operative().iter().enumerate() {
-                if x_j == 0 {
-                    continue;
+            for (class, spec) in classes.iter().enumerate() {
+                let lifecycle = spec.lifecycle();
+                let op_weights = lifecycle.operative().weights();
+                let op_rates = lifecycle.operative().rates();
+                let rep_weights = lifecycle.inoperative().weights();
+                let rep_rates = lifecycle.inoperative().rates();
+                let op_offset = modes.class_operative_range(class).start;
+                let inop_offset = modes.class_inoperative_range(class).start;
+                // Breakdowns: a class-c server in operative phase j fails and enters
+                // inoperative phase k with probability β_k; rate x_j·ξ_j·β_k.
+                for (j, &x_j) in
+                    mode.operative()[modes.class_operative_range(class)].iter().enumerate()
+                {
+                    if x_j == 0 {
+                        continue;
+                    }
+                    for (k, &beta_k) in rep_weights.iter().enumerate() {
+                        let mut operative = mode.operative().to_vec();
+                        let mut inoperative = mode.inoperative().to_vec();
+                        operative[op_offset + j] -= 1;
+                        inoperative[inop_offset + k] += 1;
+                        let target = modes
+                            .index_of(&Mode::new(operative, inoperative))
+                            .expect("breakdown target mode exists by construction");
+                        a[(i, target)] += x_j as f64 * op_rates[j] * beta_k;
+                    }
                 }
-                for (k, &beta_k) in rep_weights.iter().enumerate() {
-                    let mut operative = mode.operative().to_vec();
-                    let mut inoperative = mode.inoperative().to_vec();
-                    operative[j] -= 1;
-                    inoperative[k] += 1;
-                    let target = modes
-                        .index_of(&Mode::new(operative, inoperative))
-                        .expect("breakdown target mode exists by construction");
-                    a[(i, target)] += x_j as f64 * op_rates[j] * beta_k;
-                }
-            }
-            // Repairs: a server in inoperative phase k is repaired and enters operative
-            // phase j with probability α_j; rate y_k·η_k·α_j.
-            for (k, &y_k) in mode.inoperative().iter().enumerate() {
-                if y_k == 0 {
-                    continue;
-                }
-                for (j, &alpha_j) in op_weights.iter().enumerate() {
-                    let mut operative = mode.operative().to_vec();
-                    let mut inoperative = mode.inoperative().to_vec();
-                    operative[j] += 1;
-                    inoperative[k] -= 1;
-                    let target = modes
-                        .index_of(&Mode::new(operative, inoperative))
-                        .expect("repair target mode exists by construction");
-                    a[(i, target)] += y_k as f64 * rep_rates[k] * alpha_j;
+                // Repairs: a class-c server in inoperative phase k is repaired and
+                // enters operative phase j with probability α_j; rate y_k·η_k·α_j.
+                for (k, &y_k) in
+                    mode.inoperative()[modes.class_inoperative_range(class)].iter().enumerate()
+                {
+                    if y_k == 0 {
+                        continue;
+                    }
+                    for (j, &alpha_j) in op_weights.iter().enumerate() {
+                        let mut operative = mode.operative().to_vec();
+                        let mut inoperative = mode.inoperative().to_vec();
+                        operative[op_offset + j] += 1;
+                        inoperative[inop_offset + k] -= 1;
+                        let target = modes
+                            .index_of(&Mode::new(operative, inoperative))
+                            .expect("repair target mode exists by construction");
+                        a[(i, target)] += y_k as f64 * rep_rates[k] * alpha_j;
+                    }
                 }
             }
         }
@@ -108,26 +138,38 @@ impl QbdSkeleton {
         let c_levels: Vec<Matrix> = (0..=servers)
             .map(|level| {
                 Matrix::from_diagonal(
-                    &(0..s)
-                        .map(|i| modes.operative_count(i).min(level) as f64 * service_rate)
-                        .collect::<Vec<_>>(),
+                    &(0..s).map(|i| departure_rate(&modes, classes, i, level)).collect::<Vec<_>>(),
                 )
             })
             .collect();
         let q1_base = &(&a - &da) - &c_levels[servers];
         let pin_mode = modes
-            .stationary_distribution(lifecycle)
+            .stationary_distribution_classes(classes)
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
             .map(|(i, _)| i)
             .unwrap_or(0);
-        Ok(QbdSkeleton { modes, service_rate, servers, a, da, q1_base, c_levels, pin_mode })
+        Ok(QbdSkeleton {
+            modes,
+            classes: classes.to_vec(),
+            servers,
+            a,
+            da,
+            q1_base,
+            c_levels,
+            pin_mode,
+        })
     }
 
     /// The mode space underlying the matrices.
     pub fn modes(&self) -> &ModeSpace {
         &self.modes
+    }
+
+    /// The server classes the skeleton was built from (one for the paper's model).
+    pub fn classes(&self) -> &[ServerClass] {
+        &self.classes
     }
 
     /// Number of operational modes `s`.
@@ -140,9 +182,10 @@ impl QbdSkeleton {
         self.servers
     }
 
-    /// Service rate `µ` of one operative server.
+    /// Service rate `µ` of one operative server of the fastest class (the only class
+    /// for the homogeneous model).
     pub fn service_rate(&self) -> f64 {
-        self.service_rate
+        self.classes[0].service_rate()
     }
 
     /// Mode-change rate matrix `A` (zero diagonal).
@@ -160,7 +203,8 @@ impl QbdSkeleton {
         &self.c_levels[self.servers]
     }
 
-    /// Level-dependent departure matrix `C_j = diag(min(x_i, j)·µ)` by reference.
+    /// Level-dependent departure matrix `C_j` by reference: `diag(min(x_i, j)·µ)` for
+    /// a single class, the greedy fastest-first allocation rate in general.
     ///
     /// For `j ≥ N` this equals [`c`](Self::c); `C_0` is the zero matrix.
     pub fn c_at(&self, level: usize) -> &Matrix {
@@ -171,6 +215,24 @@ impl QbdSkeleton {
     pub fn pin_mode(&self) -> usize {
         self.pin_mode
     }
+}
+
+/// Total departure rate in `mode` with `level` jobs present: jobs are allocated to
+/// operative servers greedily in class order (classes are fastest-first in canonical
+/// configurations), so the rate is `Σ_c busy_c·µ_c` with `busy_c` the greedy
+/// allocation.  For a single class this reduces to the paper's `min(x_i, j)·µ`.
+fn departure_rate(modes: &ModeSpace, classes: &[ServerClass], mode: usize, level: usize) -> f64 {
+    let mut remaining = level;
+    let mut rate = 0.0;
+    for (class, spec) in classes.iter().enumerate() {
+        if remaining == 0 {
+            break;
+        }
+        let busy = modes.class_operative_count(mode, class).min(remaining);
+        rate += busy as f64 * spec.service_rate();
+        remaining -= busy;
+    }
+    rate
 }
 
 /// The generator matrices of the queue's quasi-birth-death representation: a shared
@@ -203,8 +265,7 @@ impl QbdMatrices {
     /// Propagates errors from the mode enumeration; the configuration itself was already
     /// validated at construction.
     pub fn new(config: &SystemConfig) -> Result<Self> {
-        let skeleton =
-            QbdSkeleton::new(config.servers(), config.service_rate(), config.lifecycle())?;
+        let skeleton = QbdSkeleton::for_classes(config.classes())?;
         Ok(QbdMatrices::with_skeleton(Arc::new(skeleton), config.arrival_rate()))
     }
 
@@ -262,7 +323,8 @@ impl QbdMatrices {
         self.skeleton.c()
     }
 
-    /// Level-dependent departure matrix `C_j = diag(min(x_i, j)·µ)`.
+    /// Level-dependent departure matrix `C_j`: `diag(min(x_i, j)·µ)` for a single
+    /// class, the greedy fastest-first allocation rate in general.
     ///
     /// For `j ≥ N` this equals [`c`](Self::c); `C_0` is the zero matrix.  The matrices
     /// are precomputed in the skeleton; this accessor clones, use

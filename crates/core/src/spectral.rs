@@ -111,13 +111,13 @@ impl SpectralExpansionSolver {
         config.ensure_stable()?;
         match &self.cache {
             Some(cache) => {
-                if let Some(hit) = cache.lookup_solution(config, &self.options) {
+                if let Some(hit) = cache.lookup_solution(config, &self.options)? {
                     return Ok((*hit).clone());
                 }
                 let qbd =
                     QbdMatrices::with_skeleton(cache.skeleton(config)?, config.arrival_rate());
                 let solution = self.solve_qbd(config, &qbd)?;
-                cache.store_solution(config, &self.options, solution.clone());
+                cache.store_solution(config, &self.options, solution.clone())?;
                 Ok(solution)
             }
             None => {
@@ -162,6 +162,19 @@ impl SpectralExpansionSolver {
             }
             eigenvalues.push(e.z);
             eigenvectors.push(u);
+        }
+        // Publish the factorised eigensystem so a cache-sharing
+        // GeometricApproximation solving the same (skeleton, λ) does not repeat the
+        // quadratic eigensolve (Figures 8 and 9 compare the two per grid point).
+        if let Some(cache) = &self.cache {
+            cache.store_eigensystem(
+                config,
+                self.options.unit_disk_margin,
+                crate::cache::EigenEntry {
+                    eigenvalues: eigenvalues.clone(),
+                    eigenvectors: eigenvectors.iter().cloned().map(Some).collect(),
+                },
+            )?;
         }
 
         // 2. Boundary equations: block-tridiagonal system over v_0..v_{N-1} and γ.

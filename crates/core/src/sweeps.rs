@@ -12,7 +12,7 @@
 
 use urs_dist::HyperExponential;
 
-use crate::config::{ServerLifecycle, SystemConfig};
+use crate::config::{ServerClass, ServerLifecycle, SystemConfig};
 use crate::parallel::ThreadPool;
 use crate::solution::QueueSolver;
 use crate::Result;
@@ -186,7 +186,7 @@ pub fn queue_length_vs_load_with(
     utilisations: &[f64],
     pool: &ThreadPool,
 ) -> Result<Vec<LoadPoint>> {
-    let capacity = base_config.effective_servers() * base_config.service_rate();
+    let capacity = base_config.effective_capacity();
     pool.try_par_map(utilisations, |&rho| {
         let arrival_rate = rho * capacity;
         let config = base_config.with_arrival_rate(arrival_rate)?;
@@ -197,6 +197,82 @@ pub fn queue_length_vs_load_with(
             comparison: comparison.solve(&config)?.mean_queue_length(),
         })
     })
+}
+
+/// One point of a class-mix sweep: `secondary_servers` servers of the secondary class
+/// replacing primary-class servers at a fixed fleet size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassMixPoint {
+    /// Number of servers drawn from the secondary class (`0 ..= total`).
+    pub secondary_servers: usize,
+    /// Utilisation `ρ = λ / (Σ_c N_c·a_c·µ_c)` of the mixed fleet.
+    pub utilisation: f64,
+    /// Mean queue length `L`.
+    pub mean_queue_length: f64,
+}
+
+/// Sweeps the composition of a two-class fleet at fixed total size: point `k` replaces
+/// `k` primary-class servers with secondary-class servers (`k = 0` and `k = total` are
+/// the two homogeneous endpoints).  Mixes for which the system is unstable are
+/// skipped, like the unstable counts of a [`CostSweep`](crate::CostSweep).
+///
+/// The `count` fields of the template classes are ignored; only their service rates
+/// and lifecycles matter.
+///
+/// # Errors
+///
+/// Propagates construction and solver errors (first failing grid point).
+pub fn queue_length_vs_class_mix(
+    solver: &dyn QueueSolver,
+    arrival_rate: f64,
+    primary: &ServerClass,
+    secondary: &ServerClass,
+    total_servers: usize,
+) -> Result<Vec<ClassMixPoint>> {
+    queue_length_vs_class_mix_with(
+        solver,
+        arrival_rate,
+        primary,
+        secondary,
+        total_servers,
+        &ThreadPool::default(),
+    )
+}
+
+/// [`queue_length_vs_class_mix`] with an explicit worker pool.
+///
+/// # Errors
+///
+/// Propagates construction and solver errors (first failing grid point).
+pub fn queue_length_vs_class_mix_with(
+    solver: &dyn QueueSolver,
+    arrival_rate: f64,
+    primary: &ServerClass,
+    secondary: &ServerClass,
+    total_servers: usize,
+    pool: &ThreadPool,
+) -> Result<Vec<ClassMixPoint>> {
+    let counts: Vec<usize> = (0..=total_servers).collect();
+    let points = pool.try_par_map(&counts, |&k| -> Result<Option<ClassMixPoint>> {
+        let mut classes = Vec::with_capacity(2);
+        if total_servers - k > 0 {
+            classes.push(primary.with_count(total_servers - k)?);
+        }
+        if k > 0 {
+            classes.push(secondary.with_count(k)?);
+        }
+        let config = SystemConfig::heterogeneous(arrival_rate, classes)?;
+        if !config.is_stable() {
+            return Ok(None);
+        }
+        let solution = solver.solve(&config)?;
+        Ok(Some(ClassMixPoint {
+            secondary_servers: k,
+            utilisation: config.utilisation(),
+            mean_queue_length: solution.mean_queue_length(),
+        }))
+    })?;
+    Ok(points.into_iter().flatten().collect())
 }
 
 #[cfg(test)]

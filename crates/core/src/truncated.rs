@@ -83,7 +83,6 @@ impl TruncatedCtmcSolver {
         let mut exit_rate = vec![0.0_f64; state_count];
         let a = qbd.a();
         let lambda = config.arrival_rate();
-        let mu = config.service_rate();
         for level in 0..levels {
             for mode in 0..s {
                 let from = state(mode, level);
@@ -100,10 +99,10 @@ impl TruncatedCtmcSolver {
                     outgoing[from].push((state(mode, level + 1), lambda));
                     exit_rate[from] += lambda;
                 }
-                // Departures.
-                let servers_busy = qbd.modes().operative_count(mode).min(level);
-                if servers_busy > 0 {
-                    let rate = servers_busy as f64 * mu;
+                // Departures: the skeleton's level-dependent C matrices already encode
+                // the (class-aware, fastest-first) allocation of jobs to servers.
+                let rate = qbd.c_level(level)[(mode, mode)];
+                if rate > 0.0 {
                     outgoing[from].push((state(mode, level - 1), rate));
                     exit_rate[from] += rate;
                 }

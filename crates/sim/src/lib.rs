@@ -24,6 +24,7 @@
 //! | validation of the exact solution (Table, §3) | [`BreakdownQueueSimulation`] vs `urs_core` |
 //! | deterministic `C² = 0` point of Figure 6 | [`urs_dist::Deterministic`] operative periods |
 //! | simulation confidence intervals | [`Replications`], [`ConfidenceInterval`] |
+//! | §6 future work: distinct server classes | [`SimulationConfig::heterogeneous`] (fastest-first dispatch, work-based preempt-resume, migration to faster repaired servers) |
 //!
 //! Replications run in parallel by default: they are independent by construction
 //! (consecutive seeds), so [`Replications::run`] fans them out over a
@@ -63,7 +64,8 @@ pub mod engine;
 
 pub use error::SimError;
 pub use queue_sim::{
-    BreakdownQueueSimulation, SimulationConfig, SimulationConfigBuilder, SimulationResult,
+    BreakdownQueueSimulation, HeterogeneousConfigBuilder, SimulationConfig,
+    SimulationConfigBuilder, SimulationResult,
 };
 pub use replication::{ConfidenceInterval, ReplicationSummary, Replications};
 pub use stats::{TimeWeightedAverage, WelfordAccumulator};

@@ -7,6 +7,13 @@
 //! and later resumes from the point of interruption (preempt-resume, no switching
 //! overhead).  Unlike the analytic model, the period and service distributions may be
 //! arbitrary [`ContinuousDistribution`]s.
+//!
+//! [`SimulationConfig::heterogeneous`] extends the simulator to distinct server
+//! classes: each class has its own service rate and period distributions, jobs carry
+//! a *work requirement* that a class-`c` server depletes at rate `µ_c`, dispatch is
+//! fastest-first, and a job in service migrates to a faster server when one becomes
+//! available — mirroring the allocation the class-aware analytic model of `urs-core`
+//! assumes, so the two can be validated against each other.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -20,14 +27,28 @@ use crate::error::SimError;
 use crate::stats::{TimeWeightedAverage, WelfordAccumulator};
 use crate::Result;
 
+/// One class of statistically identical servers inside a [`SimulationConfig`].
+#[derive(Debug, Clone)]
+struct SimServerClass {
+    count: usize,
+    /// Work units processed per unit time by one operative server of the class.  The
+    /// legacy single-class path uses rate 1, making "work" identical to service time.
+    service_rate: f64,
+    operative: Arc<dyn ContinuousDistribution>,
+    inoperative: Arc<dyn ContinuousDistribution>,
+}
+
 /// Configuration of one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimulationConfig {
     servers: usize,
     arrival_rate: f64,
+    /// Distribution of the *work requirement* of a job.  A class-`c` server depletes
+    /// work at rate `µ_c`, so with the legacy single class (rate 1) this is simply the
+    /// service-time distribution.
     service: Arc<dyn ContinuousDistribution>,
-    operative: Arc<dyn ContinuousDistribution>,
-    inoperative: Arc<dyn ContinuousDistribution>,
+    /// Server classes in dispatch-priority (fastest-first) order.
+    classes: Vec<SimServerClass>,
     warmup: f64,
     horizon: f64,
 }
@@ -47,9 +68,31 @@ impl SimulationConfig {
         }
     }
 
+    /// Starts building a configuration with heterogeneous server classes: jobs carry a
+    /// work requirement (default `Exponential(1)`, matching the analytic Markovian
+    /// model) and a class-`c` server processes work at its service rate `µ_c`.  Jobs
+    /// are dispatched to the fastest operative servers first and migrate to a faster
+    /// server when one is repaired while slower servers are busy — the allocation
+    /// assumed by the class-aware QBD generator of `urs-core`.
+    pub fn heterogeneous(arrival_rate: f64) -> HeterogeneousConfigBuilder {
+        HeterogeneousConfigBuilder {
+            arrival_rate,
+            classes: Vec::new(),
+            work: None,
+            warmup: 1_000.0,
+            horizon: 50_000.0,
+        }
+    }
+
     /// Number of servers.
     pub fn servers(&self) -> usize {
         self.servers
+    }
+
+    /// Number of server classes (1 unless built with
+    /// [`heterogeneous`](Self::heterogeneous)).
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
     }
 
     /// Poisson arrival rate `λ`.
@@ -126,41 +169,149 @@ impl SimulationConfigBuilder {
                 constraint: "must be at least 1",
             });
         }
-        if !(self.arrival_rate.is_finite() && self.arrival_rate > 0.0) {
-            return Err(SimError::InvalidParameter {
-                name: "arrival_rate",
-                value: self.arrival_rate,
-                constraint: "must be finite and positive",
-            });
-        }
-        if !(self.horizon.is_finite() && self.horizon > 0.0) {
-            return Err(SimError::InvalidParameter {
-                name: "horizon",
-                value: self.horizon,
-                constraint: "must be finite and positive",
-            });
-        }
-        if !(self.warmup >= 0.0 && self.warmup < self.horizon) {
-            return Err(SimError::InvalidParameter {
-                name: "warmup",
-                value: self.warmup,
-                constraint: "must be non-negative and shorter than the horizon",
-            });
-        }
-        Ok(SimulationConfig {
-            servers: self.servers,
-            arrival_rate: self.arrival_rate,
-            service: self.service.ok_or(SimError::MissingConfiguration("service distribution"))?,
+        validate_run_window(self.arrival_rate, self.warmup, self.horizon)?;
+        let class = SimServerClass {
+            count: self.servers,
+            service_rate: 1.0,
             operative: self
                 .operative
                 .ok_or(SimError::MissingConfiguration("operative-period distribution"))?,
             inoperative: self
                 .inoperative
                 .ok_or(SimError::MissingConfiguration("inoperative-period distribution"))?,
+        };
+        Ok(SimulationConfig {
+            servers: self.servers,
+            arrival_rate: self.arrival_rate,
+            service: self.service.ok_or(SimError::MissingConfiguration("service distribution"))?,
+            classes: vec![class],
             warmup: self.warmup,
             horizon: self.horizon,
         })
     }
+}
+
+/// Builder for heterogeneous-class [`SimulationConfig`]s
+/// (see [`SimulationConfig::heterogeneous`]).
+#[derive(Debug, Clone)]
+pub struct HeterogeneousConfigBuilder {
+    arrival_rate: f64,
+    classes: Vec<SimServerClass>,
+    work: Option<Arc<dyn ContinuousDistribution>>,
+    warmup: f64,
+    horizon: f64,
+}
+
+impl HeterogeneousConfigBuilder {
+    /// Appends a server class: `count` servers with service rate `service_rate` and
+    /// the given operative/inoperative period distributions.
+    pub fn class(
+        mut self,
+        count: usize,
+        service_rate: f64,
+        operative: impl ContinuousDistribution + 'static,
+        inoperative: impl ContinuousDistribution + 'static,
+    ) -> Self {
+        self.classes.push(SimServerClass {
+            count,
+            service_rate,
+            operative: Arc::new(operative),
+            inoperative: Arc::new(inoperative),
+        });
+        self
+    }
+
+    /// Sets the work-requirement distribution (default: `Exponential(1)`, i.e.
+    /// exponential service with mean `1/µ_c` on a class-`c` server, matching the
+    /// analytic model).
+    pub fn work(mut self, dist: impl ContinuousDistribution + 'static) -> Self {
+        self.work = Some(Arc::new(dist));
+        self
+    }
+
+    /// Sets the warm-up period (statistics before this time are discarded; default 1000).
+    pub fn warmup(mut self, warmup: f64) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Sets the total simulated time (default 50 000).
+    pub fn horizon(mut self, horizon: f64) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Validates and builds the configuration.  Classes are sorted fastest-first, the
+    /// dispatch priority the analytic model assumes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MissingConfiguration`] when no class was supplied and
+    /// [`SimError::InvalidParameter`] for empty classes, non-positive service rates or
+    /// invalid arrival rate / warm-up / horizon combinations.
+    pub fn build(mut self) -> Result<SimulationConfig> {
+        if self.classes.is_empty() {
+            return Err(SimError::MissingConfiguration("at least one server class"));
+        }
+        for class in &self.classes {
+            if class.count == 0 {
+                return Err(SimError::InvalidParameter {
+                    name: "servers",
+                    value: 0.0,
+                    constraint: "every server class must contain at least 1 server",
+                });
+            }
+            if !(class.service_rate.is_finite() && class.service_rate > 0.0) {
+                return Err(SimError::InvalidParameter {
+                    name: "service_rate",
+                    value: class.service_rate,
+                    constraint: "must be finite and positive",
+                });
+            }
+        }
+        validate_run_window(self.arrival_rate, self.warmup, self.horizon)?;
+        // Fastest classes first: index order is dispatch priority.
+        self.classes.sort_by(|a, b| b.service_rate.total_cmp(&a.service_rate));
+        let work = match self.work {
+            Some(dist) => dist,
+            None => Arc::new(Exponential::new(1.0)?),
+        };
+        Ok(SimulationConfig {
+            servers: self.classes.iter().map(|c| c.count).sum(),
+            arrival_rate: self.arrival_rate,
+            service: work,
+            classes: self.classes,
+            warmup: self.warmup,
+            horizon: self.horizon,
+        })
+    }
+}
+
+/// Shared validation of the arrival process and measurement window, used by both
+/// configuration builders so their constraints cannot drift apart.
+fn validate_run_window(arrival_rate: f64, warmup: f64, horizon: f64) -> Result<()> {
+    if !(arrival_rate.is_finite() && arrival_rate > 0.0) {
+        return Err(SimError::InvalidParameter {
+            name: "arrival_rate",
+            value: arrival_rate,
+            constraint: "must be finite and positive",
+        });
+    }
+    if !(horizon.is_finite() && horizon > 0.0) {
+        return Err(SimError::InvalidParameter {
+            name: "horizon",
+            value: horizon,
+            constraint: "must be finite and positive",
+        });
+    }
+    if !(warmup >= 0.0 && warmup < horizon) {
+        return Err(SimError::InvalidParameter {
+            name: "warmup",
+            value: warmup,
+            constraint: "must be non-negative and shorter than the horizon",
+        });
+    }
+    Ok(())
 }
 
 /// Events driving the simulation.
@@ -219,6 +370,16 @@ impl BreakdownQueueSimulation {
         let mut rng = StdRng::seed_from_u64(seed);
         let arrivals = Exponential::new(cfg.arrival_rate)?;
 
+        // Per-server class index and work-depletion rate; classes are fastest-first,
+        // so dispatching in server-index order realises the fastest-first allocation.
+        let class_of: Vec<usize> = cfg
+            .classes
+            .iter()
+            .enumerate()
+            .flat_map(|(class, spec)| std::iter::repeat_n(class, spec.count))
+            .collect();
+        let rates: Vec<f64> = class_of.iter().map(|&c| cfg.classes[c].service_rate).collect();
+
         let mut events: EventQueue<Event> = EventQueue::new();
         let mut queue: VecDeque<Job> = VecDeque::new();
         let mut servers: Vec<Server> = (0..cfg.servers)
@@ -244,8 +405,8 @@ impl BreakdownQueueSimulation {
 
         // Prime the event queue: first arrival and the first breakdown of every server.
         events.schedule_in(arrivals.sample(&mut rng), Event::Arrival);
-        for index in 0..cfg.servers {
-            let first_operative = cfg.operative.sample(&mut rng);
+        for (index, &class) in class_of.iter().enumerate() {
+            let first_operative = cfg.classes[class].operative.sample(&mut rng);
             events.schedule_in(first_operative, Event::Breakdown { server: index });
         }
         operative_servers.record(0.0, cfg.servers as f64);
@@ -262,7 +423,7 @@ impl BreakdownQueueSimulation {
                     let service = cfg.service.sample(&mut rng);
                     queue.push_back(Job { arrival_time: now, remaining_service: service });
                     events.schedule_in(arrivals.sample(&mut rng), Event::Arrival);
-                    dispatch(&mut events, &mut servers, &mut queue, now, &mut busy_servers);
+                    dispatch(&mut events, &mut servers, &mut queue, now, &mut busy_servers, &rates);
                 }
                 Event::ServiceCompletion { server, generation } => {
                     if servers[server].generation != generation || servers[server].job.is_none() {
@@ -277,7 +438,7 @@ impl BreakdownQueueSimulation {
                         response_times.push(now - job.arrival_time);
                         response_samples.push(now - job.arrival_time);
                     }
-                    dispatch(&mut events, &mut servers, &mut queue, now, &mut busy_servers);
+                    dispatch(&mut events, &mut servers, &mut queue, now, &mut busy_servers, &rates);
                 }
                 Event::Breakdown { server } => {
                     breakdowns_total += 1;
@@ -285,9 +446,9 @@ impl BreakdownQueueSimulation {
                     entry.operative = false;
                     entry.generation += 1;
                     if let Some(mut job) = entry.job.take() {
-                        // Preempt: compute the remaining service and put the job back at
+                        // Preempt: compute the remaining work and put the job back at
                         // the *front* of the queue (paper's preempt-resume discipline).
-                        let served = now - entry.service_started_at;
+                        let served = (now - entry.service_started_at) * rates[server];
                         job.remaining_service = (job.remaining_service - served).max(0.0);
                         if let Some(handle) = entry.completion_handle.take() {
                             events.cancel(handle);
@@ -296,15 +457,21 @@ impl BreakdownQueueSimulation {
                     }
                     operative_servers.record(now, count_operative(&servers));
                     busy_servers.record(now, count_busy(&servers));
-                    let repair = cfg.inoperative.sample(&mut rng);
+                    let repair = cfg.classes[class_of[server]].inoperative.sample(&mut rng);
                     events.schedule_in(repair, Event::Repair { server });
+                    // The preempted job must resume immediately on an idle operative
+                    // server if one exists (the CTMC gives that state a positive
+                    // departure rate); without this dispatch it would wait for the
+                    // next arrival/completion/repair event.
+                    dispatch(&mut events, &mut servers, &mut queue, now, &mut busy_servers, &rates);
                 }
                 Event::Repair { server } => {
                     servers[server].operative = true;
                     operative_servers.record(now, count_operative(&servers));
-                    let next_operative_period = cfg.operative.sample(&mut rng);
+                    let next_operative_period =
+                        cfg.classes[class_of[server]].operative.sample(&mut rng);
                     events.schedule_in(next_operative_period, Event::Breakdown { server });
-                    dispatch(&mut events, &mut servers, &mut queue, now, &mut busy_servers);
+                    dispatch(&mut events, &mut servers, &mut queue, now, &mut busy_servers, &rates);
                 }
             }
         }
@@ -333,29 +500,52 @@ impl BreakdownQueueSimulation {
     }
 }
 
-/// Starts service on every idle operative server while jobs are waiting.
+/// Starts service on every idle operative server while jobs are waiting, keeping the
+/// jobs in service on the *fastest* operative servers: once the queue is drained, an
+/// idle operative server takes over the job of a strictly slower busy server
+/// (preempt-resume on remaining work).  With a single class all rates are equal, no
+/// migration ever triggers, and this is exactly the plain FCFS dispatch.
 fn dispatch(
     events: &mut EventQueue<Event>,
     servers: &mut [Server],
     queue: &mut VecDeque<Job>,
     now: f64,
     busy_servers: &mut TimeWeightedAverage,
+    rates: &[f64],
 ) {
-    for (index, server) in servers.iter_mut().enumerate() {
-        if queue.is_empty() {
-            break;
+    for index in 0..servers.len() {
+        if !(servers[index].operative && servers[index].job.is_none()) {
+            continue;
         }
-        if server.operative && server.job.is_none() {
-            let job = queue.pop_front().expect("queue non-empty inside loop");
-            server.service_started_at = now;
-            server.generation += 1;
-            let handle = events.schedule_in(
-                job.remaining_service,
-                Event::ServiceCompletion { server: index, generation: server.generation },
-            );
-            server.completion_handle = Some(handle);
-            server.job = Some(job);
-        }
+        let job = match queue.pop_front() {
+            Some(job) => job,
+            None => {
+                // Queue drained: migrate from the slowest strictly slower busy server,
+                // if any (ties broken towards the highest index, i.e. lowest priority).
+                let donor = (index + 1..servers.len())
+                    .filter(|&j| servers[j].job.is_some() && rates[j] < rates[index])
+                    .min_by(|&a, &b| rates[a].total_cmp(&rates[b]).then(b.cmp(&a)));
+                let Some(donor) = donor else { break };
+                let entry = &mut servers[donor];
+                let served = (now - entry.service_started_at) * rates[donor];
+                let mut job = entry.job.take().expect("donor is busy by construction");
+                job.remaining_service = (job.remaining_service - served).max(0.0);
+                if let Some(handle) = entry.completion_handle.take() {
+                    events.cancel(handle);
+                }
+                entry.generation += 1;
+                job
+            }
+        };
+        let server = &mut servers[index];
+        server.service_started_at = now;
+        server.generation += 1;
+        let handle = events.schedule_in(
+            job.remaining_service / rates[index],
+            Event::ServiceCompletion { server: index, generation: server.generation },
+        );
+        server.completion_handle = Some(handle);
+        server.job = Some(job);
     }
     busy_servers.record(now, count_busy(servers));
 }
@@ -616,6 +806,121 @@ mod tests {
         assert!(result.response_time_percentile(1.5).is_none());
         assert!(result.response_time_percentile(0.0).is_none());
         assert!(!result.response_times().is_empty());
+    }
+
+    #[test]
+    fn heterogeneous_builder_validates() {
+        let ok = SimulationConfig::heterogeneous(1.0)
+            .class(2, 2.0, Exponential::with_mean(50.0).unwrap(), Exponential::new(5.0).unwrap())
+            .class(3, 1.0, Exponential::with_mean(80.0).unwrap(), Exponential::new(2.0).unwrap())
+            .build()
+            .unwrap();
+        assert_eq!(ok.servers(), 5);
+        assert_eq!(ok.class_count(), 2);
+        assert!(matches!(
+            SimulationConfig::heterogeneous(1.0).build(),
+            Err(SimError::MissingConfiguration(_))
+        ));
+        assert!(matches!(
+            SimulationConfig::heterogeneous(1.0)
+                .class(0, 1.0, Exponential::new(1.0).unwrap(), Exponential::new(1.0).unwrap())
+                .build(),
+            Err(SimError::InvalidParameter { name: "servers", .. })
+        ));
+        assert!(matches!(
+            SimulationConfig::heterogeneous(1.0)
+                .class(1, -1.0, Exponential::new(1.0).unwrap(), Exponential::new(1.0).unwrap())
+                .build(),
+            Err(SimError::InvalidParameter { name: "service_rate", .. })
+        ));
+    }
+
+    #[test]
+    fn heterogeneous_single_class_matches_mm1_with_scaled_rate() {
+        // One reliable server with service rate 2 fed at λ = 1: M/M/1 with ρ = 0.5.
+        let config = SimulationConfig::heterogeneous(1.0)
+            .class(
+                1,
+                2.0,
+                Exponential::with_mean(1e9).unwrap(),
+                Exponential::with_mean(1e-6).unwrap(),
+            )
+            .warmup(2_000.0)
+            .horizon(60_000.0)
+            .build()
+            .unwrap();
+        let result = BreakdownQueueSimulation::new(config).run(17).unwrap();
+        assert!(
+            (result.mean_queue_length() - 1.0).abs() < 0.1,
+            "L = {}",
+            result.mean_queue_length()
+        );
+    }
+
+    #[test]
+    fn heterogeneous_fast_class_takes_priority() {
+        // A fast reliable class plus a slow reliable class.  At light load the fast
+        // servers should do almost all the work: the mean number of busy servers is
+        // close to λ/µ_fast, well below what slow-first dispatch would give.
+        let config = SimulationConfig::heterogeneous(0.9)
+            .class(
+                2,
+                3.0,
+                Exponential::with_mean(1e9).unwrap(),
+                Exponential::with_mean(1e-6).unwrap(),
+            )
+            .class(
+                2,
+                0.5,
+                Exponential::with_mean(1e9).unwrap(),
+                Exponential::with_mean(1e-6).unwrap(),
+            )
+            .warmup(2_000.0)
+            .horizon(60_000.0)
+            .build()
+            .unwrap();
+        let result = BreakdownQueueSimulation::new(config).run(23).unwrap();
+        // Fast-first dispatch: offered work 0.9 at rate 3 keeps ~0.3 servers busy.
+        assert!(
+            result.mean_busy_servers() < 0.6,
+            "busy {} suggests slow servers are being used first",
+            result.mean_busy_servers()
+        );
+    }
+
+    #[test]
+    fn heterogeneous_equal_rates_match_legacy_configuration() {
+        // Two classes with identical parameters are statistically the same system as
+        // the legacy homogeneous configuration (not bit-identical — the RNG streams
+        // differ — so compare long-run means).
+        let het = SimulationConfig::heterogeneous(1.5)
+            .class(
+                1,
+                1.0,
+                Exponential::with_mean(100.0).unwrap(),
+                Exponential::with_mean(1.0).unwrap(),
+            )
+            .class(
+                2,
+                1.0,
+                Exponential::with_mean(100.0).unwrap(),
+                Exponential::with_mean(1.0).unwrap(),
+            )
+            .warmup(5_000.0)
+            .horizon(200_000.0)
+            .build()
+            .unwrap();
+        let legacy = SimulationConfig::builder(3, 1.5)
+            .service(Exponential::new(1.0).unwrap())
+            .operative(Exponential::with_mean(100.0).unwrap())
+            .inoperative(Exponential::with_mean(1.0).unwrap())
+            .warmup(5_000.0)
+            .horizon(200_000.0)
+            .build()
+            .unwrap();
+        let l_het = BreakdownQueueSimulation::new(het).run(5).unwrap().mean_queue_length();
+        let l_legacy = BreakdownQueueSimulation::new(legacy).run(5).unwrap().mean_queue_length();
+        assert!((l_het - l_legacy).abs() / l_legacy < 0.15, "het {l_het} vs legacy {l_legacy}");
     }
 
     #[test]
