@@ -1,22 +1,31 @@
-//! Criterion benchmarks of the analytic solvers as the system grows.
+//! Criterion benchmarks of the analytic solvers as the system grows, plus the raw
+//! linear-algebra kernels they stand on.
 //!
 //! Measures the wall-clock cost of the exact spectral expansion, the matrix-geometric
-//! method and the geometric approximation for increasing numbers of servers (and hence
-//! operational modes), quantifying the complexity argument behind the paper's
-//! recommendation of the approximation for large systems.
+//! method (logarithmic reduction) and the geometric approximation for increasing
+//! numbers of servers (and hence operational modes), quantifying the complexity
+//! argument behind the paper's recommendation of the approximation for large systems.
+//! The `kernels` group pins the blocked/tiled production kernels against naive
+//! reference implementations so a kernel regression fails loudly in CI (the bench
+//! smoke step runs `kernels` and `sweeps`); under `URS_SMOKE` every group shrinks to
+//! CI-sized instances.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use urs_bench::{figure5_lifecycle, system};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use urs_bench::{figure5_lifecycle, smoke, system};
 use urs_core::sweeps::queue_length_vs_load_with;
 use urs_core::{
     CostModel, CostSweep, GeometricApproximation, MatrixGeometricSolver, QueueSolver, SolverCache,
     SpectralExpansionSolver, ThreadPool,
 };
+use urs_linalg::{LuDecomposition, Matrix};
 
 fn bench_solvers(c: &mut Criterion) {
     let mut group = c.benchmark_group("solvers");
     group.sample_size(10);
-    for &servers in &[4usize, 8, 12] {
+    // The logarithmic-reduction rewrite pushed the practical range of both exact
+    // solvers to N = 32 (561 modes); smoke runs keep the historical small sizes.
+    let sizes: &[usize] = if smoke() { &[4, 8] } else { &[4, 8, 12, 16, 24, 32] };
+    for &servers in sizes {
         let lifecycle = figure5_lifecycle();
         let config = system(servers, 0.85 * servers as f64 * lifecycle.availability(), lifecycle);
         group.bench_with_input(
@@ -36,6 +45,98 @@ fn bench_solvers(c: &mut Criterion) {
     group.finish();
 }
 
+/// Naive reference kernels: the pre-refactor triple-loop product and unblocked,
+/// index-addressed LU elimination.  Benchmarked against the production kernels so the
+/// old-vs-new ratio is regenerated on every bench run.
+mod naive {
+    use urs_linalg::Matrix;
+
+    pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for k in 0..a.cols() {
+                let aik = a[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..b.cols() {
+                    out[(i, j)] += aik * b[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Unblocked LU with partial pivoting; returns the packed factors.
+    pub fn lu(a: &Matrix) -> Matrix {
+        let n = a.rows();
+        let mut lu = a.clone();
+        for k in 0..n {
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                if lu[(i, k)].abs() > pivot_val {
+                    pivot_val = lu[(i, k)].abs();
+                    pivot_row = i;
+                }
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let delta = factor * lu[(k, j)];
+                    lu[(i, j)] -= delta;
+                }
+            }
+        }
+        lu
+    }
+}
+
+/// Deterministic pseudo-random test matrix with a boosted diagonal.
+fn kernel_matrix(n: usize, mut seed: u64) -> Matrix {
+    let mut next = || {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((seed >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    };
+    let mut m = Matrix::from_fn(n, n, |_, _| next());
+    for i in 0..n {
+        m[(i, i)] += 4.0;
+    }
+    m
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10);
+    let sizes: &[usize] = if smoke() { &[48, 96] } else { &[64, 128, 256] };
+    for &n in sizes {
+        let a = kernel_matrix(n, 7);
+        let b = kernel_matrix(n, 11);
+        group.bench_with_input(BenchmarkId::new("gemm_naive", n), &(&a, &b), |bench, (a, b)| {
+            bench.iter(|| black_box(naive::matmul(a, b)))
+        });
+        group.bench_with_input(BenchmarkId::new("gemm_blocked", n), &(&a, &b), |bench, (a, b)| {
+            bench.iter(|| black_box(a.matmul(b).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("lu_naive", n), &a, |bench, a| {
+            bench.iter(|| black_box(naive::lu(a)))
+        });
+        group.bench_with_input(BenchmarkId::new("lu_blocked", n), &a, |bench, a| {
+            bench.iter(|| black_box(LuDecomposition::new(a).unwrap()))
+        });
+    }
+    group.finish();
+}
+
 /// The Figure 8 load sweep (12 arrival rates, one lifecycle) under the three execution
 /// strategies introduced by the performance subsystem:
 ///
@@ -46,8 +147,9 @@ fn bench_solvers(c: &mut Criterion) {
 fn bench_sweeps(c: &mut Criterion) {
     let mut group = c.benchmark_group("sweeps");
     group.sample_size(10);
-    let base = system(10, 8.0, figure5_lifecycle());
-    let utilisations: Vec<f64> = (0..12).map(|i| 0.89 + i as f64 * 0.009).collect();
+    let (servers, points, cost_range) = if smoke() { (6, 4, 5..=8) } else { (10, 12, 9..=14) };
+    let base = system(servers, 0.8 * servers as f64, figure5_lifecycle());
+    let utilisations: Vec<f64> = (0..points).map(|i| 0.89 + i as f64 * 0.009).collect();
     let approx = GeometricApproximation::default();
 
     group.bench_function("load_sweep_serial", |b| {
@@ -76,8 +178,14 @@ fn bench_sweeps(c: &mut Criterion) {
         let solver = SpectralExpansionSolver::default();
         b.iter(|| {
             for cost in [CostModel::new(4.0, 1.0), CostModel::new(2.0, 1.0)] {
-                CostSweep::evaluate_with(&solver, &base, &cost, 9..=14, &ThreadPool::serial())
-                    .unwrap();
+                CostSweep::evaluate_with(
+                    &solver,
+                    &base,
+                    &cost,
+                    cost_range.clone(),
+                    &ThreadPool::serial(),
+                )
+                .unwrap();
             }
         })
     });
@@ -85,13 +193,19 @@ fn bench_sweeps(c: &mut Criterion) {
         b.iter(|| {
             let solver = SpectralExpansionSolver::default().with_cache(SolverCache::shared());
             for cost in [CostModel::new(4.0, 1.0), CostModel::new(2.0, 1.0)] {
-                CostSweep::evaluate_with(&solver, &base, &cost, 9..=14, &ThreadPool::serial())
-                    .unwrap();
+                CostSweep::evaluate_with(
+                    &solver,
+                    &base,
+                    &cost,
+                    cost_range.clone(),
+                    &ThreadPool::serial(),
+                )
+                .unwrap();
             }
         })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_solvers, bench_sweeps);
+criterion_group!(benches, bench_solvers, bench_kernels, bench_sweeps);
 criterion_main!(benches);

@@ -55,6 +55,13 @@
 //!   [`GeometricApproximation::with_cache`]; sharing one cache between the two
 //!   solvers factorises each `(skeleton, λ)` eigenproblem once, not twice.
 //!
+//! Underneath both, every solver runs on `urs-linalg`'s allocation-free kernels
+//! (tiled `gemm`, blocked LU, `Workspace`-recycled scratch), and
+//! [`MatrixGeometricSolver`] computes its `R` matrix by Latouche–Ramaswamy
+//! logarithmic reduction — quadratic convergence with a single up-front LU of `Q1`
+//! instead of the classical fixed point's per-step inverse (the achieved depth is
+//! reported by [`MatrixGeometricSolution::reduction_depth`]).
+//!
 //! # Quick start
 //!
 //! ```

@@ -8,8 +8,20 @@
 //! acts as an *independent cross-check* of the spectral expansion — the two must agree
 //! to within numerical accuracy on every probability, which the integration tests
 //! verify.
+//!
+//! `R` is computed by **Latouche–Ramaswamy logarithmic reduction**: the first-passage
+//! matrix `G` (minimal solution of `Q2 + Q1·G + Q0·G² = 0`) is built by a doubling
+//! recursion that squares the effective step every iteration — quadratic convergence,
+//! so a dozen iterations replace the thousands of linear-convergence steps of the
+//! natural fixed point `R ← −(Q0 + R²·Q2)·Q1⁻¹`, which survives here only as the
+//! reference implementation [`MatrixGeometricSolver::rate_matrix_fixed_point`].  All
+//! inner products run on the in-place [`gemm`](Matrix::gemm)/LU-solve kernels of
+//! `urs-linalg` with a single [`Workspace`], so the iteration allocates nothing and
+//! no explicit matrix inverse is ever formed.
 
-use urs_linalg::{BlockTridiagonal, CMatrix, Complex, LinalgError, Matrix};
+use urs_linalg::{
+    BlockTridiagonal, CMatrix, Complex, LinalgError, LuDecomposition, Matrix, Workspace,
+};
 
 use crate::config::SystemConfig;
 use crate::error::ModelError;
@@ -17,12 +29,15 @@ use crate::qbd::QbdMatrices;
 use crate::solution::{QueueSolution, QueueSolver};
 use crate::Result;
 
-/// Options for the `R`-matrix fixed-point iteration.
+/// Options for the `R`-matrix computation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MatrixGeometricOptions {
-    /// Convergence tolerance on the max-norm change of `R` between iterations.
+    /// Convergence tolerance: the logarithmic reduction stops once the first-passage
+    /// matrix `G` is stochastic to this accuracy (or the accumulated correction term
+    /// underflows it); the fixed-point reference stops on the max-norm change of `R`.
     pub tolerance: f64,
-    /// Maximum number of fixed-point iterations.
+    /// Maximum number of iterations (reduction doublings, or fixed-point steps for
+    /// the reference implementation).
     pub max_iterations: usize,
 }
 
@@ -57,26 +72,138 @@ impl MatrixGeometricSolver {
         MatrixGeometricSolver { options }
     }
 
-    /// Computes the minimal non-negative solution of `Q0 + R·Q1 + R²·Q2 = 0` by the
-    /// natural fixed-point iteration `R ← −(Q0 + R²·Q2)·Q1⁻¹` started from `R = 0`.
+    /// Computes the minimal non-negative solution of `Q0 + R·Q1 + R²·Q2 = 0` by
+    /// logarithmic reduction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NoConvergence`] if the reduction does not converge within
+    /// the configured budget.
+    pub fn rate_matrix(&self, qbd: &QbdMatrices) -> Result<Matrix> {
+        Ok(self.rate_matrix_with_depth(qbd)?.0)
+    }
+
+    /// Computes `R` by Latouche–Ramaswamy logarithmic reduction, returning the
+    /// reduction depth alongside (the number of doubling steps; step `k` covers
+    /// `2^k` levels of the underlying first-passage expansion).
+    ///
+    /// The only factorisations are one up-front LU of `−Q1` (reused for both initial
+    /// solves) and one LU of `I − U_k` per doubling step; every product runs on the
+    /// in-place kernels with workspace-recycled buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NoConvergence`] if the reduction does not converge within
+    /// the configured budget.
+    pub fn rate_matrix_with_depth(&self, qbd: &QbdMatrices) -> Result<(Matrix, usize)> {
+        let s = qbd.order();
+        let q0 = qbd.q0();
+        let q2 = qbd.q2();
+        let mut ws = Workspace::new();
+
+        // One up-front LU of −Q1 (a strictly diagonally dominant M-matrix), reused
+        // via solves for both starting blocks — no explicit inverse.
+        let mut neg_q1 = qbd.q1();
+        neg_q1.scale_mut(-1.0);
+        let q1_lu = LuDecomposition::from_matrix(neg_q1)?;
+        let mut h = ws.real_matrix(s, s); // H_k: "up" block, starts (−Q1)⁻¹·Q0
+        let mut l = ws.real_matrix(s, s); // L_k: "down" block, starts (−Q1)⁻¹·Q2
+        q1_lu.solve_matrix_into(&q0, &mut h)?;
+        q1_lu.solve_matrix_into(&q2, &mut l)?;
+
+        let mut g = l.clone(); // G accumulates the first-passage matrix
+        let mut t = h.clone(); // T_k = H_0·H_1⋯H_{k-1}
+        let mut u = ws.real_matrix(s, s);
+        let mut m = ws.real_matrix(s, s);
+        let mut tmp = ws.real_matrix(s, s);
+
+        let mut depth = 0;
+        let mut converged = false;
+        while depth < self.options.max_iterations {
+            depth += 1;
+            // U_k = H·L + L·H, then factor I − U_k once for both updates.
+            u.gemm(1.0, &h, &l, 0.0)?;
+            u.gemm(1.0, &l, &h, 1.0)?;
+            let mut eye_minus_u = ws.real_matrix(s, s);
+            eye_minus_u.copy_from(&u)?;
+            eye_minus_u.scale_mut(-1.0);
+            for i in 0..s {
+                eye_minus_u[(i, i)] += 1.0;
+            }
+            let iu_lu = LuDecomposition::from_matrix(eye_minus_u)?;
+            // H ← (I−U)⁻¹·H², L ← (I−U)⁻¹·L².
+            m.gemm(1.0, &h, &h, 0.0)?;
+            iu_lu.solve_matrix_into(&m, &mut h)?;
+            m.gemm(1.0, &l, &l, 0.0)?;
+            iu_lu.solve_matrix_into(&m, &mut l)?;
+            ws.release_real_matrix(iu_lu.into_matrix());
+            // G ← G + T·L, T ← T·H.
+            g.gemm(1.0, &t, &l, 1.0)?;
+            tmp.gemm(1.0, &t, &h, 0.0)?;
+            std::mem::swap(&mut t, &mut tmp);
+            // For an ergodic queue G is stochastic; the correction term T decays
+            // quadratically, so either criterion detects convergence scale-free.
+            let mut residual = 0.0_f64;
+            for row in g.as_slice().chunks_exact(s) {
+                residual = residual.max((1.0 - row.iter().sum::<f64>()).abs());
+            }
+            if residual < self.options.tolerance || t.max_abs() < self.options.tolerance {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            return Err(ModelError::NoConvergence {
+                algorithm: "matrix-geometric logarithmic reduction",
+                iterations: depth,
+            });
+        }
+
+        // R = Q0·(−U)⁻¹ with U = Q1 + Q0·G: one more LU, one right solve.
+        let mut neg_u = qbd.q1();
+        neg_u.scale_mut(-1.0);
+        neg_u.gemm(-1.0, &q0, &g, 1.0)?;
+        let u_lu = LuDecomposition::from_matrix(neg_u)?;
+        let mut r = Matrix::zeros(s, s);
+        u_lu.solve_right_matrix_into(&q0, &mut r, &mut ws)?;
+        Ok((r, depth))
+    }
+
+    /// The natural fixed-point iteration `R ← −(Q0 + R²·Q2)·Q1⁻¹`, kept as the
+    /// linear-convergence reference implementation that the equivalence tests pin
+    /// the logarithmic reduction against.  Returns `R` and the number of iterations.
+    ///
+    /// Even here no explicit inverse is formed: `Q1` is factorised once up front and
+    /// every step performs one right solve against the factors.
     ///
     /// # Errors
     ///
     /// Returns [`ModelError::NoConvergence`] if the iteration does not converge within
     /// the configured budget.
-    pub fn rate_matrix(&self, qbd: &QbdMatrices) -> Result<Matrix> {
+    pub fn rate_matrix_fixed_point(&self, qbd: &QbdMatrices) -> Result<(Matrix, usize)> {
         let s = qbd.order();
         let q0 = qbd.q0();
-        let q1_inv = qbd.q1().inverse()?;
         let q2 = qbd.q2();
+        let q1_lu = LuDecomposition::from_matrix(qbd.q1())?;
+        let mut ws = Workspace::new();
         let mut r = Matrix::zeros(s, s);
-        for _ in 0..self.options.max_iterations {
-            let r_squared = r.matmul(&r)?;
-            let next = (&(&q0 + &r_squared.matmul(&q2)?) * -1.0).matmul(&q1_inv)?;
-            let diff = (&next - &r).max_abs();
-            r = next;
+        let mut r_squared = ws.real_matrix(s, s);
+        let mut rhs = ws.real_matrix(s, s);
+        let mut next = ws.real_matrix(s, s);
+        for iteration in 1..=self.options.max_iterations {
+            r_squared.gemm(1.0, &r, &r, 0.0)?;
+            rhs.copy_from(&q0)?;
+            rhs.gemm(1.0, &r_squared, &q2, 1.0)?;
+            rhs.scale_mut(-1.0);
+            // next·Q1 = −(Q0 + R²·Q2)
+            q1_lu.solve_right_matrix_into(&rhs, &mut next, &mut ws)?;
+            let mut diff = 0.0_f64;
+            for (a, b) in next.as_slice().iter().zip(r.as_slice()) {
+                diff = diff.max((a - b).abs());
+            }
+            std::mem::swap(&mut r, &mut next);
             if diff < self.options.tolerance {
-                return Ok(r);
+                return Ok((r, iteration));
             }
         }
         Err(ModelError::NoConvergence {
@@ -90,14 +217,14 @@ impl MatrixGeometricSolver {
     /// # Errors
     ///
     /// Returns [`ModelError::Unstable`] for non-ergodic configurations,
-    /// [`ModelError::NoConvergence`] if the `R` iteration stalls, or a linear-algebra
-    /// error from the boundary solve.
+    /// [`ModelError::NoConvergence`] if the `R` computation stalls, or a
+    /// linear-algebra error from the boundary solve.
     pub fn solve_detailed(&self, config: &SystemConfig) -> Result<MatrixGeometricSolution> {
         config.ensure_stable()?;
         let qbd = QbdMatrices::new(config)?;
         let s = qbd.order();
         let servers = qbd.servers();
-        let r = self.rate_matrix(&qbd)?;
+        let (r, reduction_depth) = self.rate_matrix_with_depth(&qbd)?;
 
         // Boundary equations for levels 0..N with v_{N+1} = v_N·R substituted into the
         // level-N equation; one equation is replaced by pinning a reference state.
@@ -109,6 +236,10 @@ impl MatrixGeometricSolver {
         let mut system = BlockTridiagonal::new(block_rows, s)?;
         let b = qbd.b();
         let c_full = qbd.c();
+        // C is diagonal, so R·C is a column scaling — no dense product needed.
+        let c_diag = c_full.diagonal();
+        let mut r_c = r.clone();
+        r_c.scale_columns(&c_diag)?;
         for j in 0..block_rows {
             let mut rhs = vec![Complex::ZERO; s];
             if j > 0 {
@@ -118,7 +249,7 @@ impl MatrixGeometricSolver {
                 transpose_to_cmatrix(&qbd.local_matrix(j))
             } else {
                 // Level N: v_N·(Dᴬ+B+C−A) − v_N·R·C  ⇒ coefficient (local(N) − R·C)ᵀ.
-                transpose_to_cmatrix(&(&qbd.local_matrix(servers) - &r.matmul(c_full)?))
+                transpose_to_cmatrix(&(&qbd.local_matrix(servers) - &r_c))
             };
             if j + 1 < block_rows {
                 let upper_real = if j < servers { qbd.c_at(j + 1) } else { c_full.clone() };
@@ -148,9 +279,15 @@ impl MatrixGeometricSolver {
         let mut levels: Vec<Vec<f64>> =
             unknowns.iter().map(|v| v.iter().map(|c| c.re).collect()).collect();
 
-        // Normalisation: Σ_{j<N} v_j·1 + v_N·(I−R)⁻¹·1 = 1.
-        let identity = Matrix::identity(s);
-        let i_minus_r_inv = (&identity - &r).inverse()?;
+        // Normalisation: Σ_{j<N} v_j·1 + v_N·(I−R)⁻¹·1 = 1.  The inverse of `I − R`
+        // is reused by every tail query of the solution, so it is materialised once
+        // here — through LU solves, not an adjugate-style explicit inversion.
+        let mut i_minus_r = r.clone();
+        i_minus_r.scale_mut(-1.0);
+        for i in 0..s {
+            i_minus_r[(i, i)] += 1.0;
+        }
+        let i_minus_r_inv = LuDecomposition::from_matrix(i_minus_r)?.inverse()?;
         let v_n = levels[servers].clone();
         let boundary_mass: f64 = levels[..servers].iter().map(|v| v.iter().sum::<f64>()).sum();
         let tail_mass: f64 = i_minus_r_inv.vecmat(&v_n)?.iter().sum();
@@ -173,8 +310,10 @@ impl MatrixGeometricSolver {
             .map(|(j, v)| j as f64 * v.iter().sum::<f64>())
             .sum();
         let v_n: Vec<f64> = levels[servers].clone();
-        let geometric_sum = i_minus_r_inv.scale(servers as f64);
-        let weighted = &geometric_sum + &r.matmul(&i_minus_r_inv.matmul(&i_minus_r_inv)?)?;
+        let mut weighted = i_minus_r_inv.clone();
+        weighted.scale_mut(servers as f64);
+        let sq = i_minus_r_inv.matmul(&i_minus_r_inv)?;
+        weighted.gemm(1.0, &r, &sq, 1.0)?;
         let tail_part: f64 = weighted.vecmat(&v_n)?.iter().sum();
         let mean_queue_length = boundary_part + tail_part;
 
@@ -186,6 +325,7 @@ impl MatrixGeometricSolver {
             rate_matrix: r,
             i_minus_r_inv,
             mean_queue_length,
+            reduction_depth,
         })
     }
 }
@@ -216,12 +356,23 @@ pub struct MatrixGeometricSolution {
     rate_matrix: Matrix,
     i_minus_r_inv: Matrix,
     mean_queue_length: f64,
+    /// Number of logarithmic-reduction doublings that produced `R`.
+    reduction_depth: usize,
 }
 
 impl MatrixGeometricSolution {
     /// The rate matrix `R` (spectral radius < 1 for a stable queue).
     pub fn rate_matrix(&self) -> &Matrix {
         &self.rate_matrix
+    }
+
+    /// Number of logarithmic-reduction doubling steps it took to compute `R`; step
+    /// `k` covers `2^k` levels of the first-passage expansion, so this is the base-2
+    /// logarithm of the equivalent fixed-point iteration count.  Exposed for
+    /// observability: a depth creeping towards the budget signals a near-unstable
+    /// configuration.
+    pub fn reduction_depth(&self) -> usize {
+        self.reduction_depth
     }
 
     /// Probability vector of level `j` (computed through `v_N·R^{j−N}` for `j > N`).
@@ -315,10 +466,24 @@ mod tests {
     }
 
     #[test]
+    fn logarithmic_reduction_matches_fixed_point_iteration() {
+        let config = paper_config(3, 2.5);
+        let qbd = QbdMatrices::new(&config).unwrap();
+        let solver = MatrixGeometricSolver::default();
+        let (lr, depth) = solver.rate_matrix_with_depth(&qbd).unwrap();
+        let (fp, iterations) = solver.rate_matrix_fixed_point(&qbd).unwrap();
+        assert!(lr.approx_eq(&fp, 1e-10), "max diff {}", (&lr - &fp).max_abs());
+        // The whole point: quadratic vs linear convergence.
+        assert!(depth < 64, "reduction depth {depth}");
+        assert!(iterations > depth, "fixed point took {iterations}, reduction {depth}");
+    }
+
+    #[test]
     fn solution_is_consistent_and_matches_spectral_expansion() {
         let config = paper_config(4, 3.0);
         let mg = MatrixGeometricSolver::default().solve_detailed(&config).unwrap();
         assert!(consistency_violations(&mg, 40, 1e-8).is_empty());
+        assert!(mg.reduction_depth() > 0);
         let spectral = SpectralExpansionSolver::default().solve_detailed(&config).unwrap();
         assert!(
             (mg.mean_queue_length() - spectral.mean_queue_length()).abs()

@@ -220,9 +220,16 @@ fn solve_boundary(
     let u_mat = |level: u32| -> CMatrix {
         CMatrix::from_fn(s, s, |k, i| eigenvectors[k][i] * eigenvalues[k].powi(level))
     };
+    // C is diagonal, so every U·C product below is a column scaling (`O(s²)`)
+    // instead of a dense complex matmul (`O(s³)`).
+    let c_diag = qbd.c().diagonal();
+    let u_mat_c = |level: u32| -> Result<CMatrix> {
+        let mut m = u_mat(level);
+        m.scale_columns_real(&c_diag)?;
+        Ok(m)
+    };
 
     let b = qbd.b();
-    let c_full = qbd.c();
     let to_cmatrix = CMatrix::from_real;
 
     let mut system = BlockTridiagonal::new(block_rows, s)?;
@@ -244,7 +251,7 @@ fn solve_boundary(
                 )?;
             } else {
                 // Coupling to γ through v_N = γ·U_mat(N):  −(U_mat(N)·C)ᵀ.
-                let coupling = u_mat(servers as u32).matmul(&to_cmatrix(c_full))?;
+                let coupling = u_mat_c(servers as u32)?;
                 system.set_upper(j, &coupling.transpose() * Complex::from_real(-1.0))?;
             }
             if j == 0 {
@@ -264,7 +271,7 @@ fn solve_boundary(
                     // here servers > 1 so this is the plain −C_1ᵀ block with a zeroed row.
                 } else {
                     // N = 1: the super-diagonal couples to γ; zero its pin row too.
-                    let coupling = u_mat(1).matmul(&to_cmatrix(c_full))?;
+                    let coupling = u_mat_c(1)?;
                     let mut upper = coupling.transpose();
                     for col in 0..s {
                         upper[(pin_mode, col)] = Complex::ZERO;
@@ -278,8 +285,14 @@ fn solve_boundary(
         } else {
             // Level N: −v_{N−1}·B + γ·[U_N·(Dᴬ+B+C−A) − U_{N+1}·C] = 0.
             system.set_lower(j, &to_cmatrix(b) * Complex::from_real(-1.0))?;
-            let term1 = u_mat(servers as u32).matmul(&to_cmatrix(&qbd.local_matrix(servers)))?;
-            let term2 = u_mat(servers as u32 + 1).matmul(&to_cmatrix(c_full))?;
+            let mut term1 = CMatrix::zeros(s, s);
+            term1.gemm(
+                Complex::ONE,
+                &u_mat(servers as u32),
+                &to_cmatrix(&qbd.local_matrix(servers)),
+                Complex::ZERO,
+            )?;
+            let term2 = u_mat_c(servers as u32 + 1)?;
             let diag = (&term1 - &term2).transpose();
             system.set_diagonal(j, diag)?;
             system.set_rhs(j, vec![Complex::ZERO; s])?;

@@ -84,11 +84,13 @@ impl TruncatedCtmcSolver {
         let a = qbd.a();
         let lambda = config.arrival_rate();
         for level in 0..levels {
+            // The level-dependent departure diagonal, borrowed once per level.
+            let c_level = qbd.c_level(level);
             for mode in 0..s {
                 let from = state(mode, level);
-                // Mode changes.
-                for target_mode in 0..s {
-                    let rate = a[(mode, target_mode)];
+                // Mode changes: walk the mode's row of `A` as one contiguous slice
+                // (the generator is a sparse band, so most entries are skipped).
+                for (target_mode, &rate) in a.row(mode).iter().enumerate() {
                     if rate > 0.0 {
                         outgoing[from].push((state(target_mode, level), rate));
                         exit_rate[from] += rate;
@@ -101,7 +103,7 @@ impl TruncatedCtmcSolver {
                 }
                 // Departures: the skeleton's level-dependent C matrices already encode
                 // the (class-aware, fastest-first) allocation of jobs to servers.
-                let rate = qbd.c_level(level)[(mode, mode)];
+                let rate = c_level[(mode, mode)];
                 if rate > 0.0 {
                     outgoing[from].push((state(mode, level - 1), rate));
                     exit_rate[from] += rate;

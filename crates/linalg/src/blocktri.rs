@@ -11,6 +11,7 @@ use crate::clu::CluDecomposition;
 use crate::cmatrix::CMatrix;
 use crate::complex::Complex;
 use crate::error::LinalgError;
+use crate::workspace::Workspace;
 use crate::Result;
 
 /// A square block-tridiagonal system with `K` block rows of size `s` each.
@@ -174,6 +175,12 @@ impl BlockTridiagonal {
     ///
     /// Returns the solution as one complex vector per block row.
     ///
+    /// The elimination runs entirely on the in-place kernels: each block row costs
+    /// *one* LU factorisation (the `W = L_i·D'⁻¹` product reuses the previous row's
+    /// factors through [`CluDecomposition::solve_right_matrix_into`] instead of
+    /// factorising the transpose a second time) and all temporaries come from one
+    /// [`Workspace`], so the steady-state loop allocates nothing.
+    ///
     /// # Errors
     ///
     /// Returns [`LinalgError::Singular`] if a pivot block becomes singular during the
@@ -181,58 +188,52 @@ impl BlockTridiagonal {
     pub fn solve(&self) -> Result<Vec<Vec<Complex>>> {
         let k = self.block_rows;
         let s = self.block_size;
-        // Eliminated diagonal blocks and right-hand sides.
-        let mut diag: Vec<CMatrix> = self.diagonal.clone();
+        let mut ws = Workspace::new();
         let mut rhs: Vec<Vec<Complex>> = self.rhs.clone();
 
-        // Forward elimination: remove L_i using block row i-1.
-        let mut factorisations: Vec<Option<CluDecomposition>> = vec![None; k];
-        for i in 1..k {
-            let prev_lu = CluDecomposition::new(&diag[i - 1])?;
-            if let Some(lower) = &self.lower[i] {
-                // W = L_i · D'_{i-1}⁻¹  computed column by column through the identity
-                // Wᵀ = D'_{i-1}⁻ᵀ L_iᵀ; instead solve D'_{i-1} Yᵀ = U_{i-1} and b.
-                // We need D'_i = D_i − W·U_{i-1} and b'_i = b_i − W·b'_{i-1}.
-                // Compute W by solving  W · D'_{i-1} = L_i  ⇔  D'_{i-1}ᵀ Wᵀ = L_iᵀ.
-                let prev_t_lu = CluDecomposition::new(&diag[i - 1].transpose())?;
-                let mut w = CMatrix::zeros(s, s);
-                for r in 0..s {
-                    // Row r of W solves D'_{i-1}ᵀ · (row r of W)ᵀ = (row r of L_i)ᵀ.
-                    let rhs_row: Vec<Complex> = (0..s).map(|c| lower[(r, c)]).collect();
-                    let sol = prev_t_lu.solve(&rhs_row)?;
-                    for c in 0..s {
-                        w[(r, c)] = sol[c];
+        // Forward elimination: remove L_i using block row i-1.  Each iteration
+        // factorises the (updated) diagonal block exactly once and keeps the factors
+        // for the back substitution.
+        let mut factorisations: Vec<CluDecomposition> = Vec::with_capacity(k);
+        let mut w = ws.complex_matrix(s, s);
+        let mut coupled = ws.complex_buffer(s);
+        for i in 0..k {
+            // Working copy of D_i in pooled storage (consumed by the factorisation).
+            let mut d_cur = ws.complex_matrix(s, s);
+            d_cur.as_mut_slice().copy_from_slice(self.diagonal[i].as_slice());
+            if i > 0 {
+                if let Some(lower) = &self.lower[i] {
+                    // W · D'_{i-1} = L_i, then D'_i = D_i − W·U_{i-1} and
+                    // b'_i = b_i − W·b'_{i-1}.
+                    factorisations[i - 1].solve_right_matrix_into(lower, &mut w, &mut ws)?;
+                    if let Some(upper_prev) = &self.upper[i - 1] {
+                        d_cur.gemm(Complex::from_real(-1.0), &w, upper_prev, Complex::ONE)?;
                     }
-                }
-                if let Some(upper_prev) = &self.upper[i - 1] {
-                    let correction = w.matmul(upper_prev)?;
-                    diag[i] = &diag[i] - &correction;
-                }
-                let w_b = w.matvec(&rhs[i - 1].clone())?;
-                for (target, delta) in rhs[i].iter_mut().zip(w_b) {
-                    *target -= delta;
-                }
-            }
-            factorisations[i - 1] = Some(prev_lu);
-        }
-        factorisations[k - 1] = Some(CluDecomposition::new(&diag[k - 1])?);
-
-        // Back substitution.
-        let mut x: Vec<Vec<Complex>> = vec![vec![Complex::ZERO; s]; k];
-        for i in (0..k).rev() {
-            let mut b = rhs[i].clone();
-            if i + 1 < k {
-                if let Some(upper) = &self.upper[i] {
-                    let coupled = upper.matvec(&x[i + 1])?;
-                    for (target, delta) in b.iter_mut().zip(coupled) {
+                    w.matvec_into(&rhs[i - 1], &mut coupled)?;
+                    for (target, &delta) in rhs[i].iter_mut().zip(coupled.iter()) {
                         *target -= delta;
                     }
                 }
             }
-            let lu = factorisations[i]
-                .as_ref()
-                .expect("factorisation missing; forward elimination populated all rows");
-            x[i] = lu.solve(&b)?;
+            factorisations.push(CluDecomposition::from_matrix(d_cur)?);
+        }
+        ws.release_complex_matrix(w);
+
+        // Back substitution.
+        let mut x: Vec<Vec<Complex>> = vec![vec![Complex::ZERO; s]; k];
+        for i in (0..k).rev() {
+            let mut b = ws.complex_buffer(s);
+            b.copy_from_slice(&rhs[i]);
+            if i + 1 < k {
+                if let Some(upper) = &self.upper[i] {
+                    upper.matvec_into(&x[i + 1], &mut coupled)?;
+                    for (target, &delta) in b.iter_mut().zip(coupled.iter()) {
+                        *target -= delta;
+                    }
+                }
+            }
+            factorisations[i].solve_into(&b, &mut x[i])?;
+            ws.release_complex_buffer(b);
         }
         Ok(x)
     }

@@ -1,8 +1,9 @@
-//! Complex LU factorisation with partial pivoting and null-space extraction.
+//! Blocked complex LU factorisation with partial pivoting and null-space extraction.
 
 use crate::cmatrix::CMatrix;
 use crate::complex::Complex;
 use crate::error::LinalgError;
+use crate::workspace::Workspace;
 use crate::Result;
 
 /// An LU factorisation `P·A = L·U` of a square complex matrix with partial pivoting.
@@ -46,7 +47,19 @@ impl CluDecomposition {
     /// Returns [`LinalgError::NotSquare`], [`LinalgError::InvalidInput`] (non-finite
     /// entries) or [`LinalgError::Singular`].
     pub fn new(a: &CMatrix) -> Result<Self> {
-        let lu = Self::new_allow_singular(a)?;
+        Self::from_matrix(a.clone())
+    }
+
+    /// Factorises a square complex matrix taking ownership of its storage (no copy),
+    /// rejecting singular input.  The move-in twin of [`new`](Self::new) for
+    /// workspace-recycled buffers; recover the storage with
+    /// [`into_matrix`](Self::into_matrix).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`new`](Self::new).
+    pub fn from_matrix(a: CMatrix) -> Result<Self> {
+        let lu = Self::factor_allow_singular(a)?;
         if lu.min_pivot.1 < PIVOT_EPS {
             return Err(LinalgError::Singular { pivot: lu.min_pivot.0 });
         }
@@ -59,6 +72,13 @@ impl CluDecomposition {
     ///
     /// Returns [`LinalgError::NotSquare`] or [`LinalgError::InvalidInput`].
     pub fn new_allow_singular(a: &CMatrix) -> Result<Self> {
+        Self::factor_allow_singular(a.clone())
+    }
+
+    /// Blocked right-looking elimination; same arithmetic as the unblocked textbook
+    /// algorithm (panels only defer the trailing update, they never reorder the
+    /// per-element accumulation), so results are identical bit for bit.
+    fn factor_allow_singular(a: CMatrix) -> Result<Self> {
         if !a.is_square() {
             return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
         }
@@ -66,58 +86,104 @@ impl CluDecomposition {
         if n == 0 {
             return Err(LinalgError::InvalidInput("matrix must be non-empty".into()));
         }
-        let mut lu = a.clone();
-        for i in 0..n {
-            for j in 0..n {
-                if !lu[(i, j)].is_finite() {
-                    return Err(LinalgError::InvalidInput(
-                        "matrix contains non-finite values".into(),
-                    ));
-                }
-            }
+        let mut lu = a;
+        if lu.as_slice().iter().any(|z| !z.is_finite()) {
+            return Err(LinalgError::InvalidInput("matrix contains non-finite values".into()));
         }
+        let d = lu.as_mut_slice();
         let mut perm: Vec<usize> = (0..n).collect();
         let mut perm_sign = 1.0;
         let mut min_pivot = (0usize, f64::INFINITY);
 
-        for k in 0..n {
-            let mut pivot_row = k;
-            let mut pivot_val = lu[(k, k)].abs();
-            for i in (k + 1)..n {
-                let v = lu[(i, k)].abs();
-                if v > pivot_val {
-                    pivot_val = v;
-                    pivot_row = i;
+        /// Panel width of the blocked elimination (complex elements are twice the
+        /// size of real ones, so the panel is half of the real kernel's).
+        const PANEL: usize = 24;
+        let mut active = [false; PANEL];
+
+        for kk in (0..n).step_by(PANEL) {
+            let k_end = (kk + PANEL).min(n);
+            // 1. Factor the panel columns kk..k_end with full-height pivoting.
+            for k in kk..k_end {
+                let mut pivot_row = k;
+                let mut pivot_val = d[k * n + k].abs();
+                for i in (k + 1)..n {
+                    let v = d[i * n + k].abs();
+                    if v > pivot_val {
+                        pivot_val = v;
+                        pivot_row = i;
+                    }
+                }
+                if pivot_row != k {
+                    for j in 0..n {
+                        d.swap(k * n + j, pivot_row * n + j);
+                    }
+                    perm.swap(k, pivot_row);
+                    perm_sign = -perm_sign;
+                }
+                if pivot_val < min_pivot.1 {
+                    min_pivot = (k, pivot_val);
+                }
+                if pivot_val < PIVOT_EPS {
+                    active[k - kk] = false;
+                    continue;
+                }
+                active[k - kk] = true;
+                let pivot = d[k * n + k];
+                let (pivot_rows, trail) = d.split_at_mut((k + 1) * n);
+                let u_row = &pivot_rows[k * n + (k + 1)..k * n + k_end];
+                for row in trail.chunks_exact_mut(n) {
+                    let factor = row[k] / pivot;
+                    row[k] = factor;
+                    if factor != Complex::ZERO {
+                        for (x, &u) in row[k + 1..k_end].iter_mut().zip(u_row) {
+                            *x -= factor * u;
+                        }
+                    }
                 }
             }
-            if pivot_row != k {
-                for j in 0..n {
-                    let tmp = lu[(k, j)];
-                    lu[(k, j)] = lu[(pivot_row, j)];
-                    lu[(pivot_row, j)] = tmp;
-                }
-                perm.swap(k, pivot_row);
-                perm_sign = -perm_sign;
-            }
-            if pivot_val < min_pivot.1 {
-                min_pivot = (k, pivot_val);
-            }
-            if pivot_val < PIVOT_EPS {
+            // 2. Deferred update of the trailing columns k_end..n.
+            if k_end == n {
                 continue;
             }
-            let pivot = lu[(k, k)];
-            for i in (k + 1)..n {
-                let factor = lu[(i, k)] / pivot;
-                lu[(i, k)] = factor;
-                if factor != Complex::ZERO {
-                    for j in (k + 1)..n {
-                        let delta = factor * lu[(k, j)];
-                        lu[(i, j)] -= delta;
+            for k in kk..k_end {
+                if !active[k - kk] {
+                    continue;
+                }
+                let (upper, lower) = d.split_at_mut((k + 1) * n);
+                let u_row = &upper[k * n + k_end..(k + 1) * n];
+                for row in lower.chunks_exact_mut(n).take(k_end - k - 1) {
+                    let factor = row[k];
+                    if factor != Complex::ZERO {
+                        for (x, &u) in row[k_end..].iter_mut().zip(u_row) {
+                            *x -= factor * u;
+                        }
+                    }
+                }
+            }
+            let (panel_rows, trailing_rows) = d.split_at_mut(k_end * n);
+            for row in trailing_rows.chunks_exact_mut(n) {
+                for k in kk..k_end {
+                    if !active[k - kk] {
+                        continue;
+                    }
+                    let factor = row[k];
+                    if factor == Complex::ZERO {
+                        continue;
+                    }
+                    let u_row = &panel_rows[k * n + k_end..(k + 1) * n];
+                    for (x, &u) in row[k_end..].iter_mut().zip(u_row) {
+                        *x -= factor * u;
                     }
                 }
             }
         }
         Ok(CluDecomposition { lu, perm, perm_sign, min_pivot })
+    }
+
+    /// Consumes the decomposition, returning the matrix holding the packed factors
+    /// (for [`Workspace`] recycling).
+    pub fn into_matrix(self) -> CMatrix {
+        self.lu
     }
 
     /// Dimension of the factorised matrix.
@@ -143,41 +209,175 @@ impl CluDecomposition {
         det
     }
 
+    fn ensure_regular(&self) -> Result<()> {
+        if self.min_pivot.1 < PIVOT_EPS {
+            return Err(LinalgError::Singular { pivot: self.min_pivot.0 });
+        }
+        Ok(())
+    }
+
     /// Solves `A x = b`.
     ///
     /// # Errors
     ///
     /// Returns [`LinalgError::Singular`] if the matrix is singular or
     /// [`LinalgError::DimensionMismatch`] for a wrong-sized right-hand side.
-    #[allow(clippy::needless_range_loop)] // triangular solves read x[j] while writing x[i]
     pub fn solve(&self, b: &[Complex]) -> Result<Vec<Complex>> {
-        if self.min_pivot.1 < PIVOT_EPS {
-            return Err(LinalgError::Singular { pivot: self.min_pivot.0 });
-        }
+        let mut x = vec![Complex::ZERO; self.dim()];
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A x = b` into a caller-provided buffer (no allocation).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve`](Self::solve), plus a length check on `x`.
+    pub fn solve_into(&self, b: &[Complex], x: &mut [Complex]) -> Result<()> {
+        self.ensure_regular()?;
         let n = self.dim();
-        if b.len() != n {
+        if b.len() != n || x.len() != n {
             return Err(LinalgError::DimensionMismatch {
                 operation: "complex LU solve",
                 left: (n, n),
-                right: (b.len(), 1),
+                right: (b.len().max(x.len()), 1),
             });
         }
-        let mut x: Vec<Complex> = self.perm.iter().map(|&p| b[p]).collect();
+        let d = self.lu.as_slice();
+        for (xi, &p) in x.iter_mut().zip(&self.perm) {
+            *xi = b[p];
+        }
         for i in 1..n {
+            let row = &d[i * n..i * n + i];
             let mut sum = x[i];
-            for j in 0..i {
-                sum -= self.lu[(i, j)] * x[j];
+            for (l, &xj) in row.iter().zip(x.iter()) {
+                sum -= *l * xj;
             }
             x[i] = sum;
         }
         for i in (0..n).rev() {
+            let row = &d[i * n..(i + 1) * n];
             let mut sum = x[i];
-            for j in (i + 1)..n {
-                sum -= self.lu[(i, j)] * x[j];
+            for (u, &xj) in row[i + 1..].iter().zip(x[i + 1..].iter()) {
+                sum -= *u * xj;
             }
-            x[i] = sum / self.lu[(i, i)];
+            x[i] = sum / row[i];
         }
-        Ok(x)
+        Ok(())
+    }
+
+    /// Solves `A X = B` into a caller-provided matrix (no allocation), eliminating
+    /// all right-hand-side columns simultaneously with whole-row operations.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve`](Self::solve), plus dimension checks on `B` and `out`.
+    pub fn solve_matrix_into(&self, b: &CMatrix, out: &mut CMatrix) -> Result<()> {
+        self.ensure_regular()?;
+        let n = self.dim();
+        if b.rows() != n || out.shape() != b.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "complex LU matrix solve",
+                left: (n, n),
+                right: b.shape(),
+            });
+        }
+        let w = b.cols();
+        for (i, &p) in self.perm.iter().enumerate() {
+            out.as_mut_slice()[i * w..(i + 1) * w]
+                .copy_from_slice(&b.as_slice()[p * w..(p + 1) * w]);
+        }
+        let d = self.lu.as_slice();
+        let x = out.as_mut_slice();
+        for i in 1..n {
+            let (prev, rest) = x.split_at_mut(i * w);
+            let xi = &mut rest[..w];
+            for (j, l) in d[i * n..i * n + i].iter().enumerate() {
+                if *l != Complex::ZERO {
+                    let xj = &prev[j * w..(j + 1) * w];
+                    for (t, &v) in xi.iter_mut().zip(xj) {
+                        *t -= *l * v;
+                    }
+                }
+            }
+        }
+        for i in (0..n).rev() {
+            let (head, tail) = x.split_at_mut((i + 1) * w);
+            let xi = &mut head[i * w..];
+            let row = &d[i * n..(i + 1) * n];
+            for (j, u) in row[i + 1..].iter().enumerate() {
+                if *u != Complex::ZERO {
+                    let xj = &tail[j * w..(j + 1) * w];
+                    for (t, &v) in xi.iter_mut().zip(xj) {
+                        *t -= *u * v;
+                    }
+                }
+            }
+            let pivot = row[i];
+            for t in xi.iter_mut() {
+                *t /= pivot;
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves `X A = B` (right division) into a caller-provided matrix, reusing the
+    /// existing factors through `Aᵀ = Uᵀ Lᵀ P`.
+    ///
+    /// This is what the block-tridiagonal elimination uses to form
+    /// `W = L_i · D'⁻¹` — previously that required factorising `D'ᵀ` a second time.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve`](Self::solve), plus dimension checks on `B` and `out`.
+    pub fn solve_right_matrix_into(
+        &self,
+        b: &CMatrix,
+        out: &mut CMatrix,
+        ws: &mut Workspace,
+    ) -> Result<()> {
+        self.ensure_regular()?;
+        let n = self.dim();
+        if b.cols() != n || out.shape() != b.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "complex LU right matrix solve",
+                left: b.shape(),
+                right: (n, n),
+            });
+        }
+        for (t, &v) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
+            *t = v;
+        }
+        let d = self.lu.as_slice();
+        let mut scratch = ws.complex_buffer(n);
+        for row in out.as_mut_slice().chunks_exact_mut(n) {
+            // w U = b: forward over columns using row j of U.
+            for j in 0..n {
+                let wj = row[j] / d[j * n + j];
+                row[j] = wj;
+                if wj != Complex::ZERO {
+                    for (x, &u) in row[j + 1..].iter_mut().zip(&d[j * n + j + 1..(j + 1) * n]) {
+                        *x -= wj * u;
+                    }
+                }
+            }
+            // w L = w' (unit diagonal): backward over columns using row j of L.
+            for j in (0..n).rev() {
+                let wj = row[j];
+                if wj != Complex::ZERO {
+                    for (x, &l) in row[..j].iter_mut().zip(&d[j * n..j * n + j]) {
+                        *x -= wj * l;
+                    }
+                }
+            }
+            // X = W P: scatter within the row.
+            scratch.copy_from_slice(row);
+            for (k, &p) in self.perm.iter().enumerate() {
+                row[p] = scratch[k];
+            }
+        }
+        ws.release_complex_buffer(scratch);
+        Ok(())
     }
 
     /// Returns a right null vector `x` (with `A x ≈ 0`, normalised to unit maximum

@@ -61,7 +61,43 @@ impl CMatrix {
 
     /// Embeds a real matrix as a complex matrix with zero imaginary parts.
     pub fn from_real(a: &Matrix) -> Self {
-        CMatrix::from_fn(a.rows(), a.cols(), |i, j| Complex::from_real(a[(i, j)]))
+        let data = a.as_slice().iter().map(|&x| Complex::from_real(x)).collect();
+        CMatrix { rows: a.rows(), cols: a.cols(), data }
+    }
+
+    /// Creates a complex matrix from a flat row-major vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidInput`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<Complex>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::InvalidInput(format!(
+                "expected {} elements for a {rows}x{cols} complex matrix, found {}",
+                rows * cols,
+                data.len()
+            )));
+        }
+        Ok(CMatrix { rows, cols, data })
+    }
+
+    /// Borrow the underlying row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [Complex] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its row-major data buffer (for
+    /// [`Workspace`](crate::Workspace) recycling).
+    #[inline]
+    pub fn into_vec(self) -> Vec<Complex> {
+        self.data
     }
 
     /// Number of rows.
@@ -128,31 +164,95 @@ impl CMatrix {
 
     /// Matrix product `self * rhs`.
     ///
+    /// Thin allocating wrapper over the in-place [`gemm`](Self::gemm) kernel.
+    ///
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &CMatrix) -> Result<CMatrix> {
-        if self.cols != rhs.rows {
+        let mut out = CMatrix::zeros(self.rows, rhs.cols);
+        out.gemm(Complex::ONE, self, rhs, Complex::ZERO)?;
+        Ok(out)
+    }
+
+    /// General multiply-accumulate `self ← alpha·a·b + beta·self`, in place.
+    ///
+    /// The complex twin of [`Matrix::gemm`]: allocation-free, zero-skipping and tiled
+    /// over `k`/`j` so a slab of `b` stays cache-resident.  `beta == 0` overwrites
+    /// `self` outright; the `k` accumulation order is ascending regardless of tiling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] unless
+    /// `self.shape() == (a.rows(), b.cols())` and `a.cols() == b.rows()`.
+    pub fn gemm(&mut self, alpha: Complex, a: &CMatrix, b: &CMatrix, beta: Complex) -> Result<()> {
+        if a.cols != b.rows || self.rows != a.rows || self.cols != b.cols {
             return Err(LinalgError::DimensionMismatch {
-                operation: "complex matrix multiplication",
-                left: self.shape(),
-                right: rhs.shape(),
+                operation: "complex matrix multiply-accumulate (gemm)",
+                left: a.shape(),
+                right: b.shape(),
             });
         }
-        let mut out = CMatrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let aik = self[(i, k)];
-                if aik == Complex::ZERO {
-                    continue;
-                }
-                for j in 0..rhs.cols {
-                    let t = aik * rhs[(k, j)];
-                    out[(i, j)] += t;
+        if beta == Complex::ZERO {
+            self.data.fill(Complex::ZERO);
+        } else if beta != Complex::ONE {
+            for x in &mut self.data {
+                *x *= beta;
+            }
+        }
+        if alpha == Complex::ZERO {
+            return Ok(());
+        }
+        let (m, k, n) = (a.rows, a.cols, b.cols);
+        // A complex element is twice the size of a real one; halve the real kernel's
+        // tile sizes to keep the resident slab of `b` at the same byte footprint.
+        const KB: usize = 32;
+        const JB: usize = 128;
+        for kk in (0..k).step_by(KB) {
+            let k_end = (kk + KB).min(k);
+            for jj in (0..n).step_by(JB) {
+                let j_end = (jj + JB).min(n);
+                for i in 0..m {
+                    let a_tile = &a.data[i * k + kk..i * k + k_end];
+                    let c_row = &mut self.data[i * n + jj..i * n + j_end];
+                    for (offset, &av) in a_tile.iter().enumerate() {
+                        let aip = alpha * av;
+                        if aip == Complex::ZERO {
+                            continue;
+                        }
+                        let p = kk + offset;
+                        let b_row = &b.data[p * n + jj..p * n + j_end];
+                        for (c, &bv) in c_row.iter_mut().zip(b_row) {
+                            *c += aip * bv;
+                        }
+                    }
                 }
             }
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Scales column `j` by the real factor `diag[j]`, in place — right-multiplication
+    /// by a real diagonal matrix in `O(n²)`.  Used for products with the diagonal QBD
+    /// blocks `B = λI` and `C`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `diag.len() != self.cols()`.
+    pub fn scale_columns_real(&mut self, diag: &[f64]) -> Result<()> {
+        if diag.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "complex column scaling by diagonal",
+                left: self.shape(),
+                right: (diag.len(), diag.len()),
+            });
+        }
+        for row in self.data.chunks_exact_mut(self.cols) {
+            for (x, &d) in row.iter_mut().zip(diag) {
+                *x *= d;
+            }
+        }
+        Ok(())
     }
 
     /// Row-vector–matrix product `v * self`.
@@ -186,14 +286,32 @@ impl CMatrix {
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `v.len() != self.cols()`.
     pub fn matvec(&self, v: &[Complex]) -> Result<Vec<Complex>> {
-        if v.len() != self.cols {
+        let mut out = vec![Complex::ZERO; self.rows];
+        self.matvec_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix–vector product `out = self * v` into a caller-provided buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `v` or `out` has the wrong length.
+    pub fn matvec_into(&self, v: &[Complex], out: &mut [Complex]) -> Result<()> {
+        if v.len() != self.cols || out.len() != self.rows {
             return Err(LinalgError::DimensionMismatch {
                 operation: "complex matrix-vector product",
                 left: self.shape(),
                 right: (v.len(), 1),
             });
         }
-        Ok((0..self.rows).map(|i| (0..self.cols).map(|j| self[(i, j)] * v[j]).sum()).collect())
+        for (o, row) in out.iter_mut().zip(self.data.chunks_exact(self.cols)) {
+            let mut sum = Complex::ZERO;
+            for (&a, &x) in row.iter().zip(v) {
+                sum += a * x;
+            }
+            *o = sum;
+        }
+        Ok(())
     }
 
     /// LU factorisation with partial pivoting.

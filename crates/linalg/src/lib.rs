@@ -14,7 +14,11 @@
 //! * eigenvalues of quadratic matrix polynomials `Q0 + Q1 z + Q2 z^2` through
 //!   companion linearisation ([`QuadraticEigenProblem`]),
 //! * a complex block-tridiagonal solver used for the boundary equations of
-//!   quasi-birth-death processes ([`BlockTridiagonal`]).
+//!   quasi-birth-death processes ([`BlockTridiagonal`]),
+//! * allocation-free in-place kernels — `gemm`-style multiply-accumulate
+//!   ([`Matrix::gemm`], [`CMatrix::gemm`]), blocked LU with the `solve_*_into`
+//!   family — backed by a reusable [`Workspace`] scratch-buffer pool so the
+//!   solvers' hot loops allocate nothing.
 //!
 //! Everything is implemented from scratch on top of `std`; no external BLAS/LAPACK
 //! bindings are used, which keeps the workspace buildable in fully offline
@@ -27,6 +31,12 @@
 //! lives in [`QuadraticEigenProblem`], and the boundary balance equations are solved
 //! through [`BlockTridiagonal`].  Everything here is immutable once constructed and
 //! safe to share across the worker threads of `urs_core`'s parallel sweeps.
+//!
+//! | API | Role in the reproduction |
+//! |---|---|
+//! | [`Matrix::gemm`] / [`CMatrix::gemm`] | tiled multiply-accumulate behind every solver product (§3.1 matrices are sparse bands — zero rows are skipped) |
+//! | [`LuDecomposition`] / [`CluDecomposition`] | blocked LU with partial pivoting; `solve_into` / `solve_matrix_into` / `solve_right_matrix_into` replace every explicit inverse |
+//! | [`Workspace`] | scratch-buffer pool so the `R`-matrix logarithmic reduction and the boundary elimination allocate nothing per iteration |
 //!
 //! # Example
 //!
@@ -54,6 +64,7 @@ mod error;
 mod lu;
 mod matrix;
 mod quadratic;
+mod workspace;
 
 pub mod eigen;
 
@@ -66,6 +77,7 @@ pub use error::LinalgError;
 pub use lu::LuDecomposition;
 pub use matrix::Matrix;
 pub use quadratic::{QuadraticEigenProblem, QuadraticEigenvalue};
+pub use workspace::Workspace;
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,13 +1,23 @@
-//! LU factorisation with partial pivoting for real matrices.
+//! Blocked LU factorisation with partial pivoting for real matrices.
 
 use crate::error::LinalgError;
 use crate::matrix::Matrix;
+use crate::workspace::Workspace;
 use crate::Result;
 
 /// An LU factorisation `P·A = L·U` of a square real matrix with partial (row) pivoting.
 ///
 /// The factors are stored compactly: the strictly lower triangle of `lu` holds the
 /// multipliers of `L` (whose diagonal is implicitly 1) and the upper triangle holds `U`.
+///
+/// The factorisation is *blocked*: columns are eliminated in panels and the trailing
+/// submatrix is updated with a tiled multiply-accumulate, so the working set stays
+/// cache-resident.  The arithmetic (and hence the result, bit for bit) is identical to
+/// the textbook unblocked right-looking elimination — only the memory access order
+/// changes.  Solves come in allocating (`solve`, `solve_matrix`, `inverse`) and
+/// allocation-free (`solve_into`, `solve_matrix_into`, `solve_right_matrix_into`)
+/// flavours; the `_into` family is what the hot loops of `urs-core` use together with
+/// a [`Workspace`].
 ///
 /// # Example
 ///
@@ -36,6 +46,9 @@ pub struct LuDecomposition {
 /// Relative threshold below which a pivot is considered zero.
 const PIVOT_EPS: f64 = 1e-300;
 
+/// Panel width of the blocked elimination.
+const PANEL: usize = 48;
+
 impl LuDecomposition {
     /// Factorises a square matrix.
     ///
@@ -45,7 +58,20 @@ impl LuDecomposition {
     /// [`LinalgError::InvalidInput`] if the matrix contains non-finite values, and
     /// [`LinalgError::Singular`] when the matrix is singular to working precision.
     pub fn new(a: &Matrix) -> Result<Self> {
-        let lu = Self::new_allow_singular(a)?;
+        Self::from_matrix(a.clone())
+    }
+
+    /// Factorises a square matrix taking ownership of its storage (no copy).
+    ///
+    /// This is the move-in variant used by hot loops that refactorise a
+    /// workspace-owned matrix every iteration; recover the buffer afterwards with
+    /// [`into_matrix`](Self::into_matrix).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`new`](Self::new).
+    pub fn from_matrix(a: Matrix) -> Result<Self> {
+        let lu = Self::factor_allow_singular(a)?;
         if let Some(pivot) = lu.singular_at {
             return Err(LinalgError::Singular { pivot });
         }
@@ -62,6 +88,10 @@ impl LuDecomposition {
     ///
     /// Returns [`LinalgError::NotSquare`] or [`LinalgError::InvalidInput`].
     pub fn new_allow_singular(a: &Matrix) -> Result<Self> {
+        Self::factor_allow_singular(a.clone())
+    }
+
+    fn factor_allow_singular(a: Matrix) -> Result<Self> {
         if !a.is_square() {
             return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
         }
@@ -69,45 +99,94 @@ impl LuDecomposition {
             return Err(LinalgError::InvalidInput("matrix contains non-finite values".into()));
         }
         let n = a.rows();
-        let mut lu = a.clone();
+        let mut lu = a;
+        let d = lu.as_mut_slice();
         let mut perm: Vec<usize> = (0..n).collect();
         let mut perm_sign = 1.0;
         let mut singular_at = None;
+        // Tracks which panel columns produced usable pivots; columns whose pivot
+        // underflowed contribute nothing to the trailing update (matching the
+        // unblocked algorithm, which skips their elimination step entirely).
+        let mut active = [false; PANEL];
 
-        for k in 0..n {
-            // Find the pivot row.
-            let mut pivot_row = k;
-            let mut pivot_val = lu[(k, k)].abs();
-            for i in (k + 1)..n {
-                let v = lu[(i, k)].abs();
-                if v > pivot_val {
-                    pivot_val = v;
-                    pivot_row = i;
+        for kk in (0..n).step_by(PANEL) {
+            let k_end = (kk + PANEL).min(n);
+            // 1. Factor the panel columns kk..k_end (unblocked, full-height pivoting).
+            for k in kk..k_end {
+                let mut pivot_row = k;
+                let mut pivot_val = d[k * n + k].abs();
+                for i in (k + 1)..n {
+                    let v = d[i * n + k].abs();
+                    if v > pivot_val {
+                        pivot_val = v;
+                        pivot_row = i;
+                    }
+                }
+                if pivot_row != k {
+                    for j in 0..n {
+                        d.swap(k * n + j, pivot_row * n + j);
+                    }
+                    perm.swap(k, pivot_row);
+                    perm_sign = -perm_sign;
+                }
+                let pivot = d[k * n + k];
+                if pivot.abs() < PIVOT_EPS {
+                    if singular_at.is_none() {
+                        singular_at = Some(k);
+                    }
+                    active[k - kk] = false;
+                    continue;
+                }
+                active[k - kk] = true;
+                // Multipliers plus the within-panel update of columns k+1..k_end.
+                let (pivot_rows, trail) = d.split_at_mut((k + 1) * n);
+                let u_row = &pivot_rows[k * n + (k + 1)..k * n + k_end];
+                for row in trail.chunks_exact_mut(n) {
+                    let factor = row[k] / pivot;
+                    row[k] = factor;
+                    if factor != 0.0 {
+                        for (x, &u) in row[k + 1..k_end].iter_mut().zip(u_row) {
+                            *x -= factor * u;
+                        }
+                    }
                 }
             }
-            if pivot_row != k {
-                for j in 0..n {
-                    let tmp = lu[(k, j)];
-                    lu[(k, j)] = lu[(pivot_row, j)];
-                    lu[(pivot_row, j)] = tmp;
-                }
-                perm.swap(k, pivot_row);
-                perm_sign = -perm_sign;
-            }
-            let pivot = lu[(k, k)];
-            if pivot.abs() < PIVOT_EPS {
-                if singular_at.is_none() {
-                    singular_at = Some(k);
-                }
+            // 2. Deferred update of the trailing columns k_end..n.
+            if k_end == n {
                 continue;
             }
-            for i in (k + 1)..n {
-                let factor = lu[(i, k)] / pivot;
-                lu[(i, k)] = factor;
-                if factor != 0.0 {
-                    for j in (k + 1)..n {
-                        let delta = factor * lu[(k, j)];
-                        lu[(i, j)] -= delta;
+            // 2a. Rows inside the panel: sequential elimination (each row k' uses the
+            //     already-updated rows above it).
+            for k in kk..k_end {
+                if !active[k - kk] {
+                    continue;
+                }
+                let (upper, lower) = d.split_at_mut((k + 1) * n);
+                let u_row = &upper[k * n + k_end..(k + 1) * n];
+                for row in lower.chunks_exact_mut(n).take(k_end - k - 1) {
+                    let factor = row[k];
+                    if factor != 0.0 {
+                        for (x, &u) in row[k_end..].iter_mut().zip(u_row) {
+                            *x -= factor * u;
+                        }
+                    }
+                }
+            }
+            // 2b. Rows below the panel: a multiply-accumulate A22 ← A22 − L21·U12 with
+            //     the panel's U rows (≤ PANEL·n doubles) staying cache-hot.
+            let (panel_rows, trailing_rows) = d.split_at_mut(k_end * n);
+            for row in trailing_rows.chunks_exact_mut(n) {
+                for k in kk..k_end {
+                    if !active[k - kk] {
+                        continue;
+                    }
+                    let factor = row[k];
+                    if factor == 0.0 {
+                        continue;
+                    }
+                    let u_row = &panel_rows[k * n + k_end..(k + 1) * n];
+                    for (x, &u) in row[k_end..].iter_mut().zip(u_row) {
+                        *x -= factor * u;
                     }
                 }
             }
@@ -125,6 +204,12 @@ impl LuDecomposition {
         self.singular_at.is_some()
     }
 
+    /// Consumes the decomposition, returning the matrix that stores the packed
+    /// factors — useful for recycling the buffer through a [`Workspace`].
+    pub fn into_matrix(self) -> Matrix {
+        self.lu
+    }
+
     /// Determinant of the original matrix.
     pub fn determinant(&self) -> f64 {
         if self.singular_at.is_some() {
@@ -137,42 +222,62 @@ impl LuDecomposition {
         det
     }
 
+    fn ensure_regular(&self) -> Result<()> {
+        if let Some(pivot) = self.singular_at {
+            return Err(LinalgError::Singular { pivot });
+        }
+        Ok(())
+    }
+
     /// Solves `A x = b`.
     ///
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `b` has the wrong length, or
     /// [`LinalgError::Singular`] if the matrix was singular.
-    #[allow(clippy::needless_range_loop)] // triangular solves read x[j] while writing x[i]
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
-        if let Some(pivot) = self.singular_at {
-            return Err(LinalgError::Singular { pivot });
-        }
+        let mut x = vec![0.0; self.dim()];
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A x = b` into a caller-provided buffer (no allocation).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve`](Self::solve), plus a length check on `x`.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) -> Result<()> {
+        self.ensure_regular()?;
         let n = self.dim();
-        if b.len() != n {
+        if b.len() != n || x.len() != n {
             return Err(LinalgError::DimensionMismatch {
                 operation: "LU solve",
                 left: (n, n),
-                right: (b.len(), 1),
+                right: (b.len().max(x.len()), 1),
             });
         }
+        let d = self.lu.as_slice();
         // Apply the permutation, then forward- and back-substitute.
-        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for (xi, &p) in x.iter_mut().zip(&self.perm) {
+            *xi = b[p];
+        }
         for i in 1..n {
+            let row = &d[i * n..i * n + i];
             let mut sum = x[i];
-            for j in 0..i {
-                sum -= self.lu[(i, j)] * x[j];
+            for (l, &xj) in row.iter().zip(x.iter()) {
+                sum -= l * xj;
             }
             x[i] = sum;
         }
         for i in (0..n).rev() {
+            let row = &d[i * n..(i + 1) * n];
             let mut sum = x[i];
-            for j in (i + 1)..n {
-                sum -= self.lu[(i, j)] * x[j];
+            for (u, &xj) in row[i + 1..].iter().zip(x[i + 1..].iter()) {
+                sum -= u * xj;
             }
-            x[i] = sum / self.lu[(i, i)];
+            x[i] = sum / row[i];
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Solves `A X = B` for a matrix right-hand side.
@@ -181,23 +286,125 @@ impl LuDecomposition {
     ///
     /// Same as [`solve`](Self::solve), plus a dimension check on `B`.
     pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(self.dim(), b.cols());
+        self.solve_matrix_into(b, &mut out)?;
+        Ok(out)
+    }
+
+    /// Solves `A X = B` into a caller-provided matrix (no allocation).
+    ///
+    /// All right-hand-side columns are eliminated simultaneously by whole-row
+    /// operations, so the row-major layout is traversed contiguously — this is the
+    /// multi-RHS kernel behind the logarithmic-reduction solver.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve`](Self::solve), plus dimension checks on `B` and `out`.
+    pub fn solve_matrix_into(&self, b: &Matrix, out: &mut Matrix) -> Result<()> {
+        self.ensure_regular()?;
         let n = self.dim();
-        if b.rows() != n {
+        if b.rows() != n || out.shape() != b.shape() {
             return Err(LinalgError::DimensionMismatch {
                 operation: "LU matrix solve",
                 left: (n, n),
                 right: b.shape(),
             });
         }
-        let mut out = Matrix::zeros(n, b.cols());
-        for col in 0..b.cols() {
-            let rhs = b.column(col);
-            let x = self.solve(&rhs)?;
-            for (i, v) in x.into_iter().enumerate() {
-                out[(i, col)] = v;
+        let w = b.cols();
+        // Gather the permuted rows of B, then block-substitute row-wise.
+        for (i, &p) in self.perm.iter().enumerate() {
+            out.as_mut_slice()[i * w..(i + 1) * w]
+                .copy_from_slice(&b.as_slice()[p * w..(p + 1) * w]);
+        }
+        let d = self.lu.as_slice();
+        let x = out.as_mut_slice();
+        for i in 1..n {
+            let (prev, rest) = x.split_at_mut(i * w);
+            let xi = &mut rest[..w];
+            for (j, l) in d[i * n..i * n + i].iter().enumerate() {
+                if *l != 0.0 {
+                    let xj = &prev[j * w..(j + 1) * w];
+                    for (t, &v) in xi.iter_mut().zip(xj) {
+                        *t -= l * v;
+                    }
+                }
             }
         }
-        Ok(out)
+        for i in (0..n).rev() {
+            let (head, tail) = x.split_at_mut((i + 1) * w);
+            let xi = &mut head[i * w..];
+            let row = &d[i * n..(i + 1) * n];
+            for (j, u) in row[i + 1..].iter().enumerate() {
+                if *u != 0.0 {
+                    let xj = &tail[j * w..(j + 1) * w];
+                    for (t, &v) in xi.iter_mut().zip(xj) {
+                        *t -= u * v;
+                    }
+                }
+            }
+            let inv = row[i];
+            for t in xi.iter_mut() {
+                *t /= inv;
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves `X A = B` (right division) into a caller-provided matrix.
+    ///
+    /// Each row of `X` solves `Aᵀ xᵀ = bᵀ`, performed with the *existing* factors
+    /// through `Aᵀ = Uᵀ Lᵀ P` — no transpose and no second factorisation.  `ws`
+    /// lends the one scratch row the final column permutation needs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve`](Self::solve), plus dimension checks on `B` and `out`.
+    pub fn solve_right_matrix_into(
+        &self,
+        b: &Matrix,
+        out: &mut Matrix,
+        ws: &mut Workspace,
+    ) -> Result<()> {
+        self.ensure_regular()?;
+        let n = self.dim();
+        if b.cols() != n || out.shape() != b.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "LU right matrix solve",
+                left: b.shape(),
+                right: (n, n),
+            });
+        }
+        out.copy_from(b)?;
+        let d = self.lu.as_slice();
+        let mut scratch = ws.real_buffer(n);
+        for row in out.as_mut_slice().chunks_exact_mut(n) {
+            // w U = b: forward over columns using row j of U.
+            for j in 0..n {
+                let wj = row[j] / d[j * n + j];
+                row[j] = wj;
+                if wj != 0.0 {
+                    for (x, &u) in row[j + 1..].iter_mut().zip(&d[j * n + j + 1..(j + 1) * n]) {
+                        *x -= wj * u;
+                    }
+                }
+            }
+            // w L = w' (unit diagonal): backward over columns using row j of L.
+            for j in (0..n).rev() {
+                let wj = row[j];
+                if wj != 0.0 {
+                    for (x, &l) in row[..j].iter_mut().zip(&d[j * n..j * n + j]) {
+                        *x -= wj * l;
+                    }
+                }
+            }
+            // X = W P: scatter within the row.
+            scratch.copy_from_slice(row);
+            for (k, &p) in self.perm.iter().enumerate() {
+                row[p] = scratch[k];
+            }
+        }
+        ws.release_real_buffer(scratch);
+        Ok(())
     }
 
     /// Inverse of the original matrix.
@@ -248,6 +455,29 @@ mod tests {
         .unwrap();
         let lu = LuDecomposition::new(&a).unwrap();
         assert!(reconstruct(&lu, 3).approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn blocked_factorisation_crosses_panel_boundaries() {
+        // n > PANEL exercises the deferred trailing update; reconstruction must hold.
+        let n = PANEL + 13;
+        let mut seed = 3_u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let mut a = Matrix::from_fn(n, n, |_, _| next());
+        for i in 0..n {
+            a[(i, i)] += 4.0;
+        }
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!(reconstruct(&lu, n).approx_eq(&a, 1e-10));
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let x = lu.solve(&b).unwrap();
+        let back = a.matvec(&x).unwrap();
+        for (orig, rec) in b.iter().zip(back) {
+            assert!((orig - rec).abs() < 1e-9);
+        }
     }
 
     #[test]
@@ -322,5 +552,31 @@ mod tests {
         assert!(
             x.approx_eq(&Matrix::from_rows(&[&[1.0, 2.0][..], &[2.0, 3.0][..]]).unwrap(), 1e-12)
         );
+    }
+
+    #[test]
+    fn right_solve_matches_transposed_left_solve() {
+        let a =
+            Matrix::from_rows(&[&[3.0, 1.0, 0.5][..], &[0.2, -2.0, 1.0][..], &[1.0, 0.0, 4.0][..]])
+                .unwrap();
+        let b = Matrix::from_rows(&[&[1.0, 2.0, 3.0][..], &[-1.0, 0.5, 0.0][..]]).unwrap();
+        let lu = a.lu().unwrap();
+        let mut ws = Workspace::new();
+        let mut x = Matrix::zeros(2, 3);
+        lu.solve_right_matrix_into(&b, &mut x, &mut ws).unwrap();
+        // X A = B must hold.
+        let back = x.matmul(&a).unwrap();
+        assert!(back.approx_eq(&b, 1e-12), "XA = {back:?}");
+    }
+
+    #[test]
+    fn from_matrix_and_into_matrix_round_trip_storage() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0][..], &[2.0, 6.0][..]]).unwrap();
+        let lu = LuDecomposition::from_matrix(a.clone()).unwrap();
+        let x = lu.solve(&[1.0, 0.0]).unwrap();
+        let back = a.matvec(&x).unwrap();
+        assert!((back[0] - 1.0).abs() < 1e-12 && back[1].abs() < 1e-12);
+        let storage = lu.into_matrix();
+        assert_eq!(storage.shape(), (2, 2));
     }
 }

@@ -153,6 +153,22 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutably borrow the underlying row-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its row-major data buffer.
+    ///
+    /// Together with [`from_vec`](Self::from_vec) this lets a
+    /// [`Workspace`](crate::Workspace) recycle matrix storage across hot-loop
+    /// iterations without reallocating.
+    #[inline]
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
     /// Element access returning `None` when out of bounds.
     #[inline]
     pub fn get(&self, row: usize, col: usize) -> Option<f64> {
@@ -206,34 +222,142 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
+    /// Thin allocating wrapper over the in-place [`gemm`](Self::gemm) kernel.
+    ///
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
-        if self.cols != rhs.rows {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        out.gemm(1.0, self, rhs, 0.0)?;
+        Ok(out)
+    }
+
+    /// General multiply-accumulate `self ← alpha·a·b + beta·self`, in place.
+    ///
+    /// This is the workhorse kernel of the workspace: it allocates nothing, skips
+    /// zero elements of `a` (the QBD generator blocks are sparse bands), and tiles
+    /// the `k` and `j` loops so a slab of `b` stays cache-resident while every row
+    /// of `a` streams past it.  `beta == 0.0` overwrites `self` outright (no
+    /// `0 · NaN` propagation); accumulation order over `k` is ascending regardless
+    /// of the tiling, so results do not depend on the block sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] unless
+    /// `self.shape() == (a.rows(), b.cols())` and `a.cols() == b.rows()`.
+    pub fn gemm(&mut self, alpha: f64, a: &Matrix, b: &Matrix, beta: f64) -> Result<()> {
+        if a.cols != b.rows || self.rows != a.rows || self.cols != b.cols {
             return Err(LinalgError::DimensionMismatch {
-                operation: "matrix multiplication",
-                left: self.shape(),
-                right: rhs.shape(),
+                operation: "matrix multiply-accumulate (gemm)",
+                left: a.shape(),
+                right: b.shape(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let aik = self[(i, k)];
-                if aik == 0.0 {
-                    continue;
-                }
-                let lhs_row = i * self.cols;
-                let _ = lhs_row;
-                let out_row = i * rhs.cols;
-                let rhs_row = k * rhs.cols;
-                for j in 0..rhs.cols {
-                    out.data[out_row + j] += aik * rhs.data[rhs_row + j];
+        if beta == 0.0 {
+            self.data.fill(0.0);
+        } else if beta != 1.0 {
+            for x in &mut self.data {
+                *x *= beta;
+            }
+        }
+        if alpha == 0.0 {
+            return Ok(());
+        }
+        let (m, k, n) = (a.rows, a.cols, b.cols);
+        // Tile sizes chosen so a KB×JB slab of `b` (≤ 128 KiB) fits in L2 while the
+        // accumulation order over `k` stays ascending (tiles are visited in order).
+        const KB: usize = 64;
+        const JB: usize = 256;
+        for kk in (0..k).step_by(KB) {
+            let k_end = (kk + KB).min(k);
+            for jj in (0..n).step_by(JB) {
+                let j_end = (jj + JB).min(n);
+                for i in 0..m {
+                    let a_tile = &a.data[i * k + kk..i * k + k_end];
+                    let c_row = &mut self.data[i * n + jj..i * n + j_end];
+                    for (offset, &av) in a_tile.iter().enumerate() {
+                        let aip = alpha * av;
+                        if aip == 0.0 {
+                            continue;
+                        }
+                        let p = kk + offset;
+                        let b_row = &b.data[p * n + jj..p * n + j_end];
+                        for (c, &bv) in c_row.iter_mut().zip(b_row) {
+                            *c += aip * bv;
+                        }
+                    }
                 }
             }
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Copies every element of `other` into `self` (shapes must match).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the shapes differ.
+    pub fn copy_from(&mut self, other: &Matrix) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "matrix copy",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        self.data.copy_from_slice(&other.data);
+        Ok(())
+    }
+
+    /// In-place scaled accumulation `self ← self + alpha·other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the shapes differ.
+    pub fn add_scaled(&mut self, alpha: f64, other: &Matrix) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "matrix scaled addition",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        for (x, &y) in self.data.iter_mut().zip(&other.data) {
+            *x += alpha * y;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every element by a scalar, in place.
+    pub fn scale_mut(&mut self, factor: f64) {
+        for x in &mut self.data {
+            *x *= factor;
+        }
+    }
+
+    /// Scales column `j` by `diag[j]`, in place — the cheap form of right-multiplying
+    /// by a diagonal matrix (`self ← self · diag(d)`), `O(n²)` instead of a dense
+    /// `O(n³)` product.  The QBD departure matrix `C` and arrival matrix `B = λI` are
+    /// both diagonal, so the solvers use this for every `X·C` product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `diag.len() != self.cols()`.
+    pub fn scale_columns(&mut self, diag: &[f64]) -> Result<()> {
+        if diag.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "column scaling by diagonal",
+                left: self.shape(),
+                right: (diag.len(), diag.len()),
+            });
+        }
+        for row in self.data.chunks_exact_mut(self.cols) {
+            for (x, &d) in row.iter_mut().zip(diag) {
+                *x *= d;
+            }
+        }
+        Ok(())
     }
 
     /// Matrix–vector product `self * v` (v as a column vector).

@@ -97,9 +97,18 @@ impl QuadraticEigenProblem {
     /// Evaluates `Q(z)` at a complex point.
     pub fn evaluate(&self, z: Complex) -> CMatrix {
         let s = self.order();
-        CMatrix::from_fn(s, s, |i, j| {
-            Complex::from_real(self.q0[(i, j)]) + z * self.q1[(i, j)] + z * z * self.q2[(i, j)]
-        })
+        let z2 = z * z;
+        let mut out = CMatrix::zeros(s, s);
+        for (((o, &c0), &c1), &c2) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.q0.as_slice())
+            .zip(self.q1.as_slice())
+            .zip(self.q2.as_slice())
+        {
+            *o = Complex::from_real(c0) + z * c1 + z2 * c2;
+        }
+        out
     }
 
     /// Evaluates `det Q(z)` at a complex point (useful for verifying eigenvalues).
@@ -124,10 +133,14 @@ impl QuadraticEigenProblem {
     pub fn finite_eigenvalues(&self) -> Result<Vec<QuadraticEigenvalue>> {
         let s = self.order();
         // Prefer the reversed linearisation on Q0 (always non-singular for the queueing
-        // application, where Q0 = λI); fall back to the direct one on Q2.
+        // application, where Q0 = λI); fall back to the direct one on Q2.  The two
+        // multi-right-hand-side solves land directly in the companion matrix's lower
+        // blocks — no intermediate `A0`/`A1` allocations.
+        let mut a0 = Matrix::zeros(s, s);
+        let mut a1 = Matrix::zeros(s, s);
         if let Ok(q0_lu) = self.q0.lu() {
-            let a0 = q0_lu.solve_matrix(&self.q2)?; // Q0^{-1} Q2
-            let a1 = q0_lu.solve_matrix(&self.q1)?; // Q0^{-1} Q1
+            q0_lu.solve_matrix_into(&self.q2, &mut a0)?; // Q0^{-1} Q2
+            q0_lu.solve_matrix_into(&self.q1, &mut a1)?; // Q0^{-1} Q1
             let companion = build_companion(&a0, &a1);
             let zetas = eigenvalues_with(&companion, self.options)?;
             // ζ = 1/z; ζ = 0 corresponds to an infinite eigenvalue.
@@ -138,8 +151,8 @@ impl QuadraticEigenProblem {
                 .map(|zeta| QuadraticEigenvalue { z: Complex::ONE / zeta })
                 .collect())
         } else if let Ok(q2_lu) = self.q2.lu() {
-            let a0 = q2_lu.solve_matrix(&self.q0)?; // Q2^{-1} Q0
-            let a1 = q2_lu.solve_matrix(&self.q1)?; // Q2^{-1} Q1
+            q2_lu.solve_matrix_into(&self.q0, &mut a0)?; // Q2^{-1} Q0
+            q2_lu.solve_matrix_into(&self.q1, &mut a1)?; // Q2^{-1} Q1
             let companion = build_companion(&a0, &a1);
             let zs = eigenvalues_with(&companion, self.options)?;
             Ok(zs.into_iter().map(|z| QuadraticEigenvalue { z }).collect())

@@ -9,6 +9,11 @@
 //! measurement: each benchmark is warmed up once and then run for a bounded number of
 //! iterations, reporting the mean time per iteration.  There is no statistical
 //! analysis, plotting or state persistence.
+//!
+//! Like upstream Criterion, positional command-line arguments act as substring
+//! filters on the benchmark name — `cargo bench -p urs-bench --bench solver_scaling
+//! -- kernels sweeps` runs only the `kernels` and `sweeps` groups (the CI bench-smoke
+//! step relies on this).
 
 #![deny(missing_docs)]
 
@@ -139,14 +144,35 @@ pub struct Criterion {
     /// When true (set by `--test`, as passed by `cargo test`), run each
     /// benchmark body once without timing, as upstream Criterion does.
     test_mode: bool,
+    /// Positional-argument substring filters; a benchmark runs when any filter
+    /// matches its full name (or when no filter was given), mirroring upstream.
+    filters: Vec<String>,
 }
 
 impl Criterion {
     fn from_args() -> Self {
-        Criterion { test_mode: std::env::args().any(|a| a == "--test") }
+        let mut test_mode = false;
+        let mut filters = Vec::new();
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                test_mode = true;
+            } else if arg == "--bench" || arg.starts_with('-') {
+                // Harness flags (`--bench`, `--nocapture`, …) are not filters.
+            } else {
+                filters.push(arg);
+            }
+        }
+        Criterion { test_mode, filters }
+    }
+
+    fn matches_filter(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f.as_str()))
     }
 
     fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut routine: F) {
+        if !self.matches_filter(name) {
+            return;
+        }
         let mut bencher = Bencher { test_mode: self.test_mode, ..Bencher::default() };
         routine(&mut bencher);
         if self.test_mode {
@@ -215,9 +241,21 @@ mod tests {
     #[test]
     fn test_mode_runs_the_routine_exactly_once() {
         let mut runs = 0u64;
-        let mut criterion = Criterion { test_mode: true };
+        let mut criterion = Criterion { test_mode: true, filters: Vec::new() };
         criterion.bench_function("probe", |b| b.iter(|| runs += 1));
         assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn filters_select_benchmarks_by_substring() {
+        let mut runs = 0u64;
+        let mut c = Criterion { test_mode: true, filters: vec!["kernels".into()] };
+        c.bench_function("kernels/gemm/64", |b| b.iter(|| runs += 1));
+        c.bench_function("solvers/spectral/32", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1, "only the matching benchmark must run");
+        let mut unfiltered = Criterion { test_mode: true, filters: Vec::new() };
+        unfiltered.bench_function("anything", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 2, "no filters means every benchmark runs");
     }
 
     #[test]
