@@ -14,7 +14,8 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use urs_bench::{figure5_lifecycle, smoke, system};
 use urs_core::sweeps::queue_length_vs_load_with;
 use urs_core::{
-    CostModel, CostSweep, GeometricApproximation, MatrixGeometricSolver, QueueSolver, SolverCache,
+    ClassCostModel, CostModel, CostSweep, GeometricApproximation, MatrixGeometricSolver, MixBounds,
+    MixSearch, MixSearchOptions, QueueSolver, ServerClass, ServerLifecycle, SolverCache,
     SpectralExpansionSolver, ThreadPool,
 };
 use urs_linalg::{LuDecomposition, Matrix};
@@ -177,7 +178,7 @@ fn bench_sweeps(c: &mut Criterion) {
     group.bench_function("cost_resweep_uncached", |b| {
         let solver = SpectralExpansionSolver::default();
         b.iter(|| {
-            for cost in [CostModel::new(4.0, 1.0), CostModel::new(2.0, 1.0)] {
+            for cost in [CostModel::new(4.0, 1.0).unwrap(), CostModel::new(2.0, 1.0).unwrap()] {
                 CostSweep::evaluate_with(
                     &solver,
                     &base,
@@ -192,7 +193,7 @@ fn bench_sweeps(c: &mut Criterion) {
     group.bench_function("cost_resweep_cached", |b| {
         b.iter(|| {
             let solver = SpectralExpansionSolver::default().with_cache(SolverCache::shared());
-            for cost in [CostModel::new(4.0, 1.0), CostModel::new(2.0, 1.0)] {
+            for cost in [CostModel::new(4.0, 1.0).unwrap(), CostModel::new(2.0, 1.0).unwrap()] {
                 CostSweep::evaluate_with(
                     &solver,
                     &base,
@@ -207,5 +208,41 @@ fn bench_sweeps(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_solvers, bench_kernels, bench_sweeps);
+/// The fleet-mix search of `urs_core::mix` under its two execution strategies on the
+/// identical candidate space: the all-exact exhaustive path versus approximation
+/// screening with exact verification of the shortlist.  Screening trades one cheap
+/// approximate solve per candidate for restricting the expensive spectral solves to
+/// the slack-band shortlist; the gap widens with the candidate space, so the full
+/// run uses a three-class fleet (285 compositions, ≤ 32 verified) while the smoke
+/// run shrinks to a CI-sized two-class space.
+fn bench_mix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mix");
+    group.sample_size(10);
+    let fast = ServerClass::new(1, 1.5, ServerLifecycle::exponential(0.1, 2.0).unwrap()).unwrap();
+    let steady =
+        ServerClass::new(1, 1.0, ServerLifecycle::exponential(0.01, 5.0).unwrap()).unwrap();
+    let budget =
+        ServerClass::new(1, 0.75, ServerLifecycle::exponential(0.02, 4.0).unwrap()).unwrap();
+    let (classes, prices, max_servers) = if smoke() {
+        (vec![fast, steady], vec![1.4, 1.0], 4)
+    } else {
+        (vec![fast, steady, budget], vec![1.4, 1.0, 0.6], 10)
+    };
+    let search = MixSearch::new(
+        2.5,
+        classes,
+        ClassCostModel::new(4.0, prices).unwrap(),
+        MixBounds::up_to(max_servers).unwrap(),
+    )
+    .unwrap();
+    group.bench_function("search_exhaustive", |b| {
+        b.iter(|| black_box(search.run_exhaustive().unwrap()))
+    });
+    let screened =
+        search.clone().with_options(MixSearchOptions { exhaustive_limit: 0, ..Default::default() });
+    group.bench_function("search_screened", |b| b.iter(|| black_box(screened.run().unwrap())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers, bench_kernels, bench_sweeps, bench_mix);
 criterion_main!(benches);

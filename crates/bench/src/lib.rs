@@ -15,6 +15,7 @@
 //! | `fig6_queue_vs_cv`, `fig7_queue_vs_repair`, `fig8_exact_vs_approx` | Figures 6–8 |
 //! | `fig9_response_vs_servers` | Figure 9 (provisioning) |
 //! | `het_mixed_fleet` | §6 future work: heterogeneous server classes |
+//! | `optimal_mix` | §4 cost model over class compositions (`urs_core::mix`) |
 //!
 //! The sweep-driven binaries (Figures 5–9) run their grids on `urs_core`'s parallel
 //! [`ThreadPool`](urs_core::ThreadPool); the ones whose grids revisit a lifecycle

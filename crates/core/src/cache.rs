@@ -268,10 +268,13 @@ pub struct CacheStats {
     pub solution_hits: u64,
     /// Full-solution lookups that had to run the solver.
     pub solution_misses: u64,
-    /// Eigensystem lookups answered from the cache: the geometric approximation
-    /// reusing the spectral solver's factorisation, or its own from an earlier solve.
-    /// (The spectral solver only *publishes* eigensystems; it never looks them up —
-    /// its own reuse happens at the full-solution level.)
+    /// Eigensystem lookups answered from the cache: one solver reusing the other's
+    /// factorisation for the same `(skeleton, λ, margin)`.  The geometric
+    /// approximation reads the complete system the spectral solver published; the
+    /// spectral solver reads the eigen*values* (plus the dominant eigenvector) the
+    /// approximation published — e.g. a mix search screening with the approximation
+    /// and then verifying the top candidates exactly — and extracts only the missing
+    /// eigenvectors.
     pub eigen_hits: u64,
     /// Eigensystem lookups that had to solve the quadratic eigenproblem.
     pub eigen_misses: u64,

@@ -392,15 +392,18 @@ impl SystemConfig {
     /// # Errors
     ///
     /// Returns [`ModelError::InvalidParameter`] if `servers == 0`, or if the
-    /// configuration is heterogeneous (scaling a multi-class mix to a total count is
-    /// ambiguous — rebuild the class list explicitly instead).
+    /// configuration is heterogeneous (renumbering "the" server count of a multi-class
+    /// mix is ambiguous — use [`with_class_counts`](Self::with_class_counts) for
+    /// per-class control or [`with_total_servers`](Self::with_total_servers) for
+    /// uniform scaling of the mix).
     pub fn with_servers(&self, servers: usize) -> Result<Self> {
         if !self.is_homogeneous() {
             return Err(ModelError::InvalidParameter {
                 name: "servers",
                 value: servers as f64,
-                constraint: "with_servers requires a homogeneous configuration; \
-                             rebuild the class list explicitly",
+                constraint: "with_servers requires a homogeneous configuration; use \
+                             with_class_counts (per-class counts) or with_total_servers \
+                             (uniform scaling) instead",
             });
         }
         SystemConfig::new(
@@ -409,6 +412,104 @@ impl SystemConfig {
             self.classes[0].service_rate,
             self.classes[0].lifecycle.clone(),
         )
+    }
+
+    /// Returns a copy of the configuration in which class `j` (canonical,
+    /// fastest-first order — see [`classes`](Self::classes)) has `counts[j]` servers.
+    /// Classes given a count of zero are dropped from the fleet, so a count vector
+    /// with a single non-zero entry produces a homogeneous configuration.
+    ///
+    /// This is the per-class rescaling primitive behind the cost/provisioning sweeps
+    /// and the [`mix`](crate::mix) search: sweeps rescale a heterogeneous base fleet
+    /// without rebuilding class lists by hand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] when `counts.len()` differs from the
+    /// number of classes or when every count is zero.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use urs_core::{ServerClass, ServerLifecycle, SystemConfig};
+    ///
+    /// # fn main() -> Result<(), urs_core::ModelError> {
+    /// let fast = ServerClass::new(4, 1.5, ServerLifecycle::exponential(0.1, 2.0)?)?;
+    /// let slow = ServerClass::new(6, 1.0, ServerLifecycle::exponential(0.02, 5.0)?)?;
+    /// let config = SystemConfig::heterogeneous(4.0, vec![fast, slow])?;
+    /// let rescaled = config.with_class_counts(&[2, 9])?;
+    /// assert_eq!(rescaled.classes()[0].count(), 2); // fastest class first
+    /// assert_eq!(rescaled.servers(), 11);
+    /// // Zero counts drop the class entirely.
+    /// assert!(config.with_class_counts(&[0, 5])?.is_homogeneous());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn with_class_counts(&self, counts: &[usize]) -> Result<Self> {
+        if counts.len() != self.classes.len() {
+            return Err(ModelError::InvalidParameter {
+                name: "counts",
+                value: counts.len() as f64,
+                constraint: "one count per server class is required",
+            });
+        }
+        if counts.iter().all(|&c| c == 0) {
+            return Err(ModelError::InvalidParameter {
+                name: "counts",
+                value: 0.0,
+                constraint: "at least one class must keep at least 1 server",
+            });
+        }
+        let classes = self
+            .classes
+            .iter()
+            .zip(counts)
+            .filter(|(_, &count)| count > 0)
+            .map(|(class, &count)| class.with_count(count))
+            .collect::<Result<Vec<_>>>()?;
+        SystemConfig::heterogeneous(self.arrival_rate, classes)
+    }
+
+    /// Returns a copy of the configuration scaled to `total` servers, preserving the
+    /// class proportions of the base mix as closely as integers allow.
+    ///
+    /// The per-class counts are apportioned by the largest-remainder method: every
+    /// class first receives `⌊N_j·total/N⌋` servers, then the leftover servers go to
+    /// the classes with the largest remainders (ties broken towards the faster class).
+    /// The result always sums to exactly `total`, and for a homogeneous configuration
+    /// this is identical to [`with_servers`](Self::with_servers).  Classes whose share
+    /// rounds to zero are dropped, like in [`with_class_counts`](Self::with_class_counts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if `total == 0`.
+    pub fn with_total_servers(&self, total: usize) -> Result<Self> {
+        if total == 0 {
+            return Err(ModelError::InvalidParameter {
+                name: "total",
+                value: 0.0,
+                constraint: "must be at least 1",
+            });
+        }
+        if self.is_homogeneous() {
+            return self.with_class_counts(&[total]);
+        }
+        let base_total = self.servers() as u128;
+        let mut counts: Vec<usize> = Vec::with_capacity(self.classes.len());
+        let mut remainders: Vec<(u128, usize)> = Vec::with_capacity(self.classes.len());
+        for (j, class) in self.classes.iter().enumerate() {
+            let share = class.count() as u128 * total as u128;
+            counts.push((share / base_total) as usize);
+            remainders.push((share % base_total, j));
+        }
+        let assigned: usize = counts.iter().sum();
+        // Largest remainder first; equal remainders favour the faster (lower-index)
+        // class so the apportionment is deterministic.
+        remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        for (_, j) in remainders.iter().take(total - assigned) {
+            counts[*j] += 1;
+        }
+        self.with_class_counts(&counts)
     }
 
     /// Returns a copy of the configuration with a different arrival rate.
@@ -685,6 +786,84 @@ mod tests {
         // Paper lifecycle class (n=2, m=1, N=2): C(4,2) = 6; exponential class
         // (n=m=1, N=3): C(4,1) = 4.
         assert_eq!(mixed.environment_states(), 24);
+    }
+
+    #[test]
+    fn with_class_counts_rescales_and_drops_zero_classes() {
+        let lc = ServerLifecycle::paper_fitted().unwrap();
+        let exp = ServerLifecycle::exponential(0.1, 2.0).unwrap();
+        let config = SystemConfig::heterogeneous(
+            3.0,
+            vec![
+                ServerClass::new(2, 2.0, exp.clone()).unwrap(),
+                ServerClass::new(4, 1.0, lc.clone()).unwrap(),
+            ],
+        )
+        .unwrap();
+        let rescaled = config.with_class_counts(&[5, 1]).unwrap();
+        assert_eq!(rescaled.classes()[0].count(), 5);
+        assert_eq!(rescaled.classes()[1].count(), 1);
+        assert_eq!(rescaled.servers(), 6);
+        // Zero counts drop the class; the survivor is homogeneous.
+        let only_slow = config.with_class_counts(&[0, 3]).unwrap();
+        assert!(only_slow.is_homogeneous());
+        assert_eq!(only_slow.service_rate(), 1.0);
+        // Errors: wrong arity, all-zero counts.
+        assert!(config.with_class_counts(&[1]).is_err());
+        assert!(config.with_class_counts(&[0, 0]).is_err());
+        // Homogeneous path matches with_servers exactly.
+        let homo = SystemConfig::new(4, 2.0, 1.0, lc).unwrap();
+        assert_eq!(homo.with_class_counts(&[9]).unwrap(), homo.with_servers(9).unwrap());
+    }
+
+    #[test]
+    fn with_total_servers_preserves_proportions() {
+        let lc = ServerLifecycle::paper_fitted().unwrap();
+        let exp = ServerLifecycle::exponential(0.1, 2.0).unwrap();
+        let config = SystemConfig::heterogeneous(
+            3.0,
+            vec![
+                ServerClass::new(2, 2.0, exp.clone()).unwrap(),
+                ServerClass::new(4, 1.0, lc.clone()).unwrap(),
+            ],
+        )
+        .unwrap();
+        // Exact multiple: 2:4 at total 12 is 4:8.
+        let doubled = config.with_total_servers(12).unwrap();
+        assert_eq!(doubled.classes()[0].count(), 4);
+        assert_eq!(doubled.classes()[1].count(), 8);
+        // Non-multiple totals still sum exactly and keep the ordering of shares.
+        for total in 1..=15 {
+            let scaled = config.with_total_servers(total).unwrap();
+            assert_eq!(scaled.servers(), total, "total {total}");
+        }
+        // 2:4 at total 7: floors are (2, 4) + one remainder server; the slow class has
+        // the larger remainder (28 % 6 = 4 > 14 % 6 = 2).
+        let seven = config.with_total_servers(7).unwrap();
+        assert_eq!(seven.classes()[0].count(), 2);
+        assert_eq!(seven.classes()[1].count(), 5);
+        // Small totals may drop a class entirely.
+        let one = config.with_total_servers(1).unwrap();
+        assert!(one.is_homogeneous());
+        assert!(config.with_total_servers(0).is_err());
+        // Homogeneous configurations delegate to the with_servers representation.
+        let homo = SystemConfig::new(5, 2.0, 1.0, lc).unwrap();
+        assert_eq!(homo.with_total_servers(8).unwrap(), homo.with_servers(8).unwrap());
+    }
+
+    #[test]
+    fn with_servers_error_points_at_class_apis() {
+        let lc = ServerLifecycle::paper_fitted().unwrap();
+        let exp = ServerLifecycle::exponential(0.1, 2.0).unwrap();
+        let config = SystemConfig::heterogeneous(
+            1.0,
+            vec![ServerClass::new(1, 2.0, exp).unwrap(), ServerClass::new(1, 1.0, lc).unwrap()],
+        )
+        .unwrap();
+        let err = config.with_servers(5).unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("with_class_counts"), "{message}");
+        assert!(message.contains("with_total_servers"), "{message}");
     }
 
     #[test]

@@ -12,9 +12,23 @@
 //! parameter set there is an optimal number of servers — the content of Figure 5.
 
 use crate::config::SystemConfig;
+use crate::error::ModelError;
 use crate::parallel::ThreadPool;
 use crate::solution::QueueSolver;
 use crate::Result;
+
+/// Rejects a non-finite cost coefficient: NaN/∞ coefficients would silently poison
+/// every cost in a sweep and defeat the finite-cost filtering in the optimisers.
+fn validate_coefficient(name: &'static str, value: f64) -> Result<()> {
+    if !value.is_finite() {
+        return Err(ModelError::InvalidParameter {
+            name,
+            value,
+            constraint: "cost coefficients must be finite",
+        });
+    }
+    Ok(())
+}
 
 /// The linear holding/provisioning cost model `C = c₁·L + c₂·N`.
 ///
@@ -23,8 +37,11 @@ use crate::Result;
 /// ```
 /// use urs_core::CostModel;
 ///
-/// let cost = CostModel::new(4.0, 1.0);
+/// # fn main() -> Result<(), urs_core::ModelError> {
+/// let cost = CostModel::new(4.0, 1.0)?;
 /// assert_eq!(cost.evaluate(10.0, 12), 52.0);
+/// # Ok(())
+/// # }
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
@@ -35,14 +52,22 @@ pub struct CostModel {
 impl CostModel {
     /// Creates a cost model with holding cost `c₁` (per job per unit time) and server
     /// cost `c₂` (per server per unit time).
-    pub fn new(holding_cost: f64, server_cost: f64) -> Self {
-        CostModel { holding_cost, server_cost }
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] when either coefficient is not finite
+    /// (a NaN coefficient would otherwise make every swept cost NaN and the optimum
+    /// arbitrary).
+    pub fn new(holding_cost: f64, server_cost: f64) -> Result<Self> {
+        validate_coefficient("holding_cost", holding_cost)?;
+        validate_coefficient("server_cost", server_cost)?;
+        Ok(CostModel { holding_cost, server_cost })
     }
 
     /// The cost model used in the paper's Figure 5: `c₁ = 4`, `c₂ = 1` ("waiting is
     /// quite strongly discouraged").
     pub fn paper_figure5() -> Self {
-        CostModel::new(4.0, 1.0)
+        CostModel { holding_cost: 4.0, server_cost: 1.0 }
     }
 
     /// Holding cost `c₁`.
@@ -58,6 +83,102 @@ impl CostModel {
     /// Evaluates `C = c₁·L + c₂·N`.
     pub fn evaluate(&self, mean_queue_length: f64, servers: usize) -> f64 {
         self.holding_cost * mean_queue_length + self.server_cost * servers as f64
+    }
+}
+
+/// The per-class extension of the Section-4 cost model:
+/// `C = c₁·L + Σ_j c₂ⱼ·Nⱼ`, with one server price per class.
+///
+/// With a single class this is *bit-identical* to [`CostModel`] — the sum collapses to
+/// `c₂·N` and the expression tree matches [`CostModel::evaluate`] exactly — so the
+/// homogeneous cost analyses are unchanged by the extension.  With several classes it
+/// prices fast and slow (or fragile and reliable) servers differently, which is what
+/// makes the fleet-mix question of [`mix`](crate::mix) non-trivial: the cheapest
+/// composition balances holding cost against heterogeneous hardware prices.
+///
+/// # Example
+///
+/// ```
+/// use urs_core::ClassCostModel;
+///
+/// # fn main() -> Result<(), urs_core::ModelError> {
+/// // Fast servers cost 1.4 per unit time, slow ones 1.0.
+/// let cost = ClassCostModel::new(4.0, vec![1.4, 1.0])?;
+/// assert_eq!(cost.evaluate(10.0, &[2, 3]), 4.0 * 10.0 + 2.0 * 1.4 + 3.0 * 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassCostModel {
+    holding_cost: f64,
+    server_costs: Vec<f64>,
+}
+
+impl ClassCostModel {
+    /// Creates a per-class cost model with holding cost `c₁` and one server price
+    /// `c₂ⱼ` per class (aligned with the class order used by the caller).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] when `server_costs` is empty or any
+    /// coefficient is not finite.
+    pub fn new(holding_cost: f64, server_costs: Vec<f64>) -> Result<Self> {
+        validate_coefficient("holding_cost", holding_cost)?;
+        if server_costs.is_empty() {
+            return Err(ModelError::InvalidParameter {
+                name: "server_costs",
+                value: 0.0,
+                constraint: "at least one per-class server cost is required",
+            });
+        }
+        for cost in &server_costs {
+            validate_coefficient("server_cost", *cost)?;
+        }
+        Ok(ClassCostModel { holding_cost, server_costs })
+    }
+
+    /// Lifts a homogeneous [`CostModel`] to `classes` identically priced classes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] when `classes == 0`.
+    pub fn uniform(model: &CostModel, classes: usize) -> Result<Self> {
+        ClassCostModel::new(model.holding_cost(), vec![model.server_cost(); classes])
+    }
+
+    /// Holding cost `c₁`.
+    pub fn holding_cost(&self) -> f64 {
+        self.holding_cost
+    }
+
+    /// Per-class server prices `c₂ⱼ`.
+    pub fn server_costs(&self) -> &[f64] {
+        &self.server_costs
+    }
+
+    /// Number of classes this model prices.
+    pub fn classes(&self) -> usize {
+        self.server_costs.len()
+    }
+
+    /// The pure provisioning part `Σ_j c₂ⱼ·Nⱼ` (no holding cost) — the quantity a
+    /// hardware budget bounds in the [`mix`](crate::mix) search.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `counts.len()` differs from [`classes`](Self::classes).
+    pub fn fleet_cost(&self, counts: &[usize]) -> f64 {
+        assert_eq!(counts.len(), self.server_costs.len(), "one count per priced class");
+        self.server_costs.iter().zip(counts).map(|(c, &n)| *c * n as f64).sum()
+    }
+
+    /// Evaluates `C = c₁·L + Σ_j c₂ⱼ·Nⱼ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `counts.len()` differs from [`classes`](Self::classes).
+    pub fn evaluate(&self, mean_queue_length: f64, counts: &[usize]) -> f64 {
+        self.holding_cost * mean_queue_length + self.fleet_cost(counts)
     }
 }
 
@@ -83,6 +204,11 @@ impl CostSweep {
     /// the performance model.  Server counts for which the system is unstable are
     /// skipped (their cost is effectively infinite).  Grid points are evaluated in
     /// parallel on the default [`ThreadPool`].
+    ///
+    /// Heterogeneous base configurations are swept by scaling the class mix uniformly
+    /// to each total in the range ([`SystemConfig::with_total_servers`], the
+    /// largest-remainder apportionment); to optimise the *composition* rather than the
+    /// size of a mixed fleet, use the per-class search in [`mix`](crate::mix).
     ///
     /// # Errors
     ///
@@ -110,7 +236,7 @@ impl CostSweep {
     ) -> Result<Self> {
         let counts: Vec<usize> = server_range.collect();
         let points = pool.try_par_map(&counts, |&servers| -> Result<Option<CostPoint>> {
-            let config = base_config.with_servers(servers)?;
+            let config = base_config.with_total_servers(servers)?;
             if !config.is_stable() {
                 return Ok(None);
             }
@@ -129,12 +255,18 @@ impl CostSweep {
         &self.points
     }
 
-    /// The point with the minimal cost, if any server count was stable.
+    /// The point with the minimal *finite* cost, if any server count was stable.
+    ///
+    /// Points whose cost is NaN or infinite are ignored: a NaN cost admits no order,
+    /// so comparing it would make the reported optimum depend on the comparison
+    /// sequence rather than on the costs.  Ties between equal finite costs go to the
+    /// smallest server count (the points are ordered by `N`).
     pub fn optimum(&self) -> Option<CostPoint> {
         self.points
             .iter()
+            .filter(|p| p.cost.is_finite())
             .copied()
-            .min_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal))
+            .min_by(|a, b| a.cost.total_cmp(&b.cost))
     }
 }
 
@@ -150,6 +282,90 @@ mod tests {
         assert_eq!(cost.holding_cost(), 4.0);
         assert_eq!(cost.server_cost(), 1.0);
         assert_eq!(cost.evaluate(5.0, 10), 30.0);
+        assert_eq!(CostModel::new(4.0, 1.0).unwrap(), cost);
+    }
+
+    #[test]
+    fn non_finite_coefficients_are_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(CostModel::new(bad, 1.0).is_err());
+            assert!(CostModel::new(4.0, bad).is_err());
+            assert!(ClassCostModel::new(bad, vec![1.0]).is_err());
+            assert!(ClassCostModel::new(4.0, vec![1.0, bad]).is_err());
+        }
+        assert!(ClassCostModel::new(4.0, vec![]).is_err());
+    }
+
+    #[test]
+    fn class_cost_model_matches_homogeneous_model_bit_for_bit() {
+        let flat = CostModel::new(4.0, 1.3).unwrap();
+        let per_class = ClassCostModel::uniform(&flat, 1).unwrap();
+        for (l, n) in [(0.37, 1usize), (12.25, 10), (173.0625, 31), (1e-9, 4)] {
+            assert_eq!(per_class.evaluate(l, &[n]).to_bits(), flat.evaluate(l, n).to_bits());
+        }
+    }
+
+    #[test]
+    fn class_cost_model_prices_each_class() {
+        let cost = ClassCostModel::new(2.0, vec![1.4, 1.0, 0.25]).unwrap();
+        assert_eq!(cost.classes(), 3);
+        assert_eq!(cost.holding_cost(), 2.0);
+        assert_eq!(cost.server_costs(), &[1.4, 1.0, 0.25]);
+        assert_eq!(cost.fleet_cost(&[2, 3, 4]), 2.0 * 1.4 + 3.0 + 1.0);
+        assert_eq!(cost.evaluate(5.0, &[2, 3, 4]), 10.0 + 2.0 * 1.4 + 3.0 + 1.0);
+    }
+
+    #[test]
+    fn optimum_skips_non_finite_costs() {
+        // A NaN- or ∞-cost point must never win (or arbitrarily lose) the optimum:
+        // the minimum is taken over finite costs only.
+        let finite = CostPoint { servers: 7, mean_queue_length: 2.0, cost: 11.0 };
+        let sweep = CostSweep {
+            points: vec![
+                CostPoint { servers: 5, mean_queue_length: f64::NAN, cost: f64::NAN },
+                CostPoint { servers: 6, mean_queue_length: 3.0, cost: f64::INFINITY },
+                finite,
+                CostPoint { servers: 8, mean_queue_length: 2.5, cost: 12.5 },
+            ],
+        };
+        assert_eq!(sweep.optimum(), Some(finite));
+        // All-non-finite sweeps report no optimum instead of a poisoned point.
+        let poisoned = CostSweep {
+            points: vec![CostPoint { servers: 5, mean_queue_length: 1.0, cost: f64::NAN }],
+        };
+        assert_eq!(poisoned.optimum(), None);
+        // Equal finite costs tie towards the smaller fleet.
+        let tied = CostSweep {
+            points: vec![
+                CostPoint { servers: 4, mean_queue_length: 2.0, cost: 9.0 },
+                CostPoint { servers: 5, mean_queue_length: 1.0, cost: 9.0 },
+            ],
+        };
+        assert_eq!(tied.optimum().unwrap().servers, 4);
+    }
+
+    #[test]
+    fn heterogeneous_base_configs_sweep_by_uniform_scaling() {
+        use crate::config::ServerClass;
+        let steady = ServerClass::new(2, 1.0, ServerLifecycle::paper_fitted().unwrap()).unwrap();
+        let fast =
+            ServerClass::new(1, 1.5, ServerLifecycle::exponential(0.1, 2.0).unwrap()).unwrap();
+        let base = SystemConfig::heterogeneous(4.0, vec![steady, fast]).unwrap();
+        let sweep = CostSweep::evaluate(
+            &SpectralExpansionSolver::default(),
+            &base,
+            &CostModel::paper_figure5(),
+            5..=9,
+        )
+        .unwrap();
+        assert!(!sweep.points().is_empty());
+        // Each point solved the uniformly scaled mix at exactly the requested total.
+        for point in sweep.points() {
+            let scaled = base.with_total_servers(point.servers).unwrap();
+            assert_eq!(scaled.servers(), point.servers);
+            assert!(!scaled.is_homogeneous(), "2:1 mixes stay mixed for N >= 5");
+        }
+        assert!(sweep.optimum().is_some());
     }
 
     #[test]

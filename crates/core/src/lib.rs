@@ -15,8 +15,9 @@
 //!
 //! On top of the solvers sit the analyses of the paper's Section 4: the cost model
 //! `C = c₁L + c₂N` and its optimisation over the number of servers ([`CostSweep`]),
-//! capacity planning ([`ProvisioningSweep`]) and the sensitivity sweeps behind
-//! Figures 6–8 ([`sweeps`]).
+//! capacity planning ([`ProvisioningSweep`]), the sensitivity sweeps behind
+//! Figures 6–8 ([`sweeps`]), and the per-class cost model ([`ClassCostModel`]) with
+//! the fleet-mix optimiser built on it ([`mix::MixSearch`]).
 //!
 //! The model also implements the extension the paper flags as future work:
 //! **heterogeneous server classes**.  [`SystemConfig::heterogeneous`] partitions the
@@ -39,6 +40,7 @@
 //! | Figure 9 capacity planning | [`ProvisioningSweep`] |
 //! | §6 future work: distinct server classes | [`ServerClass`], [`SystemConfig::heterogeneous`], [`ModeSpace::for_classes`], [`QbdSkeleton::for_classes`] |
 //! | §6 future work: class-mix exploration | [`sweeps::queue_length_vs_class_mix`] |
+//! | §4 cost model lifted to class mixes | [`ClassCostModel`], [`mix::MixSearch`] |
 //!
 //! # Performance subsystem
 //!
@@ -95,16 +97,18 @@ mod solution;
 mod spectral;
 mod truncated;
 
+pub mod mix;
 pub mod sweeps;
 
 pub use approx::{dominant_eigenvalue, GeometricApproximation, GeometricSolution};
 pub use cache::{CacheStats, SolverCache};
 pub use config::{ServerClass, ServerLifecycle, SystemConfig};
-pub use cost::{CostModel, CostPoint, CostSweep};
+pub use cost::{ClassCostModel, CostModel, CostPoint, CostSweep};
 pub use error::ModelError;
 pub use matrix_geometric::{
     MatrixGeometricOptions, MatrixGeometricSolution, MatrixGeometricSolver,
 };
+pub use mix::{MixBounds, MixCandidate, MixSearch, MixSearchOptions, MixSearchResult};
 pub use modes::{Mode, ModeSpace};
 pub use parallel::ThreadPool;
 pub use provisioning::{min_servers_for_response_time, ProvisioningPoint, ProvisioningSweep};

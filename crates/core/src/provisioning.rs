@@ -32,6 +32,10 @@ impl ProvisioningSweep {
     /// counts are skipped.  Grid points are evaluated in parallel on the default
     /// [`ThreadPool`].
     ///
+    /// Heterogeneous base configurations are swept by scaling the class mix uniformly
+    /// to each total ([`SystemConfig::with_total_servers`]); per-class provisioning
+    /// decisions belong to the [`mix`](crate::mix) search.
+    ///
     /// # Errors
     ///
     /// Propagates solver failures other than instability.
@@ -57,7 +61,7 @@ impl ProvisioningSweep {
         let counts: Vec<usize> = server_range.collect();
         let points =
             pool.try_par_map(&counts, |&servers| -> Result<Option<ProvisioningPoint>> {
-                let config = base_config.with_servers(servers)?;
+                let config = base_config.with_total_servers(servers)?;
                 if !config.is_stable() {
                     return Ok(None);
                 }
@@ -150,6 +154,26 @@ mod tests {
         )
         .unwrap();
         assert_eq!(direct, generous);
+    }
+
+    #[test]
+    fn heterogeneous_base_configs_are_scaled_not_rejected() {
+        use crate::config::ServerClass;
+        let steady = ServerClass::new(2, 1.0, ServerLifecycle::paper_fitted().unwrap()).unwrap();
+        let fast =
+            ServerClass::new(1, 1.5, ServerLifecycle::exponential(0.1, 2.0).unwrap()).unwrap();
+        let base = SystemConfig::heterogeneous(4.5, vec![steady, fast]).unwrap();
+        let sweep =
+            ProvisioningSweep::evaluate(&SpectralExpansionSolver::default(), &base, 5..=9).unwrap();
+        assert!(!sweep.points().is_empty());
+        for pair in sweep.points().windows(2) {
+            assert!(
+                pair[1].mean_response_time <= pair[0].mean_response_time + 1e-9,
+                "W should be non-increasing in N for the scaled mix"
+            );
+        }
+        // The provisioning question is answerable on the mixed fleet.
+        assert!(sweep.min_servers_for_response_time(100.0).is_some());
     }
 
     #[test]

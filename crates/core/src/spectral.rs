@@ -131,36 +131,62 @@ impl SpectralExpansionSolver {
     fn solve_qbd(&self, config: &SystemConfig, qbd: &QbdMatrices) -> Result<SpectralSolution> {
         let s = qbd.order();
 
-        // 1. Eigenvalues and left eigenvectors of Q(z) inside the unit disk.
+        // 1. Eigenvalues and left eigenvectors of Q(z) inside the unit disk.  A
+        // cache-sharing GeometricApproximation may already have factorised this
+        // (skeleton, λ, margin) — e.g. during the screening pass of a mix search whose
+        // top candidates are then verified exactly — in which case the cached
+        // eigenvalues (and any cached eigenvectors, typically the dominant one) are
+        // reused and only the missing eigenvectors are extracted.  Both producers
+        // compute the same deterministic quantities from the same skeleton, so the
+        // cached and freshly factorised paths are bit-identical.
         let problem = urs_linalg::QuadraticEigenProblem::new(qbd.q0(), qbd.q1(), qbd.q2())?;
-        let mut inside = problem.eigenvalues_inside_unit_disk(self.options.unit_disk_margin)?;
+        let cached_entry = match &self.cache {
+            Some(cache) => cache
+                .lookup_eigensystem(config, self.options.unit_disk_margin)?
+                .filter(|entry| entry.eigenvalues.len() == s),
+            None => None,
+        };
+        // Deterministic order: by modulus, then by real/imaginary part.
+        let order = |a: &Complex, b: &Complex| {
+            a.abs()
+                .partial_cmp(&b.abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.re.partial_cmp(&b.re).unwrap_or(std::cmp::Ordering::Equal))
+                .then(a.im.partial_cmp(&b.im).unwrap_or(std::cmp::Ordering::Equal))
+        };
+        // The eigenvalue list paired with any already-extracted left eigenvectors.
+        let mut inside: Vec<(Complex, Option<Vec<Complex>>)> = match cached_entry {
+            Some(entry) => {
+                entry.eigenvalues.iter().copied().zip(entry.eigenvectors.iter().cloned()).collect()
+            }
+            None => problem
+                .eigenvalues_inside_unit_disk(self.options.unit_disk_margin)?
+                .iter()
+                .map(|e| (e.z, None))
+                .collect(),
+        };
         if inside.len() != s {
             return Err(ModelError::SpectralFailure(format!(
                 "expected {s} eigenvalues strictly inside the unit disk, found {}",
                 inside.len()
             )));
         }
-        // Deterministic order: by modulus, then by real/imaginary part.
-        inside.sort_by(|a, b| {
-            a.z.abs()
-                .partial_cmp(&b.z.abs())
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.z.re.partial_cmp(&b.z.re).unwrap_or(std::cmp::Ordering::Equal))
-                .then(a.z.im.partial_cmp(&b.z.im).unwrap_or(std::cmp::Ordering::Equal))
-        });
+        inside.sort_by(|a, b| order(&a.0, &b.0));
         let scale = qbd.q1().max_abs().max(1.0);
         let mut eigenvalues = Vec::with_capacity(s);
         let mut eigenvectors: Vec<Vec<Complex>> = Vec::with_capacity(s);
-        for e in &inside {
-            let u = problem.left_eigenvector(e.z)?;
-            let residual = problem.residual(e.z, &u)?;
+        for (z, cached_u) in inside {
+            let u = match cached_u {
+                Some(u) => u,
+                None => problem.left_eigenvector(z)?,
+            };
+            let residual = problem.residual(z, &u)?;
             if residual > self.options.residual_tolerance * scale {
                 return Err(ModelError::SpectralFailure(format!(
-                    "left eigenvector residual {residual:.3e} at z = {} exceeds tolerance",
-                    e.z
+                    "left eigenvector residual {residual:.3e} at z = {z} exceeds tolerance",
                 )));
             }
-            eigenvalues.push(e.z);
+            eigenvalues.push(z);
             eigenvectors.push(u);
         }
         // Publish the factorised eigensystem so a cache-sharing

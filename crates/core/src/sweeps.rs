@@ -219,6 +219,10 @@ pub struct ClassMixPoint {
 /// The `count` fields of the template classes are ignored; only their service rates
 /// and lifecycles matter.
 ///
+/// This sweep reports performance along one slice of the composition space; to
+/// *optimise* the composition — over any number of classes, under per-class prices,
+/// fleet-size and budget bounds — use [`mix::MixSearch`](crate::mix::MixSearch).
+///
 /// # Errors
 ///
 /// Propagates construction and solver errors (first failing grid point).

@@ -224,9 +224,11 @@ fn shared_cache_eliminates_the_duplicated_eigensolve() {
     assert_eq!(points.len(), 4);
 
     let stats = cache.stats();
-    // The approximation found every eigensystem already factorised by the spectral
-    // solver: zero eigen misses means zero duplicated quadratic eigensolves.
-    assert_eq!(stats.eigen_misses, 0, "stats: {stats:?}");
+    // The spectral solver (which now also *consumes* eigensystem entries, for the
+    // screen-then-verify pattern of the mix search) missed once per grid point and
+    // published its factorisation; the approximation then found every one of them.
+    // Four misses and four hits for four points means zero duplicated eigensolves.
+    assert_eq!(stats.eigen_misses, 4, "stats: {stats:?}");
     assert_eq!(stats.eigen_hits, 4, "stats: {stats:?}");
     // And the skeleton was built exactly once for the whole sweep.
     assert_eq!(stats.skeleton_misses, 1, "stats: {stats:?}");
@@ -253,6 +255,26 @@ fn approximation_populates_the_eigen_cache_for_itself() {
     assert_eq!(first.decay_rate().to_bits(), second.decay_rate().to_bits());
     let stats = cache.stats();
     assert_eq!((stats.eigen_misses, stats.eigen_hits), (1, 1), "stats: {stats:?}");
+}
+
+#[test]
+fn spectral_consumes_the_approximations_eigensystem_bit_identically() {
+    // Approximation-first order — the screening pass of a mix search.  The spectral
+    // verification must reuse the cached eigenvalues (one eigen hit, no second
+    // quadratic eigensolve) and still produce the bit-identical solution.
+    let cache = SolverCache::shared();
+    let approx = GeometricApproximation::default().with_cache(Arc::clone(&cache));
+    let spectral = SpectralExpansionSolver::default().with_cache(Arc::clone(&cache));
+    let config = SystemConfig::new(4, 3.1, 1.0, paper_lifecycle()).unwrap();
+    approx.solve_detailed(&config).unwrap();
+    assert_eq!(cache.stats().eigen_misses, 1);
+    let cached = spectral.solve_detailed(&config).unwrap();
+    let stats = cache.stats();
+    assert_eq!((stats.eigen_misses, stats.eigen_hits), (1, 1), "stats: {stats:?}");
+    let fresh = SpectralExpansionSolver::default().solve_detailed(&config).unwrap();
+    assert_eq!(cached.mean_queue_length().to_bits(), fresh.mean_queue_length().to_bits());
+    assert_eq!(cached.boundary_levels(), fresh.boundary_levels());
+    assert_eq!(cached.eigenvalues(), fresh.eigenvalues());
 }
 
 #[test]

@@ -1,0 +1,222 @@
+//! Integration tests of the cost-aware fleet-mix optimisation: the search must agree
+//! with brute-force enumeration, the approximation-screened path must agree with the
+//! all-exact path, and the cost/provisioning sweeps must handle heterogeneous base
+//! configurations by uniform scaling.
+
+use std::sync::Arc;
+
+use urs_core::{
+    ClassCostModel, CostModel, CostSweep, MixBounds, MixSearch, MixSearchOptions,
+    ProvisioningSweep, QueueSolver, ServerClass, ServerLifecycle, SolverCache,
+    SpectralExpansionSolver, SystemConfig,
+};
+
+fn fast_class() -> ServerClass {
+    ServerClass::new(1, 1.5, ServerLifecycle::exponential(0.1, 2.0).unwrap()).unwrap()
+}
+
+fn steady_class() -> ServerClass {
+    ServerClass::new(1, 1.0, ServerLifecycle::exponential(0.01, 5.0).unwrap()).unwrap()
+}
+
+fn two_class_search(arrival_rate: f64, max_servers: usize) -> MixSearch {
+    MixSearch::new(
+        arrival_rate,
+        vec![fast_class(), steady_class()],
+        ClassCostModel::new(4.0, vec![1.4, 1.0]).unwrap(),
+        MixBounds::up_to(max_servers).unwrap(),
+    )
+    .unwrap()
+}
+
+/// Brute force reference: solve every feasible composition exactly with a fresh
+/// solver and pick the minimum by (cost, fleet size, lexicographic counts).
+fn brute_force_optimum(search: &MixSearch) -> (Vec<usize>, f64) {
+    let solver = SpectralExpansionSolver::default();
+    let mut best: Option<(Vec<usize>, f64, usize)> = None;
+    for counts in search.candidate_mixes().unwrap() {
+        let classes: Vec<ServerClass> = search
+            .classes()
+            .iter()
+            .zip(&counts)
+            .filter(|(_, &n)| n > 0)
+            .map(|(c, &n)| c.with_count(n).unwrap())
+            .collect();
+        let config = SystemConfig::heterogeneous(2.5, classes).unwrap();
+        if !config.is_stable() {
+            continue;
+        }
+        let l = solver.solve(&config).unwrap().mean_queue_length();
+        let cost = search.cost_model().evaluate(l, &counts);
+        if !cost.is_finite() {
+            continue;
+        }
+        let servers = counts.iter().sum::<usize>();
+        let better = match &best {
+            None => true,
+            Some((best_counts, best_cost, best_servers)) => match cost.total_cmp(best_cost) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => (servers, &counts) < (*best_servers, best_counts),
+            },
+        };
+        if better {
+            best = Some((counts, cost, servers));
+        }
+    }
+    let (counts, cost, _) = best.expect("some composition is stable");
+    (counts, cost)
+}
+
+#[test]
+fn search_matches_brute_force_enumeration() {
+    let search = two_class_search(2.5, 6);
+    let (expected_counts, expected_cost) = brute_force_optimum(&search);
+
+    let result = search.run().unwrap();
+    assert!(!result.was_screened(), "27 candidates fall under the exhaustive limit");
+    let best = result.optimum().expect("a stable mix exists");
+    assert_eq!(best.counts(), expected_counts.as_slice());
+    assert_eq!(best.cost().to_bits(), expected_cost.to_bits(), "exact solves must agree bitwise");
+
+    // The forced all-exact entry point is the same computation.
+    let exhaustive = search.run_exhaustive().unwrap();
+    assert_eq!(exhaustive.optimum(), result.optimum());
+}
+
+#[test]
+fn screened_path_agrees_with_the_all_exact_path_on_the_top_candidate() {
+    let search = two_class_search(2.5, 6);
+    let exact = search.run_exhaustive().unwrap();
+
+    // Force the screening path on the same (small) space.
+    let screened = search
+        .clone()
+        .with_options(MixSearchOptions { exhaustive_limit: 0, ..Default::default() })
+        .run()
+        .unwrap();
+    assert!(screened.was_screened());
+    assert!(screened.ranked().len() <= MixSearchOptions::default().screen_max_verified);
+    assert!(screened.ranked().len() < screened.candidates(), "screening must actually prune");
+
+    let exact_best = exact.optimum().unwrap();
+    let screened_best = screened.optimum().unwrap();
+    assert_eq!(screened_best.counts(), exact_best.counts());
+    // The shortlisted candidates are verified exactly, so the winning cost is the
+    // same number, not merely close.
+    assert_eq!(screened_best.cost().to_bits(), exact_best.cost().to_bits());
+    assert_eq!(
+        screened_best.mean_queue_length().to_bits(),
+        exact_best.mean_queue_length().to_bits()
+    );
+}
+
+#[test]
+fn screening_reuses_the_cached_factorisations_for_verification() {
+    let cache = SolverCache::shared();
+    let search = two_class_search(2.5, 6)
+        .with_cache(Arc::clone(&cache))
+        .with_options(MixSearchOptions { exhaustive_limit: 0, ..Default::default() });
+    search.run().unwrap();
+    let stats = cache.stats();
+    // Every composition the verification pass touched had already been screened, so
+    // the exact pass found its skeletons and eigensystems in the shared cache instead
+    // of rebuilding them.
+    assert!(stats.eigen_hits >= 1, "stats: {stats:?}");
+    assert!(stats.skeleton_hits >= 1, "stats: {stats:?}");
+    assert_eq!(stats.eigen_evictions, 0, "the run cache must hold the whole space");
+}
+
+#[test]
+fn budget_bound_constrains_the_optimum() {
+    let unbounded = two_class_search(2.5, 6).run().unwrap();
+    let unbounded_best = unbounded.optimum().unwrap();
+    let fleet_cost =
+        ClassCostModel::new(4.0, vec![1.4, 1.0]).unwrap().fleet_cost(unbounded_best.counts());
+
+    // A budget just below the unbounded winner's hardware cost forces a different,
+    // costlier-overall composition.
+    let budget = fleet_cost - 0.05;
+    let bounded = MixSearch::new(
+        2.5,
+        vec![fast_class(), steady_class()],
+        ClassCostModel::new(4.0, vec![1.4, 1.0]).unwrap(),
+        MixBounds::up_to(6).unwrap().with_budget(budget).unwrap(),
+    )
+    .unwrap()
+    .run()
+    .unwrap();
+    let bounded_best = bounded.optimum().expect("a within-budget mix is still stable");
+    assert!(
+        ClassCostModel::new(4.0, vec![1.4, 1.0]).unwrap().fleet_cost(bounded_best.counts())
+            <= budget
+    );
+    assert_ne!(bounded_best.counts(), unbounded_best.counts());
+    assert!(bounded_best.cost() >= unbounded_best.cost());
+}
+
+#[test]
+fn heterogeneous_cost_sweep_scales_the_mix_uniformly() {
+    // A 1:2 fast:steady mix costed over total fleet sizes — the sweep must succeed
+    // (it used to error out on any heterogeneous configuration) and every point must
+    // equal a by-hand solve of the uniformly scaled mix.
+    let base = SystemConfig::heterogeneous(
+        3.0,
+        vec![fast_class().with_count(1).unwrap(), steady_class().with_count(2).unwrap()],
+    )
+    .unwrap();
+    let solver = SpectralExpansionSolver::default();
+    let sweep = CostSweep::evaluate(&solver, &base, &CostModel::paper_figure5(), 4..=8).unwrap();
+    assert!(!sweep.points().is_empty());
+    for point in sweep.points() {
+        let scaled = base.with_total_servers(point.servers).unwrap();
+        assert_eq!(scaled.servers(), point.servers);
+        let l = solver.solve(&scaled).unwrap().mean_queue_length();
+        assert_eq!(point.mean_queue_length.to_bits(), l.to_bits());
+        assert_eq!(
+            point.cost.to_bits(),
+            CostModel::paper_figure5().evaluate(l, point.servers).to_bits()
+        );
+    }
+    assert!(sweep.optimum().is_some());
+}
+
+#[test]
+fn heterogeneous_provisioning_sweep_answers_the_figure9_question() {
+    let base = SystemConfig::heterogeneous(
+        3.5,
+        vec![fast_class().with_count(1).unwrap(), steady_class().with_count(2).unwrap()],
+    )
+    .unwrap();
+    let sweep =
+        ProvisioningSweep::evaluate(&SpectralExpansionSolver::default(), &base, 4..=9).unwrap();
+    assert!(!sweep.points().is_empty());
+    let generous = sweep.min_servers_for_response_time(50.0);
+    assert_eq!(generous, Some(sweep.points()[0].servers));
+    assert_eq!(sweep.min_servers_for_response_time(1e-9), None);
+}
+
+#[test]
+fn homogeneous_class_cost_model_reproduces_the_flat_cost_sweep() {
+    // A one-class mix search under ClassCostModel::uniform must agree with the plain
+    // Figure-5 cost sweep over the same totals, bit for bit.
+    let lifecycle = ServerLifecycle::paper_fitted().unwrap();
+    let base = SystemConfig::new(5, 4.0, 1.0, lifecycle.clone()).unwrap();
+    let flat = CostModel::paper_figure5();
+    let sweep =
+        CostSweep::evaluate(&SpectralExpansionSolver::default(), &base, &flat, 5..=10).unwrap();
+    let sweep_best = sweep.optimum().unwrap();
+
+    let search = MixSearch::new(
+        4.0,
+        vec![ServerClass::new(1, 1.0, lifecycle).unwrap()],
+        ClassCostModel::uniform(&flat, 1).unwrap(),
+        MixBounds::up_to(10).unwrap().with_min_servers(5).unwrap(),
+    )
+    .unwrap();
+    let best = search.run().unwrap();
+    let best = best.optimum().unwrap();
+    assert_eq!(best.counts(), &[sweep_best.servers]);
+    assert_eq!(best.cost().to_bits(), sweep_best.cost.to_bits());
+    assert_eq!(best.mean_queue_length().to_bits(), sweep_best.mean_queue_length.to_bits());
+}

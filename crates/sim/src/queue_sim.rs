@@ -626,22 +626,26 @@ impl SimulationResult {
     }
 
     /// Observed throughput: completions inside the measurement window per unit time.
-    /// For a stable queue this converges to the arrival rate.
+    /// For a stable queue this converges to the arrival rate.  Returns `0.0` when no
+    /// time was measured (horizon equal to the warm-up): an empty window has observed
+    /// no completions, not an astronomically high rate.
     pub fn throughput(&self) -> f64 {
-        self.completed_after_warmup as f64 / (self.measured_time.max(f64::MIN_POSITIVE))
+        if self.measured_time > 0.0 {
+            self.completed_after_warmup as f64 / self.measured_time
+        } else {
+            0.0
+        }
     }
 
     /// Empirical percentile of the response time (e.g. `0.9` for the 90th percentile).
     ///
     /// The paper's conclusions list the response-time *distribution* — as opposed to its
     /// mean — as an open problem for the analytic model; the simulator answers it
-    /// empirically.  Returns `None` if `fraction` is outside `(0, 1)` or no job
-    /// completed during the measurement window.
+    /// empirically.  `fraction` must lie in `(0, 1]`; `1.0` yields the sample maximum.
+    /// Returns `None` if `fraction` is outside that range or no job completed during
+    /// the measurement window.
     pub fn response_time_percentile(&self, fraction: f64) -> Option<f64> {
-        if !(0.0..1.0).contains(&fraction)
-            || fraction <= 0.0
-            || self.sorted_response_times.is_empty()
-        {
+        if !(fraction > 0.0 && fraction <= 1.0) || self.sorted_response_times.is_empty() {
             return None;
         }
         let index = ((self.sorted_response_times.len() as f64 * fraction).ceil() as usize)
@@ -805,7 +809,42 @@ mod tests {
         assert!((p90 - expected_p90).abs() / expected_p90 < 0.1, "p90 {p90} vs {expected_p90}");
         assert!(result.response_time_percentile(1.5).is_none());
         assert!(result.response_time_percentile(0.0).is_none());
+        assert!(result.response_time_percentile(-0.5).is_none());
+        assert!(result.response_time_percentile(f64::NAN).is_none());
         assert!(!result.response_times().is_empty());
+        // fraction = 1.0 is accepted and yields the sample maximum.
+        let p100 = result.response_time_percentile(1.0).unwrap();
+        assert_eq!(p100, *result.response_times().last().unwrap());
+        assert!(p100 >= p99);
+    }
+
+    /// A hand-built result, for exercising the accessors on edge-case windows that
+    /// the builder (which demands `warmup < horizon`) cannot produce.
+    fn synthetic_result(measured_time: f64, completed: u64) -> SimulationResult {
+        SimulationResult {
+            mean_queue_length: 0.0,
+            mean_response_time: 0.0,
+            response_time_std_error: 0.0,
+            mean_operative_servers: 0.0,
+            mean_busy_servers: 0.0,
+            completed_jobs: completed,
+            completed_after_warmup: completed,
+            arrived_jobs: completed,
+            breakdowns: 0,
+            measured_time,
+            sorted_response_times: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn throughput_of_an_empty_measurement_window_is_zero() {
+        // A zero-length (or degenerate negative) window observed nothing: the rate is
+        // 0, not completions divided by the smallest positive f64 (≈ 4.5e+307 per
+        // completed job).
+        assert_eq!(synthetic_result(0.0, 5).throughput(), 0.0);
+        assert_eq!(synthetic_result(-1.0, 5).throughput(), 0.0);
+        // A real window still reports completions per unit time.
+        assert_eq!(synthetic_result(10.0, 5).throughput(), 0.5);
     }
 
     #[test]

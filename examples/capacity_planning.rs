@@ -11,14 +11,16 @@ use unreliable_servers::core::{
     GeometricApproximation, ProvisioningSweep, ServerLifecycle, SpectralExpansionSolver,
     SystemConfig,
 };
+use urs_bench::smoke;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lifecycle = ServerLifecycle::paper_fitted()?;
     let base = SystemConfig::new(8, 7.5, 1.0, lifecycle)?;
     let target = 1.5;
+    let top_n = if smoke() { 11 } else { 13 };
 
-    let exact = ProvisioningSweep::evaluate(&SpectralExpansionSolver::default(), &base, 8..=13)?;
-    let approx = ProvisioningSweep::evaluate(&GeometricApproximation::default(), &base, 8..=13)?;
+    let exact = ProvisioningSweep::evaluate(&SpectralExpansionSolver::default(), &base, 8..=top_n)?;
+    let approx = ProvisioningSweep::evaluate(&GeometricApproximation::default(), &base, 8..=top_n)?;
 
     println!("Mean response time W against the number of servers (λ = 7.5, µ = 1)");
     println!("  {:>3}  {:>12}  {:>14}", "N", "W (exact)", "W (approx.)");

@@ -1,14 +1,20 @@
-//! Cost optimisation over the number of servers (the question behind Figure 5).
+//! Cost optimisation over the number of servers (the question behind Figure 5) and
+//! over the *composition* of a mixed fleet (the per-class extension).
 //!
-//! For several arrival rates, sweeps the number of servers, evaluates the cost
-//! `C = c₁·L + c₂·N` with the paper's coefficients (c₁ = 4, c₂ = 1), and reports the
-//! cost-optimal cluster size.
+//! The first part sweeps the number of identical servers for several arrival rates,
+//! evaluates the cost `C = c₁·L + c₂·N` with the paper's coefficients (c₁ = 4,
+//! c₂ = 1), and reports the cost-optimal cluster size.  The second part prices two
+//! server classes differently and searches fleet compositions with
+//! `urs_core::mix::MixSearch` under the per-class model `C = c₁·L + Σⱼ c₂ⱼ·Nⱼ`.
 //!
-//! Run with `cargo run --release --example cost_optimization`.
+//! Run with `cargo run --release --example cost_optimization` (URS_SMOKE=1 shrinks
+//! the grids for CI).
 
 use unreliable_servers::core::{
-    CostModel, CostSweep, ServerLifecycle, SpectralExpansionSolver, SystemConfig,
+    ClassCostModel, CostModel, CostSweep, MixBounds, MixSearch, ServerClass, ServerLifecycle,
+    SpectralExpansionSolver, SystemConfig,
 };
+use urs_bench::smoke;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lifecycle = ServerLifecycle::paper_fitted()?;
@@ -18,9 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Cost model: C = {}·L + {}·N", cost_model.holding_cost(), cost_model.server_cost());
     println!();
 
-    for &lambda in &[7.0, 8.0, 8.5] {
+    let lambdas: &[f64] = if smoke() { &[8.0] } else { &[7.0, 8.0, 8.5] };
+    let top_n = if smoke() { 13 } else { 17 };
+    for &lambda in lambdas {
         let base = SystemConfig::new(9, lambda, 1.0, lifecycle.clone())?;
-        let sweep = CostSweep::evaluate(&solver, &base, &cost_model, 9..=17)?;
+        let sweep = CostSweep::evaluate(&solver, &base, &cost_model, 9..=top_n)?;
         println!("arrival rate λ = {lambda}");
         println!("  {:>3}  {:>10}  {:>10}", "N", "L", "cost C");
         for point in sweep.points() {
@@ -33,6 +41,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("  -> optimal number of servers: {} (cost {:.2})", best.servers, best.cost);
         }
         println!();
+    }
+
+    // The per-class extension: steady paper-lifecycle servers (price 1.0) versus
+    // fast-but-fragile ones (µ = 1.5, price 1.4).  MixSearch finds the cheapest
+    // composition instead of just the cheapest size.
+    let (lambda, max_servers) = if smoke() { (3.2, 6) } else { (5.5, 10) };
+    let steady = ServerClass::new(1, 1.0, lifecycle)?;
+    let fragile = ServerClass::new(1, 1.5, ServerLifecycle::exponential(0.1, 2.0)?)?;
+    let mix_cost = ClassCostModel::new(4.0, vec![1.4, 1.0])?;
+    let result =
+        MixSearch::new(lambda, vec![fragile, steady], mix_cost, MixBounds::up_to(max_servers)?)?
+            .run()?;
+    println!("Per-class cost model: C = 4·L + 1.4·N_fast + 1.0·N_steady (λ = {lambda})");
+    match result.optimum() {
+        Some(best) => println!(
+            "  -> optimal mix within {} servers: {} fast + {} steady (cost {:.2}, L = {:.3}; \
+             {} compositions considered)",
+            max_servers,
+            best.counts()[0],
+            best.counts()[1],
+            best.cost(),
+            best.mean_queue_length(),
+            result.candidates()
+        ),
+        None => println!("  -> no stable composition within {max_servers} servers"),
     }
     Ok(())
 }

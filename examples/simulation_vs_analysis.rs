@@ -13,10 +13,14 @@ use unreliable_servers::core::{
 };
 use unreliable_servers::dist::{ContinuousDistribution, Deterministic, Exponential};
 use unreliable_servers::sim::{BreakdownQueueSimulation, Replications, SimulationConfig};
+use urs_bench::smoke;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 5-server system with the paper's operative-period variability scaled to a
-    // moderate load so that the simulation converges quickly.
+    // moderate load so that the simulation converges quickly.  URS_SMOKE shrinks the
+    // horizons and replication counts to CI size.
+    let (warmup, horizon, replications) =
+        if smoke() { (1_000.0, 20_000.0, 4) } else { (5_000.0, 120_000.0, 10) };
     let lifecycle = ServerLifecycle::paper_fitted()?;
     let config = SystemConfig::new(5, 4.0, 1.0, lifecycle.clone())?;
 
@@ -31,12 +35,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .service(Exponential::new(config.service_rate())?)
         .operative(lifecycle.operative().clone())
         .inoperative(lifecycle.inoperative().clone())
-        .warmup(5_000.0)
-        .horizon(120_000.0)
+        .warmup(warmup)
+        .horizon(horizon)
         .build()?;
-    let summary = Replications::new(10, 42).run(&BreakdownQueueSimulation::new(sim_config))?;
+    let summary =
+        Replications::new(replications, 42).run(&BreakdownQueueSimulation::new(sim_config))?;
     println!(
-        "Simulation (10 replications): L = {:.4} ± {:.4}  (95% CI [{:.4}, {:.4}])",
+        "Simulation ({replications} replications): L = {:.4} ± {:.4}  (95% CI [{:.4}, {:.4}])",
         summary.mean_queue_length.mean,
         summary.mean_queue_length.half_width,
         summary.mean_queue_length.lower(),
@@ -53,11 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .service(Exponential::new(config.service_rate())?)
         .operative(Deterministic::new(lifecycle.operative().mean())?)
         .inoperative(lifecycle.inoperative().clone())
-        .warmup(5_000.0)
-        .horizon(120_000.0)
+        .warmup(warmup)
+        .horizon(horizon)
         .build()?;
     let det_summary =
-        Replications::new(10, 7).run(&BreakdownQueueSimulation::new(deterministic))?;
+        Replications::new(replications, 7).run(&BreakdownQueueSimulation::new(deterministic))?;
     println!(
         "Deterministic operative periods (C² = 0, simulation only): L = {:.4} ± {:.4}",
         det_summary.mean_queue_length.mean, det_summary.mean_queue_length.half_width

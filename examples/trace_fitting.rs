@@ -11,7 +11,10 @@ use unreliable_servers::data::{AnalysisOptions, SyntheticTrace, TraceAnalysis};
 use unreliable_servers::dist::ContinuousDistribution;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let events: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(140_000);
+    // Default to the paper's trace size; URS_SMOKE shrinks it to CI scale.
+    let default_events = if urs_bench::smoke() { 20_000 } else { 140_000 };
+    let events: usize =
+        std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(default_events);
     println!("Generating a synthetic breakdown trace with {events} events …");
     let trace = SyntheticTrace::paper_like().with_events(events).generate(2006)?;
     let analysis = TraceAnalysis::run(&trace, AnalysisOptions::default())?;

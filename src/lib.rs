@@ -10,8 +10,8 @@
 //! * [`core`] (`urs-core`) — the paper's analytical contribution: the Markov-modulated
 //!   multi-server queue with breakdowns and repairs, solved exactly by spectral
 //!   expansion and approximately by the heavy-traffic geometric approximation, plus
-//!   matrix-geometric and truncated-chain cross-checks, cost optimisation and capacity
-//!   planning;
+//!   matrix-geometric and truncated-chain cross-checks, cost optimisation, capacity
+//!   planning and cost-aware fleet-mix search over heterogeneous server classes;
 //! * [`dist`] (`urs-dist`) — exponential/hyperexponential/Erlang/deterministic
 //!   distributions, empirical statistics, Kolmogorov–Smirnov testing and
 //!   hyperexponential fitting;
