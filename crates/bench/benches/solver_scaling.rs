@@ -7,16 +7,16 @@
 //! argument behind the paper's recommendation of the approximation for large systems.
 //! The `kernels` group pins the blocked/tiled production kernels against naive
 //! reference implementations so a kernel regression fails loudly in CI (the bench
-//! smoke step runs `kernels` and `sweeps`); under `URS_SMOKE` every group shrinks to
-//! CI-sized instances.
+//! smoke step runs `kernels`, `sweeps`, `mix` and `response`); under `URS_SMOKE`
+//! every group shrinks to CI-sized instances.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use urs_bench::{figure5_lifecycle, smoke, system};
 use urs_core::sweeps::queue_length_vs_load_with;
 use urs_core::{
     ClassCostModel, CostModel, CostSweep, GeometricApproximation, MatrixGeometricSolver, MixBounds,
-    MixSearch, MixSearchOptions, QueueSolver, ServerClass, ServerLifecycle, SolverCache,
-    SpectralExpansionSolver, ThreadPool,
+    MixSearch, MixSearchOptions, QueueSolver, ResponseAnalysis, ResponseOptions, ServerClass,
+    ServerLifecycle, SolverCache, SpectralExpansionSolver, ThreadPool,
 };
 use urs_linalg::{LuDecomposition, Matrix};
 
@@ -244,5 +244,42 @@ fn bench_mix(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_solvers, bench_kernels, bench_sweeps, bench_mix);
+/// The response-time distribution pipeline of `urs_core::response`: building the
+/// transform from a solved model, one certified CDF evaluation (two independent
+/// inversions plus the agreement check), and a certified three-percentile query.
+/// The cached variant re-runs the percentile query against a warm [`SolverCache`],
+/// isolating the cost of inversion itself from the transform assembly it reuses.
+fn bench_response(c: &mut Criterion) {
+    let mut group = c.benchmark_group("response");
+    group.sample_size(10);
+    let servers = if smoke() { 6 } else { 10 };
+    let lifecycle = figure5_lifecycle();
+    let config = system(servers, 0.75 * servers as f64 * lifecycle.availability(), lifecycle);
+    let fractions = [0.9, 0.95, 0.99];
+
+    group.bench_function("build_transform", |b| {
+        b.iter(|| black_box(ResponseAnalysis::new(&config).unwrap()))
+    });
+    let analysis = ResponseAnalysis::new(&config).unwrap();
+    let t = 2.0 * analysis.mean_response_time();
+    group.bench_function("certified_cdf", |b| {
+        b.iter(|| black_box(analysis.response_time_cdf(black_box(t)).unwrap()))
+    });
+    group.bench_function("percentiles", |b| {
+        b.iter(|| black_box(analysis.response_time_percentiles(&fractions).unwrap()))
+    });
+    group.bench_function("percentiles_cached_transform", |b| {
+        let cache = SolverCache::shared();
+        // Warm the cache so every iteration measures lookup + inversion, not assembly.
+        ResponseAnalysis::with_cache(&config, ResponseOptions::default(), &cache).unwrap();
+        b.iter(|| {
+            let analysis =
+                ResponseAnalysis::with_cache(&config, ResponseOptions::default(), &cache).unwrap();
+            black_box(analysis.response_time_percentiles(&fractions).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers, bench_kernels, bench_sweeps, bench_mix, bench_response);
 criterion_main!(benches);

@@ -16,6 +16,7 @@
 //! | `fig9_response_vs_servers` | Figure 9 (provisioning) |
 //! | `het_mixed_fleet` | §6 future work: heterogeneous server classes |
 //! | `optimal_mix` | §4 cost model over class compositions (`urs_core::mix`) |
+//! | `response_time_percentiles` | §5 open problem: certified analytic percentiles vs simulated 95% intervals (`urs_core::response`) |
 //!
 //! The sweep-driven binaries (Figures 5–9) run their grids on `urs_core`'s parallel
 //! [`ThreadPool`](urs_core::ThreadPool); the ones whose grids revisit a lifecycle

@@ -14,7 +14,9 @@
 //!    configuration is solved twice (re-running a cost sweep with a different cost
 //!    model, comparing solvers on the same grid, interactive exploration).
 //!
-//! [`SolverCache`] memoises all three levels behind `f64`-bit-exact keys.  Key
+//! [`SolverCache`] memoises all three levels — plus a fourth, the response-time
+//! transform skeletons of [`response`](crate::response) — behind `f64`-bit-exact
+//! keys.  Key
 //! construction normalises signed zero (`-0.0` and `0.0` hash identically) and
 //! rejects non-finite values, so NaN can never be admitted as a silently-unequal
 //! cache key.  The cache is `Sync` (internally mutex-protected maps), so a single
@@ -64,6 +66,7 @@ use urs_linalg::Complex;
 use crate::config::{canonical_bits, ServerClass, SystemConfig};
 use crate::error::ModelError;
 use crate::qbd::QbdSkeleton;
+use crate::response::ResponseTransform;
 use crate::spectral::{SpectralOptions, SpectralSolution};
 use crate::Result;
 
@@ -73,6 +76,9 @@ const DEFAULT_SKELETON_CAPACITY: usize = 64;
 const DEFAULT_SOLUTION_CAPACITY: usize = 4096;
 /// Default capacity of the eigensystem map.
 const DEFAULT_EIGEN_CAPACITY: usize = 1024;
+/// Default capacity of the response-transform map (transforms hold the truncated
+/// arrival distribution, so they are skeleton-sized entries).
+const DEFAULT_TRANSFORM_CAPACITY: usize = 64;
 
 /// Bit pattern of an `f64` for use inside a cache key: signed zero is normalised
 /// (`-0.0` keys identically to `0.0`, via the same [`canonical_bits`] rule that
@@ -189,6 +195,27 @@ impl EigenKey {
     }
 }
 
+/// Key of a cached response-time transform skeleton: the underlying spectral solution
+/// key plus the tail-truncation threshold (the transform stores the arrival-state
+/// distribution truncated at that mass, so different thresholds yield different —
+/// if numerically close — transforms).  The inversion options are deliberately *not*
+/// part of the key: they affect only how the transform is evaluated, never its
+/// contents.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct TransformKey {
+    solution: SolutionKey,
+    tail_epsilon: u64,
+}
+
+impl TransformKey {
+    fn new(config: &SystemConfig, options: &SpectralOptions, tail_epsilon: f64) -> Result<Self> {
+        Ok(TransformKey {
+            solution: SolutionKey::new(config, options)?,
+            tail_epsilon: key_bits("tail_epsilon", tail_epsilon)?,
+        })
+    }
+}
+
 /// The eigensystem of the characteristic matrix polynomial `Q(z)` restricted to the
 /// open unit disk, shared between the spectral solver (producer of the full system)
 /// and the geometric approximation (consumer of the dominant pair).
@@ -278,12 +305,20 @@ pub struct CacheStats {
     pub eigen_hits: u64,
     /// Eigensystem lookups that had to solve the quadratic eigenproblem.
     pub eigen_misses: u64,
+    /// Response-transform lookups answered from the cache: repeated percentile or CDF
+    /// queries against the same configuration (an SLA sweep evaluating P90/P95/P99,
+    /// say) skip both the stationary solve and the transform assembly.
+    pub transform_hits: u64,
+    /// Response-transform lookups that had to assemble the transform.
+    pub transform_misses: u64,
     /// Skeletons evicted by the LRU policy.
     pub skeleton_evictions: u64,
     /// Solutions evicted by the LRU policy.
     pub solution_evictions: u64,
     /// Eigensystems evicted by the LRU policy.
     pub eigen_evictions: u64,
+    /// Response transforms evicted by the LRU policy.
+    pub transform_evictions: u64,
 }
 
 /// A thread-safe, size-capped LRU cache of QBD skeletons, quadratic eigensystems and
@@ -301,15 +336,19 @@ pub struct SolverCache {
     skeletons: Mutex<LruMap<SkeletonKey, Arc<QbdSkeleton>>>,
     solutions: Mutex<LruMap<SolutionKey, Arc<SpectralSolution>>>,
     eigensystems: Mutex<LruMap<EigenKey, Arc<EigenEntry>>>,
+    transforms: Mutex<LruMap<TransformKey, Arc<ResponseTransform>>>,
     skeleton_hits: AtomicU64,
     skeleton_misses: AtomicU64,
     solution_hits: AtomicU64,
     solution_misses: AtomicU64,
     eigen_hits: AtomicU64,
     eigen_misses: AtomicU64,
+    transform_hits: AtomicU64,
+    transform_misses: AtomicU64,
     skeleton_evictions: AtomicU64,
     solution_evictions: AtomicU64,
     eigen_evictions: AtomicU64,
+    transform_evictions: AtomicU64,
 }
 
 impl Default for SolverCache {
@@ -320,7 +359,8 @@ impl Default for SolverCache {
 
 impl SolverCache {
     /// Creates an empty cache with the default capacities (64 skeletons, 4096
-    /// solutions, 1024 eigensystems — ample for every sweep in this repository).
+    /// solutions, 1024 eigensystems, 64 response transforms — ample for every sweep
+    /// in this repository).
     pub fn new() -> Self {
         SolverCache::with_capacities(
             DEFAULT_SKELETON_CAPACITY,
@@ -330,21 +370,27 @@ impl SolverCache {
     }
 
     /// Creates an empty cache with explicit LRU capacities (each clamped to at least
-    /// 1) for skeletons, solutions and eigensystems respectively.
+    /// one) for skeletons, solutions and eigensystems respectively.  The
+    /// response-transform map keeps its default capacity; transforms are rebuilt
+    /// cheaply from cached solutions, so a dedicated knob has not been needed.
     pub fn with_capacities(skeletons: usize, solutions: usize, eigensystems: usize) -> Self {
         SolverCache {
             skeletons: Mutex::new(LruMap::new(skeletons)),
             solutions: Mutex::new(LruMap::new(solutions)),
             eigensystems: Mutex::new(LruMap::new(eigensystems)),
+            transforms: Mutex::new(LruMap::new(DEFAULT_TRANSFORM_CAPACITY)),
             skeleton_hits: AtomicU64::new(0),
             skeleton_misses: AtomicU64::new(0),
             solution_hits: AtomicU64::new(0),
             solution_misses: AtomicU64::new(0),
             eigen_hits: AtomicU64::new(0),
             eigen_misses: AtomicU64::new(0),
+            transform_hits: AtomicU64::new(0),
+            transform_misses: AtomicU64::new(0),
             skeleton_evictions: AtomicU64::new(0),
             solution_evictions: AtomicU64::new(0),
             eigen_evictions: AtomicU64::new(0),
+            transform_evictions: AtomicU64::new(0),
         }
     }
 
@@ -451,6 +497,37 @@ impl SolverCache {
         Ok(())
     }
 
+    /// Looks up a response-time transform for `(config, spectral options, tail ε)`.
+    pub(crate) fn lookup_transform(
+        &self,
+        config: &SystemConfig,
+        options: &SpectralOptions,
+        tail_epsilon: f64,
+    ) -> Result<Option<Arc<ResponseTransform>>> {
+        let key = TransformKey::new(config, options, tail_epsilon)?;
+        let found = lock(&self.transforms).get(&key).cloned();
+        match &found {
+            Some(_) => self.transform_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.transform_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        Ok(found)
+    }
+
+    /// Stores a freshly assembled response-time transform.
+    pub(crate) fn store_transform(
+        &self,
+        config: &SystemConfig,
+        options: &SpectralOptions,
+        tail_epsilon: f64,
+        transform: Arc<ResponseTransform>,
+    ) -> Result<()> {
+        let key = TransformKey::new(config, options, tail_epsilon)?;
+        if lock(&self.transforms).insert(key, transform) {
+            self.transform_evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
     /// Current hit/miss/eviction counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -460,20 +537,29 @@ impl SolverCache {
             solution_misses: self.solution_misses.load(Ordering::Relaxed),
             eigen_hits: self.eigen_hits.load(Ordering::Relaxed),
             eigen_misses: self.eigen_misses.load(Ordering::Relaxed),
+            transform_hits: self.transform_hits.load(Ordering::Relaxed),
+            transform_misses: self.transform_misses.load(Ordering::Relaxed),
             skeleton_evictions: self.skeleton_evictions.load(Ordering::Relaxed),
             solution_evictions: self.solution_evictions.load(Ordering::Relaxed),
             eigen_evictions: self.eigen_evictions.load(Ordering::Relaxed),
+            transform_evictions: self.transform_evictions.load(Ordering::Relaxed),
         }
     }
 
-    /// Number of cached skeletons, solutions and eigensystems, respectively.
-    pub fn len(&self) -> (usize, usize, usize) {
-        (lock(&self.skeletons).len(), lock(&self.solutions).len(), lock(&self.eigensystems).len())
+    /// Number of cached skeletons, solutions, eigensystems and response transforms,
+    /// respectively.
+    pub fn len(&self) -> (usize, usize, usize, usize) {
+        (
+            lock(&self.skeletons).len(),
+            lock(&self.solutions).len(),
+            lock(&self.eigensystems).len(),
+            lock(&self.transforms).len(),
+        )
     }
 
     /// Returns `true` if nothing is cached yet.
     pub fn is_empty(&self) -> bool {
-        self.len() == (0, 0, 0)
+        self.len() == (0, 0, 0, 0)
     }
 
     /// Drops every cached entry; the counters keep accumulating.
@@ -481,6 +567,7 @@ impl SolverCache {
         lock(&self.skeletons).clear();
         lock(&self.solutions).clear();
         lock(&self.eigensystems).clear();
+        lock(&self.transforms).clear();
     }
 }
 

@@ -37,6 +37,20 @@ pub enum ModelError {
         /// Iterations performed.
         iterations: usize,
     },
+    /// The two independent Laplace-transform inversion methods (Euler summation and
+    /// fixed Talbot) disagree beyond the declared tolerance, so neither value can be
+    /// certified.  Produced by the runtime accuracy check of
+    /// [`response`](crate::response).
+    InversionDivergence {
+        /// The time point at which the inverted values disagree.
+        time: f64,
+        /// Value produced by Euler summation.
+        euler: f64,
+        /// Value produced by the fixed-Talbot contour.
+        talbot: f64,
+        /// The declared agreement tolerance that was exceeded.
+        tolerance: f64,
+    },
     /// An error bubbled up from the linear-algebra layer.
     Linalg(LinalgError),
     /// An error bubbled up from the distribution layer.
@@ -58,6 +72,11 @@ impl fmt::Display for ModelError {
             ModelError::NoConvergence { algorithm, iterations } => {
                 write!(f, "{algorithm} did not converge after {iterations} iterations")
             }
+            ModelError::InversionDivergence { time, euler, talbot, tolerance } => write!(
+                f,
+                "transform inversion methods disagree at t = {time}: Euler {euler:.12e} vs \
+                 Talbot {talbot:.12e} exceeds tolerance {tolerance:.3e}"
+            ),
             ModelError::Linalg(e) => write!(f, "linear algebra error: {e}"),
             ModelError::Dist(e) => write!(f, "distribution error: {e}"),
         }
@@ -101,6 +120,9 @@ mod tests {
             .contains("missing eigenvalue"));
         let e = ModelError::NoConvergence { algorithm: "R iteration", iterations: 500 };
         assert!(e.to_string().contains("R iteration"));
+        let e =
+            ModelError::InversionDivergence { time: 2.0, euler: 0.5, talbot: 0.6, tolerance: 1e-8 };
+        assert!(e.to_string().contains("disagree"));
     }
 
     #[test]

@@ -38,6 +38,7 @@
 //! | §4 cost model (eq. 22) and Figure 5 | [`CostModel`], [`CostSweep`] |
 //! | Figures 6–8 sensitivity sweeps | [`sweeps`] |
 //! | Figure 9 capacity planning | [`ProvisioningSweep`] |
+//! | §5 open problem: response-time *distribution* | [`response`] ([`ResponseAnalysis`], [`sweeps::percentile_vs_servers`]) |
 //! | §6 future work: distinct server classes | [`ServerClass`], [`SystemConfig::heterogeneous`], [`ModeSpace::for_classes`], [`QbdSkeleton::for_classes`] |
 //! | §6 future work: class-mix exploration | [`sweeps::queue_length_vs_class_mix`] |
 //! | §4 cost model lifted to class mixes | [`ClassCostModel`], [`mix::MixSearch`] |
@@ -98,6 +99,7 @@ mod spectral;
 mod truncated;
 
 pub mod mix;
+pub mod response;
 pub mod sweeps;
 
 pub use approx::{dominant_eigenvalue, GeometricApproximation, GeometricSolution};
@@ -113,6 +115,10 @@ pub use modes::{Mode, ModeSpace};
 pub use parallel::ThreadPool;
 pub use provisioning::{min_servers_for_response_time, ProvisioningPoint, ProvisioningSweep};
 pub use qbd::{QbdMatrices, QbdSkeleton};
+pub use response::{
+    invert_lst, invert_lst_cdf, InversionMethod, InversionOptions, ResponseAnalysis,
+    ResponseOptions, ResponseTransform,
+};
 pub use solution::{consistency_violations, QueueSolution, QueueSolver};
 pub use spectral::{SpectralExpansionSolver, SpectralOptions, SpectralSolution};
 pub use truncated::{TruncatedCtmcSolver, TruncatedOptions, TruncatedSolution};

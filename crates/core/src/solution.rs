@@ -56,6 +56,44 @@ pub trait QueueSolution: fmt::Debug {
     fn empty_probability(&self) -> f64 {
         self.level_probability(0)
     }
+
+    /// The joint (level, mode) distribution truncated so the remaining tail mass is at
+    /// most `epsilon`, together with the actual residual mass beyond the truncation.
+    ///
+    /// By the PASTA property this is exactly the distribution of the state an arriving
+    /// (Poisson) customer finds, which is what the response-time analysis of
+    /// [`response`](crate::response) conditions on.  Entry `[level][mode]` of the
+    /// returned vector is `P(mode, level)`; levels are truncated at the first level
+    /// `J ≥ min_levels − 1` with `P(Z > J) ≤ epsilon`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NoConvergence`](crate::ModelError::NoConvergence) when the
+    /// tail does not drop below `epsilon` within a very large number of levels (which
+    /// indicates a near-unstable configuration or an `epsilon` below the solution's own
+    /// accuracy).
+    fn arrival_state_distribution(
+        &self,
+        epsilon: f64,
+        min_levels: usize,
+    ) -> Result<(Vec<Vec<f64>>, f64)> {
+        const MAX_LEVELS: usize = 1_000_000;
+        let modes = self.mode_count();
+        let mut levels = Vec::new();
+        let mut residual = 1.0;
+        for level in 0..MAX_LEVELS {
+            levels.push((0..modes).map(|m| self.state_probability(m, level)).collect());
+            residual = self.tail_probability(level);
+            if level + 1 >= min_levels && residual <= epsilon {
+                return Ok((levels, residual.max(0.0)));
+            }
+        }
+        let _ = residual;
+        Err(crate::ModelError::NoConvergence {
+            algorithm: "arrival-state tail truncation",
+            iterations: MAX_LEVELS,
+        })
+    }
 }
 
 /// A method that produces a [`QueueSolution`] from a [`SystemConfig`].
@@ -173,6 +211,20 @@ mod tests {
         let dist = toy.queue_length_distribution(10);
         assert_eq!(dist.len(), 11);
         assert!((dist.iter().sum::<f64>() + toy.tail_probability(10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arrival_state_distribution_truncates_at_requested_tail_mass() {
+        let toy = GeometricToy { rho: 0.5 };
+        let (levels, residual) = toy.arrival_state_distribution(1e-6, 1).unwrap();
+        // 0.5^{J+1} first drops to 1e-6 at J = 19, so exactly 20 levels are kept.
+        assert_eq!(levels.len(), 20);
+        assert!(residual <= 1e-6);
+        let total: f64 = levels.iter().flatten().sum::<f64>() + residual;
+        assert!((total - 1.0).abs() < 1e-12);
+        // The minimum-level floor is honoured even when the tail is already small.
+        let (padded, _) = toy.arrival_state_distribution(1e-6, 30).unwrap();
+        assert_eq!(padded.len(), 30);
     }
 
     #[test]

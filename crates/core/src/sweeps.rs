@@ -10,10 +10,14 @@
 //! explicit pool.  Results are returned in grid order and are bit-identical for every
 //! thread count — see the `parallel_equivalence` integration tests.
 
+use std::sync::Arc;
+
 use urs_dist::HyperExponential;
 
+use crate::cache::SolverCache;
 use crate::config::{ServerClass, ServerLifecycle, SystemConfig};
 use crate::parallel::ThreadPool;
+use crate::response::{ResponseAnalysis, ResponseOptions};
 use crate::solution::QueueSolver;
 use crate::Result;
 
@@ -173,7 +177,7 @@ pub fn queue_length_vs_load(
 /// [`queue_length_vs_load`] with an explicit worker pool.
 ///
 /// Only the arrival rate varies along this sweep, so a
-/// [`SolverCache`](crate::SolverCache)-backed solver builds the QBD skeleton once for
+/// [`SolverCache`]-backed solver builds the QBD skeleton once for
 /// the whole grid.
 ///
 /// # Errors
@@ -279,6 +283,78 @@ pub fn queue_length_vs_class_mix_with(
     Ok(points.into_iter().flatten().collect())
 }
 
+/// One point of an SLA sweep: the fleet size, the mean response time and the analytic
+/// response-time percentiles requested from [`percentile_vs_servers`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlaPoint {
+    /// Number of servers at this point.
+    pub servers: usize,
+    /// Mean response time `W` (Little's law).
+    pub mean_response_time: f64,
+    /// Certified percentiles, aligned with the `fractions` argument of the sweep.
+    pub percentiles: Vec<f64>,
+}
+
+/// Sweeps the fleet size and reports analytic response-time percentiles — the
+/// SLA-vs-capacity trade-off (P99 versus `N`) that previously required simulation.
+/// Server counts for which the system is unstable are skipped, like the unstable
+/// counts of a [`CostSweep`](crate::CostSweep).
+///
+/// Every percentile is certified by the dual-method inversion check of
+/// [`ResponseAnalysis`]; a divergence anywhere fails the whole sweep rather than
+/// returning an untrustworthy number.
+///
+/// # Errors
+///
+/// Propagates construction, solver and inversion errors (first failing grid point);
+/// rejects heterogeneous base configurations.
+pub fn percentile_vs_servers(
+    base_config: &SystemConfig,
+    server_counts: &[usize],
+    fractions: &[f64],
+) -> Result<Vec<SlaPoint>> {
+    percentile_vs_servers_with(
+        base_config,
+        server_counts,
+        fractions,
+        ResponseOptions::default(),
+        &SolverCache::shared(),
+        &ThreadPool::default(),
+    )
+}
+
+/// [`percentile_vs_servers`] with explicit options, solver cache and worker pool.
+///
+/// The cache is shared across the grid points (and any later queries), so repeated
+/// sweeps over overlapping fleets reuse both the stationary solutions and the
+/// assembled transforms.
+///
+/// # Errors
+///
+/// As [`percentile_vs_servers`].
+pub fn percentile_vs_servers_with(
+    base_config: &SystemConfig,
+    server_counts: &[usize],
+    fractions: &[f64],
+    options: ResponseOptions,
+    cache: &Arc<SolverCache>,
+    pool: &ThreadPool,
+) -> Result<Vec<SlaPoint>> {
+    let points = pool.try_par_map(server_counts, |&servers| -> Result<Option<SlaPoint>> {
+        let config = base_config.with_servers(servers)?;
+        if !config.is_stable() {
+            return Ok(None);
+        }
+        let analysis = ResponseAnalysis::with_cache(&config, options, cache)?;
+        Ok(Some(SlaPoint {
+            servers,
+            mean_response_time: analysis.mean_response_time(),
+            percentiles: analysis.response_time_percentiles(fractions)?,
+        }))
+    })?;
+    Ok(points.into_iter().flatten().collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,6 +437,26 @@ mod tests {
         for p in &points {
             let expected = p.utilisation * base.effective_servers();
             assert!((p.arrival_rate - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sla_percentiles_fall_as_the_fleet_grows() {
+        let lifecycle = ServerLifecycle::paper_fitted().unwrap();
+        let base = SystemConfig::new(3, 1.5, 1.0, lifecycle).unwrap();
+        // N = 1 is unstable at λ = 1.5 and must be skipped, not fail the sweep.
+        let points = percentile_vs_servers(&base, &[1, 2, 3, 4], &[0.9, 0.99]).unwrap();
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].servers, 2);
+        for point in &points {
+            assert!(point.percentiles[0] < point.percentiles[1], "P90 < P99: {point:?}");
+            assert!(point.mean_response_time > 0.0);
+        }
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].percentiles[1] < pair[0].percentiles[1],
+                "P99 must fall with more servers: {pair:?}"
+            );
         }
     }
 

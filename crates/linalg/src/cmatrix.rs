@@ -65,6 +65,47 @@ impl CMatrix {
         CMatrix { rows: a.rows(), cols: a.cols(), data }
     }
 
+    /// Overwrites this matrix with the entries of a real matrix (zero imaginary
+    /// parts), without reallocating — the allocation-free twin of
+    /// [`from_real`](Self::from_real) for [`Workspace`](crate::Workspace)-pooled
+    /// buffers.  Together with [`shift_diagonal`](Self::shift_diagonal) this is the
+    /// assembly path for resolvent matrices `sI − Q` whose real part `−Q` is fixed
+    /// while `s` runs over the nodes of a quadrature rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the shapes differ.
+    pub fn copy_from_real(&mut self, a: &Matrix) -> Result<()> {
+        if self.shape() != (a.rows(), a.cols()) {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "copy real matrix into complex matrix",
+                left: self.shape(),
+                right: (a.rows(), a.cols()),
+            });
+        }
+        for (dst, &src) in self.data.iter_mut().zip(a.as_slice()) {
+            *dst = Complex::from_real(src);
+        }
+        Ok(())
+    }
+
+    /// Adds `shift` to every diagonal entry in place, turning a matrix `A` into
+    /// `A + shift·I` — the `O(n)` step that completes a resolvent assembly after
+    /// [`copy_from_real`](Self::copy_from_real).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for non-square matrices.
+    pub fn shift_diagonal(&mut self, shift: Complex) -> Result<()> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare { rows: self.rows, cols: self.cols });
+        }
+        for i in 0..self.rows {
+            self.data[i * self.cols + i] += shift;
+        }
+        Ok(())
+    }
+
     /// Creates a complex matrix from a flat row-major vector.
     ///
     /// # Errors
@@ -439,6 +480,32 @@ mod tests {
         let c = CMatrix::from_real(&a);
         assert_eq!(c.real_part(), a);
         assert_eq!(c.max_imag_abs(), 0.0);
+    }
+
+    #[test]
+    fn copy_from_real_reuses_storage_and_matches_from_real() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0][..], &[0.5, 4.0][..]]).unwrap();
+        let mut c = CMatrix::zeros(2, 2);
+        c[(0, 0)] = Complex::new(9.0, 9.0); // stale content must be overwritten
+        c.copy_from_real(&a).unwrap();
+        assert!(c.approx_eq(&CMatrix::from_real(&a), 0.0));
+        let wrong = CMatrix::zeros(3, 2);
+        assert!(matches!({ wrong }.copy_from_real(&a), Err(LinalgError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn shift_diagonal_builds_resolvent_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0][..], &[3.0, 4.0][..]]).unwrap();
+        let s = Complex::new(0.5, -1.5);
+        let mut c = CMatrix::from_real(&a);
+        c.shift_diagonal(s).unwrap();
+        assert_eq!(c[(0, 0)], Complex::new(1.0, 0.0) + s);
+        assert_eq!(c[(1, 1)], Complex::new(4.0, 0.0) + s);
+        assert_eq!(c[(0, 1)], Complex::new(2.0, 0.0));
+        assert!(matches!(
+            CMatrix::zeros(2, 3).shift_diagonal(s),
+            Err(LinalgError::NotSquare { .. })
+        ));
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub use queue_sim::{
     BreakdownQueueSimulation, HeterogeneousConfigBuilder, SimulationConfig,
     SimulationConfigBuilder, SimulationResult,
 };
-pub use replication::{ConfidenceInterval, ReplicationSummary, Replications};
+pub use replication::{ConfidenceInterval, PercentileCi, ReplicationSummary, Replications};
 pub use stats::{TimeWeightedAverage, WelfordAccumulator};
 
 /// Convenience result alias used throughout the crate.

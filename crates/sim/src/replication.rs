@@ -160,6 +160,90 @@ impl Replications {
     }
 }
 
+/// A response-time percentile estimated across independent replications.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PercentileCi {
+    /// The percentile fraction (e.g. `0.99` for P99).
+    pub fraction: f64,
+    /// 95% confidence interval of the per-replication percentile estimates.
+    pub interval: ConfidenceInterval,
+}
+
+impl Replications {
+    /// Runs the replications and estimates response-time percentiles with 95%
+    /// confidence intervals, one [`PercentileCi`] per requested fraction.
+    ///
+    /// Each replication contributes one type-7 interpolated quantile (see
+    /// [`SimulationResult::response_time_percentile`]); the interval is the Student-t
+    /// interval over those independent per-replication estimates, which is the
+    /// standard replication/deletion construction — and the yardstick the analytic
+    /// percentiles of `urs_core`'s `response` module are validated against.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run), plus [`SimError::InvalidParameter`] for fractions
+    /// outside `(0, 1]` and [`SimError::NoObservations`] when a replication completed
+    /// no job after its warm-up (no percentile exists).
+    pub fn run_percentiles(
+        &self,
+        simulation: &BreakdownQueueSimulation,
+        fractions: &[f64],
+    ) -> Result<Vec<PercentileCi>> {
+        self.run_percentiles_with(simulation, fractions, &ThreadPool::default())
+    }
+
+    /// [`run_percentiles`](Self::run_percentiles) with an explicit worker pool;
+    /// bit-identical for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_percentiles`](Self::run_percentiles).
+    pub fn run_percentiles_with(
+        &self,
+        simulation: &BreakdownQueueSimulation,
+        fractions: &[f64],
+        pool: &ThreadPool,
+    ) -> Result<Vec<PercentileCi>> {
+        if self.count < 2 {
+            return Err(SimError::InvalidParameter {
+                name: "replications",
+                value: self.count as f64,
+                constraint: "at least 2 replications are needed for a confidence interval",
+            });
+        }
+        for &fraction in fractions {
+            if !(fraction > 0.0 && fraction <= 1.0) {
+                return Err(SimError::InvalidParameter {
+                    name: "fraction",
+                    value: fraction,
+                    constraint: "percentile fractions must lie in (0, 1]",
+                });
+            }
+        }
+        let seeds: Vec<u64> = (0..self.count as u64).map(|i| self.base_seed + i).collect();
+        let results: Vec<SimulationResult> =
+            pool.try_par_map(&seeds, |&seed| simulation.run(seed))?;
+        fractions
+            .iter()
+            .map(|&fraction| {
+                let estimates = results
+                    .iter()
+                    .map(|r| {
+                        r.response_time_percentile(fraction).ok_or_else(|| {
+                            SimError::NoObservations(
+                                "a replication completed no job after its warm-up, so no \
+                                 response-time percentile exists"
+                                    .into(),
+                            )
+                        })
+                    })
+                    .collect::<Result<Vec<f64>>>()?;
+                Ok(PercentileCi { fraction, interval: interval(estimates.into_iter()) })
+            })
+            .collect()
+    }
+}
+
 fn interval(values: impl Iterator<Item = f64>) -> ConfidenceInterval {
     let mut acc = WelfordAccumulator::new();
     for v in values {
@@ -237,6 +321,37 @@ mod tests {
         }
         // The implicit-pool entry point agrees as well.
         assert_eq!(serial, runner.run(&simulation).unwrap());
+    }
+
+    #[test]
+    fn percentile_intervals_cover_mm1_theory_and_are_deterministic() {
+        // M/M/1 at ρ = 0.5: response time is Exp(0.5), so P90 = ln(10)/0.5.
+        let simulation = quick_simulation(0.5);
+        let runner = Replications::new(6, 7);
+        let fractions = [0.5, 0.9];
+        let cis = runner.run_percentiles(&simulation, &fractions).unwrap();
+        assert_eq!(cis.len(), 2);
+        assert_eq!(cis[0].fraction, 0.5);
+        let p90 = &cis[1];
+        let expected = 10.0_f64.ln() / 0.5;
+        assert!(
+            (p90.interval.mean - expected).abs()
+                < 3.0 * p90.interval.half_width.max(0.05 * expected),
+            "P90 {} ± {} vs theory {expected}",
+            p90.interval.mean,
+            p90.interval.half_width
+        );
+        assert!(cis[0].interval.mean < cis[1].interval.mean);
+        // Thread-count invariance, like the mean summaries.
+        let serial =
+            runner.run_percentiles_with(&simulation, &fractions, &ThreadPool::serial()).unwrap();
+        let parallel =
+            runner.run_percentiles_with(&simulation, &fractions, &ThreadPool::new(3)).unwrap();
+        assert_eq!(serial, parallel);
+        // Degenerate inputs are rejected.
+        assert!(runner.run_percentiles(&simulation, &[0.0]).is_err());
+        assert!(runner.run_percentiles(&simulation, &[1.2]).is_err());
+        assert!(Replications::new(1, 0).run_percentiles(&simulation, &[0.5]).is_err());
     }
 
     #[test]

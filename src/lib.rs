@@ -11,7 +11,9 @@
 //!   multi-server queue with breakdowns and repairs, solved exactly by spectral
 //!   expansion and approximately by the heavy-traffic geometric approximation, plus
 //!   matrix-geometric and truncated-chain cross-checks, cost optimisation, capacity
-//!   planning and cost-aware fleet-mix search over heterogeneous server classes;
+//!   planning, cost-aware fleet-mix search over heterogeneous server classes, and the
+//!   certified response-time *distribution* (dual Laplace-transform inversion) the
+//!   paper leaves as an open problem;
 //! * [`dist`] (`urs-dist`) — exponential/hyperexponential/Erlang/deterministic
 //!   distributions, empirical statistics, Kolmogorov–Smirnov testing and
 //!   hyperexponential fitting;

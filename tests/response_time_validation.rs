@@ -1,0 +1,85 @@
+//! End-to-end validation of the analytic response-time distribution against the
+//! discrete-event simulator, in the paper's Figure 9 setting (λ = 7.5, fitted
+//! lifecycle, N around the provisioning knee).
+//!
+//! The analytic percentiles come from `urs_core::response`: a tagged-customer
+//! Laplace–Stieltjes transform inverted by two independent quadratures whose runtime
+//! agreement is certified on every evaluation.  The simulated percentiles come from
+//! independent replications of a simulator that shares nothing with the transform
+//! machinery, summarised as 95% confidence intervals.  Agreement here therefore
+//! validates the whole pipeline — QBD construction, stationary solve, transform
+//! recursion and inversion — not just the inverter (which
+//! `tests/lst_inversion_roundtrip.rs` covers in isolation).
+
+use unreliable_servers::core::{ResponseAnalysis, ResponseOptions, SolverCache};
+use unreliable_servers::dist::Exponential;
+use unreliable_servers::sim::{BreakdownQueueSimulation, Replications, SimulationConfig};
+use urs_bench::{figure5_lifecycle, smoke, system};
+
+const FRACTIONS: [f64; 3] = [0.90, 0.95, 0.99];
+
+#[test]
+fn analytic_percentiles_fall_inside_simulated_intervals_for_figure9() {
+    // Smoke mode trims to the single most-loaded (hence most sensitive) fleet size
+    // and a shorter horizon; the full run covers the span of the paper's Figure 9.
+    let (server_counts, warmup, horizon, replications): (&[usize], f64, f64, usize) =
+        if smoke() { (&[10], 2_000.0, 15_000.0, 4) } else { (&[9, 11, 13], 8_000.0, 80_000.0, 6) };
+    let lifecycle = figure5_lifecycle();
+    let cache = SolverCache::shared();
+
+    for &servers in server_counts {
+        let config = system(servers, 7.5, lifecycle.clone());
+        let analysis =
+            ResponseAnalysis::with_cache(&config, ResponseOptions::default(), &cache).unwrap();
+        // The percentiles are certified internally: each CDF evaluation ran both the
+        // Euler and Talbot inversions and they agreed to the configured tolerance.
+        let analytic = analysis.response_time_percentiles(&FRACTIONS).unwrap();
+
+        let sim_config = SimulationConfig::builder(servers, 7.5)
+            .service(Exponential::new(1.0).unwrap())
+            .operative(lifecycle.operative().clone())
+            .inoperative(lifecycle.inoperative().clone())
+            .warmup(warmup)
+            .horizon(horizon)
+            .build()
+            .unwrap();
+        let intervals = Replications::new(replications, 2006)
+            .run_percentiles(&BreakdownQueueSimulation::new(sim_config), &FRACTIONS)
+            .unwrap();
+
+        for (exact, ci) in analytic.iter().zip(&intervals) {
+            // Three half-widths (with a small relative floor) keeps the test robust
+            // against the ~1-in-20 misses of a strict 95% interval, matching the
+            // convention of `tests/simulation_validation.rs`.
+            let slack = 3.0 * ci.interval.half_width.max(0.02 * ci.interval.mean);
+            assert!(
+                (exact - ci.interval.mean).abs() < slack,
+                "N = {servers}, P{:.0}: analytic {exact} vs simulated {} ± {}",
+                100.0 * ci.fraction,
+                ci.interval.mean,
+                ci.interval.half_width,
+            );
+        }
+
+        // The percentiles must be strictly ordered and bracket the analytic mean
+        // response time the spectral expansion already provides.
+        assert!(analytic[0] < analytic[1] && analytic[1] < analytic[2]);
+        assert!(analysis.mean_response_time() < analytic[2]);
+    }
+}
+
+#[test]
+fn analytic_percentiles_need_no_simulation() {
+    // The acceptance criterion of the feature: percentile queries are answered
+    // purely analytically.  This test never constructs a simulator.
+    let config = system(10, 7.5, figure5_lifecycle());
+    let analysis = ResponseAnalysis::new(&config).unwrap();
+    let p = analysis.response_time_percentiles(&FRACTIONS).unwrap();
+    for (fraction, t) in FRACTIONS.iter().zip(&p) {
+        let cdf = analysis.response_time_cdf(*t).unwrap();
+        assert!(
+            (cdf - fraction).abs() < 1e-6,
+            "round trip failed: F({t}) = {cdf}, expected {fraction}"
+        );
+    }
+}
