@@ -138,6 +138,43 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+/// Serial versus pooled production kernels at s = 561 — the QBD block size of the
+/// largest benchmarked system (N = 32 servers ⇒ 561 modes), i.e. the matrix shape
+/// the spectral and matrix-geometric solvers actually multiply and factorise.
+/// Bit-identity across thread counts is pinned by the equivalence suites; this
+/// group only reports the intra-solve speed-up of `gemm_with`/`from_matrix_with`
+/// over the serial path (the pool comes from `ThreadPool::default()`, so the CI
+/// thread matrix exercises it at both one and several workers).
+fn bench_kernels_par(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels-par");
+    group.sample_size(10);
+    let n = if smoke() { 192 } else { 561 };
+    let a = kernel_matrix(n, 17);
+    let b = kernel_matrix(n, 19);
+    let pool = ThreadPool::default();
+    group.bench_with_input(BenchmarkId::new("gemm_serial", n), &(&a, &b), |bench, (a, b)| {
+        bench.iter(|| {
+            let mut c = Matrix::zeros(n, n);
+            c.gemm(1.0, a, b, 0.0).unwrap();
+            black_box(c)
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("gemm_pooled", n), &(&a, &b), |bench, (a, b)| {
+        bench.iter(|| {
+            let mut c = Matrix::zeros(n, n);
+            c.gemm_with(1.0, a, b, 0.0, &pool).unwrap();
+            black_box(c)
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("lu_serial", n), &a, |bench, a| {
+        bench.iter(|| black_box(LuDecomposition::from_matrix((*a).clone()).unwrap()))
+    });
+    group.bench_with_input(BenchmarkId::new("lu_pooled", n), &a, |bench, a| {
+        bench.iter(|| black_box(LuDecomposition::from_matrix_with((*a).clone(), &pool).unwrap()))
+    });
+    group.finish();
+}
+
 /// The Figure 8 load sweep (12 arrival rates, one lifecycle) under the three execution
 /// strategies introduced by the performance subsystem:
 ///
@@ -281,5 +318,13 @@ fn bench_response(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_solvers, bench_kernels, bench_sweeps, bench_mix, bench_response);
+criterion_group!(
+    benches,
+    bench_solvers,
+    bench_kernels,
+    bench_kernels_par,
+    bench_sweeps,
+    bench_mix,
+    bench_response
+);
 criterion_main!(benches);

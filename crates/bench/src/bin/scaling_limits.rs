@@ -3,11 +3,15 @@
 //!
 //! Sweeps the number of servers at a fixed utilisation, reporting for each N the number
 //! of operational modes, how the methods' queue-length estimates compare, and the
-//! wall-clock time of each solve.  Each solver is retired from the sweep once it fails
-//! or exceeds a per-solve time budget, and the run closes with the **maximum practical
-//! N** reached by every solver — the headline number the logarithmic-reduction and
-//! blocked-kernel rewrite moved (both exact solvers now clear N = 32; see README
-//! "Performance").
+//! wall-clock time of each solve — once on a single thread and once with the intra-solve
+//! worker pool (`ThreadPool::default()`, i.e. `URS_THREADS` or the core count).  The
+//! pooled solve is asserted **bit-identical** to the serial one (the determinism
+//! contract of the parallel kernels); any mismatch exits non-zero, which is what the
+//! CI thread-matrix leg runs this binary for under `URS_SMOKE=1`.  Each solver is
+//! retired from the sweep once it fails or its faster execution exceeds a per-solve
+//! time budget, and the run closes with the **maximum practical N** reached by every
+//! solver — the headline number the logarithmic-reduction and blocked-kernel rewrite
+//! moved (both exact solvers now clear N = 32; see README "Performance").
 //!
 //! Usage: `scaling_limits [max_n] [budget_seconds]`.  `URS_SMOKE=1` shrinks the sweep
 //! to CI size.
@@ -16,13 +20,17 @@ use std::time::Instant;
 
 use urs_bench::{figure5_lifecycle, smoke, system};
 use urs_core::{
-    GeometricApproximation, MatrixGeometricSolver, QueueSolver, SpectralExpansionSolver,
+    GeometricApproximation, MatrixGeometricSolver, QueueSolver, SpectralExpansionSolver, ThreadPool,
 };
 
-/// One tracked solver: its display name, the solver object, and sweep state.
+/// One tracked solver: its display name, a serial and (optionally) a pooled instance,
+/// and sweep state.
 struct Tracked {
     name: &'static str,
-    solver: Box<dyn QueueSolver>,
+    serial: Box<dyn QueueSolver>,
+    /// The same method with a multi-worker pool injected; `None` for methods with no
+    /// dense kernels worth parallelising (the geometric approximation).
+    pooled: Option<Box<dyn QueueSolver>>,
     /// Largest N this solver completed within the budget.
     max_practical: Option<usize>,
     /// Set once the solver fails or blows the budget; it is then skipped.
@@ -34,30 +42,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
     let max_n: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(default_max);
     let budget: f64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(default_budget);
+    let pool = ThreadPool::default();
+    let workers = pool.threads();
 
     let mut solvers = vec![
         Tracked {
             name: "spectral expansion",
-            solver: Box::new(SpectralExpansionSolver::default()),
+            serial: Box::new(SpectralExpansionSolver::default()),
+            pooled: Some(Box::new(SpectralExpansionSolver::default().with_pool(pool.clone()))),
             max_practical: None,
             retired: None,
         },
         Tracked {
             name: "matrix geometric",
-            solver: Box::new(MatrixGeometricSolver::default()),
+            serial: Box::new(MatrixGeometricSolver::default()),
+            pooled: Some(Box::new(MatrixGeometricSolver::default().with_pool(pool.clone()))),
             max_practical: None,
             retired: None,
         },
         Tracked {
             name: "geometric approximation",
-            solver: Box::new(GeometricApproximation::default()),
+            serial: Box::new(GeometricApproximation::default()),
+            pooled: None,
             max_practical: None,
             retired: None,
         },
     ];
 
-    println!("Solver scaling at utilisation 0.9 (per-solve budget {budget:.0}s)");
-    println!("{:>4}  {:>6}  {:>14}  {:>12}  {:>10}", "N", "modes", "solver", "L", "time");
+    println!(
+        "Solver scaling at utilisation 0.9 (per-solve budget {budget:.0}s, pool: {workers} workers)"
+    );
+    println!(
+        "{:>4}  {:>6}  {:>23}  {:>12}  {:>10}  {:>10}",
+        "N", "modes", "solver", "L", "1 thread", "pooled"
+    );
     for n in (4..=max_n).step_by(2) {
         let lifecycle = figure5_lifecycle();
         let base = system(n, 0.9 * n as f64 * lifecycle.availability(), lifecycle);
@@ -67,31 +85,63 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 continue;
             }
             let start = Instant::now();
-            let outcome = tracked.solver.solve(&base);
-            let elapsed = start.elapsed().as_secs_f64();
-            match outcome {
-                Ok(solution) => {
-                    println!(
-                        "{:>4}  {:>6}  {:>14}  {:>12.4}  {:>9.3}s",
-                        n,
-                        modes,
-                        tracked.name,
-                        solution.mean_queue_length(),
-                        elapsed
-                    );
-                    if elapsed <= budget {
-                        tracked.max_practical = Some(n);
-                    } else {
-                        tracked.retired = Some(format!("exceeded {budget:.0}s budget at N = {n}"));
-                    }
-                }
+            let outcome = tracked.serial.solve(&base);
+            let serial_elapsed = start.elapsed().as_secs_f64();
+            let solution = match outcome {
+                Ok(solution) => solution,
                 Err(err) => {
                     println!(
-                        "{:>4}  {:>6}  {:>14}  {:>12}  {:>9.3}s   failed: {err}",
-                        n, modes, tracked.name, "-", elapsed
+                        "{:>4}  {:>6}  {:>23}  {:>12}  {:>9.3}s  {:>10}   failed: {err}",
+                        n, modes, tracked.name, "-", serial_elapsed, "-"
                     );
                     tracked.retired = Some(format!("failed at N = {n}: {err}"));
+                    continue;
                 }
+            };
+            let mean = solution.mean_queue_length();
+            let mut best_elapsed = serial_elapsed;
+            let pooled_cell = match &tracked.pooled {
+                Some(pooled) => {
+                    let start = Instant::now();
+                    let pooled_solution = pooled.solve(&base)?;
+                    let pooled_elapsed = start.elapsed().as_secs_f64();
+                    best_elapsed = best_elapsed.min(pooled_elapsed);
+                    // The determinism contract: the pool changes wall time, never bits.
+                    let pooled_mean = pooled_solution.mean_queue_length();
+                    if mean.to_bits() != pooled_mean.to_bits() {
+                        return Err(format!(
+                            "bit-identity violation: {} at N = {n}: serial L = {mean:e} \
+                             vs pooled L = {pooled_mean:e}",
+                            tracked.name
+                        )
+                        .into());
+                    }
+                    for level in 0..=n {
+                        let (s, p) = (
+                            solution.level_probability(level),
+                            pooled_solution.level_probability(level),
+                        );
+                        if s.to_bits() != p.to_bits() {
+                            return Err(format!(
+                                "bit-identity violation: {} at N = {n}, level {level}: \
+                                 serial {s:e} vs pooled {p:e}",
+                                tracked.name
+                            )
+                            .into());
+                        }
+                    }
+                    format!("{pooled_elapsed:>9.3}s")
+                }
+                None => format!("{:>10}", "-"),
+            };
+            println!(
+                "{:>4}  {:>6}  {:>23}  {:>12.4}  {:>9.3}s  {pooled_cell}",
+                n, modes, tracked.name, mean, serial_elapsed
+            );
+            if best_elapsed <= budget {
+                tracked.max_practical = Some(n);
+            } else {
+                tracked.retired = Some(format!("exceeded {budget:.0}s budget at N = {n}"));
             }
         }
     }
@@ -105,6 +155,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             None => println!("  {:<24} N = {reached}  (sweep limit reached)", tracked.name),
         }
     }
+    println!("\nEvery pooled solve above was verified bit-identical to its serial run.");
     println!("\nPaper: for N greater than about 24 the exact solution warns of ill-conditioned");
     println!("matrices while the approximation shows no such problems; with the blocked");
     println!("kernels and logarithmic reduction both exact solvers now clear the sweep.");

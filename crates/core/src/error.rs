@@ -99,6 +99,15 @@ impl From<LinalgError> for ModelError {
     }
 }
 
+impl From<urs_linalg::WorkerPanic> for ModelError {
+    /// A contained worker panic surfaces as [`LinalgError::WorkerPanic`]; this impl
+    /// lets [`ThreadPool::try_par_map`](crate::ThreadPool::try_par_map) convert panics
+    /// directly into the solver error type.
+    fn from(p: urs_linalg::WorkerPanic) -> Self {
+        ModelError::Linalg(p.into())
+    }
+}
+
 impl From<DistError> for ModelError {
     fn from(e: DistError) -> Self {
         ModelError::Dist(e)

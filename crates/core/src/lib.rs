@@ -51,7 +51,14 @@
 //! * [`ThreadPool`] — a scoped-thread worker pool whose `par_map` returns results in
 //!   input order, so parallel sweeps are bit-identical to serial ones.  All sweep
 //!   helpers fan out over it; pass [`ThreadPool::serial`] (or set `URS_THREADS=1`) to
-//!   force the serial path.
+//!   force the serial path.  The same pool also parallelises *inside* a single
+//!   solve: [`SpectralExpansionSolver::with_pool`] extracts eigenvectors
+//!   concurrently, while [`MatrixGeometricSolver::with_pool`],
+//!   [`TruncatedCtmcSolver::with_pool`] and [`response::ResponseAnalysis::with_pool`]
+//!   hand the pool to `urs-linalg`'s row-banded gemm/LU/right-solve kernels.
+//!   Intra-solve parallelism is strictly opt-in (defaults stay serial) and is
+//!   pinned bit-identical across thread counts by the `parallel_equivalence`
+//!   thread-matrix suite.
 //! * [`SolverCache`] — a shared, thread-safe, size-capped LRU cache of λ-independent
 //!   QBD skeletons, unit-disk eigensystems and complete spectral solutions, attached
 //!   via [`SpectralExpansionSolver::with_cache`] and
@@ -112,7 +119,7 @@ pub use matrix_geometric::{
 };
 pub use mix::{MixBounds, MixCandidate, MixSearch, MixSearchOptions, MixSearchResult};
 pub use modes::{Mode, ModeSpace};
-pub use parallel::ThreadPool;
+pub use parallel::{ThreadPool, WorkerPanic};
 pub use provisioning::{min_servers_for_response_time, ProvisioningPoint, ProvisioningSweep};
 pub use qbd::{QbdMatrices, QbdSkeleton};
 pub use response::{

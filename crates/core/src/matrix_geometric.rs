@@ -25,6 +25,7 @@ use urs_linalg::{
 
 use crate::config::SystemConfig;
 use crate::error::ModelError;
+use crate::parallel::ThreadPool;
 use crate::qbd::QbdMatrices;
 use crate::solution::{QueueSolution, QueueSolver};
 use crate::Result;
@@ -61,15 +62,33 @@ impl Default for MatrixGeometricOptions {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MatrixGeometricSolver {
     options: MatrixGeometricOptions,
+    pool: ThreadPool,
+}
+
+impl Default for MatrixGeometricSolver {
+    /// Default options and a serial pool (parallelism is strictly opt-in via
+    /// [`with_pool`](Self::with_pool)).
+    fn default() -> Self {
+        MatrixGeometricSolver::new(MatrixGeometricOptions::default())
+    }
 }
 
 impl MatrixGeometricSolver {
     /// Creates a solver with explicit iteration options.
     pub fn new(options: MatrixGeometricOptions) -> Self {
-        MatrixGeometricSolver { options }
+        MatrixGeometricSolver { options, pool: ThreadPool::serial() }
+    }
+
+    /// Runs the solver's dense kernels — the `gemm` products and blocked-LU trailing
+    /// updates of the logarithmic reduction plus the boundary elimination — on
+    /// `pool`.  Every parallel path preserves the serial accumulation order, so the
+    /// solution is bit-identical to the serial solver at any thread count.
+    pub fn with_pool(mut self, pool: ThreadPool) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// Computes the minimal non-negative solution of `Q0 + R·Q1 + R²·Q2 = 0` by
@@ -105,7 +124,7 @@ impl MatrixGeometricSolver {
         // via solves for both starting blocks — no explicit inverse.
         let mut neg_q1 = qbd.q1();
         neg_q1.scale_mut(-1.0);
-        let q1_lu = LuDecomposition::from_matrix(neg_q1)?;
+        let q1_lu = LuDecomposition::from_matrix_with(neg_q1, &self.pool)?;
         let mut h = ws.real_matrix(s, s); // H_k: "up" block, starts (−Q1)⁻¹·Q0
         let mut l = ws.real_matrix(s, s); // L_k: "down" block, starts (−Q1)⁻¹·Q2
         q1_lu.solve_matrix_into(&q0, &mut h)?;
@@ -122,24 +141,24 @@ impl MatrixGeometricSolver {
         while depth < self.options.max_iterations {
             depth += 1;
             // U_k = H·L + L·H, then factor I − U_k once for both updates.
-            u.gemm(1.0, &h, &l, 0.0)?;
-            u.gemm(1.0, &l, &h, 1.0)?;
+            u.gemm_with(1.0, &h, &l, 0.0, &self.pool)?;
+            u.gemm_with(1.0, &l, &h, 1.0, &self.pool)?;
             let mut eye_minus_u = ws.real_matrix(s, s);
             eye_minus_u.copy_from(&u)?;
             eye_minus_u.scale_mut(-1.0);
             for i in 0..s {
                 eye_minus_u[(i, i)] += 1.0;
             }
-            let iu_lu = LuDecomposition::from_matrix(eye_minus_u)?;
+            let iu_lu = LuDecomposition::from_matrix_with(eye_minus_u, &self.pool)?;
             // H ← (I−U)⁻¹·H², L ← (I−U)⁻¹·L².
-            m.gemm(1.0, &h, &h, 0.0)?;
+            m.gemm_with(1.0, &h, &h, 0.0, &self.pool)?;
             iu_lu.solve_matrix_into(&m, &mut h)?;
-            m.gemm(1.0, &l, &l, 0.0)?;
+            m.gemm_with(1.0, &l, &l, 0.0, &self.pool)?;
             iu_lu.solve_matrix_into(&m, &mut l)?;
             ws.release_real_matrix(iu_lu.into_matrix());
             // G ← G + T·L, T ← T·H.
-            g.gemm(1.0, &t, &l, 1.0)?;
-            tmp.gemm(1.0, &t, &h, 0.0)?;
+            g.gemm_with(1.0, &t, &l, 1.0, &self.pool)?;
+            tmp.gemm_with(1.0, &t, &h, 0.0, &self.pool)?;
             std::mem::swap(&mut t, &mut tmp);
             // For an ergodic queue G is stochastic; the correction term T decays
             // quadratically, so either criterion detects convergence scale-free.
@@ -162,10 +181,10 @@ impl MatrixGeometricSolver {
         // R = Q0·(−U)⁻¹ with U = Q1 + Q0·G: one more LU, one right solve.
         let mut neg_u = qbd.q1();
         neg_u.scale_mut(-1.0);
-        neg_u.gemm(-1.0, &q0, &g, 1.0)?;
-        let u_lu = LuDecomposition::from_matrix(neg_u)?;
+        neg_u.gemm_with(-1.0, &q0, &g, 1.0, &self.pool)?;
+        let u_lu = LuDecomposition::from_matrix_with(neg_u, &self.pool)?;
         let mut r = Matrix::zeros(s, s);
-        u_lu.solve_right_matrix_into(&q0, &mut r, &mut ws)?;
+        u_lu.solve_right_matrix_into_with(&q0, &mut r, &mut ws, &self.pool)?;
         Ok((r, depth))
     }
 
@@ -271,7 +290,7 @@ impl MatrixGeometricSolver {
             system.set_diagonal(j, diag)?;
             system.set_rhs(j, rhs)?;
         }
-        let unknowns = match system.solve() {
+        let unknowns = match system.solve_with(&self.pool) {
             Ok(x) => x,
             Err(LinalgError::Singular { .. }) => system.solve_dense()?,
             Err(e) => return Err(e.into()),
@@ -287,7 +306,7 @@ impl MatrixGeometricSolver {
         for i in 0..s {
             i_minus_r[(i, i)] += 1.0;
         }
-        let i_minus_r_inv = LuDecomposition::from_matrix(i_minus_r)?.inverse()?;
+        let i_minus_r_inv = LuDecomposition::from_matrix_with(i_minus_r, &self.pool)?.inverse()?;
         let v_n = levels[servers].clone();
         let boundary_mass: f64 = levels[..servers].iter().map(|v| v.iter().sum::<f64>()).sum();
         let tail_mass: f64 = i_minus_r_inv.vecmat(&v_n)?.iter().sum();

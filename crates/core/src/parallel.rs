@@ -1,283 +1,10 @@
-//! A small scoped-thread worker pool for embarrassingly parallel grid evaluations.
+//! Re-export of the scoped-thread worker pool, which lives in [`urs_linalg`].
 //!
-//! Every headline artefact of the paper — the cost curves of Figure 5, the sensitivity
-//! sweeps of Figures 6–8, the provisioning curves of Figure 9 — re-solves the QBD model
-//! at each point of a parameter grid, and the grid points are completely independent.
-//! [`ThreadPool`] fans such grids out across OS threads with two guarantees:
-//!
-//! 1. **Deterministic ordering** — [`par_map`](ThreadPool::par_map) returns results in
-//!    the order of the input slice regardless of the number of threads or how the
-//!    scheduler interleaves them, so parallel sweeps are *bit-identical* to serial
-//!    ones.
-//! 2. **No allocation of long-lived threads** — workers are `std::thread::scope`d to
-//!    the call, so the pool is just a thread-count policy and is trivially `Send`,
-//!    `Sync` and cheap to clone.  No external dependencies are needed.
-//!
-//! The default thread count is taken from the `URS_THREADS` environment variable when
-//! set (a value of `1` forces serial execution), otherwise from
-//! [`std::thread::available_parallelism`].
-//!
-//! # Example
-//!
-//! ```
-//! use urs_core::ThreadPool;
-//!
-//! let pool = ThreadPool::new(4);
-//! let squares = pool.par_map(&[1, 2, 3, 4, 5], |&x| x * x);
-//! assert_eq!(squares, vec![1, 4, 9, 16, 25]); // input order, always
-//!
-//! // Fallible mapping: the error of the smallest failing index is returned,
-//! // matching what a serial loop over the same closure would report.
-//! let r: Result<Vec<i32>, String> =
-//!     ThreadPool::serial().try_par_map(&[1, 2, 3], |&x| if x == 2 { Err("two".into()) } else { Ok(x) });
-//! assert_eq!(r, Err("two".to_string()));
-//! ```
+//! The pool started life in this crate fanning sweeps out across grid points.  Once
+//! the dense kernels themselves learned to parallelise (tiled `gemm` row panels,
+//! blocked-LU trailing updates, block-tridiagonal right-solves), the implementation
+//! moved down into `urs_linalg::parallel` — the kernels cannot depend upward on this
+//! crate — and is re-exported here so `urs_core::ThreadPool` remains the public path.
+//! See [`urs_linalg::parallel`] for the determinism and panic-containment contracts.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// A scoped-thread worker pool with a deterministic `par_map` API.
-///
-/// The pool owns no threads between calls: each [`par_map`](Self::par_map) spawns up to
-/// `threads` scoped workers that pull indices from a shared atomic counter, evaluate
-/// the closure, and write results back keyed by index.  With one thread (or one item)
-/// the closure is run inline, so `ThreadPool::serial()` is exactly the plain serial
-/// loop.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ThreadPool {
-    threads: usize,
-}
-
-impl ThreadPool {
-    /// Creates a pool using `threads` worker threads.  A value of `0` is clamped to 1.
-    pub fn new(threads: usize) -> Self {
-        ThreadPool { threads: threads.max(1) }
-    }
-
-    /// A single-threaded pool: `par_map` degenerates to a plain serial loop.
-    pub fn serial() -> Self {
-        ThreadPool::new(1)
-    }
-
-    /// Upper bound applied to `URS_THREADS`: requests beyond this are almost certainly
-    /// typos, and scoped-spawning tens of thousands of OS threads per sweep would
-    /// thrash rather than parallelise.
-    pub const MAX_THREADS: usize = 512;
-
-    /// A pool sized from the environment: the `URS_THREADS` variable when it parses to
-    /// an integer — clamped to `1 ..= MAX_THREADS`, so `URS_THREADS=0` forces the
-    /// serial path instead of being silently ignored — otherwise
-    /// [`std::thread::available_parallelism`].
-    pub fn auto() -> Self {
-        ThreadPool { threads: threads_from_env(std::env::var("URS_THREADS").ok().as_deref()) }
-    }
-
-    /// The number of worker threads this pool will use.
-    pub fn threads(&self) -> usize {
-        self.threads
-    }
-
-    /// Applies `f` to every element of `items`, in parallel, returning the results in
-    /// input order.
-    ///
-    /// The closure must be freely callable from several threads at once (`Sync`); it
-    /// receives each element exactly once.  Result ordering is independent of the
-    /// thread count, so outputs are bit-identical to `items.iter().map(f).collect()`.
-    ///
-    /// # Panics
-    ///
-    /// Propagates the panic of any worker closure.
-    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
-    where
-        T: Sync,
-        R: Send,
-        F: Fn(&T) -> R + Sync,
-    {
-        let workers = self.threads.min(items.len());
-        if workers <= 1 {
-            return items.iter().map(f).collect();
-        }
-        let next = AtomicUsize::new(0);
-        let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(item) = items.get(i) else { break };
-                        local.push((i, f(item)));
-                    }
-                    lock_ignoring_poison(&collected).extend(local);
-                });
-            }
-        });
-        let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
-        slots.resize_with(items.len(), || None);
-        for (i, r) in collected.into_inner().unwrap_or_else(|e| e.into_inner()) {
-            slots[i] = Some(r);
-        }
-        slots.into_iter().map(|r| r.expect("every index is visited exactly once")).collect()
-    }
-
-    /// Fallible variant of [`par_map`](Self::par_map): evaluates every element and
-    /// returns either all results in input order or the error of the *smallest* failing
-    /// index.
-    ///
-    /// Because errors are reported in index order, the returned error is the same one a
-    /// serial loop over `f` would have stopped at — only the amount of wasted work
-    /// behind a failure differs between thread counts.
-    ///
-    /// # Errors
-    ///
-    /// Returns the first (by input position) error produced by `f`.
-    pub fn try_par_map<T, R, E, F>(&self, items: &[T], f: F) -> Result<Vec<R>, E>
-    where
-        T: Sync,
-        R: Send,
-        E: Send,
-        F: Fn(&T) -> Result<R, E> + Sync,
-    {
-        self.par_map(items, f).into_iter().collect()
-    }
-}
-
-impl Default for ThreadPool {
-    /// Equivalent to [`ThreadPool::auto`].
-    fn default() -> Self {
-        ThreadPool::auto()
-    }
-}
-
-/// Hardware thread count, defaulting to 1 where it cannot be queried.
-fn available_parallelism() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-}
-
-/// Resolves the raw `URS_THREADS` value (or its absence) to a worker count: parsed
-/// integers are clamped to `1 ..= MAX_THREADS`; unparsable or missing values fall
-/// back to hardware parallelism.  Pure, so it is testable without mutating the
-/// process environment (which is not thread-safe to write concurrently).
-fn threads_from_env(raw: Option<&str>) -> usize {
-    match raw {
-        Some(value) => match value.trim().parse::<usize>() {
-            Ok(n) => n.clamp(1, ThreadPool::MAX_THREADS),
-            Err(_) => available_parallelism(),
-        },
-        None => available_parallelism(),
-    }
-}
-
-/// Locks a mutex, recovering the guard even if another worker panicked while holding
-/// it (the panic itself still propagates through the thread scope).
-fn lock_ignoring_poison<'a, T>(mutex: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
-    mutex.lock().unwrap_or_else(|e| e.into_inner())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::sync::atomic::AtomicUsize;
-
-    #[test]
-    fn zero_threads_clamped_to_one() {
-        assert_eq!(ThreadPool::new(0).threads(), 1);
-        assert_eq!(ThreadPool::serial().threads(), 1);
-        assert!(ThreadPool::default().threads() >= 1);
-    }
-
-    #[test]
-    fn urs_threads_env_is_clamped_not_ignored() {
-        // `threads_from_env` is the pure core of `auto()`, so the clamping rules are
-        // testable without mutating the process environment (writes race with every
-        // other test reading it through ThreadPool::default()).
-        // A zero request is a floor-clamp to the serial path, not a silent fallback
-        // to all cores.
-        assert_eq!(threads_from_env(Some("0")), 1);
-        assert_eq!(threads_from_env(Some("3")), 3);
-        assert_eq!(threads_from_env(Some(" 7 ")), 7);
-        // Absurd widths are capped rather than spawning thousands of threads.
-        assert_eq!(threads_from_env(Some("999999999")), ThreadPool::MAX_THREADS);
-        assert_eq!(threads_from_env(Some(&usize::MAX.to_string())), ThreadPool::MAX_THREADS);
-        // Garbage and absence both fall back to hardware parallelism.
-        assert_eq!(threads_from_env(Some("not-a-number")), available_parallelism());
-        assert_eq!(threads_from_env(Some("-2")), available_parallelism());
-        assert_eq!(threads_from_env(None), available_parallelism());
-        assert!(ThreadPool::auto().threads() >= 1);
-    }
-
-    #[test]
-    fn par_map_preserves_input_order() {
-        let items: Vec<usize> = (0..257).collect();
-        for threads in [1, 2, 3, 8] {
-            let pool = ThreadPool::new(threads);
-            // Skew the per-item cost so late items often finish before early ones.
-            let out = pool.par_map(&items, |&i| {
-                if i % 16 == 0 {
-                    std::thread::yield_now();
-                }
-                i * 3 + 1
-            });
-            assert_eq!(out, items.iter().map(|&i| i * 3 + 1).collect::<Vec<_>>());
-        }
-    }
-
-    #[test]
-    fn par_map_calls_each_item_exactly_once() {
-        let calls = AtomicUsize::new(0);
-        let items: Vec<u32> = (0..100).collect();
-        let out = ThreadPool::new(4).par_map(&items, |&x| {
-            calls.fetch_add(1, Ordering::Relaxed);
-            x
-        });
-        assert_eq!(out.len(), 100);
-        assert_eq!(calls.load(Ordering::Relaxed), 100);
-    }
-
-    #[test]
-    fn par_map_on_empty_and_singleton_slices() {
-        let pool = ThreadPool::new(8);
-        let empty: Vec<i32> = Vec::new();
-        assert!(pool.par_map(&empty, |&x| x).is_empty());
-        assert_eq!(pool.par_map(&[7], |&x| x + 1), vec![8]);
-    }
-
-    #[test]
-    fn try_par_map_returns_first_error_by_index() {
-        let items: Vec<i32> = (0..64).collect();
-        for threads in [1, 4] {
-            let result: Result<Vec<i32>, String> =
-                ThreadPool::new(threads).try_par_map(&items, |&x| {
-                    if x % 10 == 3 {
-                        Err(format!("bad {x}"))
-                    } else {
-                        Ok(x)
-                    }
-                });
-            // 3 is the smallest failing index regardless of scheduling.
-            assert_eq!(result, Err("bad 3".to_string()));
-        }
-    }
-
-    #[test]
-    fn try_par_map_succeeds_when_all_items_succeed() {
-        let items: Vec<i32> = (1..=32).collect();
-        let result: Result<Vec<i32>, String> =
-            ThreadPool::new(3).try_par_map(&items, |&x| Ok(x * x));
-        assert_eq!(result.unwrap(), items.iter().map(|&x| x * x).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn parallel_results_are_bit_identical_to_serial() {
-        // Floating-point work: the exact same closure must produce the exact same bits
-        // through the pool as through a serial loop.
-        let grid: Vec<f64> = (1..50).map(|i| 0.3 + i as f64 * 0.017).collect();
-        let work = |&x: &f64| (x.sin() * x.exp()).ln_1p() / x.sqrt();
-        let serial: Vec<f64> = grid.iter().map(work).collect();
-        let parallel = ThreadPool::new(5).par_map(&grid, work);
-        assert_eq!(
-            serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-            parallel.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
-        );
-    }
-}
+pub use urs_linalg::parallel::{ThreadPool, WorkerPanic};

@@ -60,6 +60,7 @@ use urs_linalg::{CluDecomposition, Complex, Matrix, Workspace};
 use crate::cache::SolverCache;
 use crate::config::SystemConfig;
 use crate::error::ModelError;
+use crate::parallel::ThreadPool;
 use crate::qbd::QbdSkeleton;
 use crate::solution::QueueSolution;
 use crate::spectral::{SpectralExpansionSolver, SpectralOptions};
@@ -445,6 +446,28 @@ impl ResponseTransform {
     /// [`ModelError::Linalg`] when `s` hits a singularity of a resolvent (only
     /// possible in the left half-plane, where the Talbot contour roams).
     pub fn lst_with(&self, s: Complex, workspace: &mut Workspace) -> Result<Complex> {
+        self.lst_with_pool(s, workspace, &ThreadPool::serial())
+    }
+
+    /// [`lst_with`](Self::lst_with) with the per-level resolvent factorisations
+    /// running on `pool`.
+    ///
+    /// The level recurrence itself is sequential (`φ_a` feeds `φ_{a+1}`), so the
+    /// parallelism lives inside each complex LU factorisation; its banded trailing
+    /// updates preserve the serial accumulation order, making the transform value
+    /// bit-identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`lst_with`](Self::lst_with), plus
+    /// [`LinalgError::WorkerPanic`](urs_linalg::LinalgError::WorkerPanic) if a worker
+    /// panicked.
+    pub fn lst_with_pool(
+        &self,
+        s: Complex,
+        workspace: &mut Workspace,
+        pool: &ThreadPool,
+    ) -> Result<Complex> {
         let order = self.order;
         let mut phi_prev = workspace.complex_buffer(order);
         let mut phi = workspace.complex_buffer(order);
@@ -454,7 +477,7 @@ impl ResponseTransform {
             let mut shifted = workspace.complex_matrix(order, order);
             shifted.copy_from_real(base)?;
             shifted.shift_diagonal(s)?;
-            let lu = CluDecomposition::from_matrix(shifted)?;
+            let lu = CluDecomposition::from_matrix_with(shifted, pool)?;
             for i in 0..order {
                 rhs[i] = phi_prev[i] * self.ahead_rates[a][i]
                     + Complex::from_real(self.completions[a][i]);
@@ -470,7 +493,7 @@ impl ResponseTransform {
             let mut shifted = workspace.complex_matrix(order, order);
             shifted.copy_from_real(&self.repeat_base)?;
             shifted.shift_diagonal(s)?;
-            let lu = CluDecomposition::from_matrix(shifted)?;
+            let lu = CluDecomposition::from_matrix_with(shifted, pool)?;
             let service = &self.ahead_rates[self.servers];
             for level in self.servers..self.arrival_levels.len() {
                 for i in 0..order {
@@ -499,12 +522,13 @@ impl ResponseTransform {
         method: InversionMethod,
         options: &InversionOptions,
         workspace: &mut Workspace,
+        pool: &ThreadPool,
     ) -> Result<(f64, f64)> {
         validate_time(t)?;
         let mut cdf = 0.0;
         let mut density = 0.0;
         for (s, w) in options.quadrature(method, t) {
-            let value = self.lst_with(s, workspace)?;
+            let value = self.lst_with_pool(s, workspace, pool)?;
             let weighted = w * value;
             cdf += (weighted * s.recip()).re;
             density += weighted.re;
@@ -529,6 +553,7 @@ impl ResponseTransform {
 pub struct ResponseAnalysis {
     transform: Arc<ResponseTransform>,
     options: ResponseOptions,
+    pool: ThreadPool,
 }
 
 impl ResponseAnalysis {
@@ -584,7 +609,16 @@ impl ResponseAnalysis {
         let skeleton = QbdSkeleton::for_classes(config.classes())?;
         let transform =
             Arc::new(ResponseTransform::assemble(&skeleton, solution, options.tail_epsilon)?);
-        Ok(ResponseAnalysis { transform, options })
+        Ok(ResponseAnalysis { transform, options, pool: ThreadPool::serial() })
+    }
+
+    /// Runs every subsequent transform evaluation — the per-level resolvent
+    /// factorisations behind each CDF, density, and percentile query — on `pool`.
+    /// Values are bit-identical to the serial analysis at any thread count; see
+    /// [`ResponseTransform::lst_with_pool`].
+    pub fn with_pool(mut self, pool: ThreadPool) -> Self {
+        self.pool = pool;
+        self
     }
 
     fn validate_config(config: &SystemConfig) -> Result<()> {
@@ -638,7 +672,7 @@ impl ResponseAnalysis {
                 Arc::new(ResponseTransform::assemble(&skeleton, &solution, options.tail_epsilon)?)
             }
         };
-        Ok(ResponseAnalysis { transform, options })
+        Ok(ResponseAnalysis { transform, options, pool: ThreadPool::serial() })
     }
 
     /// The assembled transform skeleton (levels kept, residual mass, …).
@@ -696,6 +730,7 @@ impl ResponseAnalysis {
             InversionMethod::EulerSummation,
             &self.options.inversion,
             workspace,
+            &self.pool,
         )?;
         self.certify(t, euler, workspace)
     }
@@ -708,6 +743,7 @@ impl ResponseAnalysis {
             InversionMethod::FixedTalbot,
             &self.options.inversion,
             workspace,
+            &self.pool,
         )?;
         if (euler - talbot).abs() > self.options.agreement_tolerance {
             return Err(ModelError::InversionDivergence {
@@ -731,8 +767,13 @@ impl ResponseAnalysis {
             return Ok(0.0);
         }
         let mut workspace = Workspace::new();
-        let (value, _) =
-            self.transform.cdf_density_at(t, method, &self.options.inversion, &mut workspace)?;
+        let (value, _) = self.transform.cdf_density_at(
+            t,
+            method,
+            &self.options.inversion,
+            &mut workspace,
+            &self.pool,
+        )?;
         Ok(value.clamp(0.0, 1.0))
     }
 
@@ -792,6 +833,7 @@ impl ResponseAnalysis {
                 InversionMethod::EulerSummation,
                 &self.options.inversion,
                 ws,
+                &self.pool,
             )
         };
         // Bracket the root, starting from the warm point (a lower percentile of the

@@ -27,6 +27,7 @@ use urs_linalg::{BlockTridiagonal, CMatrix, Complex, LinalgError, Matrix};
 use crate::cache::SolverCache;
 use crate::config::SystemConfig;
 use crate::error::ModelError;
+use crate::parallel::ThreadPool;
 use crate::qbd::QbdMatrices;
 use crate::solution::{QueueSolution, QueueSolver};
 use crate::Result;
@@ -74,22 +75,41 @@ impl Default for SpectralOptions {
 /// [`with_cache`](Self::with_cache): grid points that differ only in the arrival rate
 /// then reuse the λ-independent QBD skeleton, and repeated configurations are answered
 /// from the cache outright — bit-identically in both cases.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SpectralExpansionSolver {
     options: SpectralOptions,
     cache: Option<Arc<SolverCache>>,
+    pool: ThreadPool,
+}
+
+impl Default for SpectralExpansionSolver {
+    /// Default options, no cache, and a serial pool (parallelism is strictly opt-in
+    /// via [`with_pool`](Self::with_pool)).
+    fn default() -> Self {
+        SpectralExpansionSolver::new(SpectralOptions::default())
+    }
 }
 
 impl SpectralExpansionSolver {
     /// Creates a solver with explicit options.
     pub fn new(options: SpectralOptions) -> Self {
-        SpectralExpansionSolver { options, cache: None }
+        SpectralExpansionSolver { options, cache: None, pool: ThreadPool::serial() }
     }
 
     /// Attaches a cache of QBD skeletons and complete solutions.  The same cache can
     /// be shared by several solvers and by every thread of a parallel sweep.
     pub fn with_cache(mut self, cache: Arc<SolverCache>) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Runs the solver's internal kernels — eigenvector extraction, the boundary
+    /// block-tridiagonal elimination, and the dense multiplies feeding it — on `pool`.
+    ///
+    /// Every parallel path preserves the serial accumulation order, so the solution
+    /// is bit-identical to the default serial solver at any thread count.
+    pub fn with_pool(mut self, pool: ThreadPool) -> Self {
+        self.pool = pool;
         self
     }
 
@@ -173,19 +193,27 @@ impl SpectralExpansionSolver {
         }
         inside.sort_by(|a, b| order(&a.0, &b.0));
         let scale = qbd.q1().max_abs().max(1.0);
+        // Each eigenvector extraction is an independent bounded-pivot back-solve, so
+        // the sorted list fans out across the pool.  `try_par_map` reports the
+        // smallest-indexed failure, which is exactly the one a serial loop over the
+        // same sorted order would have hit first.
+        let extracted: Vec<(Complex, Vec<Complex>)> =
+            self.pool.try_par_map(&inside, |(z, cached_u)| -> Result<(Complex, Vec<Complex>)> {
+                let u = match cached_u {
+                    Some(u) => u.clone(),
+                    None => problem.left_eigenvector(*z)?,
+                };
+                let residual = problem.residual(*z, &u)?;
+                if residual > self.options.residual_tolerance * scale {
+                    return Err(ModelError::SpectralFailure(format!(
+                        "left eigenvector residual {residual:.3e} at z = {z} exceeds tolerance",
+                    )));
+                }
+                Ok((*z, u))
+            })?;
         let mut eigenvalues = Vec::with_capacity(s);
         let mut eigenvectors: Vec<Vec<Complex>> = Vec::with_capacity(s);
-        for (z, cached_u) in inside {
-            let u = match cached_u {
-                Some(u) => u,
-                None => problem.left_eigenvector(z)?,
-            };
-            let residual = problem.residual(z, &u)?;
-            if residual > self.options.residual_tolerance * scale {
-                return Err(ModelError::SpectralFailure(format!(
-                    "left eigenvector residual {residual:.3e} at z = {z} exceeds tolerance",
-                )));
-            }
+        for (z, u) in extracted {
             eigenvalues.push(z);
             eigenvectors.push(u);
         }
@@ -207,7 +235,7 @@ impl SpectralExpansionSolver {
         // The pin mode (largest stationary environment probability) is λ-independent
         // and precomputed in the skeleton.
         let pin_mode = qbd.skeleton().pin_mode();
-        let boundary = solve_boundary(qbd, &eigenvalues, &eigenvectors, pin_mode)?;
+        let boundary = solve_boundary(qbd, &eigenvalues, &eigenvectors, pin_mode, &self.pool)?;
 
         // 3. Assemble the solution and normalise.
         SpectralSolution::assemble(config, qbd, eigenvalues, eigenvectors, boundary, self.options)
@@ -237,6 +265,7 @@ fn solve_boundary(
     eigenvalues: &[Complex],
     eigenvectors: &[Vec<Complex>],
     pin_mode: usize,
+    pool: &ThreadPool,
 ) -> Result<BoundaryUnknowns> {
     let s = qbd.order();
     let servers = qbd.servers();
@@ -312,11 +341,12 @@ fn solve_boundary(
             // Level N: −v_{N−1}·B + γ·[U_N·(Dᴬ+B+C−A) − U_{N+1}·C] = 0.
             system.set_lower(j, &to_cmatrix(b) * Complex::from_real(-1.0))?;
             let mut term1 = CMatrix::zeros(s, s);
-            term1.gemm(
+            term1.gemm_with(
                 Complex::ONE,
                 &u_mat(servers as u32),
                 &to_cmatrix(&qbd.local_matrix(servers)),
                 Complex::ZERO,
+                pool,
             )?;
             let term2 = u_mat_c(servers as u32 + 1)?;
             let diag = (&term1 - &term2).transpose();
@@ -325,7 +355,7 @@ fn solve_boundary(
         }
     }
 
-    let solution = match system.solve() {
+    let solution = match system.solve_with(pool) {
         Ok(x) => x,
         Err(LinalgError::Singular { .. }) => system.solve_dense()?,
         Err(e) => return Err(e.into()),

@@ -14,9 +14,15 @@
 
 use crate::config::SystemConfig;
 use crate::error::ModelError;
+use crate::parallel::ThreadPool;
 use crate::qbd::QbdMatrices;
 use crate::solution::{QueueSolution, QueueSolver};
 use crate::Result;
+
+/// Per-level piece of the sparse transition structure built during construction:
+/// the outgoing `(target state, rate)` adjacency of every mode at that level, plus
+/// each mode's total exit rate.
+type LevelAdjacency = (Vec<Vec<(usize, f64)>>, Vec<f64>);
 
 /// Options for the truncated-CTMC reference solver.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,15 +58,34 @@ impl Default for TruncatedOptions {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TruncatedCtmcSolver {
     options: TruncatedOptions,
+    pool: ThreadPool,
+}
+
+impl Default for TruncatedCtmcSolver {
+    /// Default options and a serial pool (parallelism is strictly opt-in via
+    /// [`with_pool`](Self::with_pool)).
+    fn default() -> Self {
+        TruncatedCtmcSolver::new(TruncatedOptions::default())
+    }
 }
 
 impl TruncatedCtmcSolver {
     /// Creates a solver with explicit options.
     pub fn new(options: TruncatedOptions) -> Self {
-        TruncatedCtmcSolver { options }
+        TruncatedCtmcSolver { options, pool: ThreadPool::serial() }
+    }
+
+    /// Builds the sparse transition structure on `pool` (one work item per queue
+    /// level).  The Gauss–Seidel sweep itself stays serial — each state update reads
+    /// values already updated *within the same sweep*, a sequential dependency that
+    /// cannot be fanned out without changing the iterate — so the solution is
+    /// bit-identical at any thread count by construction.
+    pub fn with_pool(mut self, pool: ThreadPool) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// Solves the truncated chain, returning the concrete [`TruncatedSolution`].
@@ -78,37 +103,50 @@ impl TruncatedCtmcSolver {
         let state_count = s * levels;
         let state = |mode: usize, level: usize| level * s + mode;
 
-        // Sparse transition list: outgoing (target, rate) per state, plus total exit rate.
-        let mut outgoing: Vec<Vec<(usize, f64)>> = vec![Vec::new(); state_count];
-        let mut exit_rate = vec![0.0_f64; state_count];
+        // Sparse transition list: outgoing (target, rate) per state, plus total exit
+        // rate.  Levels are independent of one another during construction, so they
+        // fan out across the pool; concatenating the per-level pieces in level order
+        // reproduces the serial layout exactly (pure construction, no floating-point
+        // reduction whose order could shift).
         let a = qbd.a();
         let lambda = config.arrival_rate();
-        for level in 0..levels {
-            // The level-dependent departure diagonal, borrowed once per level.
-            let c_level = qbd.c_level(level);
-            for mode in 0..s {
-                let from = state(mode, level);
-                // Mode changes: walk the mode's row of `A` as one contiguous slice
-                // (the generator is a sparse band, so most entries are skipped).
-                for (target_mode, &rate) in a.row(mode).iter().enumerate() {
+        let level_indices: Vec<usize> = (0..levels).collect();
+        let per_level: Vec<LevelAdjacency> =
+            self.pool.par_map(&level_indices, |&level| {
+                // The level-dependent departure diagonal, borrowed once per level.
+                let c_level = qbd.c_level(level);
+                let mut outgoing: Vec<Vec<(usize, f64)>> = vec![Vec::new(); s];
+                let mut exit_rate = vec![0.0_f64; s];
+                for mode in 0..s {
+                    // Mode changes: walk the mode's row of `A` as one contiguous slice
+                    // (the generator is a sparse band, so most entries are skipped).
+                    for (target_mode, &rate) in a.row(mode).iter().enumerate() {
+                        if rate > 0.0 {
+                            outgoing[mode].push((state(target_mode, level), rate));
+                            exit_rate[mode] += rate;
+                        }
+                    }
+                    // Arrivals (lost at the truncation boundary).
+                    if level + 1 < levels {
+                        outgoing[mode].push((state(mode, level + 1), lambda));
+                        exit_rate[mode] += lambda;
+                    }
+                    // Departures: the skeleton's level-dependent C matrices already
+                    // encode the (class-aware, fastest-first) allocation of jobs to
+                    // servers.
+                    let rate = c_level[(mode, mode)];
                     if rate > 0.0 {
-                        outgoing[from].push((state(target_mode, level), rate));
-                        exit_rate[from] += rate;
+                        outgoing[mode].push((state(mode, level - 1), rate));
+                        exit_rate[mode] += rate;
                     }
                 }
-                // Arrivals (lost at the truncation boundary).
-                if level + 1 < levels {
-                    outgoing[from].push((state(mode, level + 1), lambda));
-                    exit_rate[from] += lambda;
-                }
-                // Departures: the skeleton's level-dependent C matrices already encode
-                // the (class-aware, fastest-first) allocation of jobs to servers.
-                let rate = c_level[(mode, mode)];
-                if rate > 0.0 {
-                    outgoing[from].push((state(mode, level - 1), rate));
-                    exit_rate[from] += rate;
-                }
-            }
+                (outgoing, exit_rate)
+            });
+        let mut outgoing: Vec<Vec<(usize, f64)>> = Vec::with_capacity(state_count);
+        let mut exit_rate: Vec<f64> = Vec::with_capacity(state_count);
+        for (level_outgoing, level_exit) in per_level {
+            outgoing.extend(level_outgoing);
+            exit_rate.extend(level_exit);
         }
         // Incoming adjacency for Gauss–Seidel: π_i = Σ_j π_j q_{ji} / exit_i.
         let mut incoming: Vec<Vec<(usize, f64)>> = vec![Vec::new(); state_count];

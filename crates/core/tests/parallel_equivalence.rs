@@ -13,10 +13,14 @@ use urs_core::sweeps::{
     queue_length_vs_load_with, queue_length_vs_operative_scv_with, queue_length_vs_repair_time_with,
 };
 use urs_core::{
-    CostModel, CostSweep, GeometricApproximation, ProvisioningSweep, QueueSolution,
-    ServerLifecycle, SolverCache, SpectralExpansionSolver, SystemConfig, ThreadPool,
+    CostModel, CostSweep, GeometricApproximation, MatrixGeometricSolver, ProvisioningSweep,
+    QueueSolution, ResponseAnalysis, ServerLifecycle, SolverCache, SpectralExpansionSolver,
+    SystemConfig, ThreadPool, TruncatedCtmcSolver,
 };
 use urs_dist::HyperExponential;
+use urs_linalg::{
+    BlockTridiagonal, CMatrix, CluDecomposition, Complex, LuDecomposition, Matrix, Workspace,
+};
 
 fn paper_base(servers: usize, lambda: f64, repair_rate: f64) -> SystemConfig {
     let operative = HyperExponential::with_mean_and_scv(34.62, 4.6).unwrap();
@@ -172,6 +176,260 @@ fn shared_cache_works_across_solvers_and_threads() {
     assert_eq!(cache.len().0, 1);
     // The second, serial sweep re-solves the identical configurations: all hits.
     assert!(cache.stats().solution_hits >= grid.len() as u64);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-matrix suite: every intra-solve parallel kernel and every pooled
+// solver must be bit-identical — compared through `f64::to_bits`, not `==` —
+// across worker counts {1, 2, 3, 8}.  Pools are injected directly so the
+// tests never mutate `URS_THREADS`.
+// ---------------------------------------------------------------------------
+
+const THREAD_MATRIX: [usize; 4] = [1, 2, 3, 8];
+
+/// Deterministic pseudo-random stream in `[-0.5, 0.5)` (PCG-style LCG step).
+fn lcg(state: &mut u64) -> f64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    ((*state >> 11) as f64) / (1u64 << 53) as f64 - 0.5
+}
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed;
+    Matrix::from_fn(rows, cols, |_, _| lcg(&mut state))
+}
+
+fn random_cmatrix(rows: usize, cols: usize, seed: u64) -> CMatrix {
+    let mut state = seed;
+    CMatrix::from_fn(rows, cols, |_, _| Complex::new(lcg(&mut state), lcg(&mut state)))
+}
+
+/// A diagonally dominant (hence comfortably non-singular) random matrix.
+fn dominant_matrix(n: usize, seed: u64) -> Matrix {
+    let mut state = seed;
+    Matrix::from_fn(n, n, |i, j| {
+        let v = lcg(&mut state);
+        if i == j {
+            v + n as f64
+        } else {
+            v
+        }
+    })
+}
+
+fn dominant_cmatrix(n: usize, seed: u64) -> CMatrix {
+    let mut state = seed;
+    CMatrix::from_fn(n, n, |i, j| {
+        let v = Complex::new(lcg(&mut state), lcg(&mut state));
+        if i == j {
+            v + Complex::from_real(n as f64)
+        } else {
+            v
+        }
+    })
+}
+
+fn bits(m: &Matrix) -> Vec<u64> {
+    m.as_slice().iter().map(|x| x.to_bits()).collect()
+}
+
+fn cbits(m: &CMatrix) -> Vec<(u64, u64)> {
+    m.as_slice().iter().map(|z| (z.re.to_bits(), z.im.to_bits())).collect()
+}
+
+fn vec_bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn gemm_is_bit_identical_across_the_thread_matrix() {
+    // 97·61·83 ≈ 491k flops: well past the parallel cut-over, with every
+    // dimension deliberately off the KB = 64 / JB = 256 tile boundaries.
+    let a = random_matrix(97, 61, 11);
+    let b = random_matrix(61, 83, 12);
+    let initial = random_matrix(97, 83, 13);
+    let mut expected = initial.clone();
+    expected.gemm(0.75, &a, &b, -0.25).unwrap();
+    for threads in THREAD_MATRIX {
+        let pool = ThreadPool::new(threads);
+        let mut c = initial.clone();
+        c.gemm_with(0.75, &a, &b, -0.25, &pool).unwrap();
+        assert_eq!(bits(&expected), bits(&c), "{threads} threads changed gemm");
+    }
+}
+
+#[test]
+fn complex_gemm_is_bit_identical_across_the_thread_matrix() {
+    let a = random_cmatrix(53, 41, 31);
+    let b = random_cmatrix(41, 37, 32);
+    let initial = random_cmatrix(53, 37, 33);
+    let alpha = Complex::new(0.6, -0.2);
+    let beta = Complex::new(-0.3, 0.1);
+    let mut expected = initial.clone();
+    expected.gemm(alpha, &a, &b, beta).unwrap();
+    for threads in THREAD_MATRIX {
+        let pool = ThreadPool::new(threads);
+        let mut c = initial.clone();
+        c.gemm_with(alpha, &a, &b, beta, &pool).unwrap();
+        assert_eq!(cbits(&expected), cbits(&c), "{threads} threads changed complex gemm");
+    }
+}
+
+#[test]
+fn blocked_lu_is_bit_identical_across_the_thread_matrix() {
+    // n = 137 crosses the 48-column panel boundary twice, with a ragged tail.
+    let n = 137;
+    let a = dominant_matrix(n, 21);
+    let rhs = random_matrix(64, n, 22);
+    let serial = LuDecomposition::from_matrix(a.clone()).unwrap();
+    let serial_packed = LuDecomposition::from_matrix(a.clone()).unwrap().into_matrix();
+    let mut ws = Workspace::new();
+    let mut serial_right = Matrix::zeros(64, n);
+    serial.solve_right_matrix_into(&rhs, &mut serial_right, &mut ws).unwrap();
+    for threads in THREAD_MATRIX {
+        let pool = ThreadPool::new(threads);
+        let lu = LuDecomposition::from_matrix_with(a.clone(), &pool).unwrap();
+        let packed = LuDecomposition::from_matrix_with(a.clone(), &pool).unwrap().into_matrix();
+        assert_eq!(bits(&serial_packed), bits(&packed), "{threads} threads changed the LU factor");
+        assert_eq!(serial.determinant().to_bits(), lu.determinant().to_bits());
+        let mut right = Matrix::zeros(64, n);
+        lu.solve_right_matrix_into_with(&rhs, &mut right, &mut ws, &pool).unwrap();
+        assert_eq!(bits(&serial_right), bits(&right), "{threads} threads changed the right-solve");
+    }
+}
+
+#[test]
+fn complex_blocked_lu_is_bit_identical_across_the_thread_matrix() {
+    // n = 61 crosses the complex 24-column panel boundary twice.
+    let n = 61;
+    let a = dominant_cmatrix(n, 41);
+    let rhs = random_cmatrix(40, n, 42);
+    let serial = CluDecomposition::from_matrix(a.clone()).unwrap();
+    let serial_packed = CluDecomposition::from_matrix(a.clone()).unwrap().into_matrix();
+    let mut ws = Workspace::new();
+    let mut serial_right = CMatrix::zeros(40, n);
+    serial.solve_right_matrix_into(&rhs, &mut serial_right, &mut ws).unwrap();
+    for threads in THREAD_MATRIX {
+        let pool = ThreadPool::new(threads);
+        let lu = CluDecomposition::from_matrix_with(a.clone(), &pool).unwrap();
+        let packed = CluDecomposition::from_matrix_with(a.clone(), &pool).unwrap().into_matrix();
+        assert_eq!(cbits(&serial_packed), cbits(&packed), "{threads} threads changed complex LU");
+        let (sd, pd) = (serial.determinant(), lu.determinant());
+        assert_eq!((sd.re.to_bits(), sd.im.to_bits()), (pd.re.to_bits(), pd.im.to_bits()));
+        assert_eq!(serial.smallest_pivot().to_bits(), lu.smallest_pivot().to_bits());
+        let mut right = CMatrix::zeros(40, n);
+        lu.solve_right_matrix_into_with(&rhs, &mut right, &mut ws, &pool).unwrap();
+        assert_eq!(cbits(&serial_right), cbits(&right), "{threads} threads changed right-solve");
+    }
+}
+
+#[test]
+fn block_tridiagonal_solve_is_bit_identical_across_the_thread_matrix() {
+    // Block size 40 puts the per-block gemm and right-solve work past the
+    // parallel cut-over, so the pooled path genuinely fans out.
+    let (rows, s) = (4, 40);
+    let mut system = BlockTridiagonal::new(rows, s).unwrap();
+    for i in 0..rows {
+        system.set_diagonal(i, dominant_cmatrix(s, 100 + i as u64)).unwrap();
+        if i > 0 {
+            system.set_lower(i, random_cmatrix(s, s, 200 + i as u64)).unwrap();
+        }
+        if i + 1 < rows {
+            system.set_upper(i, random_cmatrix(s, s, 300 + i as u64)).unwrap();
+        }
+        let mut state = 400 + i as u64;
+        let rhs: Vec<Complex> =
+            (0..s).map(|_| Complex::new(lcg(&mut state), lcg(&mut state))).collect();
+        system.set_rhs(i, rhs).unwrap();
+    }
+    let serial = system.solve().unwrap();
+    for threads in THREAD_MATRIX {
+        let parallel = system.solve_with(&ThreadPool::new(threads)).unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (xs, ys) in serial.iter().zip(&parallel) {
+            for (x, y) in xs.iter().zip(ys) {
+                assert_eq!(
+                    (x.re.to_bits(), x.im.to_bits()),
+                    (y.re.to_bits(), y.im.to_bits()),
+                    "{threads} threads changed the block-tridiagonal solve",
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn spectral_solver_is_bit_identical_across_the_thread_matrix() {
+    let config = paper_base(5, 4.2, 0.2);
+    let serial = SpectralExpansionSolver::default().solve_detailed(&config).unwrap();
+    for threads in THREAD_MATRIX {
+        let solver = SpectralExpansionSolver::default().with_pool(ThreadPool::new(threads));
+        let got = solver.solve_detailed(&config).unwrap();
+        assert_eq!(serial.mean_queue_length().to_bits(), got.mean_queue_length().to_bits());
+        assert_eq!(serial.boundary_levels(), got.boundary_levels());
+        assert_eq!(serial.eigenvalues(), got.eigenvalues());
+        assert_eq!(vec_bits(&serial.mode_marginal()), vec_bits(&got.mode_marginal()));
+    }
+}
+
+#[test]
+fn matrix_geometric_solver_is_bit_identical_across_the_thread_matrix() {
+    // 7 servers with a 2-phase operative + 1-phase repair lifecycle give
+    // C(9,2) = 36 modes, so the 36×36 gemm and LU calls inside the logarithmic
+    // reduction are past the parallel cut-over and actually split into bands.
+    let config = paper_base(7, 4.0, 25.0);
+    let serial = MatrixGeometricSolver::default().solve_detailed(&config).unwrap();
+    for threads in THREAD_MATRIX {
+        let solver = MatrixGeometricSolver::default().with_pool(ThreadPool::new(threads));
+        let got = solver.solve_detailed(&config).unwrap();
+        assert_eq!(serial.mean_queue_length().to_bits(), got.mean_queue_length().to_bits());
+        assert_eq!(bits(serial.rate_matrix()), bits(got.rate_matrix()));
+        assert_eq!(serial.reduction_depth(), got.reduction_depth());
+        for level in [0, 1, 7, 20] {
+            assert_eq!(
+                vec_bits(&serial.level_vector(level)),
+                vec_bits(&got.level_vector(level)),
+                "{threads} threads changed level {level}",
+            );
+        }
+    }
+}
+
+#[test]
+fn truncated_solver_is_bit_identical_across_the_thread_matrix() {
+    let config = paper_base(5, 4.0, 25.0);
+    let serial = TruncatedCtmcSolver::default().solve_detailed(&config).unwrap();
+    for threads in THREAD_MATRIX {
+        let solver = TruncatedCtmcSolver::default().with_pool(ThreadPool::new(threads));
+        let got = solver.solve_detailed(&config).unwrap();
+        assert_eq!(serial.mean_queue_length().to_bits(), got.mean_queue_length().to_bits());
+        assert_eq!(serial.max_level(), got.max_level());
+        assert_eq!(serial.truncation_mass().to_bits(), got.truncation_mass().to_bits());
+        for level in 0..10 {
+            assert_eq!(
+                serial.level_probability(level).to_bits(),
+                got.level_probability(level).to_bits(),
+            );
+        }
+    }
+}
+
+#[test]
+fn response_time_percentile_is_bit_identical_across_the_thread_matrix() {
+    let config = paper_base(5, 4.2, 25.0);
+    let serial = ResponseAnalysis::new(&config).unwrap();
+    let p95 = serial.response_time_percentile(0.95).unwrap();
+    let mean = serial.mean_response_time();
+    let cdf = serial.response_time_cdf(2.0 * mean).unwrap();
+    for threads in THREAD_MATRIX {
+        let pooled = ResponseAnalysis::new(&config).unwrap().with_pool(ThreadPool::new(threads));
+        assert_eq!(
+            p95.to_bits(),
+            pooled.response_time_percentile(0.95).unwrap().to_bits(),
+            "{threads} threads changed the 95th percentile",
+        );
+        assert_eq!(mean.to_bits(), pooled.mean_response_time().to_bits());
+        assert_eq!(cdf.to_bits(), pooled.response_time_cdf(2.0 * mean).unwrap().to_bits());
+    }
 }
 
 /// Strategy: a stable paper-like configuration with 2–5 servers and varied lifecycle.

@@ -11,6 +11,7 @@ use crate::clu::CluDecomposition;
 use crate::cmatrix::CMatrix;
 use crate::complex::Complex;
 use crate::error::LinalgError;
+use crate::parallel::ThreadPool;
 use crate::workspace::Workspace;
 use crate::Result;
 
@@ -186,6 +187,23 @@ impl BlockTridiagonal {
     /// Returns [`LinalgError::Singular`] if a pivot block becomes singular during the
     /// elimination (callers may then fall back to a dense solve).
     pub fn solve(&self) -> Result<Vec<Vec<Complex>>> {
+        self.solve_with(&ThreadPool::serial())
+    }
+
+    /// [`solve`](Self::solve) with the per-block kernels — the `W = L_i·D'⁻¹` right
+    /// solve, the `D'_i = D_i − W·U_{i-1}` multiply-accumulate, and the diagonal-block
+    /// factorisation — running on the workers of `pool`.
+    ///
+    /// The block recurrence itself is sequential (row `i` needs row `i-1`'s factors),
+    /// so the parallelism lives *inside* each block operation; every kernel's banded
+    /// partition preserves the serial accumulation order, making the solution
+    /// bit-identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve`](Self::solve), plus [`LinalgError::WorkerPanic`] if a worker
+    /// panicked.
+    pub fn solve_with(&self, pool: &ThreadPool) -> Result<Vec<Vec<Complex>>> {
         let k = self.block_rows;
         let s = self.block_size;
         let mut ws = Workspace::new();
@@ -205,9 +223,16 @@ impl BlockTridiagonal {
                 if let Some(lower) = &self.lower[i] {
                     // W · D'_{i-1} = L_i, then D'_i = D_i − W·U_{i-1} and
                     // b'_i = b_i − W·b'_{i-1}.
-                    factorisations[i - 1].solve_right_matrix_into(lower, &mut w, &mut ws)?;
+                    factorisations[i - 1]
+                        .solve_right_matrix_into_with(lower, &mut w, &mut ws, pool)?;
                     if let Some(upper_prev) = &self.upper[i - 1] {
-                        d_cur.gemm(Complex::from_real(-1.0), &w, upper_prev, Complex::ONE)?;
+                        d_cur.gemm_with(
+                            Complex::from_real(-1.0),
+                            &w,
+                            upper_prev,
+                            Complex::ONE,
+                            pool,
+                        )?;
                     }
                     w.matvec_into(&rhs[i - 1], &mut coupled)?;
                     for (target, &delta) in rhs[i].iter_mut().zip(coupled.iter()) {
@@ -215,7 +240,7 @@ impl BlockTridiagonal {
                     }
                 }
             }
-            factorisations.push(CluDecomposition::from_matrix(d_cur)?);
+            factorisations.push(CluDecomposition::from_matrix_with(d_cur, pool)?);
         }
         ws.release_complex_matrix(w);
 

@@ -3,6 +3,8 @@
 use crate::cmatrix::CMatrix;
 use crate::complex::Complex;
 use crate::error::LinalgError;
+use crate::matrix::par_band_rows;
+use crate::parallel::ThreadPool;
 use crate::workspace::Workspace;
 use crate::Result;
 
@@ -39,6 +41,10 @@ pub struct CluDecomposition {
 /// Pivots below this absolute threshold are treated as exactly zero.
 const PIVOT_EPS: f64 = 1e-300;
 
+/// Panel width of the blocked elimination (complex elements are twice the size of
+/// real ones, so the panel is half of the real kernel's).
+const PANEL: usize = 24;
+
 impl CluDecomposition {
     /// Factorises a square complex matrix, rejecting singular input.
     ///
@@ -50,6 +56,16 @@ impl CluDecomposition {
         Self::from_matrix(a.clone())
     }
 
+    /// [`new`](Self::new) with the trailing updates of the blocked elimination
+    /// parallelised on `pool`; see [`from_matrix_with`](Self::from_matrix_with).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`from_matrix_with`](Self::from_matrix_with).
+    pub fn new_with(a: &CMatrix, pool: &ThreadPool) -> Result<Self> {
+        Self::from_matrix_with(a.clone(), pool)
+    }
+
     /// Factorises a square complex matrix taking ownership of its storage (no copy),
     /// rejecting singular input.  The move-in twin of [`new`](Self::new) for
     /// workspace-recycled buffers; recover the storage with
@@ -59,7 +75,24 @@ impl CluDecomposition {
     ///
     /// Same conditions as [`new`](Self::new).
     pub fn from_matrix(a: CMatrix) -> Result<Self> {
-        let lu = Self::factor_allow_singular(a)?;
+        Self::from_matrix_with(a, &ThreadPool::serial())
+    }
+
+    /// [`from_matrix`](Self::from_matrix) with the trailing-submatrix updates of the
+    /// blocked elimination partitioned across the workers of `pool` — the complex
+    /// twin of [`LuDecomposition::from_matrix_with`]: panel factorisation stays
+    /// serial, the row-independent phase-2b update runs in bands, and every row's
+    /// ascending-`k` accumulation is unchanged, so the factors are bit-identical at
+    /// any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`from_matrix`](Self::from_matrix), plus
+    /// [`LinalgError::WorkerPanic`] if a worker panicked.
+    ///
+    /// [`LuDecomposition::from_matrix_with`]: crate::LuDecomposition::from_matrix_with
+    pub fn from_matrix_with(a: CMatrix, pool: &ThreadPool) -> Result<Self> {
+        let lu = Self::factor_allow_singular(a, pool)?;
         if lu.min_pivot.1 < PIVOT_EPS {
             return Err(LinalgError::Singular { pivot: lu.min_pivot.0 });
         }
@@ -72,13 +105,25 @@ impl CluDecomposition {
     ///
     /// Returns [`LinalgError::NotSquare`] or [`LinalgError::InvalidInput`].
     pub fn new_allow_singular(a: &CMatrix) -> Result<Self> {
-        Self::factor_allow_singular(a.clone())
+        Self::factor_allow_singular(a.clone(), &ThreadPool::serial())
+    }
+
+    /// [`new_allow_singular`](Self::new_allow_singular) with the trailing updates
+    /// parallelised on `pool`; see [`from_matrix_with`](Self::from_matrix_with) for
+    /// the determinism contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`], [`LinalgError::InvalidInput`], or
+    /// [`LinalgError::WorkerPanic`].
+    pub fn new_allow_singular_with(a: &CMatrix, pool: &ThreadPool) -> Result<Self> {
+        Self::factor_allow_singular(a.clone(), pool)
     }
 
     /// Blocked right-looking elimination; same arithmetic as the unblocked textbook
     /// algorithm (panels only defer the trailing update, they never reorder the
     /// per-element accumulation), so results are identical bit for bit.
-    fn factor_allow_singular(a: CMatrix) -> Result<Self> {
+    fn factor_allow_singular(a: CMatrix, pool: &ThreadPool) -> Result<Self> {
         if !a.is_square() {
             return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
         }
@@ -94,10 +139,6 @@ impl CluDecomposition {
         let mut perm: Vec<usize> = (0..n).collect();
         let mut perm_sign = 1.0;
         let mut min_pivot = (0usize, f64::INFINITY);
-
-        /// Panel width of the blocked elimination (complex elements are twice the
-        /// size of real ones, so the panel is half of the real kernel's).
-        const PANEL: usize = 24;
         let mut active = [false; PANEL];
 
         for kk in (0..n).step_by(PANEL) {
@@ -160,21 +201,18 @@ impl CluDecomposition {
                     }
                 }
             }
+            // Rows below the panel are mutually independent, so the update can run in
+            // row bands across the pool; each row's ascending-k loop is unchanged.
             let (panel_rows, trailing_rows) = d.split_at_mut(k_end * n);
-            for row in trailing_rows.chunks_exact_mut(n) {
-                for k in kk..k_end {
-                    if !active[k - kk] {
-                        continue;
-                    }
-                    let factor = row[k];
-                    if factor == Complex::ZERO {
-                        continue;
-                    }
-                    let u_row = &panel_rows[k * n + k_end..(k + 1) * n];
-                    for (x, &u) in row[k_end..].iter_mut().zip(u_row) {
-                        *x -= factor * u;
-                    }
-                }
+            let trailing_count = trailing_rows.len() / n;
+            let band_rows = par_band_rows(trailing_count, k_end - kk, n - k_end, pool.threads());
+            if band_rows >= trailing_count {
+                clu_trailing_update(trailing_rows, panel_rows, &active, kk, k_end, n);
+            } else {
+                let panel_ref: &[Complex] = panel_rows;
+                pool.par_chunks_mut(trailing_rows, band_rows * n, |_, band| {
+                    clu_trailing_update(band, panel_ref, &active, kk, k_end, n);
+                })?;
             }
         }
         Ok(CluDecomposition { lu, perm, perm_sign, min_pivot })
@@ -336,6 +374,26 @@ impl CluDecomposition {
         out: &mut CMatrix,
         ws: &mut Workspace,
     ) -> Result<()> {
+        self.solve_right_matrix_into_with(b, out, ws, &ThreadPool::serial())
+    }
+
+    /// [`solve_right_matrix_into`](Self::solve_right_matrix_into) with the rows of
+    /// `X` partitioned across the workers of `pool` — each row is an independent
+    /// triangular solve, so bands run concurrently with per-worker scratch rows while
+    /// the per-row substitution order (and hence the result, bit for bit) is
+    /// unchanged.  The serial path borrows its scratch from `ws` as before.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve_right_matrix_into`](Self::solve_right_matrix_into), plus
+    /// [`LinalgError::WorkerPanic`] if a worker panicked.
+    pub fn solve_right_matrix_into_with(
+        &self,
+        b: &CMatrix,
+        out: &mut CMatrix,
+        ws: &mut Workspace,
+        pool: &ThreadPool,
+    ) -> Result<()> {
         self.ensure_regular()?;
         let n = self.dim();
         if b.cols() != n || out.shape() != b.shape() {
@@ -349,34 +407,27 @@ impl CluDecomposition {
             *t = v;
         }
         let d = self.lu.as_slice();
-        let mut scratch = ws.complex_buffer(n);
-        for row in out.as_mut_slice().chunks_exact_mut(n) {
-            // w U = b: forward over columns using row j of U.
-            for j in 0..n {
-                let wj = row[j] / d[j * n + j];
-                row[j] = wj;
-                if wj != Complex::ZERO {
-                    for (x, &u) in row[j + 1..].iter_mut().zip(&d[j * n + j + 1..(j + 1) * n]) {
-                        *x -= wj * u;
-                    }
-                }
+        let rows = out.rows();
+        let band_rows = par_band_rows(rows, n, n, pool.threads());
+        if band_rows >= rows {
+            let mut scratch = ws.complex_buffer(n);
+            for row in out.as_mut_slice().chunks_exact_mut(n) {
+                cright_solve_row(row, d, &self.perm, &mut scratch, n);
             }
-            // w L = w' (unit diagonal): backward over columns using row j of L.
-            for j in (0..n).rev() {
-                let wj = row[j];
-                if wj != Complex::ZERO {
-                    for (x, &l) in row[..j].iter_mut().zip(&d[j * n..j * n + j]) {
-                        *x -= wj * l;
-                    }
-                }
-            }
-            // X = W P: scatter within the row.
-            scratch.copy_from_slice(row);
-            for (k, &p) in self.perm.iter().enumerate() {
-                row[p] = scratch[k];
-            }
+            ws.release_complex_buffer(scratch);
+            return Ok(());
         }
-        ws.release_complex_buffer(scratch);
+        let perm = &self.perm;
+        pool.par_chunks_mut_with(
+            out.as_mut_slice(),
+            band_rows * n,
+            || vec![Complex::ZERO; n],
+            |scratch, _, band| {
+                for row in band.chunks_exact_mut(n) {
+                    cright_solve_row(row, d, perm, scratch, n);
+                }
+            },
+        )?;
         Ok(())
     }
 
@@ -469,6 +520,69 @@ impl CluDecomposition {
 /// Propagates errors from the complex LU factorisation and null-vector extraction.
 pub(crate) fn left_null_vector_of(a: &CMatrix) -> Result<Vec<Complex>> {
     CluDecomposition::new_allow_singular(&a.transpose())?.null_vector()
+}
+
+/// Phase 2b of the blocked complex elimination over a band of rows below the panel;
+/// shared by the serial loop and the per-worker bands so the per-row arithmetic
+/// never depends on the thread count.
+fn clu_trailing_update(
+    rows: &mut [Complex],
+    panel_rows: &[Complex],
+    active: &[bool; PANEL],
+    kk: usize,
+    k_end: usize,
+    n: usize,
+) {
+    for row in rows.chunks_exact_mut(n) {
+        for k in kk..k_end {
+            if !active[k - kk] {
+                continue;
+            }
+            let factor = row[k];
+            if factor == Complex::ZERO {
+                continue;
+            }
+            let u_row = &panel_rows[k * n + k_end..(k + 1) * n];
+            for (x, &u) in row[k_end..].iter_mut().zip(u_row) {
+                *x -= factor * u;
+            }
+        }
+    }
+}
+
+/// One row of the complex right division `X A = B`; the complex twin of the real
+/// kernel's per-row routine, shared by the serial and banded parallel paths.
+fn cright_solve_row(
+    row: &mut [Complex],
+    d: &[Complex],
+    perm: &[usize],
+    scratch: &mut [Complex],
+    n: usize,
+) {
+    // w U = b: forward over columns using row j of U.
+    for j in 0..n {
+        let wj = row[j] / d[j * n + j];
+        row[j] = wj;
+        if wj != Complex::ZERO {
+            for (x, &u) in row[j + 1..].iter_mut().zip(&d[j * n + j + 1..(j + 1) * n]) {
+                *x -= wj * u;
+            }
+        }
+    }
+    // w L = w' (unit diagonal): backward over columns using row j of L.
+    for j in (0..n).rev() {
+        let wj = row[j];
+        if wj != Complex::ZERO {
+            for (x, &l) in row[..j].iter_mut().zip(&d[j * n..j * n + j]) {
+                *x -= wj * l;
+            }
+        }
+    }
+    // X = W P: scatter within the row.
+    scratch.copy_from_slice(row);
+    for (k, &p) in perm.iter().enumerate() {
+        row[p] = scratch[k];
+    }
 }
 
 #[cfg(test)]

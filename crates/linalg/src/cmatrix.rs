@@ -6,7 +6,8 @@ use std::ops::{Add, Index, IndexMut, Mul, Sub};
 use crate::clu::CluDecomposition;
 use crate::complex::Complex;
 use crate::error::LinalgError;
-use crate::matrix::Matrix;
+use crate::matrix::{par_band_rows, Matrix};
+use crate::parallel::ThreadPool;
 use crate::Result;
 
 /// A dense, row-major matrix of [`Complex`] values.
@@ -227,6 +228,26 @@ impl CMatrix {
     /// Returns [`LinalgError::DimensionMismatch`] unless
     /// `self.shape() == (a.rows(), b.cols())` and `a.cols() == b.rows()`.
     pub fn gemm(&mut self, alpha: Complex, a: &CMatrix, b: &CMatrix, beta: Complex) -> Result<()> {
+        self.gemm_with(alpha, a, b, beta, &ThreadPool::serial())
+    }
+
+    /// [`gemm`](Self::gemm) with the output rows partitioned across the workers of
+    /// `pool` — the complex twin of [`Matrix::gemm_with`], bit-identical to the
+    /// serial kernel at any thread count because each output element's ascending-`k`
+    /// accumulation happens entirely within one worker's row band.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`gemm`](Self::gemm), plus [`LinalgError::WorkerPanic`] if a worker
+    /// panicked.
+    pub fn gemm_with(
+        &mut self,
+        alpha: Complex,
+        a: &CMatrix,
+        b: &CMatrix,
+        beta: Complex,
+        pool: &ThreadPool,
+    ) -> Result<()> {
         if a.cols != b.rows || self.rows != a.rows || self.cols != b.cols {
             return Err(LinalgError::DimensionMismatch {
                 operation: "complex matrix multiply-accumulate (gemm)",
@@ -234,42 +255,17 @@ impl CMatrix {
                 right: b.shape(),
             });
         }
-        if beta == Complex::ZERO {
-            self.data.fill(Complex::ZERO);
-        } else if beta != Complex::ONE {
-            for x in &mut self.data {
-                *x *= beta;
-            }
-        }
-        if alpha == Complex::ZERO {
+        let (m, k, n) = (a.rows, a.cols, b.cols);
+        let band_rows = par_band_rows(m, k, n, pool.threads());
+        if band_rows >= m {
+            cgemm_band(&mut self.data, &a.data, &b.data, alpha, beta, k, n);
             return Ok(());
         }
-        let (m, k, n) = (a.rows, a.cols, b.cols);
-        // A complex element is twice the size of a real one; halve the real kernel's
-        // tile sizes to keep the resident slab of `b` at the same byte footprint.
-        const KB: usize = 32;
-        const JB: usize = 128;
-        for kk in (0..k).step_by(KB) {
-            let k_end = (kk + KB).min(k);
-            for jj in (0..n).step_by(JB) {
-                let j_end = (jj + JB).min(n);
-                for i in 0..m {
-                    let a_tile = &a.data[i * k + kk..i * k + k_end];
-                    let c_row = &mut self.data[i * n + jj..i * n + j_end];
-                    for (offset, &av) in a_tile.iter().enumerate() {
-                        let aip = alpha * av;
-                        if aip == Complex::ZERO {
-                            continue;
-                        }
-                        let p = kk + offset;
-                        let b_row = &b.data[p * n + jj..p * n + j_end];
-                        for (c, &bv) in c_row.iter_mut().zip(b_row) {
-                            *c += aip * bv;
-                        }
-                    }
-                }
-            }
-        }
+        pool.par_chunks_mut(&mut self.data, band_rows * n, |band, c_rows| {
+            let row0 = band * band_rows;
+            let rows = c_rows.len() / n;
+            cgemm_band(c_rows, &a.data[row0 * k..(row0 + rows) * k], &b.data, alpha, beta, k, n);
+        })?;
         Ok(())
     }
 
@@ -380,6 +376,57 @@ impl CMatrix {
     pub fn approx_eq(&self, other: &CMatrix, tol: f64) -> bool {
         self.shape() == other.shape()
             && self.data.iter().zip(&other.data).all(|(a, b)| (*a - *b).abs() <= tol)
+    }
+}
+
+/// The complex tiled multiply-accumulate kernel over one contiguous band of output
+/// rows: `C ← α·A_band·B + β·C_band`.  The serial path runs it once over all rows;
+/// the parallel path runs it per band — each element's ascending-`k` accumulation is
+/// identical either way, so results never depend on the thread count.
+fn cgemm_band(
+    c: &mut [Complex],
+    a: &[Complex],
+    b: &[Complex],
+    alpha: Complex,
+    beta: Complex,
+    k: usize,
+    n: usize,
+) {
+    if beta == Complex::ZERO {
+        c.fill(Complex::ZERO);
+    } else if beta != Complex::ONE {
+        for x in c.iter_mut() {
+            *x *= beta;
+        }
+    }
+    if alpha == Complex::ZERO || n == 0 {
+        return;
+    }
+    let m = c.len() / n;
+    // A complex element is twice the size of a real one; halve the real kernel's
+    // tile sizes to keep the resident slab of `b` at the same byte footprint.
+    const KB: usize = 32;
+    const JB: usize = 128;
+    for kk in (0..k).step_by(KB) {
+        let k_end = (kk + KB).min(k);
+        for jj in (0..n).step_by(JB) {
+            let j_end = (jj + JB).min(n);
+            for i in 0..m {
+                let a_tile = &a[i * k + kk..i * k + k_end];
+                let c_row = &mut c[i * n + jj..i * n + j_end];
+                for (offset, &av) in a_tile.iter().enumerate() {
+                    let aip = alpha * av;
+                    if aip == Complex::ZERO {
+                        continue;
+                    }
+                    let p = kk + offset;
+                    let b_row = &b[p * n + jj..p * n + j_end];
+                    for (c, &bv) in c_row.iter_mut().zip(b_row) {
+                        *c += aip * bv;
+                    }
+                }
+            }
+        }
     }
 }
 

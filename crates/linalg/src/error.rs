@@ -42,6 +42,15 @@ pub enum LinalgError {
     },
     /// The input data is invalid (empty matrix, ragged rows, non-finite entries, …).
     InvalidInput(String),
+    /// A worker thread panicked inside a parallel kernel.  The reported index is the
+    /// smallest-indexed work item that panicked — the same item a serial run would
+    /// have blown up on — so the error is independent of the thread count.
+    WorkerPanic {
+        /// Index of the smallest-indexed work item whose closure panicked.
+        index: usize,
+        /// The panic payload rendered as text.
+        message: String,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -62,6 +71,9 @@ impl fmt::Display for LinalgError {
                 write!(f, "{algorithm} did not converge after {iterations} iterations")
             }
             LinalgError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            LinalgError::WorkerPanic { index, message } => {
+                write!(f, "worker panicked at parallel work item {index}: {message}")
+            }
         }
     }
 }
@@ -97,6 +109,14 @@ mod tests {
         assert!(err.to_string().contains("francis-qr"));
         let err = LinalgError::InvalidInput("empty matrix".into());
         assert!(err.to_string().contains("empty matrix"));
+    }
+
+    #[test]
+    fn display_worker_panic() {
+        let err = LinalgError::WorkerPanic { index: 4, message: "overflow".into() };
+        let text = err.to_string();
+        assert!(text.contains("work item 4"));
+        assert!(text.contains("overflow"));
     }
 
     #[test]

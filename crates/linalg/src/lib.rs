@@ -18,7 +18,12 @@
 //! * allocation-free in-place kernels — `gemm`-style multiply-accumulate
 //!   ([`Matrix::gemm`], [`CMatrix::gemm`]), blocked LU with the `solve_*_into`
 //!   family — backed by a reusable [`Workspace`] scratch-buffer pool so the
-//!   solvers' hot loops allocate nothing.
+//!   solvers' hot loops allocate nothing,
+//! * an intra-solve worker pool ([`ThreadPool`], module [`parallel`]): the `*_with`
+//!   kernel variants ([`Matrix::gemm_with`], [`LuDecomposition::from_matrix_with`],
+//!   [`LuDecomposition::solve_right_matrix_into_with`], …) partition independent
+//!   output rows across workers while keeping every per-element accumulation order
+//!   fixed, so results are **bit-identical at any thread count**.
 //!
 //! Everything is implemented from scratch on top of `std`; no external BLAS/LAPACK
 //! bindings are used, which keeps the workspace buildable in fully offline
@@ -37,6 +42,7 @@
 //! | [`Matrix::gemm`] / [`CMatrix::gemm`] | tiled multiply-accumulate behind every solver product (§3.1 matrices are sparse bands — zero rows are skipped) |
 //! | [`LuDecomposition`] / [`CluDecomposition`] | blocked LU with partial pivoting; `solve_into` / `solve_matrix_into` / `solve_right_matrix_into` replace every explicit inverse |
 //! | [`Workspace`] | scratch-buffer pool so the `R`-matrix logarithmic reduction and the boundary elimination allocate nothing per iteration |
+//! | [`ThreadPool`] + the `*_with` kernels | row-banded parallel gemm, trailing-update LU and right-solves; panels and pivoting stay serial, bands are disjoint, accumulation order is fixed — the pool changes wall time, never bits (pinned by the `parallel_equivalence` and `properties` suites) |
 //!
 //! # Example
 //!
@@ -67,6 +73,7 @@ mod quadratic;
 mod workspace;
 
 pub mod eigen;
+pub mod parallel;
 
 pub use blocktri::BlockTridiagonal;
 pub use clu::CluDecomposition;
@@ -76,6 +83,7 @@ pub use eigen::{eigenvalues, EigenOptions};
 pub use error::LinalgError;
 pub use lu::LuDecomposition;
 pub use matrix::Matrix;
+pub use parallel::{ThreadPool, WorkerPanic};
 pub use quadratic::{QuadraticEigenProblem, QuadraticEigenvalue};
 pub use workspace::Workspace;
 

@@ -1,7 +1,8 @@
 //! Blocked LU factorisation with partial pivoting for real matrices.
 
 use crate::error::LinalgError;
-use crate::matrix::Matrix;
+use crate::matrix::{par_band_rows, Matrix};
+use crate::parallel::ThreadPool;
 use crate::workspace::Workspace;
 use crate::Result;
 
@@ -71,7 +72,24 @@ impl LuDecomposition {
     ///
     /// Same conditions as [`new`](Self::new).
     pub fn from_matrix(a: Matrix) -> Result<Self> {
-        let lu = Self::factor_allow_singular(a)?;
+        Self::from_matrix_with(a, &ThreadPool::serial())
+    }
+
+    /// [`from_matrix`](Self::from_matrix) with the trailing-submatrix updates of the
+    /// blocked elimination fanned out across the workers of `pool`.
+    ///
+    /// Panel factorisation (pivot search, swaps, multipliers) stays serial — it is a
+    /// sequential dependency chain — but phase 2b, the multiply-accumulate of the rows
+    /// *below* the panel, is row-independent and is partitioned into bands.  Every
+    /// row's update runs the identical ascending-`k` loop it runs serially, so the
+    /// factors are bit-identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`from_matrix`](Self::from_matrix), plus
+    /// [`LinalgError::WorkerPanic`] if a worker panicked.
+    pub fn from_matrix_with(a: Matrix, pool: &ThreadPool) -> Result<Self> {
+        let lu = Self::factor_allow_singular(a, pool)?;
         if let Some(pivot) = lu.singular_at {
             return Err(LinalgError::Singular { pivot });
         }
@@ -88,10 +106,22 @@ impl LuDecomposition {
     ///
     /// Returns [`LinalgError::NotSquare`] or [`LinalgError::InvalidInput`].
     pub fn new_allow_singular(a: &Matrix) -> Result<Self> {
-        Self::factor_allow_singular(a.clone())
+        Self::factor_allow_singular(a.clone(), &ThreadPool::serial())
     }
 
-    fn factor_allow_singular(a: Matrix) -> Result<Self> {
+    /// [`new_allow_singular`](Self::new_allow_singular) with the trailing updates
+    /// parallelised on `pool`; see [`from_matrix_with`](Self::from_matrix_with) for
+    /// the determinism contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`], [`LinalgError::InvalidInput`], or
+    /// [`LinalgError::WorkerPanic`].
+    pub fn new_allow_singular_with(a: &Matrix, pool: &ThreadPool) -> Result<Self> {
+        Self::factor_allow_singular(a.clone(), pool)
+    }
+
+    fn factor_allow_singular(a: Matrix, pool: &ThreadPool) -> Result<Self> {
         if !a.is_square() {
             return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
         }
@@ -173,22 +203,20 @@ impl LuDecomposition {
                 }
             }
             // 2b. Rows below the panel: a multiply-accumulate A22 ← A22 − L21·U12 with
-            //     the panel's U rows (≤ PANEL·n doubles) staying cache-hot.
+            //     the panel's U rows (≤ PANEL·n doubles) staying cache-hot.  Each row's
+            //     update is independent of every other row, so the rows can be split
+            //     into bands across the pool; within a row the ascending-k loop is the
+            //     same either way, keeping the factors bit-identical.
             let (panel_rows, trailing_rows) = d.split_at_mut(k_end * n);
-            for row in trailing_rows.chunks_exact_mut(n) {
-                for k in kk..k_end {
-                    if !active[k - kk] {
-                        continue;
-                    }
-                    let factor = row[k];
-                    if factor == 0.0 {
-                        continue;
-                    }
-                    let u_row = &panel_rows[k * n + k_end..(k + 1) * n];
-                    for (x, &u) in row[k_end..].iter_mut().zip(u_row) {
-                        *x -= factor * u;
-                    }
-                }
+            let trailing_count = trailing_rows.len() / n;
+            let band_rows = par_band_rows(trailing_count, k_end - kk, n - k_end, pool.threads());
+            if band_rows >= trailing_count {
+                lu_trailing_update(trailing_rows, panel_rows, &active, kk, k_end, n);
+            } else {
+                let panel_ref: &[f64] = panel_rows;
+                pool.par_chunks_mut(trailing_rows, band_rows * n, |_, band| {
+                    lu_trailing_update(band, panel_ref, &active, kk, k_end, n);
+                })?;
             }
         }
         Ok(LuDecomposition { lu, perm, perm_sign, singular_at })
@@ -365,6 +393,29 @@ impl LuDecomposition {
         out: &mut Matrix,
         ws: &mut Workspace,
     ) -> Result<()> {
+        self.solve_right_matrix_into_with(b, out, ws, &ThreadPool::serial())
+    }
+
+    /// [`solve_right_matrix_into`](Self::solve_right_matrix_into) with the rows of
+    /// `X` partitioned across the workers of `pool`.
+    ///
+    /// Each row of `X` is an independent triangular solve, so row bands can run
+    /// concurrently; every row performs the identical column-ordered substitution it
+    /// performs serially, keeping the result bit-identical at any thread count.  The
+    /// serial path borrows its scratch row from `ws`; parallel workers each allocate
+    /// one scratch row of their own, so a [`Workspace`] never crosses a thread.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve_right_matrix_into`](Self::solve_right_matrix_into), plus
+    /// [`LinalgError::WorkerPanic`] if a worker panicked.
+    pub fn solve_right_matrix_into_with(
+        &self,
+        b: &Matrix,
+        out: &mut Matrix,
+        ws: &mut Workspace,
+        pool: &ThreadPool,
+    ) -> Result<()> {
         self.ensure_regular()?;
         let n = self.dim();
         if b.cols() != n || out.shape() != b.shape() {
@@ -376,34 +427,27 @@ impl LuDecomposition {
         }
         out.copy_from(b)?;
         let d = self.lu.as_slice();
-        let mut scratch = ws.real_buffer(n);
-        for row in out.as_mut_slice().chunks_exact_mut(n) {
-            // w U = b: forward over columns using row j of U.
-            for j in 0..n {
-                let wj = row[j] / d[j * n + j];
-                row[j] = wj;
-                if wj != 0.0 {
-                    for (x, &u) in row[j + 1..].iter_mut().zip(&d[j * n + j + 1..(j + 1) * n]) {
-                        *x -= wj * u;
-                    }
-                }
+        let rows = out.rows();
+        let band_rows = par_band_rows(rows, n, n, pool.threads());
+        if band_rows >= rows {
+            let mut scratch = ws.real_buffer(n);
+            for row in out.as_mut_slice().chunks_exact_mut(n) {
+                right_solve_row(row, d, &self.perm, &mut scratch, n);
             }
-            // w L = w' (unit diagonal): backward over columns using row j of L.
-            for j in (0..n).rev() {
-                let wj = row[j];
-                if wj != 0.0 {
-                    for (x, &l) in row[..j].iter_mut().zip(&d[j * n..j * n + j]) {
-                        *x -= wj * l;
-                    }
-                }
-            }
-            // X = W P: scatter within the row.
-            scratch.copy_from_slice(row);
-            for (k, &p) in self.perm.iter().enumerate() {
-                row[p] = scratch[k];
-            }
+            ws.release_real_buffer(scratch);
+            return Ok(());
         }
-        ws.release_real_buffer(scratch);
+        let perm = &self.perm;
+        pool.par_chunks_mut_with(
+            out.as_mut_slice(),
+            band_rows * n,
+            || vec![0.0; n],
+            |scratch, _, band| {
+                for row in band.chunks_exact_mut(n) {
+                    right_solve_row(row, d, perm, scratch, n);
+                }
+            },
+        )?;
         Ok(())
     }
 
@@ -414,6 +458,65 @@ impl LuDecomposition {
     /// Returns [`LinalgError::Singular`] if the matrix was singular.
     pub fn inverse(&self) -> Result<Matrix> {
         self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+}
+
+/// Phase 2b of the blocked elimination: `A22 ← A22 − L21·U12` over a band of rows
+/// below the panel.  Serial and parallel paths both call this on contiguous row
+/// bands, so each row's arithmetic order never depends on the thread count.
+fn lu_trailing_update(
+    rows: &mut [f64],
+    panel_rows: &[f64],
+    active: &[bool; PANEL],
+    kk: usize,
+    k_end: usize,
+    n: usize,
+) {
+    for row in rows.chunks_exact_mut(n) {
+        for k in kk..k_end {
+            if !active[k - kk] {
+                continue;
+            }
+            let factor = row[k];
+            if factor == 0.0 {
+                continue;
+            }
+            let u_row = &panel_rows[k * n + k_end..(k + 1) * n];
+            for (x, &u) in row[k_end..].iter_mut().zip(u_row) {
+                *x -= factor * u;
+            }
+        }
+    }
+}
+
+/// One row of the right division `X A = B`: solve `w U = b` forward, `w L = w'`
+/// backward, then scatter through the column permutation using `scratch` (length
+/// `n`).  Factored out so the serial loop and the per-worker parallel bands run the
+/// byte-for-byte identical routine.
+fn right_solve_row(row: &mut [f64], d: &[f64], perm: &[usize], scratch: &mut [f64], n: usize) {
+    // w U = b: forward over columns using row j of U.
+    for j in 0..n {
+        let wj = row[j] / d[j * n + j];
+        row[j] = wj;
+        if wj != 0.0 {
+            for (x, &u) in row[j + 1..].iter_mut().zip(&d[j * n + j + 1..(j + 1) * n]) {
+                *x -= wj * u;
+            }
+        }
+    }
+    // w L = w' (unit diagonal): backward over columns using row j of L.
+    for j in (0..n).rev() {
+        let wj = row[j];
+        if wj != 0.0 {
+            for (x, &l) in row[..j].iter_mut().zip(&d[j * n..j * n + j]) {
+                *x -= wj * l;
+            }
+        }
+    }
+    // X = W P: scatter within the row.
+    scratch.copy_from_slice(row);
+    for (k, &p) in perm.iter().enumerate() {
+        row[p] = scratch[k];
     }
 }
 

@@ -5,7 +5,27 @@ use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
 
 use crate::error::LinalgError;
 use crate::lu::LuDecomposition;
+use crate::parallel::ThreadPool;
 use crate::Result;
+
+/// Work (in multiply-adds) below which a parallel kernel call is not worth the
+/// scoped-thread spawn and falls back to the serial path.  Shared by the real and
+/// complex gemm and by the right-solve row fan-outs.
+pub(crate) const MIN_PAR_WORK: usize = 32 * 1024;
+
+/// Rows per parallel band when partitioning `m` output rows of an `m×k · k×n`
+/// product (or a row-independent solve of equivalent cost) across `threads`
+/// workers.  Returns `m` — a single band, i.e. the serial path — when the pool is
+/// serial or the total work is too small to amortise thread spawning.  Four bands
+/// per worker keep the load balanced when row costs vary (zero-skipping makes them
+/// vary); the partition never affects results, only wall time, because each output
+/// element's accumulation stays entirely within one band.
+pub(crate) fn par_band_rows(m: usize, k: usize, n: usize, threads: usize) -> usize {
+    if threads <= 1 || m < 2 || m.saturating_mul(k.max(1)).saturating_mul(n.max(1)) < MIN_PAR_WORK {
+        return m.max(1);
+    }
+    m.div_ceil(4 * threads).max(1)
+}
 
 /// A dense, row-major matrix of `f64` values.
 ///
@@ -247,6 +267,29 @@ impl Matrix {
     /// Returns [`LinalgError::DimensionMismatch`] unless
     /// `self.shape() == (a.rows(), b.cols())` and `a.cols() == b.rows()`.
     pub fn gemm(&mut self, alpha: f64, a: &Matrix, b: &Matrix, beta: f64) -> Result<()> {
+        self.gemm_with(alpha, a, b, beta, &ThreadPool::serial())
+    }
+
+    /// [`gemm`](Self::gemm) with the output rows partitioned across the workers of
+    /// `pool`, bit-identical to the serial kernel at any thread count.
+    ///
+    /// Each worker owns a disjoint band of output rows and runs the same `k`/`j`
+    /// tiling over it, so every output element accumulates its `k` terms in the same
+    /// ascending order as the serial kernel — the partition changes wall time, never
+    /// bits.  Small products (or a serial pool) take the serial path outright.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`gemm`](Self::gemm), plus [`LinalgError::WorkerPanic`] if a worker
+    /// panicked.
+    pub fn gemm_with(
+        &mut self,
+        alpha: f64,
+        a: &Matrix,
+        b: &Matrix,
+        beta: f64,
+        pool: &ThreadPool,
+    ) -> Result<()> {
         if a.cols != b.rows || self.rows != a.rows || self.cols != b.cols {
             return Err(LinalgError::DimensionMismatch {
                 operation: "matrix multiply-accumulate (gemm)",
@@ -254,42 +297,17 @@ impl Matrix {
                 right: b.shape(),
             });
         }
-        if beta == 0.0 {
-            self.data.fill(0.0);
-        } else if beta != 1.0 {
-            for x in &mut self.data {
-                *x *= beta;
-            }
-        }
-        if alpha == 0.0 {
+        let (m, k, n) = (a.rows, a.cols, b.cols);
+        let band_rows = par_band_rows(m, k, n, pool.threads());
+        if band_rows >= m {
+            gemm_band(&mut self.data, &a.data, &b.data, alpha, beta, k, n);
             return Ok(());
         }
-        let (m, k, n) = (a.rows, a.cols, b.cols);
-        // Tile sizes chosen so a KB×JB slab of `b` (≤ 128 KiB) fits in L2 while the
-        // accumulation order over `k` stays ascending (tiles are visited in order).
-        const KB: usize = 64;
-        const JB: usize = 256;
-        for kk in (0..k).step_by(KB) {
-            let k_end = (kk + KB).min(k);
-            for jj in (0..n).step_by(JB) {
-                let j_end = (jj + JB).min(n);
-                for i in 0..m {
-                    let a_tile = &a.data[i * k + kk..i * k + k_end];
-                    let c_row = &mut self.data[i * n + jj..i * n + j_end];
-                    for (offset, &av) in a_tile.iter().enumerate() {
-                        let aip = alpha * av;
-                        if aip == 0.0 {
-                            continue;
-                        }
-                        let p = kk + offset;
-                        let b_row = &b.data[p * n + jj..p * n + j_end];
-                        for (c, &bv) in c_row.iter_mut().zip(b_row) {
-                            *c += aip * bv;
-                        }
-                    }
-                }
-            }
-        }
+        pool.par_chunks_mut(&mut self.data, band_rows * n, |band, c_rows| {
+            let row0 = band * band_rows;
+            let rows = c_rows.len() / n;
+            gemm_band(c_rows, &a.data[row0 * k..(row0 + rows) * k], &b.data, alpha, beta, k, n);
+        })?;
         Ok(())
     }
 
@@ -501,6 +519,52 @@ impl Matrix {
     /// [`LinalgError::DimensionMismatch`].
     pub fn solve_left(&self, b: &[f64]) -> Result<Vec<f64>> {
         self.transpose().solve(b)
+    }
+}
+
+/// The tiled multiply-accumulate body of [`Matrix::gemm`] restricted to a band of
+/// output rows: `c ← alpha·a·b + beta·c`, where `c` and `a` hold the same
+/// `c.len() / n` consecutive rows of the output and left operand.
+///
+/// Tile sizes are chosen so a KB×JB slab of `b` (≤ 128 KiB) fits in L2 while the
+/// accumulation order over `k` stays ascending (tiles are visited in order).  The
+/// serial kernel is exactly this function applied to the full row range, so a banded
+/// parallel run — which only re-partitions `i`, never the per-element `k` order —
+/// reproduces it bit for bit.
+fn gemm_band(c: &mut [f64], a: &[f64], b: &[f64], alpha: f64, beta: f64, k: usize, n: usize) {
+    if beta == 0.0 {
+        c.fill(0.0);
+    } else if beta != 1.0 {
+        for x in c.iter_mut() {
+            *x *= beta;
+        }
+    }
+    if alpha == 0.0 || n == 0 {
+        return;
+    }
+    let m = c.len() / n;
+    const KB: usize = 64;
+    const JB: usize = 256;
+    for kk in (0..k).step_by(KB) {
+        let k_end = (kk + KB).min(k);
+        for jj in (0..n).step_by(JB) {
+            let j_end = (jj + JB).min(n);
+            for i in 0..m {
+                let a_tile = &a[i * k + kk..i * k + k_end];
+                let c_row = &mut c[i * n + jj..i * n + j_end];
+                for (offset, &av) in a_tile.iter().enumerate() {
+                    let aip = alpha * av;
+                    if aip == 0.0 {
+                        continue;
+                    }
+                    let p = kk + offset;
+                    let b_row = &b[p * n + jj..p * n + j_end];
+                    for (c, &bv) in c_row.iter_mut().zip(b_row) {
+                        *c += aip * bv;
+                    }
+                }
+            }
+        }
     }
 }
 

@@ -1,0 +1,656 @@
+//! A small scoped-thread worker pool for parallel kernels and grid evaluations.
+//!
+//! Every headline artefact of the paper — the cost curves of Figure 5, the sensitivity
+//! sweeps of Figures 6–8, the provisioning curves of Figure 9 — re-solves the QBD model
+//! at each point of a parameter grid, and the grid points are completely independent.
+//! Since the kernels of this crate learned to fan their own row panels out (parallel
+//! [`gemm`](crate::Matrix::gemm_with), blocked LU trailing updates, block-tridiagonal
+//! right-solves), the pool also lives here, one crate below the solvers, so a single
+//! large solve can use every core.  [`ThreadPool`] provides three guarantees:
+//!
+//! 1. **Deterministic ordering** — [`par_map`](ThreadPool::par_map) returns results in
+//!    the order of the input slice regardless of the number of threads or how the
+//!    scheduler interleaves them, so parallel sweeps are *bit-identical* to serial
+//!    ones.  [`par_chunks_mut`](ThreadPool::par_chunks_mut) hands out disjoint
+//!    partitions of one output buffer, so kernels that keep their per-element
+//!    accumulation order are bit-identical at any worker count too.
+//! 2. **Deterministic failure** — a panicking worker closure no longer poisons the
+//!    scope with whichever payload the scheduler noticed first: the panic of the
+//!    *smallest* work-item index is the one reported, either re-raised
+//!    ([`par_map`](ThreadPool::par_map)) or converted to a [`WorkerPanic`] error
+//!    ([`try_par_map`](ThreadPool::try_par_map),
+//!    [`par_chunks_mut`](ThreadPool::par_chunks_mut)) — exactly the failure a serial
+//!    loop over the same closure would have hit.
+//! 3. **No long-lived threads** — workers are `std::thread::scope`d to the call, so
+//!    the pool is just a thread-count policy and is trivially `Send`, `Sync` and
+//!    cheap to clone.  No external dependencies are needed.
+//!
+//! The default thread count is taken from the `URS_THREADS` environment variable when
+//! set (a value of `1` forces serial execution), otherwise from
+//! [`std::thread::available_parallelism`].
+//!
+//! # Example
+//!
+//! ```
+//! use urs_linalg::ThreadPool;
+//!
+//! let pool = ThreadPool::new(4);
+//! let squares = pool.par_map(&[1, 2, 3, 4, 5], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]); // input order, always
+//!
+//! // Fallible mapping: the error of the smallest failing index is returned,
+//! // matching what a serial loop over the same closure would report.
+//! let r: Result<Vec<i32>, String> =
+//!     ThreadPool::serial().try_par_map(&[1, 2, 3], |&x| if x == 2 { Err("two".into()) } else { Ok(x) });
+//! assert_eq!(r, Err("two".to_string()));
+//! ```
+
+use std::any::Any;
+use std::error::Error;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::error::LinalgError;
+
+/// A worker closure panicked inside a [`ThreadPool`] primitive.
+///
+/// The pool evaluates every started work item to completion and reports the panic of
+/// the *smallest* index — the same item at which a serial loop would have blown up —
+/// so the failure is independent of the thread count and of scheduler interleaving.
+/// The payload is rendered to text (`&str` and `String` payloads verbatim) because
+/// panic payloads themselves are neither `Clone` nor comparable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Index of the smallest-indexed work item whose closure panicked.
+    pub index: usize,
+    /// The panic payload rendered as text.
+    pub message: String,
+}
+
+impl fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "worker panicked at parallel work item {}: {}", self.index, self.message)
+    }
+}
+
+impl Error for WorkerPanic {}
+
+impl From<WorkerPanic> for LinalgError {
+    fn from(p: WorkerPanic) -> Self {
+        LinalgError::WorkerPanic { index: p.index, message: p.message }
+    }
+}
+
+/// Lets doctest-style closures with `String` errors keep working under the
+/// `E: From<WorkerPanic>` bound of [`ThreadPool::try_par_map`].
+impl From<WorkerPanic> for String {
+    fn from(p: WorkerPanic) -> Self {
+        p.to_string()
+    }
+}
+
+type PanicPayload = Box<dyn Any + Send>;
+
+/// Renders a panic payload as text: `&str`/`String` payloads verbatim, anything else
+/// as a placeholder (payloads are arbitrary `Any` values).
+fn panic_message(payload: PanicPayload) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A scoped-thread worker pool with deterministic `par_map` and partition APIs.
+///
+/// The pool owns no threads between calls: each [`par_map`](Self::par_map) spawns up to
+/// `threads` scoped workers that pull indices from a shared atomic counter, evaluate
+/// the closure, and write results back keyed by index.  With one thread (or one item)
+/// the closure is run inline, so `ThreadPool::serial()` is exactly the plain serial
+/// loop.  [`par_chunks_mut`](Self::par_chunks_mut) is the same discipline for kernels:
+/// workers pull disjoint chunks of one mutable buffer in ascending order, which is what
+/// the parallel `gemm`/LU paths of this crate partition their output rows with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool using `threads` worker threads.  A value of `0` is clamped to 1.
+    pub fn new(threads: usize) -> Self {
+        ThreadPool { threads: threads.max(1) }
+    }
+
+    /// A single-threaded pool: every primitive degenerates to a plain serial loop.
+    pub fn serial() -> Self {
+        ThreadPool::new(1)
+    }
+
+    /// Upper bound applied to `URS_THREADS`: requests beyond this are almost certainly
+    /// typos, and scoped-spawning tens of thousands of OS threads per sweep would
+    /// thrash rather than parallelise.
+    pub const MAX_THREADS: usize = 512;
+
+    /// A pool sized from the environment: the `URS_THREADS` variable when it parses to
+    /// an integer — clamped to `1 ..= MAX_THREADS`, so `URS_THREADS=0` forces the
+    /// serial path instead of being silently ignored — otherwise
+    /// [`std::thread::available_parallelism`].
+    pub fn auto() -> Self {
+        ThreadPool { threads: threads_from_env(std::env::var("URS_THREADS").ok().as_deref()) }
+    }
+
+    /// The number of worker threads this pool will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every element of `items`, in parallel, returning the results in
+    /// input order.
+    ///
+    /// The closure must be freely callable from several threads at once (`Sync`); it
+    /// receives each element exactly once.  Result ordering is independent of the
+    /// thread count, so outputs are bit-identical to `items.iter().map(f).collect()`.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the panic of the smallest-indexed item whose closure panicked (every
+    /// item started before the failure is evaluated to completion first, so the choice
+    /// is deterministic).
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let (slots, panicked) = self.run_catching(items, &f);
+        if let Some((_, payload)) = panicked {
+            resume_unwind(payload);
+        }
+        slots.into_iter().map(|r| r.expect("every index is visited exactly once")).collect()
+    }
+
+    /// Fallible variant of [`par_map`](Self::par_map): evaluates every element and
+    /// returns either all results in input order or the failure of the *smallest*
+    /// failing index — an `Err` returned by `f`, or a worker panic converted to
+    /// `E::from(WorkerPanic)`.
+    ///
+    /// Because failures are reported in index order, the returned error is the same
+    /// one a serial loop over `f` would have stopped at — only the amount of wasted
+    /// work behind a failure differs between thread counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (by input position) error produced by `f`, or a converted
+    /// [`WorkerPanic`] if the first failure was a panic instead of an `Err`.
+    pub fn try_par_map<T, R, E, F>(&self, items: &[T], f: F) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send + From<WorkerPanic>,
+        F: Fn(&T) -> Result<R, E> + Sync,
+    {
+        let wrapped = |item: &T| f(item);
+        let (slots, panicked) = self.run_catching(items, &wrapped);
+        let panicked = panicked.map(|(i, payload)| (i, panic_message(payload)));
+        let mut out = Vec::with_capacity(items.len());
+        for (i, slot) in slots.into_iter().enumerate() {
+            if let Some((pi, message)) = &panicked {
+                if *pi == i {
+                    return Err(E::from(WorkerPanic { index: i, message: message.clone() }));
+                }
+            }
+            match slot {
+                Some(Ok(r)) => out.push(r),
+                Some(Err(e)) => return Err(e),
+                // Items are handed out in ascending order and every started item runs
+                // to completion, so an unevaluated slot can only sit *behind* the
+                // recorded panic — the loop returns before reaching it.
+                None => unreachable!("unevaluated slot before the first failure"),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Splits `data` into chunks of `chunk_len` elements (the last may be shorter) and
+    /// applies `f(chunk_index, chunk)` to each, in parallel over disjoint chunks.
+    ///
+    /// This is the indexed-partition primitive behind the parallel kernels: a row
+    /// panel of an output matrix is one chunk, and because chunks never overlap, a
+    /// kernel that keeps its per-element accumulation order produces bit-identical
+    /// results at any worker count.  Chunks are handed out in ascending index order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkerPanic`] for the smallest-indexed chunk whose closure panicked;
+    /// the same contract as [`try_par_map`](Self::try_par_map), at every thread count
+    /// including one.
+    pub fn par_chunks_mut<T, F>(
+        &self,
+        data: &mut [T],
+        chunk_len: usize,
+        f: F,
+    ) -> Result<(), WorkerPanic>
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        self.par_chunks_mut_with(data, chunk_len, || (), |(), i, chunk| f(i, chunk))
+    }
+
+    /// Like [`par_chunks_mut`](Self::par_chunks_mut), but hands every worker its own
+    /// state created by `init` — typically a scratch buffer or [`Workspace`] — so the
+    /// allocation-free contract of the `_into` kernels survives parallel execution:
+    /// each worker allocates its scratch once, not once per chunk.
+    ///
+    /// `init` runs once per worker (once total on the serial path) and must not
+    /// panic; `f` panics are contained and reported like every other primitive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkerPanic`] for the smallest-indexed chunk whose closure panicked.
+    ///
+    /// [`Workspace`]: crate::Workspace
+    pub fn par_chunks_mut_with<T, S, I, F>(
+        &self,
+        data: &mut [T],
+        chunk_len: usize,
+        init: I,
+        f: F,
+    ) -> Result<(), WorkerPanic>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &mut [T]) + Sync,
+    {
+        if data.is_empty() {
+            return Ok(());
+        }
+        let chunk_len = chunk_len.max(1);
+        let chunk_count = data.len().div_ceil(chunk_len);
+        let workers = self.threads.min(chunk_count);
+        if workers <= 1 {
+            let mut state = init();
+            for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(&mut state, i, chunk))) {
+                    return Err(WorkerPanic { index: i, message: panic_message(payload) });
+                }
+            }
+            return Ok(());
+        }
+        // Reversed so that popping from the Vec's tail hands chunks out in ascending
+        // index order — the prefix property the smallest-index panic contract needs.
+        let queue: Mutex<Vec<(usize, &mut [T])>> =
+            Mutex::new(data.chunks_mut(chunk_len).enumerate().rev().collect());
+        let abort = AtomicBool::new(false);
+        let panics: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut state = init();
+                    loop {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let Some((i, chunk)) = lock_ignoring_poison(&queue).pop() else { break };
+                        if let Err(payload) =
+                            catch_unwind(AssertUnwindSafe(|| f(&mut state, i, chunk)))
+                        {
+                            abort.store(true, Ordering::Relaxed);
+                            lock_ignoring_poison(&panics).push((i, panic_message(payload)));
+                        }
+                    }
+                });
+            }
+        });
+        let mut panics = panics.into_inner().unwrap_or_else(|e| e.into_inner());
+        if let Some(min) = panics.iter().map(|(i, _)| *i).min() {
+            let at = panics.iter().position(|(i, _)| *i == min).expect("min came from panics");
+            let (index, message) = panics.swap_remove(at);
+            return Err(WorkerPanic { index, message });
+        }
+        Ok(())
+    }
+
+    /// Shared engine of `par_map`/`try_par_map`: evaluates every item (under
+    /// `catch_unwind`), returning per-index result slots plus the smallest-indexed
+    /// panic, if any.  Indices are handed out in ascending order and every started
+    /// item runs to completion, so the set of evaluated indices is always a prefix
+    /// and the reported panic is deterministic.
+    fn run_catching<T, R, F>(
+        &self,
+        items: &[T],
+        f: &F,
+    ) -> (Vec<Option<R>>, Option<(usize, PanicPayload)>)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let workers = self.threads.min(items.len());
+        if workers <= 1 {
+            let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                    Ok(r) => slots.push(Some(r)),
+                    Err(payload) => {
+                        slots.resize_with(items.len(), || None);
+                        return (slots, Some((i, payload)));
+                    }
+                }
+            }
+            return (slots, None);
+        }
+        let next = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+        let panics: Mutex<Vec<(usize, PanicPayload)>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                            Ok(r) => local.push((i, r)),
+                            Err(payload) => {
+                                abort.store(true, Ordering::Relaxed);
+                                lock_ignoring_poison(&panics).push((i, payload));
+                            }
+                        }
+                    }
+                    lock_ignoring_poison(&collected).extend(local);
+                });
+            }
+        });
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+        slots.resize_with(items.len(), || None);
+        for (i, r) in collected.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            slots[i] = Some(r);
+        }
+        let mut panics = panics.into_inner().unwrap_or_else(|e| e.into_inner());
+        panics.sort_by_key(|(i, _)| *i);
+        let first = if panics.is_empty() { None } else { Some(panics.swap_remove(0)) };
+        (slots, first)
+    }
+}
+
+impl Default for ThreadPool {
+    /// Equivalent to [`ThreadPool::auto`].
+    fn default() -> Self {
+        ThreadPool::auto()
+    }
+}
+
+/// Hardware thread count, defaulting to 1 where it cannot be queried.
+fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Resolves the raw `URS_THREADS` value (or its absence) to a worker count: parsed
+/// integers are clamped to `1 ..= MAX_THREADS`; unparsable or missing values fall
+/// back to hardware parallelism.  Pure, so it is testable without mutating the
+/// process environment (which is not thread-safe to write concurrently).
+fn threads_from_env(raw: Option<&str>) -> usize {
+    match raw {
+        Some(value) => match value.trim().parse::<usize>() {
+            Ok(n) => n.clamp(1, ThreadPool::MAX_THREADS),
+            Err(_) => available_parallelism(),
+        },
+        None => available_parallelism(),
+    }
+}
+
+/// Locks a mutex, recovering the guard even if another worker panicked while holding
+/// it (worker panics are contained per item, so the guard data is always consistent).
+fn lock_ignoring_poison<'a, T>(mutex: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn zero_threads_clamped_to_one() {
+        assert_eq!(ThreadPool::new(0).threads(), 1);
+        assert_eq!(ThreadPool::serial().threads(), 1);
+        assert!(ThreadPool::default().threads() >= 1);
+    }
+
+    #[test]
+    fn urs_threads_env_is_clamped_not_ignored() {
+        // `threads_from_env` is the pure core of `auto()`, so the clamping rules are
+        // testable without mutating the process environment (writes race with every
+        // other test reading it through ThreadPool::default()).
+        // A zero request is a floor-clamp to the serial path, not a silent fallback
+        // to all cores.
+        assert_eq!(threads_from_env(Some("0")), 1);
+        assert_eq!(threads_from_env(Some("3")), 3);
+        assert_eq!(threads_from_env(Some(" 7 ")), 7);
+        // Absurd widths are capped rather than spawning thousands of threads.
+        assert_eq!(threads_from_env(Some("999999999")), ThreadPool::MAX_THREADS);
+        assert_eq!(threads_from_env(Some(&usize::MAX.to_string())), ThreadPool::MAX_THREADS);
+        // Garbage and absence both fall back to hardware parallelism.
+        assert_eq!(threads_from_env(Some("not-a-number")), available_parallelism());
+        assert_eq!(threads_from_env(Some("-2")), available_parallelism());
+        assert_eq!(threads_from_env(None), available_parallelism());
+        assert!(ThreadPool::auto().threads() >= 1);
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        for threads in [1, 2, 3, 8] {
+            let pool = ThreadPool::new(threads);
+            // Skew the per-item cost so late items often finish before early ones.
+            let out = pool.par_map(&items, |&i| {
+                if i % 16 == 0 {
+                    std::thread::yield_now();
+                }
+                i * 3 + 1
+            });
+            assert_eq!(out, items.iter().map(|&i| i * 3 + 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_calls_each_item_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..100).collect();
+        let out = ThreadPool::new(4).par_map(&items, |&x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 100);
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn par_map_on_empty_and_singleton_slices() {
+        let pool = ThreadPool::new(8);
+        let empty: Vec<i32> = Vec::new();
+        assert!(pool.par_map(&empty, |&x| x).is_empty());
+        assert_eq!(pool.par_map(&[7], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn try_par_map_returns_first_error_by_index() {
+        let items: Vec<i32> = (0..64).collect();
+        for threads in [1, 4] {
+            let result: Result<Vec<i32>, String> =
+                ThreadPool::new(threads).try_par_map(&items, |&x| {
+                    if x % 10 == 3 {
+                        Err(format!("bad {x}"))
+                    } else {
+                        Ok(x)
+                    }
+                });
+            // 3 is the smallest failing index regardless of scheduling.
+            assert_eq!(result, Err("bad 3".to_string()));
+        }
+    }
+
+    #[test]
+    fn try_par_map_succeeds_when_all_items_succeed() {
+        let items: Vec<i32> = (1..=32).collect();
+        let result: Result<Vec<i32>, String> =
+            ThreadPool::new(3).try_par_map(&items, |&x| Ok(x * x));
+        assert_eq!(result.unwrap(), items.iter().map(|&x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_results_are_bit_identical_to_serial() {
+        // Floating-point work: the exact same closure must produce the exact same bits
+        // through the pool as through a serial loop.
+        let grid: Vec<f64> = (1..50).map(|i| 0.3 + i as f64 * 0.017).collect();
+        let work = |&x: &f64| (x.sin() * x.exp()).ln_1p() / x.sqrt();
+        let serial: Vec<f64> = grid.iter().map(work).collect();
+        let parallel = ThreadPool::new(5).par_map(&grid, work);
+        assert_eq!(
+            serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            parallel.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn par_map_panic_is_reraised_for_smallest_index() {
+        let items: Vec<usize> = (0..200).collect();
+        for threads in [1, 2, 8] {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                ThreadPool::new(threads).par_map(&items, |&i| {
+                    if i == 13 || i == 140 {
+                        panic!("boom at {i}");
+                    }
+                    i
+                })
+            }))
+            .expect_err("the panic must propagate");
+            assert_eq!(panic_message(caught), "boom at 13");
+        }
+    }
+
+    #[test]
+    fn try_par_map_converts_worker_panics_to_errors() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 8] {
+            let result: Result<Vec<usize>, String> =
+                ThreadPool::new(threads).try_par_map(&items, |&i| {
+                    if i == 17 || i == 90 {
+                        panic!("kernel blew up on item {i}");
+                    }
+                    Ok(i)
+                });
+            let message = result.expect_err("the panic must become an error");
+            assert!(message.contains("work item 17"), "got: {message}");
+            assert!(message.contains("kernel blew up on item 17"), "got: {message}");
+        }
+    }
+
+    #[test]
+    fn try_par_map_prefers_the_smaller_index_between_error_and_panic() {
+        // An Err at index 3 precedes a panic at index 50: a serial loop would have
+        // stopped at the Err, so that is what every thread count must report.
+        let items: Vec<usize> = (0..64).collect();
+        for threads in [1, 2, 8] {
+            let result: Result<Vec<usize>, String> =
+                ThreadPool::new(threads).try_par_map(&items, |&i| {
+                    if i == 50 {
+                        panic!("late panic");
+                    }
+                    if i == 3 {
+                        return Err("early error".to_string());
+                    }
+                    Ok(i)
+                });
+            assert_eq!(result, Err("early error".to_string()));
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_visits_every_chunk_exactly_once() {
+        for threads in [1, 2, 3, 8] {
+            let mut data: Vec<usize> = vec![0; 103]; // non-multiple of the chunk length
+            ThreadPool::new(threads)
+                .par_chunks_mut(&mut data, 10, |i, chunk| {
+                    for x in chunk.iter_mut() {
+                        *x += i + 1;
+                    }
+                })
+                .unwrap();
+            let expected: Vec<usize> = (0..103).map(|j| j / 10 + 1).collect();
+            assert_eq!(data, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_on_empty_data_is_a_no_op() {
+        let mut data: Vec<f64> = Vec::new();
+        ThreadPool::new(4).par_chunks_mut(&mut data, 8, |_, _| panic!("never called")).unwrap();
+    }
+
+    #[test]
+    fn par_chunks_mut_reports_smallest_panicking_chunk() {
+        for threads in [1, 2, 8] {
+            let mut data = vec![0_u8; 64];
+            let err = ThreadPool::new(threads)
+                .par_chunks_mut(&mut data, 4, |i, _| {
+                    if i == 5 || i == 11 {
+                        panic!("chunk {i} failed");
+                    }
+                })
+                .expect_err("panics must surface as errors");
+            assert_eq!(err.index, 5, "threads = {threads}");
+            assert_eq!(err.message, "chunk 5 failed");
+            let linalg: LinalgError = err.into();
+            assert!(matches!(linalg, LinalgError::WorkerPanic { index: 5, .. }));
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_with_hands_each_worker_its_own_state() {
+        // The per-worker state must never be shared between chunks running on
+        // different workers; counting distinct initialisations proves each worker
+        // built its own.
+        let inits = AtomicUsize::new(0);
+        let mut data = vec![0_usize; 96];
+        ThreadPool::new(4)
+            .par_chunks_mut_with(
+                &mut data,
+                8,
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    vec![0_usize; 8] // scratch the closure scribbles on
+                },
+                |scratch, i, chunk| {
+                    for (s, x) in scratch.iter_mut().zip(chunk.iter_mut()) {
+                        *s = i;
+                        *x = *s + 1;
+                    }
+                },
+            )
+            .unwrap();
+        let inits = inits.load(Ordering::Relaxed);
+        assert!((1..=4).contains(&inits), "one init per worker, got {inits}");
+        let expected: Vec<usize> = (0..96).map(|j| j / 8 + 1).collect();
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn worker_panic_display_and_conversions() {
+        let wp = WorkerPanic { index: 7, message: "x".into() };
+        assert!(wp.to_string().contains("work item 7"));
+        let as_string: String = wp.clone().into();
+        assert!(as_string.contains("work item 7"));
+        let as_linalg: LinalgError = wp.into();
+        assert!(as_linalg.to_string().contains("work item 7"));
+    }
+}

@@ -7,7 +7,8 @@
 
 use proptest::prelude::*;
 use urs_linalg::{
-    eigenvalues, CMatrix, Complex, LuDecomposition, Matrix, QuadraticEigenProblem, Workspace,
+    eigenvalues, CMatrix, CluDecomposition, Complex, LinalgError, LuDecomposition, Matrix,
+    QuadraticEigenProblem, ThreadPool, Workspace,
 };
 
 /// Naive O(n³) triple-loop reference product, independent of the tiled kernel.
@@ -292,6 +293,165 @@ proptest! {
         lu.solve_right_matrix_into(&brow, &mut xr, &mut ws).unwrap();
         let recovered = xr.matmul(&a).unwrap();
         prop_assert!(max_rel_diff(&recovered, &brow) <= 1e-8);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel-vs-serial bit-identity under random shapes.  The pooled kernels
+// promise `f64::to_bits` equality with the serial path for *every* shape —
+// degenerate 1×k and k×1 strips, empty matrices, and dimensions that are not
+// multiples of the gemm tiles or LU panels — at every thread count.
+// ---------------------------------------------------------------------------
+
+fn matrix_bits(m: &Matrix) -> Vec<u64> {
+    m.as_slice().iter().map(|x| x.to_bits()).collect()
+}
+
+fn cmatrix_bits(m: &CMatrix) -> Vec<(u64, u64)> {
+    m.as_slice().iter().map(|z| (z.re.to_bits(), z.im.to_bits())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pooled gemm is bitwise-equal to serial gemm on arbitrary shapes, including
+    /// empty and single-row/column operands and β/α special cases.
+    #[test]
+    fn parallel_gemm_is_bitwise_equal_to_serial(
+        m in 0usize..40, k in 0usize..90, n in 0usize..40,
+        threads in 2usize..9,
+        alpha_case in 0usize..4,
+        beta_case in 0usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        // Cover the β = 0 fill, β = 1 accumulate, and α = 0 early-return branches.
+        let alpha = [0.0, 1.0, 0.75, -1.3][alpha_case];
+        let beta = [0.0, 1.0, -0.5, 2.0][beta_case];
+        let mut next = lcg(seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(7));
+        let a = Matrix::from_fn(m, k, |_, _| next());
+        let b = Matrix::from_fn(k, n, |_, _| next());
+        let c0 = Matrix::from_fn(m, n, |_, _| next());
+        let mut serial = c0.clone();
+        serial.gemm(alpha, &a, &b, beta).unwrap();
+        let mut pooled = c0.clone();
+        pooled.gemm_with(alpha, &a, &b, beta, &ThreadPool::new(threads)).unwrap();
+        prop_assert_eq!(matrix_bits(&serial), matrix_bits(&pooled));
+    }
+
+    /// Same contract for the complex gemm kernel.
+    #[test]
+    fn parallel_complex_gemm_is_bitwise_equal_to_serial(
+        m in 0usize..24, k in 0usize..50, n in 0usize..24,
+        threads in 2usize..9,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut next = lcg(seed.wrapping_mul(0xD1342543DE82EF95).wrapping_add(3));
+        let a = CMatrix::from_fn(m, k, |_, _| Complex::new(next(), next()));
+        let b = CMatrix::from_fn(k, n, |_, _| Complex::new(next(), next()));
+        let c0 = CMatrix::from_fn(m, n, |_, _| Complex::new(next(), next()));
+        let alpha = Complex::new(next(), next());
+        let beta = Complex::new(next(), next());
+        let mut serial = c0.clone();
+        serial.gemm(alpha, &a, &b, beta).unwrap();
+        let mut pooled = c0.clone();
+        pooled.gemm_with(alpha, &a, &b, beta, &ThreadPool::new(threads)).unwrap();
+        prop_assert_eq!(cmatrix_bits(&serial), cmatrix_bits(&pooled));
+    }
+
+    /// Pooled blocked LU produces the bitwise-identical packed factor, permutation
+    /// effects (via solves), and right-solves as the serial path, for sizes on and
+    /// off the 48-column panel boundary.
+    #[test]
+    fn parallel_lu_is_bitwise_equal_to_serial(
+        size in 1usize..90,
+        rhs_rows in 1usize..4,
+        threads in 2usize..9,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut next = lcg(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(11));
+        let mut a = Matrix::from_fn(size, size, |_, _| next());
+        for i in 0..size {
+            a[(i, i)] += 4.0;
+        }
+        let pool = ThreadPool::new(threads);
+        let serial = LuDecomposition::from_matrix(a.clone()).unwrap();
+        let pooled = LuDecomposition::from_matrix_with(a.clone(), &pool).unwrap();
+        prop_assert_eq!(serial.determinant().to_bits(), pooled.determinant().to_bits());
+        let brow = Matrix::from_fn(rhs_rows, size, |_, _| next());
+        let mut ws = Workspace::new();
+        let mut serial_x = Matrix::zeros(rhs_rows, size);
+        serial.solve_right_matrix_into(&brow, &mut serial_x, &mut ws).unwrap();
+        let mut pooled_x = Matrix::zeros(rhs_rows, size);
+        pooled.solve_right_matrix_into_with(&brow, &mut pooled_x, &mut ws, &pool).unwrap();
+        prop_assert_eq!(matrix_bits(&serial_x), matrix_bits(&pooled_x));
+        let serial_packed = serial.into_matrix();
+        let pooled_packed = pooled.into_matrix();
+        prop_assert_eq!(matrix_bits(&serial_packed), matrix_bits(&pooled_packed));
+    }
+
+    /// Same contract for the complex blocked LU (24-column panels).
+    #[test]
+    fn parallel_complex_lu_is_bitwise_equal_to_serial(
+        size in 1usize..60,
+        threads in 2usize..9,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut next = lcg(seed.wrapping_mul(0xA24BAED4963EE407).wrapping_add(13));
+        let a = CMatrix::from_fn(size, size, |i, j| {
+            let v = Complex::new(next(), next());
+            if i == j {
+                v + Complex::from_real(4.0)
+            } else {
+                v
+            }
+        });
+        let pool = ThreadPool::new(threads);
+        let serial = CluDecomposition::from_matrix(a.clone()).unwrap();
+        let pooled = CluDecomposition::from_matrix_with(a.clone(), &pool).unwrap();
+        prop_assert_eq!(serial.smallest_pivot().to_bits(), pooled.smallest_pivot().to_bits());
+        prop_assert_eq!(
+            cmatrix_bits(&serial.into_matrix()),
+            cmatrix_bits(&pooled.into_matrix())
+        );
+    }
+
+    /// A singular matrix must fail identically through the serial and pooled paths:
+    /// same `LinalgError::Singular { pivot }`, independent of the thread count.
+    #[test]
+    fn parallel_lu_reports_identical_singular_pivots(
+        size in 2usize..70,
+        dup in 0usize..69,
+        threads in 2usize..9,
+        seed in 0u64..1_000_000,
+    ) {
+        let dead = dup % size;
+        let mut next = lcg(seed.wrapping_mul(0x5DEECE66D).wrapping_add(0xB));
+        // Zero out one column: row operations subtract exact zeros from it, so its
+        // pivot is exactly 0.0 regardless of banding, and the elimination (being
+        // bit-identical) detects singularity at the same step at any thread count.
+        let mut a = Matrix::from_fn(size, size, |_, _| next());
+        for i in 0..size {
+            a[(i, i)] += 4.0;
+            a[(i, dead)] = 0.0;
+        }
+        let serial = LuDecomposition::from_matrix(a.clone());
+        let pooled = LuDecomposition::from_matrix_with(a.clone(), &ThreadPool::new(threads));
+        match (serial, pooled) {
+            (Err(se), Err(pe)) => {
+                prop_assert_eq!(&se, &LinalgError::Singular { pivot: dead });
+                prop_assert_eq!(se, pe);
+            }
+            (s, p) => prop_assert!(false, "expected Singular from both, got {s:?} / {p:?}"),
+        }
+        // The tolerant constructors agree on the singularity flag and the factor.
+        let serial = LuDecomposition::new_allow_singular(&a).unwrap();
+        let pooled =
+            LuDecomposition::new_allow_singular_with(&a, &ThreadPool::new(threads)).unwrap();
+        prop_assert_eq!(serial.is_singular(), pooled.is_singular());
+        prop_assert_eq!(
+            matrix_bits(&serial.into_matrix()),
+            matrix_bits(&pooled.into_matrix())
+        );
     }
 }
 

@@ -25,6 +25,15 @@ pub enum SimError {
     NoObservations(String),
     /// An error bubbled up from the distribution layer.
     Dist(DistError),
+    /// A worker thread panicked while running replications in parallel.  The index is
+    /// the smallest-indexed replication that panicked (the one a serial run would
+    /// have hit first), so the error is independent of the thread count.
+    WorkerPanic {
+        /// Index of the smallest-indexed replication whose closure panicked.
+        index: usize,
+        /// The panic payload rendered as text.
+        message: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -38,6 +47,9 @@ impl fmt::Display for SimError {
             }
             SimError::NoObservations(msg) => write!(f, "no observations collected: {msg}"),
             SimError::Dist(e) => write!(f, "distribution error: {e}"),
+            SimError::WorkerPanic { index, message } => {
+                write!(f, "worker panicked at parallel replication {index}: {message}")
+            }
         }
     }
 }
@@ -54,6 +66,14 @@ impl Error for SimError {
 impl From<DistError> for SimError {
     fn from(e: DistError) -> Self {
         SimError::Dist(e)
+    }
+}
+
+impl From<urs_core::WorkerPanic> for SimError {
+    /// Lets [`urs_core::ThreadPool::try_par_map`] convert a contained replication
+    /// panic into the simulation error type.
+    fn from(p: urs_core::WorkerPanic) -> Self {
+        SimError::WorkerPanic { index: p.index, message: p.message }
     }
 }
 
