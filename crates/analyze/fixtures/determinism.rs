@@ -1,0 +1,24 @@
+// Fixture for the determinism family (`hash_collection`, `wall_clock`).
+use std::collections::HashMap; // line 2: hash_collection
+use std::collections::HashSet; // line 3: hash_collection
+use std::time::Instant; // line 4: wall_clock
+
+pub fn flagged() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new(); // line 7: hash_collection x2
+    let start = Instant::now(); // line 8: wall_clock
+    let t = std::time::SystemTime::now(); // line 9: wall_clock
+    let s: HashSet<u32> = HashSet::new(); // line 10: hash_collection x2
+    let _ = (start, t);
+    m.len() + s.len()
+}
+
+pub fn clean() -> usize {
+    let m: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
+    m.len()
+}
+
+pub fn waived() -> usize {
+    // urs-analyze: allow(hash_collection, reason = "membership only, never iterated")
+    let s: HashSet<u32> = HashSet::new();
+    s.len()
+}

@@ -1,0 +1,20 @@
+// Fixture for the float-discipline family (`float_cmp`, `partial_cmp_unwrap`).
+pub fn flagged(a: f64, b: f64, xs: &mut [f64]) -> bool {
+    let eq = 0.25 == b; // line 3: float_cmp (literal on the left)
+    let ne = a != 0.0; // line 4: float_cmp
+    xs.sort_by(|x, y| x.partial_cmp(y).unwrap()); // line 5: partial_cmp_unwrap (+ no_panic)
+    eq && ne
+}
+
+pub fn clean(a: f64, b: f64, xs: &mut [f64]) -> bool {
+    let eq = a.to_bits() == b.to_bits();
+    let lt = a < b; // ordering comparisons are fine
+    xs.sort_by(f64::total_cmp);
+    let ints = 1_u64 == 2; // integer equality is fine
+    eq && lt && ints
+}
+
+pub fn waived(a: f64) -> bool {
+    // urs-analyze: allow(float_cmp, reason = "exact-zero guard")
+    a == 0.0
+}

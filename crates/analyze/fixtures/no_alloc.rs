@@ -1,0 +1,19 @@
+// Fixture for the `no_alloc` fences and the `bad_directive` rule.
+pub fn kernel(c: &mut [f64], a: &[f64]) {
+    let setup = a.to_vec(); // outside the fence: fine
+    // urs-analyze: begin(no_alloc)
+    for (x, &v) in c.iter_mut().zip(a) {
+        let tmp = vec![v; 4]; // line 6: no_alloc (vec! macro)
+        let copied = setup.clone(); // line 7: no_alloc (clone)
+        let grown = Vec::<f64>::new(); // line 8: no_alloc (Vec type)
+        *x += v + tmp.len() as f64 + copied.len() as f64 + grown.len() as f64;
+    }
+    // urs-analyze: end(no_alloc)
+    let teardown = a.to_vec(); // outside again: fine
+    let _ = teardown;
+}
+
+// urs-analyze: allow(no_panic) <- missing reason: line 16: bad_directive
+pub fn reasonless(o: Option<i32>) -> i32 {
+    o.unwrap() // line 18: no_panic (the malformed waiver waives nothing)
+}

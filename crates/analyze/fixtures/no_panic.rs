@@ -1,0 +1,34 @@
+// Fixture for the no-panic family (`no_panic`, `slice_index`).  Lines matter:
+// the integration test asserts (rule, line) pairs against this file.
+pub fn flagged(v: Vec<i32>, o: Option<i32>) -> i32 {
+    let a = o.unwrap(); // line 4: no_panic
+    let b = o.expect("present"); // line 5: no_panic
+    if v.is_empty() {
+        panic!("boom"); // line 7: no_panic
+    }
+    if a > b {
+        unreachable!("ordering"); // line 10: no_panic
+    }
+    v[0] + a // line 12: slice_index
+}
+
+pub fn waived(o: Option<i32>) -> i32 {
+    // urs-analyze: allow(no_panic, reason = "checked by caller")
+    o.unwrap()
+}
+
+/// Doc comments never fire: `x.unwrap()` and `panic!` stay prose.
+pub fn doc_mentions_only() {}
+
+pub fn string_mentions_only() -> &'static str {
+    "call .unwrap() or panic! here and nothing fires"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        let v: Vec<i32> = vec![1];
+        assert_eq!(v[0], Some(1).unwrap()); // exempt: inside #[cfg(test)]
+    }
+}

@@ -1,0 +1,394 @@
+//! A small hand-rolled Rust lexer — just enough syntax awareness for the rule
+//! engine: it distinguishes code from string/char literals and comments, merges
+//! multi-character operators (so `==` is one token, distinct from the `=` of
+//! `<=`), classifies numeric literals as float or integer, and records the line
+//! of every token.
+//!
+//! It is deliberately *not* a full Rust lexer: shebangs, frontmatter and a few
+//! pathological literal forms (`1.` without a following digit, C-string
+//! literals) are lexed approximately.  The rules that consume this stream are
+//! heuristics over idiomatic code, and every real finding carries a file:line
+//! the reviewer can check.
+
+/// What a token is, as far as the rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `fn`, `HashMap`, `r#async`, …).
+    Ident,
+    /// Integer literal (`42`, `0xff`, `1_000u64`).
+    Int,
+    /// Floating-point literal (`0.5`, `1e-9`, `2f64`).
+    Float,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`) or loop label (`'outer`).
+    Lifetime,
+    /// `//` comment, including doc comments (`///`, `//!`); text retained so
+    /// waiver/fence directives can be parsed out of it.
+    LineComment,
+    /// `/* … */` comment (nesting handled), including block doc comments.
+    BlockComment,
+    /// Punctuation / operator, possibly multi-character (`==`, `::`, `->`).
+    Punct,
+}
+
+/// One lexed token: kind, the source text, and the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    /// True for tokens the rules treat as code (not comments).
+    pub fn is_code(&self) -> bool {
+        !matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Multi-character operators, longest first so greedy matching is correct.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+/// Lexes `source` into a token stream.  The lexer never fails: unterminated
+/// literals simply run to end of file (the compiler will reject such a file
+/// anyway; the analyzer only sees code that builds).
+pub fn lex(source: &str) -> Vec<Token> {
+    let mut lexer = Lexer { src: source.as_bytes(), pos: 0, line: 1, tokens: Vec::new() };
+    lexer.run();
+    lexer.tokens
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn starts_with(&self, prefix: &str) -> bool {
+        self.src.get(self.pos..).is_some_and(|rest| rest.starts_with(prefix.as_bytes()))
+    }
+
+    /// Advances one byte, tracking line numbers.
+    fn bump(&mut self) {
+        if self.peek(0) == Some(b'\n') {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn emit(&mut self, kind: TokenKind, start: usize, line: u32) {
+        let text = String::from_utf8_lossy(self.src.get(start..self.pos).unwrap_or(&[])).into();
+        self.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek(0) {
+            let start = self.pos;
+            let line = self.line;
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == Some(b'/') => {
+                    while self.peek(0).is_some_and(|c| c != b'\n') {
+                        self.bump();
+                    }
+                    self.emit(TokenKind::LineComment, start, line);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.block_comment();
+                    self.emit(TokenKind::BlockComment, start, line);
+                }
+                b'"' => {
+                    self.string_literal();
+                    self.emit(TokenKind::Str, start, line);
+                }
+                b'\'' => {
+                    let kind = self.char_or_lifetime();
+                    self.emit(kind, start, line);
+                }
+                b'r' | b'b' if self.raw_or_byte_literal(start, line) => {}
+                _ if is_ident_start(c) => {
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    self.emit(TokenKind::Ident, start, line);
+                }
+                _ if c.is_ascii_digit() => {
+                    let kind = self.number();
+                    self.emit(kind, start, line);
+                }
+                _ => {
+                    let op_len =
+                        OPERATORS.iter().find(|op| self.starts_with(op)).map_or(1, |op| op.len());
+                    self.bump_n(op_len);
+                    self.emit(TokenKind::Punct, start, line);
+                }
+            }
+        }
+    }
+
+    /// Consumes a (nesting) block comment starting at `/*`.
+    fn block_comment(&mut self) {
+        self.bump_n(2);
+        let mut depth = 1usize;
+        while depth > 0 {
+            if self.starts_with("/*") {
+                depth += 1;
+                self.bump_n(2);
+            } else if self.starts_with("*/") {
+                depth -= 1;
+                self.bump_n(2);
+            } else if self.peek(0).is_some() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Consumes a `"…"` literal starting at the opening quote.
+    fn string_literal(&mut self) {
+        self.bump();
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes a raw string starting at `r`/`r#…#"`, a byte string at `b"`,
+    /// `br#"`, or a raw identifier `r#ident`.  Returns false (consuming
+    /// nothing) if the `r`/`b` is just the start of a plain identifier.
+    fn raw_or_byte_literal(&mut self, start: usize, line: u32) -> bool {
+        let mut probe = self.pos + 1;
+        if self.peek(0) == Some(b'b') && self.src.get(probe) == Some(&b'r') {
+            probe += 1;
+        }
+        let mut hashes = 0usize;
+        while self.src.get(probe) == Some(&b'#') {
+            hashes += 1;
+            probe += 1;
+        }
+        match self.src.get(probe) {
+            Some(b'"') => {
+                // Raw/byte string: consume up to `"` then scan for `"` + hashes.
+                self.bump_n(probe + 1 - self.pos);
+                loop {
+                    match self.peek(0) {
+                        Some(b'"') => {
+                            self.bump();
+                            if (0..hashes).all(|i| self.peek(i) == Some(b'#')) {
+                                self.bump_n(hashes);
+                                break;
+                            }
+                        }
+                        Some(b'\\') if hashes == 0 && self.src.get(start) == Some(&b'b') => {
+                            self.bump_n(2)
+                        }
+                        Some(_) => self.bump(),
+                        None => break,
+                    }
+                }
+                self.emit(TokenKind::Str, start, line);
+                true
+            }
+            Some(b'\'') if self.peek(0) == Some(b'b') && hashes == 0 => {
+                // Byte literal b'x'.
+                self.bump();
+                self.char_or_lifetime();
+                self.emit(TokenKind::Char, start, line);
+                true
+            }
+            Some(&c) if hashes == 1 && is_ident_start(c) && self.peek(0) == Some(b'r') => {
+                // Raw identifier r#ident.
+                self.bump_n(2);
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                self.emit(TokenKind::Ident, start, line);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Consumes `'…` as either a char literal or a lifetime/label.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        self.bump();
+        match self.peek(0) {
+            Some(b'\\') => {
+                self.bump_n(2);
+                while self.peek(0).is_some_and(|c| c != b'\'') {
+                    self.bump();
+                }
+                self.bump();
+                TokenKind::Char
+            }
+            Some(c) if is_ident_start(c) => {
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                    TokenKind::Char
+                } else {
+                    TokenKind::Lifetime
+                }
+            }
+            Some(_) => {
+                self.bump();
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                TokenKind::Char
+            }
+            None => TokenKind::Char,
+        }
+    }
+
+    /// Consumes a numeric literal; classifies float vs integer.
+    fn number(&mut self) -> TokenKind {
+        let mut is_float = false;
+        if self.starts_with("0x") || self.starts_with("0o") || self.starts_with("0b") {
+            self.bump_n(2);
+            while self.peek(0).is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+                self.bump();
+            }
+            return TokenKind::Int;
+        }
+        while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+            self.bump();
+        }
+        // A `.` joins the number only when followed by a digit: `0.5` is a
+        // float, `1..n` is a range and `t.0` is tuple indexing.
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            self.bump();
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+                self.bump();
+            }
+        }
+        // Exponent: `1e9`, `2.5E-3` (but not the `e` of a suffix like `1e` in
+        // an identifier position — require a digit or sign+digit after it).
+        if matches!(self.peek(0), Some(b'e') | Some(b'E')) {
+            let (sign, first_digit) = match self.peek(1) {
+                Some(b'+') | Some(b'-') => (1, self.peek(2)),
+                other => (0, other),
+            };
+            if first_digit.is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                self.bump_n(1 + sign);
+                while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+                    self.bump();
+                }
+            }
+        }
+        // Type suffix (`u32`, `f64`, …) decides floatness when explicit.
+        let suffix_start = self.pos;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        let suffix = self.src.get(suffix_start..self.pos).unwrap_or(&[]);
+        if suffix == b"f32" || suffix == b"f64" {
+            is_float = true;
+        }
+        if is_float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        }
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn operators_merge_greedily() {
+        let toks = kinds("a == b != c <= d => e -> f::g");
+        let puncts: Vec<&str> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Punct).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(puncts, vec!["==", "!=", "<=", "=>", "->", "::"]);
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let toks = kinds("let s = \"x.unwrap()\"; // y.unwrap()\n/* z.unwrap() */");
+        assert!(toks.iter().all(|(k, t)| *k != TokenKind::Ident || !t.contains("unwrap")));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::LineComment).count(), 1);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::BlockComment).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"let s = r#"embedded "quote" and unwrap()"#; x"###);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "x"));
+    }
+
+    #[test]
+    fn floats_vs_ints_vs_ranges() {
+        let toks = kinds("0.5 1e-9 2f64 42 0xff 1..n t.0");
+        let floats: Vec<&str> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Float).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(floats, vec!["0.5", "1e-9", "2f64"]);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Punct && t == ".."));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'y'; let n = '\\n'; }");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still comment */ code");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].1, "code");
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

@@ -1,0 +1,771 @@
+//! The domain lints: the no-panic, float-discipline, determinism and
+//! no-allocation contracts, expressed as scans over the [`lexer`](crate::lexer)
+//! token stream.
+//!
+//! Four rule *families* map to seven rule IDs (finer IDs make waivers and the
+//! baseline precise):
+//!
+//! | family           | rule id              | fires on                                        |
+//! |------------------|----------------------|-------------------------------------------------|
+//! | no-panic         | `no_panic`           | `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
+//! | no-panic         | `slice_index`        | `expr[…]` indexing (panics out of bounds; use `.get`) |
+//! | float-discipline | `float_cmp`          | `==`/`!=` with a float-literal or float-constant operand |
+//! | float-discipline | `partial_cmp_unwrap` | `.partial_cmp(…).unwrap()` / `.expect(` (NaN panics; use `total_cmp`) |
+//! | determinism      | `hash_collection`    | `HashMap`/`HashSet` (iteration order is seeded per instance) |
+//! | determinism      | `wall_clock`         | `Instant`/`SystemTime` outside bench code       |
+//! | no-alloc         | `no_alloc`           | allocating calls inside a `begin(no_alloc)`/`end(no_alloc)` fence |
+//!
+//! Scope control:
+//! * `#[cfg(test)]` items are exempt from every rule;
+//! * `// urs-analyze: allow(<rule>, reason = "…")` waives findings of that rule
+//!   on the same line and the next code line (the reason is mandatory —
+//!   a reasonless or malformed directive is itself a `bad_directive` finding);
+//! * `// urs-analyze: begin(no_alloc)` / `end(no_alloc)` fence the regions the
+//!   `no_alloc` rule patrols; unbalanced fences are findings.
+
+use std::fmt;
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// The rule IDs (see the module table).  `BadDirective` covers malformed
+/// `urs-analyze:` comments — a silently ignored waiver would be worse than a
+/// panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    NoPanic,
+    SliceIndex,
+    FloatCmp,
+    PartialCmpUnwrap,
+    HashCollection,
+    WallClock,
+    NoAlloc,
+    BadDirective,
+}
+
+/// All rules a waiver may name, in display order.
+pub const ALL_RULES: &[Rule] = &[
+    Rule::NoPanic,
+    Rule::SliceIndex,
+    Rule::FloatCmp,
+    Rule::PartialCmpUnwrap,
+    Rule::HashCollection,
+    Rule::WallClock,
+    Rule::NoAlloc,
+    Rule::BadDirective,
+];
+
+impl Rule {
+    /// The stable identifier used in diagnostics, waivers and the baseline.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "no_panic",
+            Rule::SliceIndex => "slice_index",
+            Rule::FloatCmp => "float_cmp",
+            Rule::PartialCmpUnwrap => "partial_cmp_unwrap",
+            Rule::HashCollection => "hash_collection",
+            Rule::WallClock => "wall_clock",
+            Rule::NoAlloc => "no_alloc",
+            Rule::BadDirective => "bad_directive",
+        }
+    }
+
+    /// Parses a rule ID as written in a waiver or the baseline.
+    pub fn from_id(id: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.id() == id)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// How a file participates in the analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library source: every rule applies.
+    Lib,
+    /// Binary source (`src/bin/*`, `src/main.rs`): the no-panic family is
+    /// exempt (a CLI aborting on bad input is acceptable; a library taking the
+    /// process down is not), the others still apply.
+    Bin,
+}
+
+/// One diagnostic: `file` is attached by the caller ([`crate::analyze_workspace`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: Rule,
+    pub line: u32,
+    pub message: String,
+}
+
+/// Analyzes one file's source text.  `kind` selects the rule set.
+pub fn analyze_source(kind: FileKind, source: &str) -> Vec<Finding> {
+    let tokens = lex(source);
+    let exempt = cfg_test_exempt_lines(&tokens);
+    let directives = parse_directives(&tokens, source);
+    let mut findings = Vec::new();
+
+    findings.extend(directives.errors.iter().cloned());
+    scan_code_rules(kind, &tokens, &mut findings);
+    scan_no_alloc(&tokens, &directives, &mut findings);
+
+    findings.retain(|f| {
+        !exempt.get(f.line as usize - 1).copied().unwrap_or(false) && !directives.waives(f)
+    });
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// cfg(test) exemption
+// ---------------------------------------------------------------------------
+
+/// Returns a per-line bitmap of regions covered by a `#[cfg(test)]` item (the
+/// attribute through the matching `}` of the item's first brace, or through the
+/// terminating `;` for brace-less items like `#[cfg(test)] use …;`).
+fn cfg_test_exempt_lines(tokens: &[Token]) -> Vec<bool> {
+    let last_line = tokens.last().map_or(0, |t| t.line) as usize;
+    let mut exempt = vec![false; last_line];
+    let code: Vec<&Token> = tokens.iter().filter(|t| t.is_code()).collect();
+    let mut i = 0;
+    while i < code.len() {
+        if let Some((attr_end, is_test)) = parse_attribute(&code, i) {
+            if is_test {
+                let start_line = code.get(i).map_or(1, |t| t.line);
+                let end_line = item_end_line(&code, attr_end).unwrap_or(start_line);
+                for line in start_line..=end_line {
+                    if let Some(slot) = exempt.get_mut(line as usize - 1) {
+                        *slot = true;
+                    }
+                }
+            }
+            i = attr_end;
+        } else {
+            i += 1;
+        }
+    }
+    exempt
+}
+
+/// If `code[i]` starts an attribute `#[…]` or `#![…]`, returns the index one
+/// past its closing `]` and whether the attribute mentions `cfg(… test …)`.
+fn parse_attribute(code: &[&Token], i: usize) -> Option<(usize, bool)> {
+    if code.get(i)?.text != "#" {
+        return None;
+    }
+    let mut j = i + 1;
+    if code.get(j).is_some_and(|t| t.text == "!") {
+        j += 1;
+    }
+    if code.get(j).is_none_or(|t| t.text != "[") {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut saw_cfg = false;
+    let mut saw_test = false;
+    while let Some(tok) = code.get(j) {
+        match tok.text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((j + 1, saw_cfg && saw_test));
+                }
+            }
+            // `cfg_attr(test, …)` deliberately does NOT count: it gates an
+            // attribute, not the item — the code still compiles into the lib.
+            "cfg" if tok.kind == TokenKind::Ident => saw_cfg = true,
+            "test" if tok.kind == TokenKind::Ident => saw_test = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    Some((code.len(), saw_cfg && saw_test))
+}
+
+/// The line on which the item starting at `code[start]` ends: at the `}`
+/// matching its first `{`, or at the first `;` seen before any brace.
+/// Intervening attributes (`#[test]` on the item itself) are skipped.
+fn item_end_line(code: &[&Token], start: usize) -> Option<u32> {
+    let mut depth = 0usize;
+    let mut i = start;
+    while let Some(tok) = code.get(i) {
+        match tok.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return Some(tok.line);
+                }
+            }
+            ";" if depth == 0 => return Some(tok.line),
+            _ => {}
+        }
+        i += 1;
+    }
+    code.last().map(|t| t.line)
+}
+
+// ---------------------------------------------------------------------------
+// Directives: waivers and no_alloc fences
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct Directives {
+    /// `(rule, line)` pairs a waiver covers.
+    waivers: Vec<(Rule, u32)>,
+    /// `(begin_line, end_line)` fenced `no_alloc` intervals.
+    fences: Vec<(u32, u32)>,
+    /// Malformed-directive / unbalanced-fence findings.
+    errors: Vec<Finding>,
+}
+
+impl Directives {
+    fn waives(&self, finding: &Finding) -> bool {
+        finding.rule != Rule::BadDirective
+            && self.waivers.iter().any(|&(rule, line)| rule == finding.rule && line == finding.line)
+    }
+}
+
+const DIRECTIVE_TAG: &str = "urs-analyze:";
+
+/// Parses every `// urs-analyze: …` comment into waivers and fences.
+fn parse_directives(tokens: &[Token], source: &str) -> Directives {
+    let mut directives = Directives::default();
+    let mut open_fence: Option<u32> = None;
+    for (index, token) in tokens.iter().enumerate() {
+        if token.kind != TokenKind::LineComment && token.kind != TokenKind::BlockComment {
+            continue;
+        }
+        let body = token
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim_end_matches('/')
+            .trim_end_matches('*')
+            .trim();
+        // Doc comments (`///`, `//!`, `/** … */`) are documentation, not
+        // machine directives; only plain comments can waive or fence.
+        let is_doc = token.text.starts_with("///")
+            || token.text.starts_with("//!")
+            || token.text.starts_with("/**")
+            || token.text.starts_with("/*!");
+        let Some(rest) = body.strip_prefix(DIRECTIVE_TAG) else { continue };
+        if is_doc {
+            directives.errors.push(Finding {
+                rule: Rule::BadDirective,
+                line: token.line,
+                message: "`urs-analyze:` directives must be plain `//` comments, not doc comments"
+                    .into(),
+            });
+            continue;
+        }
+        match parse_directive_body(rest.trim()) {
+            Ok(Directive::Allow(rule)) => {
+                // The waiver covers its own line and the next line holding code
+                // (a standalone waiver comment waives the statement below it).
+                directives.waivers.push((rule, token.line));
+                if let Some(next_code_line) =
+                    tokens.iter().skip(index + 1).find(|t| t.is_code()).map(|t| t.line)
+                {
+                    directives.waivers.push((rule, next_code_line));
+                }
+            }
+            Ok(Directive::Begin) => {
+                if let Some(opened) = open_fence {
+                    directives.errors.push(Finding {
+                        rule: Rule::NoAlloc,
+                        line: token.line,
+                        message: format!(
+                            "nested `begin(no_alloc)` fence (previous fence opened on line {opened} is still open)"
+                        ),
+                    });
+                } else {
+                    open_fence = Some(token.line);
+                }
+            }
+            Ok(Directive::End) => match open_fence.take() {
+                Some(begin) => directives.fences.push((begin, token.line)),
+                None => directives.errors.push(Finding {
+                    rule: Rule::NoAlloc,
+                    line: token.line,
+                    message: "`end(no_alloc)` without a matching `begin(no_alloc)`".into(),
+                }),
+            },
+            Err(reason) => directives.errors.push(Finding {
+                rule: Rule::BadDirective,
+                line: token.line,
+                message: format!("malformed `urs-analyze:` directive: {reason}"),
+            }),
+        }
+    }
+    if let Some(begin) = open_fence {
+        let last_line = source.lines().count() as u32;
+        directives.errors.push(Finding {
+            rule: Rule::NoAlloc,
+            line: begin,
+            message: "`begin(no_alloc)` fence is never closed".into(),
+        });
+        // Patrol the dangling fence to end of file anyway: a missing `end`
+        // must not silently disable the rule.
+        directives.fences.push((begin, last_line.max(begin)));
+    }
+    directives
+}
+
+enum Directive {
+    Allow(Rule),
+    Begin,
+    End,
+}
+
+/// Parses the directive body after the `urs-analyze:` tag, e.g.
+/// `allow(no_panic, reason = "pool invariant")` or `begin(no_alloc)`.
+fn parse_directive_body(body: &str) -> Result<Directive, String> {
+    if let Some(args) = strip_call(body, "begin") {
+        return match args.trim() {
+            "no_alloc" => Ok(Directive::Begin),
+            other => Err(format!("unknown fence `{other}` (only `no_alloc` regions exist)")),
+        };
+    }
+    if let Some(args) = strip_call(body, "end") {
+        return match args.trim() {
+            "no_alloc" => Ok(Directive::End),
+            other => Err(format!("unknown fence `{other}` (only `no_alloc` regions exist)")),
+        };
+    }
+    if let Some(args) = strip_call(body, "allow") {
+        let (rule_id, rest) = args
+            .split_once(',')
+            .ok_or_else(|| "allow(...) requires `, reason = \"...\"`".to_string())?;
+        let rule = Rule::from_id(rule_id.trim())
+            .ok_or_else(|| format!("unknown rule `{}`", rule_id.trim()))?;
+        let reason = rest
+            .trim()
+            .strip_prefix("reason")
+            .map(str::trim_start)
+            .and_then(|r| r.strip_prefix('='))
+            .map(str::trim)
+            .ok_or_else(|| "allow(...) requires `, reason = \"...\"`".to_string())?;
+        let quoted = reason.len() >= 2 && reason.starts_with('"') && reason.ends_with('"');
+        if !quoted || reason.len() == 2 {
+            return Err("the waiver reason must be a non-empty quoted string".to_string());
+        }
+        return Ok(Directive::Allow(rule));
+    }
+    Err("expected `allow(rule, reason = \"...\")`, `begin(no_alloc)` or `end(no_alloc)`".into())
+}
+
+/// Returns the argument text of `name( … )` if `body` is exactly such a call.
+fn strip_call<'a>(body: &'a str, name: &str) -> Option<&'a str> {
+    body.strip_prefix(name)
+        .map(str::trim_start)
+        .and_then(|rest| rest.strip_prefix('('))
+        .and_then(|rest| rest.trim_end().strip_suffix(')'))
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream rules
+// ---------------------------------------------------------------------------
+
+/// Identifiers that read like code but are keywords: indexing after these is a
+/// pattern or expression position, not a slicing operation.
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "self", "Self", "static", "struct", "super", "trait", "type", "unsafe", "use",
+    "where", "while", "yield",
+];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+const FLOAT_CONSTS: &[&str] = &["NAN", "INFINITY", "NEG_INFINITY", "EPSILON"];
+
+/// Runs the pointwise rules (everything except `no_alloc`) over the code tokens.
+fn scan_code_rules(kind: FileKind, tokens: &[Token], findings: &mut Vec<Finding>) {
+    let code: Vec<&Token> = tokens.iter().filter(|t| t.is_code()).collect();
+    let text = |i: usize| code.get(i).map(|t| t.text.as_str());
+
+    for (i, &tok) in code.iter().enumerate() {
+        let prev = i.checked_sub(1).and_then(text);
+        match (tok.kind, tok.text.as_str()) {
+            // --- no-panic family -------------------------------------------
+            (TokenKind::Ident, "unwrap" | "expect")
+                if kind == FileKind::Lib && prev == Some(".") =>
+            {
+                findings.push(Finding {
+                    rule: Rule::NoPanic,
+                    line: tok.line,
+                    message: format!(
+                        "`.{}(…)` can panic in library code; return a Result (or waive with a reason)",
+                        tok.text
+                    ),
+                });
+            }
+            (TokenKind::Ident, name)
+                if kind == FileKind::Lib
+                    && PANIC_MACROS.contains(&name)
+                    && text(i + 1) == Some("!") =>
+            {
+                findings.push(Finding {
+                    rule: Rule::NoPanic,
+                    line: tok.line,
+                    message: format!("`{name}!` aborts the caller; return an error instead"),
+                });
+            }
+            (TokenKind::Punct, "[")
+                if kind == FileKind::Lib
+                    && i.checked_sub(1)
+                        .and_then(|p| code.get(p))
+                        .is_some_and(|base| is_index_base(base)) =>
+            {
+                findings.push(Finding {
+                    rule: Rule::SliceIndex,
+                    line: tok.line,
+                    message: "indexing (`expr[…]`) panics out of bounds; prefer `.get(…)`".into(),
+                });
+            }
+            // --- float-discipline ------------------------------------------
+            (TokenKind::Punct, "==" | "!=")
+                if float_operand_before(&code, i) || float_operand_after(&code, i) =>
+            {
+                findings.push(Finding {
+                    rule: Rule::FloatCmp,
+                    line: tok.line,
+                    message: format!(
+                        "`{}` on a float expression; compare via `total_cmp`, `to_bits` or an epsilon",
+                        tok.text
+                    ),
+                });
+            }
+            (TokenKind::Ident, "partial_cmp") if prev == Some(".") => {
+                if let Some(close) = skip_balanced(&code, i + 1, "(", ")") {
+                    if text(close) == Some(".")
+                        && matches!(text(close + 1), Some("unwrap") | Some("expect"))
+                    {
+                        findings.push(Finding {
+                            rule: Rule::PartialCmpUnwrap,
+                            line: tok.line,
+                            message: "`partial_cmp(…).unwrap()` panics on NaN; use `total_cmp`"
+                                .into(),
+                        });
+                    }
+                }
+            }
+            // --- determinism -----------------------------------------------
+            (TokenKind::Ident, name @ ("HashMap" | "HashSet")) => {
+                let ordered = if name == "HashMap" { "BTreeMap" } else { "BTreeSet" };
+                findings.push(Finding {
+                    rule: Rule::HashCollection,
+                    line: tok.line,
+                    message: format!(
+                        "`{name}` iteration order is seeded per instance; use `{ordered}` on any path that reaches results"
+                    ),
+                });
+            }
+            (TokenKind::Ident, name @ ("Instant" | "SystemTime")) => {
+                findings.push(Finding {
+                    rule: Rule::WallClock,
+                    line: tok.line,
+                    message: format!(
+                        "`{name}` makes results time-dependent; only bench code may read the clock"
+                    ),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// True when a `[` after this token is an indexing operation (as opposed to an
+/// attribute, an array literal/type, a macro bang or a pattern).
+fn is_index_base(prev: &Token) -> bool {
+    match prev.kind {
+        TokenKind::Ident => !KEYWORDS.contains(&prev.text.as_str()),
+        TokenKind::Punct => prev.text == ")" || prev.text == "]",
+        _ => false,
+    }
+}
+
+/// Is the operand ending just before `code[op]` a float literal or a float
+/// constant path (`f64::NAN` and friends)?
+fn float_operand_before(code: &[&Token], op: usize) -> bool {
+    let Some(before) = op.checked_sub(1).and_then(|i| code.get(i)) else { return false };
+    match before.kind {
+        TokenKind::Float => true,
+        TokenKind::Ident => {
+            FLOAT_CONSTS.contains(&before.text.as_str())
+                && op >= 3
+                && code.get(op - 2).is_some_and(|t| t.text == "::")
+                && code.get(op - 3).is_some_and(|t| t.text == "f64" || t.text == "f32")
+        }
+        _ => false,
+    }
+}
+
+/// Is the operand starting just after `code[op]` a float literal or a float
+/// constant path?  A single leading `-` or `(` is looked through.
+fn float_operand_after(code: &[&Token], op: usize) -> bool {
+    let mut i = op + 1;
+    if code.get(i).is_some_and(|t| t.text == "-" || t.text == "(") {
+        i += 1;
+    }
+    match code.get(i) {
+        Some(tok) if tok.kind == TokenKind::Float => true,
+        Some(tok) if tok.kind == TokenKind::Ident && (tok.text == "f64" || tok.text == "f32") => {
+            code.get(i + 1).is_some_and(|t| t.text == "::")
+                && code.get(i + 2).is_some_and(|t| FLOAT_CONSTS.contains(&t.text.as_str()))
+        }
+        _ => false,
+    }
+}
+
+/// Starting at `code[start]` (which must be `open`), returns the index one past
+/// the matching `close`.
+fn skip_balanced(code: &[&Token], start: usize, open: &str, close: &str) -> Option<usize> {
+    if code.get(start)?.text != open {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut i = start;
+    while let Some(tok) = code.get(i) {
+        if tok.text == open {
+            depth += 1;
+        } else if tok.text == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i + 1);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// no_alloc fences
+// ---------------------------------------------------------------------------
+
+/// Allocating method names (called as `.name(`).
+const ALLOC_METHODS: &[&str] =
+    &["clone", "to_vec", "to_owned", "to_string", "collect", "with_capacity"];
+/// Owning container types whose constructors allocate (as `Type::new` etc.).
+const ALLOC_TYPES: &[&str] = &["Vec", "String", "Box", "VecDeque", "BTreeMap", "BTreeSet"];
+/// Allocating macros (as `name!`).
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Scans fenced regions for allocating calls.
+fn scan_no_alloc(tokens: &[Token], directives: &Directives, findings: &mut Vec<Finding>) {
+    if directives.fences.is_empty() {
+        return;
+    }
+    let in_fence =
+        |line: u32| directives.fences.iter().any(|&(begin, end)| line > begin && line < end);
+    let code: Vec<&Token> = tokens.iter().filter(|t| t.is_code()).collect();
+    let text = |i: usize| code.get(i).map(|t| t.text.as_str());
+    for (i, &tok) in code.iter().enumerate() {
+        if tok.kind != TokenKind::Ident || !in_fence(tok.line) {
+            continue;
+        }
+        let name = tok.text.as_str();
+        let prev = i.checked_sub(1).and_then(text);
+        let hit = if ALLOC_METHODS.contains(&name) {
+            prev == Some(".") || prev == Some("::")
+        } else if ALLOC_TYPES.contains(&name) {
+            // `Vec::new`, with an optional turbofish: `Vec::<f64>::new`.
+            let ctor = if text(i + 1) == Some("::") {
+                let mut j = i + 2;
+                if text(j) == Some("<") {
+                    let mut depth = 1usize;
+                    j += 1;
+                    while depth > 0 {
+                        match text(j) {
+                            Some("<") => depth += 1,
+                            Some(">") => depth -= 1,
+                            Some(">>") => depth = depth.saturating_sub(2),
+                            None => break,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if depth == 0 && text(j) == Some("::") {
+                        Some(j + 1)
+                    } else {
+                        None
+                    }
+                } else {
+                    Some(j)
+                }
+            } else {
+                None
+            };
+            ctor.is_some_and(|j| {
+                matches!(text(j), Some("new") | Some("with_capacity") | Some("from"))
+            })
+        } else if ALLOC_MACROS.contains(&name) {
+            text(i + 1) == Some("!")
+        } else {
+            false
+        };
+        if hit {
+            findings.push(Finding {
+                rule: Rule::NoAlloc,
+                line: tok.line,
+                message: format!(
+                    "`{name}` allocates inside a `no_alloc` fence; route scratch through `Workspace`"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<(Rule, u32)> {
+        analyze_source(FileKind::Lib, src).into_iter().map(|f| (f.rule, f.line)).collect()
+    }
+
+    #[test]
+    fn unwrap_and_expect_fire_but_unwrap_or_does_not() {
+        let findings = run("fn f() {\n  a.unwrap();\n  b.expect(\"m\");\n  c.unwrap_or(0);\n  d.unwrap_or_else(|| 0);\n}\n");
+        assert_eq!(findings, vec![(Rule::NoPanic, 2), (Rule::NoPanic, 3)]);
+    }
+
+    #[test]
+    fn panic_macros_fire_but_debug_assert_does_not() {
+        let findings =
+            run("fn f() {\n  panic!(\"x\");\n  unreachable!();\n  debug_assert!(x > 0);\n}\n");
+        assert_eq!(findings, vec![(Rule::NoPanic, 2), (Rule::NoPanic, 3)]);
+    }
+
+    #[test]
+    fn strings_comments_and_cfg_test_are_exempt() {
+        let src = r#"
+fn f() { let s = "x.unwrap()"; } // a.unwrap() in a comment
+/// doc: b.unwrap()
+fn g() {}
+#[cfg(test)]
+mod tests {
+    fn t() { c.unwrap(); }
+}
+"#;
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn bins_skip_the_no_panic_family_only() {
+        let src = "fn main() {\n  a.unwrap();\n  b[0] = 1.0;\n  let m = HashMap::new();\n}\n";
+        let findings: Vec<(Rule, u32)> =
+            analyze_source(FileKind::Bin, src).into_iter().map(|f| (f.rule, f.line)).collect();
+        assert_eq!(findings, vec![(Rule::HashCollection, 4)]);
+    }
+
+    #[test]
+    fn slice_index_heuristics() {
+        let findings = run(
+            "fn f() {\n  let x = a[i];\n  b[j] = 0;\n  let [p, q] = pair;\n  let l = vec![1];\n  let arr = [0; 4];\n}\n#[derive(Debug)]\nstruct S;\n",
+        );
+        assert_eq!(findings, vec![(Rule::SliceIndex, 2), (Rule::SliceIndex, 3)]);
+    }
+
+    #[test]
+    fn float_comparisons() {
+        let findings = run(
+            "fn f() {\n  if x == 0.0 {}\n  if 1e-9 != y {}\n  if x == -0.5 {}\n  if x == f64::NAN {}\n  if n == 0 {}\n  if a.to_bits() == b.to_bits() {}\n}\n",
+        );
+        assert_eq!(
+            findings,
+            vec![
+                (Rule::FloatCmp, 2),
+                (Rule::FloatCmp, 3),
+                (Rule::FloatCmp, 4),
+                (Rule::FloatCmp, 5)
+            ]
+        );
+    }
+
+    #[test]
+    fn partial_cmp_unwrap_fires_only_when_chained() {
+        // The chained `.unwrap()` is ALSO a no_panic finding: the site is both
+        // a NaN ordering bug and a panic path, and `total_cmp` fixes both.
+        let findings = run(
+            "fn f() {\n  v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n  v.sort_by(|a, b| a.partial_cmp(b).expect(\"finite\"));\n  v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));\n  v.sort_by(|a, b| a.total_cmp(b));\n}\nimpl PartialOrd for T {\n  fn partial_cmp(&self, o: &T) -> Option<Ordering> { None }\n}\n",
+        );
+        assert_eq!(
+            findings,
+            vec![
+                (Rule::NoPanic, 2),
+                (Rule::PartialCmpUnwrap, 2),
+                (Rule::NoPanic, 3),
+                (Rule::PartialCmpUnwrap, 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn determinism_rules() {
+        let findings = run(
+            "use std::collections::HashMap;\nfn f() {\n  let s: HashSet<u32> = HashSet::new();\n  let t = Instant::now();\n  let b = BTreeMap::new();\n}\n",
+        );
+        assert_eq!(
+            findings,
+            vec![
+                (Rule::HashCollection, 1),
+                (Rule::HashCollection, 3),
+                (Rule::HashCollection, 3),
+                (Rule::WallClock, 4)
+            ]
+        );
+    }
+
+    #[test]
+    fn no_alloc_fences() {
+        let src = "fn f() {\n  let v = vec![0.0; 8];\n  // urs-analyze: begin(no_alloc)\n  let w = x.clone();\n  let u = Vec::new();\n  let s = y.to_vec();\n  // urs-analyze: end(no_alloc)\n  let t = z.clone();\n}\n";
+        let findings = run(src);
+        assert_eq!(findings, vec![(Rule::NoAlloc, 4), (Rule::NoAlloc, 5), (Rule::NoAlloc, 6)]);
+    }
+
+    #[test]
+    fn unbalanced_fences_are_findings() {
+        let open = run("// urs-analyze: begin(no_alloc)\nfn f() {}\n");
+        assert_eq!(open, vec![(Rule::NoAlloc, 1)]);
+        let close = run("fn f() {}\n// urs-analyze: end(no_alloc)\n");
+        assert_eq!(close, vec![(Rule::NoAlloc, 2)]);
+    }
+
+    #[test]
+    fn waivers_cover_same_line_and_next_code_line() {
+        let same =
+            "fn f() { a.unwrap(); } // urs-analyze: allow(no_panic, reason = \"invariant\")\n";
+        assert!(run(same).is_empty());
+        let above = "fn f() {\n  // urs-analyze: allow(no_panic, reason = \"invariant\")\n  a.unwrap();\n  b.unwrap();\n}\n";
+        assert_eq!(run(above), vec![(Rule::NoPanic, 4)]);
+    }
+
+    #[test]
+    fn waiver_without_reason_is_a_bad_directive_and_does_not_waive() {
+        let src = "fn f() {\n  // urs-analyze: allow(no_panic)\n  a.unwrap();\n}\n";
+        let findings = run(src);
+        assert_eq!(findings, vec![(Rule::BadDirective, 2), (Rule::NoPanic, 3)]);
+        let empty =
+            "fn f() {\n  // urs-analyze: allow(no_panic, reason = \"\")\n  a.unwrap();\n}\n";
+        assert_eq!(run(empty), vec![(Rule::BadDirective, 2), (Rule::NoPanic, 3)]);
+    }
+
+    #[test]
+    fn waiver_is_rule_specific() {
+        // A well-formed waiver for a different rule waives nothing.
+        let src = "fn f() {\n  // urs-analyze: allow(float_cmp, reason = \"identity\")\n  a.unwrap();\n}\n";
+        assert_eq!(run(src), vec![(Rule::NoPanic, 3)]);
+    }
+
+    #[test]
+    fn directives_in_doc_comments_are_rejected() {
+        let src = "/// urs-analyze: allow(no_panic, reason = \"nope\")\nfn f() { a.unwrap(); }\n";
+        let findings = run(src);
+        assert_eq!(findings, vec![(Rule::BadDirective, 1), (Rule::NoPanic, 2)]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Fixture-driven end-to-end tests: each rule family has a fixture file under
+//! `fixtures/` with known findings at known lines; the analyzer must report
+//! exactly those `(rule, line)` pairs — no more, no fewer.
+
+use urs_analyze::{analyze_source, FileKind, Rule};
+
+fn findings(fixture: &str) -> Vec<(Rule, u32)> {
+    let path = format!("{}/fixtures/{fixture}", env!("CARGO_MANIFEST_DIR"));
+    let source = std::fs::read_to_string(&path).unwrap();
+    analyze_source(FileKind::Lib, &source).into_iter().map(|f| (f.rule, f.line)).collect()
+}
+
+#[test]
+fn no_panic_fixture() {
+    // The unwrap inside #[cfg(test)], the doc-comment mention, the string
+    // literal mention, and the waived unwrap must all stay silent.
+    assert_eq!(
+        findings("no_panic.rs"),
+        vec![
+            (Rule::NoPanic, 4),
+            (Rule::NoPanic, 5),
+            (Rule::NoPanic, 7),
+            (Rule::NoPanic, 10),
+            (Rule::SliceIndex, 12),
+        ]
+    );
+}
+
+#[test]
+fn float_cmp_fixture() {
+    // The chained `.unwrap()` legitimately fires both rules: one `total_cmp`
+    // rewrite clears both findings.
+    assert_eq!(
+        findings("float_cmp.rs"),
+        vec![
+            (Rule::FloatCmp, 3),
+            (Rule::FloatCmp, 4),
+            (Rule::NoPanic, 5),
+            (Rule::PartialCmpUnwrap, 5),
+        ]
+    );
+}
+
+#[test]
+fn determinism_fixture() {
+    assert_eq!(
+        findings("determinism.rs"),
+        vec![
+            (Rule::HashCollection, 2),
+            (Rule::HashCollection, 3),
+            (Rule::WallClock, 4),
+            (Rule::HashCollection, 7),
+            (Rule::HashCollection, 7),
+            (Rule::WallClock, 8),
+            (Rule::WallClock, 9),
+            (Rule::HashCollection, 10),
+            (Rule::HashCollection, 10),
+        ]
+    );
+}
+
+#[test]
+fn no_alloc_fixture() {
+    // Allocations outside the fence stay silent; the reasonless waiver is
+    // itself a finding and waives nothing.
+    assert_eq!(
+        findings("no_alloc.rs"),
+        vec![
+            (Rule::NoAlloc, 6),
+            (Rule::NoAlloc, 7),
+            (Rule::NoAlloc, 8),
+            (Rule::BadDirective, 16),
+            (Rule::NoPanic, 18),
+        ]
+    );
+}
+
+#[test]
+fn bin_files_skip_the_panic_family_only() {
+    let path = format!("{}/fixtures/no_panic.rs", env!("CARGO_MANIFEST_DIR"));
+    let source = std::fs::read_to_string(&path).unwrap();
+    let bin: Vec<(Rule, u32)> =
+        analyze_source(FileKind::Bin, &source).into_iter().map(|f| (f.rule, f.line)).collect();
+    assert_eq!(bin, vec![]);
+}

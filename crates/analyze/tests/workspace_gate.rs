@@ -1,0 +1,50 @@
+//! Meta-test: the real workspace must pass the gate with the checked-in
+//! baseline.  This is what keeps `cargo test` and `cargo run -p urs-analyze`
+//! telling the same story — a finding introduced without updating the baseline
+//! fails both.
+
+use std::path::Path;
+
+use urs_analyze::{analyze_workspace, check, Baseline};
+
+#[test]
+fn workspace_is_clean_under_the_checked_in_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap();
+    let findings = analyze_workspace(root).expect("workspace sources must be readable");
+    let baseline_text = std::fs::read_to_string(root.join("analyze-baseline.toml"))
+        .expect("analyze-baseline.toml must be checked in at the workspace root");
+    let baseline = Baseline::parse(&baseline_text).expect("baseline must parse");
+    let report = check(&findings, &baseline);
+    let mut complaints = String::new();
+    for (file, rule, allowance, group) in &report.over_budget {
+        complaints.push_str(&format!(
+            "\n{file} [{}]: {} finding(s) over budget {allowance}:",
+            rule.id(),
+            group.len()
+        ));
+        for f in group {
+            complaints.push_str(&format!("\n  {}", f.display()));
+        }
+    }
+    for (file, rule) in &report.unknown_rules {
+        complaints.push_str(&format!("\nbaseline names unknown rule `{rule}` for {file}"));
+    }
+    assert!(report.passed(), "urs-analyze gate failed:{complaints}");
+}
+
+#[test]
+fn baseline_reasons_are_filled_in() {
+    // Every baseline entry must carry a real reason — the ratchet documents
+    // why debt is tolerated, not just that it is.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap();
+    let baseline_text = std::fs::read_to_string(root.join("analyze-baseline.toml")).unwrap();
+    let baseline = Baseline::parse(&baseline_text).unwrap();
+    for entry in baseline.entries() {
+        assert!(
+            !entry.reason.trim().is_empty(),
+            "baseline entry {} [{}] has no reason",
+            entry.file,
+            entry.rule
+        );
+    }
+}

@@ -165,7 +165,7 @@ fn dominant_index(eigenvalues: &[Complex]) -> Result<usize> {
         .iter()
         .enumerate()
         .filter(|(_, z)| z.im.abs() < 1e-8 && z.re > 0.0)
-        .max_by(|(_, a), (_, b)| a.re.partial_cmp(&b.re).unwrap_or(std::cmp::Ordering::Equal))
+        .max_by(|(_, a), (_, b)| a.re.total_cmp(&b.re))
         .map(|(i, _)| i)
         .ok_or_else(|| {
             ModelError::SpectralFailure(

@@ -55,8 +55,7 @@
 //! # }
 //! ```
 
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -96,7 +95,7 @@ fn key_bits(name: &'static str, value: f64) -> Result<u64> {
 }
 
 /// Bit-exact identity of the two period distributions of a lifecycle.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct LifecycleKey {
     operative: Vec<(u64, u64)>,
     inoperative: Vec<(u64, u64)>,
@@ -119,7 +118,7 @@ impl LifecycleKey {
 }
 
 /// Bit-exact identity of one server class: `(count, µ, lifecycle)`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct ClassKey {
     count: usize,
     service_rate: u64,
@@ -137,7 +136,7 @@ impl ClassKey {
 }
 
 /// Key of the λ-independent skeleton: the canonical server-class list.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct SkeletonKey {
     classes: Vec<ClassKey>,
 }
@@ -152,7 +151,7 @@ impl SkeletonKey {
 
 /// Key of a complete spectral solution: skeleton key plus arrival rate and solver
 /// options (solutions depend on the tolerances through the failure conditions).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct SolutionKey {
     skeleton: SkeletonKey,
     arrival_rate: u64,
@@ -178,7 +177,7 @@ impl SolutionKey {
 }
 
 /// Key of a cached eigensystem: `(skeleton, λ, unit-disk margin)`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct EigenKey {
     skeleton: SkeletonKey,
     arrival_rate: u64,
@@ -201,7 +200,7 @@ impl EigenKey {
 /// if numerically close — transforms).  The inversion options are deliberately *not*
 /// part of the key: they affect only how the transform is evaluated, never its
 /// contents.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct TransformKey {
     solution: SolutionKey,
     tail_epsilon: u64,
@@ -228,19 +227,21 @@ pub(crate) struct EigenEntry {
     pub eigenvectors: Vec<Option<Vec<Complex>>>,
 }
 
-/// A mutex-protected `HashMap` with a recency stamp per entry and least-recently-used
+/// A mutex-protected `BTreeMap` with a recency stamp per entry and least-recently-used
 /// eviction once `capacity` is reached.  Eviction scans are `O(len)`, which is
-/// negligible against the cost of the solves being cached.
+/// negligible against the cost of the solves being cached.  An ordered map (rather
+/// than a hash map) keeps eviction order — and therefore hit/miss statistics —
+/// independent of hasher seeding across runs and processes.
 #[derive(Debug)]
 struct LruMap<K, V> {
-    map: HashMap<K, (V, u64)>,
+    map: BTreeMap<K, (V, u64)>,
     capacity: usize,
     clock: u64,
 }
 
-impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
+impl<K: Ord + Clone, V> LruMap<K, V> {
     fn new(capacity: usize) -> Self {
-        LruMap { map: HashMap::new(), capacity: capacity.max(1), clock: 0 }
+        LruMap { map: BTreeMap::new(), capacity: capacity.max(1), clock: 0 }
     }
 
     fn tick(&mut self) -> u64 {
@@ -645,6 +646,29 @@ mod tests {
             assert!(Arc::ptr_eq(s, &skeletons[0]));
         }
         assert_eq!(cache.len().0, 1);
+    }
+
+    #[test]
+    fn cache_statistics_are_run_to_run_deterministic() {
+        // Two independent caches fed the same workload under eviction pressure
+        // must report identical statistics and occupancy.  With a hash map this
+        // held only by accident of hasher seeding; the ordered map makes
+        // eviction order — and so every hit/miss counter — reproducible.
+        let workload: Vec<SystemConfig> = [2, 3, 4, 2, 5, 3, 2, 6, 4, 5]
+            .iter()
+            .map(|&n| config(n, 1.0 + n as f64 / 10.0))
+            .collect();
+        let run = || {
+            let cache = SolverCache::with_capacities(3, 4, 4);
+            for cfg in &workload {
+                cache.skeleton(cfg).unwrap();
+            }
+            (cache.stats(), cache.len())
+        };
+        let (stats_a, len_a) = run();
+        let (stats_b, len_b) = run();
+        assert_eq!(stats_a, stats_b);
+        assert_eq!(len_a, len_b);
     }
 
     #[test]

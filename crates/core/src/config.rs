@@ -628,6 +628,7 @@ fn canonicalise_classes(mut classes: Vec<ServerClass>) -> Vec<ServerClass> {
 /// `cache.rs` (which additionally rejects non-finite values), keeping "these classes
 /// are identical" consistent between canonicalisation and caching.
 pub(crate) fn canonical_bits(value: f64) -> u64 {
+    // urs-analyze: allow(float_cmp, reason = "this IS the bit-identity function; == merges the two signed-zero representations")
     if value == 0.0 {
         0
     } else {

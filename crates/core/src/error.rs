@@ -51,6 +51,10 @@ pub enum ModelError {
         /// The declared agreement tolerance that was exceeded.
         tolerance: f64,
     },
+    /// A broken internal invariant that would previously have panicked.  Seeing
+    /// this variant is a bug in this crate, but a recoverable one: callers get a
+    /// diagnosable error instead of a dead process.
+    Internal(&'static str),
     /// An error bubbled up from the linear-algebra layer.
     Linalg(LinalgError),
     /// An error bubbled up from the distribution layer.
@@ -77,6 +81,9 @@ impl fmt::Display for ModelError {
                 "transform inversion methods disagree at t = {time}: Euler {euler:.12e} vs \
                  Talbot {talbot:.12e} exceeds tolerance {tolerance:.3e}"
             ),
+            ModelError::Internal(invariant) => {
+                write!(f, "internal invariant violated (please report): {invariant}")
+            }
             ModelError::Linalg(e) => write!(f, "linear algebra error: {e}"),
             ModelError::Dist(e) => write!(f, "distribution error: {e}"),
         }

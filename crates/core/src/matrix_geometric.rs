@@ -401,6 +401,7 @@ impl MatrixGeometricSolution {
         }
         let mut v = self.levels[self.servers].clone();
         for _ in self.servers..level {
+            // urs-analyze: allow(no_panic, reason = "R is square with the solver's own mode dimension; the trait method returns a plain Vec")
             v = self.rate_matrix.vecmat(&v).expect("rate matrix dimensions match by construction");
         }
         v
@@ -433,6 +434,7 @@ impl QueueSolution for MatrixGeometricSolution {
         let tail = self
             .i_minus_r_inv
             .vecmat(&self.levels[self.servers])
+            // urs-analyze: allow(no_panic, reason = "(I-R)^-1 and the boundary level share the solver's mode dimension; the trait method returns a plain Vec")
             .expect("dimensions match by construction");
         for (m, p) in marginal.iter_mut().zip(tail) {
             *m += p;
@@ -448,6 +450,7 @@ impl QueueSolution for MatrixGeometricSolution {
         if level + 1 >= self.servers {
             // P(Z > level) = v_N R^{level+1-N} (I-R)^{-1} · 1
             let v = self.level_vector(level + 1);
+            // urs-analyze: allow(no_panic, reason = "(I-R)^-1 and level vectors share the solver's mode dimension; the trait method returns a plain f64")
             self.i_minus_r_inv.vecmat(&v).expect("dimensions match by construction").iter().sum()
         } else {
             let below: f64 = (0..=level).map(|j| self.level_probability(j)).sum();

@@ -8,7 +8,7 @@
 //! distribution of the environment (which is independent of the queue and has a simple
 //! multinomial product form — a useful cross-check for the solvers).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::ops::Range;
 
 use crate::config::{binomial, ServerClass, ServerLifecycle};
@@ -31,7 +31,7 @@ use crate::Result;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Mode {
     operative: Vec<usize>,
     inoperative: Vec<usize>,
@@ -102,7 +102,7 @@ pub struct ModeSpace {
     inoperative_phases: usize,
     layouts: Vec<ClassLayout>,
     modes: Vec<Mode>,
-    index: HashMap<Mode, usize>,
+    index: BTreeMap<Mode, usize>,
 }
 
 impl ModeSpace {
@@ -478,6 +478,23 @@ mod tests {
         let space = ModeSpace::new(3, &lc2).unwrap();
         // C(3+4-1, 3) = C(6,3) = 20
         assert_eq!(space.len(), 20);
+    }
+
+    #[test]
+    fn enumeration_and_index_are_run_to_run_deterministic() {
+        // Two independently built spaces must agree on the enumeration order and
+        // on every reverse lookup — the mode index must never depend on map
+        // iteration order.
+        let lc = paper_lifecycle();
+        let a = ModeSpace::new(5, &lc).unwrap();
+        let b = ModeSpace::new(5, &lc).unwrap();
+        let modes_a: Vec<&Mode> = a.iter().collect();
+        let modes_b: Vec<&Mode> = b.iter().collect();
+        assert_eq!(modes_a, modes_b);
+        for (i, mode) in a.iter().enumerate() {
+            assert_eq!(a.index_of(mode), Some(i));
+            assert_eq!(b.index_of(mode), Some(i));
+        }
     }
 
     #[test]

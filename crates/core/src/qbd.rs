@@ -30,7 +30,7 @@ use urs_linalg::Matrix;
 
 use crate::config::{ServerClass, ServerLifecycle, SystemConfig};
 use crate::modes::{Mode, ModeSpace};
-use crate::Result;
+use crate::{ModelError, Result};
 
 /// The λ-independent part of the QBD generator matrices: the mode space, the
 /// mode-change matrix `A` with its row-sum diagonal `Dᴬ`, and the level-dependent
@@ -107,9 +107,11 @@ impl QbdSkeleton {
                         let mut inoperative = mode.inoperative().to_vec();
                         operative[op_offset + j] -= 1;
                         inoperative[inop_offset + k] += 1;
-                        let target = modes
-                            .index_of(&Mode::new(operative, inoperative))
-                            .expect("breakdown target mode exists by construction");
+                        let target = modes.index_of(&Mode::new(operative, inoperative)).ok_or(
+                            ModelError::Internal(
+                                "breakdown target mode missing from the enumerated space",
+                            ),
+                        )?;
                         a[(i, target)] += x_j as f64 * op_rates[j] * beta_k;
                     }
                 }
@@ -126,9 +128,11 @@ impl QbdSkeleton {
                         let mut inoperative = mode.inoperative().to_vec();
                         operative[op_offset + j] += 1;
                         inoperative[inop_offset + k] -= 1;
-                        let target = modes
-                            .index_of(&Mode::new(operative, inoperative))
-                            .expect("repair target mode exists by construction");
+                        let target = modes.index_of(&Mode::new(operative, inoperative)).ok_or(
+                            ModelError::Internal(
+                                "repair target mode missing from the enumerated space",
+                            ),
+                        )?;
                         a[(i, target)] += y_k as f64 * rep_rates[k] * alpha_j;
                     }
                 }
@@ -147,7 +151,7 @@ impl QbdSkeleton {
             .stationary_distribution_classes(classes)
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap_or(0);
         Ok(QbdSkeleton {

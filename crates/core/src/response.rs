@@ -800,9 +800,7 @@ impl ResponseAnalysis {
     /// As [`ResponseAnalysis::response_time_percentile`].
     pub fn response_time_percentiles(&self, fractions: &[f64]) -> Result<Vec<f64>> {
         let mut order: Vec<usize> = (0..fractions.len()).collect();
-        order.sort_by(|&a, &b| {
-            fractions[a].partial_cmp(&fractions[b]).unwrap_or(std::cmp::Ordering::Equal)
-        });
+        order.sort_by(|&a, &b| fractions[a].total_cmp(&fractions[b]));
         let mut workspace = Workspace::new();
         let mut results = vec![0.0; fractions.len()];
         let mut warm: Option<(f64, f64)> = None;

@@ -168,11 +168,7 @@ impl SpectralExpansionSolver {
         };
         // Deterministic order: by modulus, then by real/imaginary part.
         let order = |a: &Complex, b: &Complex| {
-            a.abs()
-                .partial_cmp(&b.abs())
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.re.partial_cmp(&b.re).unwrap_or(std::cmp::Ordering::Equal))
-                .then(a.im.partial_cmp(&b.im).unwrap_or(std::cmp::Ordering::Equal))
+            a.abs().total_cmp(&b.abs()).then(a.re.total_cmp(&b.re)).then(a.im.total_cmp(&b.im))
         };
         // The eigenvalue list paired with any already-extracted left eigenvectors.
         let mut inside: Vec<(Complex, Option<Vec<Complex>>)> = match cached_entry {

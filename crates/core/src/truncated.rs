@@ -111,37 +111,36 @@ impl TruncatedCtmcSolver {
         let a = qbd.a();
         let lambda = config.arrival_rate();
         let level_indices: Vec<usize> = (0..levels).collect();
-        let per_level: Vec<LevelAdjacency> =
-            self.pool.par_map(&level_indices, |&level| {
-                // The level-dependent departure diagonal, borrowed once per level.
-                let c_level = qbd.c_level(level);
-                let mut outgoing: Vec<Vec<(usize, f64)>> = vec![Vec::new(); s];
-                let mut exit_rate = vec![0.0_f64; s];
-                for mode in 0..s {
-                    // Mode changes: walk the mode's row of `A` as one contiguous slice
-                    // (the generator is a sparse band, so most entries are skipped).
-                    for (target_mode, &rate) in a.row(mode).iter().enumerate() {
-                        if rate > 0.0 {
-                            outgoing[mode].push((state(target_mode, level), rate));
-                            exit_rate[mode] += rate;
-                        }
-                    }
-                    // Arrivals (lost at the truncation boundary).
-                    if level + 1 < levels {
-                        outgoing[mode].push((state(mode, level + 1), lambda));
-                        exit_rate[mode] += lambda;
-                    }
-                    // Departures: the skeleton's level-dependent C matrices already
-                    // encode the (class-aware, fastest-first) allocation of jobs to
-                    // servers.
-                    let rate = c_level[(mode, mode)];
+        let per_level: Vec<LevelAdjacency> = self.pool.par_map(&level_indices, |&level| {
+            // The level-dependent departure diagonal, borrowed once per level.
+            let c_level = qbd.c_level(level);
+            let mut outgoing: Vec<Vec<(usize, f64)>> = vec![Vec::new(); s];
+            let mut exit_rate = vec![0.0_f64; s];
+            for mode in 0..s {
+                // Mode changes: walk the mode's row of `A` as one contiguous slice
+                // (the generator is a sparse band, so most entries are skipped).
+                for (target_mode, &rate) in a.row(mode).iter().enumerate() {
                     if rate > 0.0 {
-                        outgoing[mode].push((state(mode, level - 1), rate));
+                        outgoing[mode].push((state(target_mode, level), rate));
                         exit_rate[mode] += rate;
                     }
                 }
-                (outgoing, exit_rate)
-            });
+                // Arrivals (lost at the truncation boundary).
+                if level + 1 < levels {
+                    outgoing[mode].push((state(mode, level + 1), lambda));
+                    exit_rate[mode] += lambda;
+                }
+                // Departures: the skeleton's level-dependent C matrices already
+                // encode the (class-aware, fastest-first) allocation of jobs to
+                // servers.
+                let rate = c_level[(mode, mode)];
+                if rate > 0.0 {
+                    outgoing[mode].push((state(mode, level - 1), rate));
+                    exit_rate[mode] += rate;
+                }
+            }
+            (outgoing, exit_rate)
+        });
         let mut outgoing: Vec<Vec<(usize, f64)>> = Vec::with_capacity(state_count);
         let mut exit_rate: Vec<f64> = Vec::with_capacity(state_count);
         for (level_outgoing, level_exit) in per_level {

@@ -93,7 +93,7 @@ impl PeriodAnalysis {
         let grid: Vec<f64> = (0..points).map(|i| (i as f64 + 0.5) * width).collect();
         // Empirical CDF evaluated directly on the raw sample.
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        sorted.sort_by(f64::total_cmp);
         let empirical_cdf: Vec<(f64, f64)> = grid
             .iter()
             .map(|&x| {

@@ -125,8 +125,10 @@ impl SyntheticTrace {
         SyntheticTrace {
             events: 140_000,
             operative: HyperExponential::new(&[0.7246, 0.2754], &[0.1663, 0.0091])
+                // urs-analyze: allow(no_panic, reason = "literal paper constants: positive weights summing to 1, positive rates")
                 .expect("paper parameters are valid"),
             inoperative: HyperExponential::new(&[0.9303, 0.0697], &[25.0043, 1.6346])
+                // urs-analyze: allow(no_panic, reason = "literal paper constants: positive weights summing to 1, positive rates")
                 .expect("paper parameters are valid"),
             anomaly_fraction: 0.04,
         }

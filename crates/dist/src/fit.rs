@@ -289,9 +289,7 @@ fn moment_error(weights: &[f64], rates: &[f64], reduced: &[f64]) -> f64 {
 fn solve_dense(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
     let n = b.len();
     for col in 0..n {
-        let pivot = (col..n).max_by(|&i, &j| {
-            a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite pivots")
-        })?;
+        let pivot = (col..n).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
         if a[pivot][col].abs() < 1e-14 {
             return None;
         }
@@ -356,7 +354,7 @@ pub fn fit_hyperexp_em(
     // Initial guess: split the sorted sample into `phases` equal-count groups and
     // use each group's mean as a phase mean.
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    sorted.sort_by(f64::total_cmp);
     let group = sorted.len() / phases;
     let mut weights = vec![1.0 / phases as f64; phases];
     let mut rates: Vec<f64> = (0..phases)
@@ -386,7 +384,7 @@ pub fn fit_hyperexp_em(
                 let j = rates
                     .iter()
                     .enumerate()
-                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite rates"))
+                    .min_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(j, _)| j)
                     .unwrap_or(0);
                 weight_sums[j] += 1.0;

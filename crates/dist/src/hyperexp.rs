@@ -157,6 +157,7 @@ impl ContinuousDistribution for HyperExponential {
 
     fn sample(&self, rng: &mut dyn RngCore) -> f64 {
         let mut u = uniform01(&mut *rng);
+        // urs-analyze: allow(no_panic, reason = "constructors reject empty phase lists, so `rates` is non-empty")
         let mut rate = *self.rates.last().expect("constructors require at least one phase");
         for (w, r) in self.weights.iter().zip(&self.rates) {
             if u < *w {

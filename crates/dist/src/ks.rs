@@ -49,7 +49,7 @@ impl KsTest {
             return Err(DistError::InsufficientData("KS test needs at least one sample".into()));
         }
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+        sorted.sort_by(f64::total_cmp);
         let n = sorted.len() as f64;
         let mut statistic: f64 = 0.0;
         for (i, &x) in sorted.iter().enumerate() {

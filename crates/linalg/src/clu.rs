@@ -141,6 +141,7 @@ impl CluDecomposition {
         let mut min_pivot = (0usize, f64::INFINITY);
         let mut active = [false; PANEL];
 
+        // urs-analyze: begin(no_alloc)
         for kk in (0..n).step_by(PANEL) {
             let k_end = (kk + PANEL).min(n);
             // 1. Factor the panel columns kk..k_end with full-height pivoting.
@@ -215,6 +216,7 @@ impl CluDecomposition {
                 })?;
             }
         }
+        // urs-analyze: end(no_alloc)
         Ok(CluDecomposition { lu, perm, perm_sign, min_pivot })
     }
 
@@ -282,6 +284,7 @@ impl CluDecomposition {
             });
         }
         let d = self.lu.as_slice();
+        // urs-analyze: begin(no_alloc)
         for (xi, &p) in x.iter_mut().zip(&self.perm) {
             *xi = b[p];
         }
@@ -301,6 +304,7 @@ impl CluDecomposition {
             }
             x[i] = sum / row[i];
         }
+        // urs-analyze: end(no_alloc)
         Ok(())
     }
 
@@ -463,6 +467,7 @@ impl CluDecomposition {
             }
         }
         let max = x.iter().fold(0.0_f64, |m, z| m.max(z.abs()));
+        // urs-analyze: allow(float_cmp, reason = "exact-zero test: a max-abs of exactly 0.0 means the extracted vector is identically zero")
         if !(max.is_finite()) || max == 0.0 {
             return Err(LinalgError::InvalidInput(
                 "null-vector extraction failed: matrix is not numerically singular".into(),
@@ -525,6 +530,7 @@ pub(crate) fn left_null_vector_of(a: &CMatrix) -> Result<Vec<Complex>> {
 /// Phase 2b of the blocked complex elimination over a band of rows below the panel;
 /// shared by the serial loop and the per-worker bands so the per-row arithmetic
 /// never depends on the thread count.
+// urs-analyze: begin(no_alloc)
 fn clu_trailing_update(
     rows: &mut [Complex],
     panel_rows: &[Complex],
@@ -584,6 +590,7 @@ fn cright_solve_row(
         row[p] = scratch[k];
     }
 }
+// urs-analyze: end(no_alloc)
 
 #[cfg(test)]
 mod tests {

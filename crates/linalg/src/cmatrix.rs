@@ -383,6 +383,7 @@ impl CMatrix {
 /// rows: `C ← α·A_band·B + β·C_band`.  The serial path runs it once over all rows;
 /// the parallel path runs it per band — each element's ascending-`k` accumulation is
 /// identical either way, so results never depend on the thread count.
+// urs-analyze: begin(no_alloc)
 fn cgemm_band(
     c: &mut [Complex],
     a: &[Complex],
@@ -429,6 +430,7 @@ fn cgemm_band(
         }
     }
 }
+// urs-analyze: end(no_alloc)
 
 impl Index<(usize, usize)> for CMatrix {
     type Output = Complex;

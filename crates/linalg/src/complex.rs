@@ -102,6 +102,7 @@ impl Complex {
     /// assert!((z.re).abs() < 1e-15 && (z.im - 2.0).abs() < 1e-15);
     /// ```
     pub fn sqrt(self) -> Self {
+        // urs-analyze: allow(float_cmp, reason = "exact-zero special case mirroring IEEE sqrt(±0) = 0; an epsilon would change nearby values")
         if self.re == 0.0 && self.im == 0.0 {
             return Complex::ZERO;
         }

@@ -420,11 +420,7 @@ fn hqr(h: &mut Matrix, max_its: usize) -> Result<Vec<Complex>> {
 /// part) — a convenient canonical order for tests and reporting.
 pub fn sort_by_modulus_desc(eigenvalues: &mut [Complex]) {
     eigenvalues.sort_by(|a, b| {
-        b.abs()
-            .partial_cmp(&a.abs())
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(b.re.partial_cmp(&a.re).unwrap_or(std::cmp::Ordering::Equal))
-            .then(b.im.partial_cmp(&a.im).unwrap_or(std::cmp::Ordering::Equal))
+        b.abs().total_cmp(&a.abs()).then(b.re.total_cmp(&a.re)).then(b.im.total_cmp(&a.im))
     });
 }
 

@@ -139,6 +139,7 @@ impl LuDecomposition {
         // unblocked algorithm, which skips their elimination step entirely).
         let mut active = [false; PANEL];
 
+        // urs-analyze: begin(no_alloc)
         for kk in (0..n).step_by(PANEL) {
             let k_end = (kk + PANEL).min(n);
             // 1. Factor the panel columns kk..k_end (unblocked, full-height pivoting).
@@ -219,6 +220,7 @@ impl LuDecomposition {
                 })?;
             }
         }
+        // urs-analyze: end(no_alloc)
         Ok(LuDecomposition { lu, perm, perm_sign, singular_at })
     }
 
@@ -286,6 +288,7 @@ impl LuDecomposition {
         }
         let d = self.lu.as_slice();
         // Apply the permutation, then forward- and back-substitute.
+        // urs-analyze: begin(no_alloc)
         for (xi, &p) in x.iter_mut().zip(&self.perm) {
             *xi = b[p];
         }
@@ -305,6 +308,7 @@ impl LuDecomposition {
             }
             x[i] = sum / row[i];
         }
+        // urs-analyze: end(no_alloc)
         Ok(())
     }
 
@@ -464,6 +468,7 @@ impl LuDecomposition {
 /// Phase 2b of the blocked elimination: `A22 ← A22 − L21·U12` over a band of rows
 /// below the panel.  Serial and parallel paths both call this on contiguous row
 /// bands, so each row's arithmetic order never depends on the thread count.
+// urs-analyze: begin(no_alloc)
 fn lu_trailing_update(
     rows: &mut [f64],
     panel_rows: &[f64],
@@ -519,6 +524,7 @@ fn right_solve_row(row: &mut [f64], d: &[f64], perm: &[usize], scratch: &mut [f6
         row[p] = scratch[k];
     }
 }
+// urs-analyze: end(no_alloc)
 
 #[cfg(test)]
 mod tests {

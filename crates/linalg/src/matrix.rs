@@ -65,6 +65,7 @@ impl Matrix {
     ///
     /// Panics if `rows * cols` overflows `usize`.
     pub fn zeros(rows: usize, cols: usize) -> Self {
+        // urs-analyze: allow(no_panic, reason = "usize overflow of rows*cols is documented under # Panics; a Result here would infect every kernel signature")
         Matrix { rows, cols, data: vec![0.0; rows.checked_mul(cols).expect("matrix too large")] }
     }
 
@@ -531,6 +532,7 @@ impl Matrix {
 /// serial kernel is exactly this function applied to the full row range, so a banded
 /// parallel run — which only re-partitions `i`, never the per-element `k` order —
 /// reproduces it bit for bit.
+// urs-analyze: begin(no_alloc)
 fn gemm_band(c: &mut [f64], a: &[f64], b: &[f64], alpha: f64, beta: f64, k: usize, n: usize) {
     if beta == 0.0 {
         c.fill(0.0);
@@ -567,6 +569,7 @@ fn gemm_band(c: &mut [f64], a: &[f64], b: &[f64], alpha: f64, beta: f64, k: usiz
         }
     }
 }
+// urs-analyze: end(no_alloc)
 
 impl Index<(usize, usize)> for Matrix {
     type Output = f64;

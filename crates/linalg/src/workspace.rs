@@ -82,6 +82,7 @@ impl Workspace {
     /// Hands out a zeroed `rows × cols` real matrix backed by pooled storage.
     pub fn real_matrix(&mut self, rows: usize, cols: usize) -> Matrix {
         let buf = self.real_buffer(rows * cols);
+        // urs-analyze: allow(no_panic, reason = "real_buffer returns exactly rows*cols elements on the line above")
         Matrix::from_vec(rows, cols, buf).expect("buffer length matches by construction")
     }
 
@@ -93,6 +94,7 @@ impl Workspace {
     /// Hands out a zeroed `rows × cols` complex matrix backed by pooled storage.
     pub fn complex_matrix(&mut self, rows: usize, cols: usize) -> CMatrix {
         let buf = self.complex_buffer(rows * cols);
+        // urs-analyze: allow(no_panic, reason = "complex_buffer returns exactly rows*cols elements on the line above")
         CMatrix::from_vec(rows, cols, buf).expect("buffer length matches by construction")
     }
 

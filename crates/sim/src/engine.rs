@@ -37,11 +37,7 @@ impl<T> PartialOrd for Scheduled<T> {
 impl<T> Ord for Scheduled<T> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest event pops first.
-        other
-            .time
-            .partial_cmp(&self.time)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.sequence.cmp(&self.sequence))
+        other.time.total_cmp(&self.time).then_with(|| other.sequence.cmp(&self.sequence))
     }
 }
 
@@ -61,6 +57,7 @@ impl<T> Ord for Scheduled<T> {
 #[derive(Debug, Clone)]
 pub struct EventQueue<T> {
     heap: BinaryHeap<Scheduled<T>>,
+    // urs-analyze: allow(hash_collection, reason = "membership-only set (insert/remove/contains); never iterated, so seeding cannot reach results")
     cancelled: std::collections::HashSet<u64>,
     next_sequence: u64,
     now: f64,
@@ -70,6 +67,7 @@ impl<T> Default for EventQueue<T> {
     fn default() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            // urs-analyze: allow(hash_collection, reason = "membership-only set (insert/remove/contains); never iterated, so seeding cannot reach results")
             cancelled: std::collections::HashSet::new(),
             next_sequence: 0,
             now: 0.0,

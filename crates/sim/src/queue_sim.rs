@@ -429,6 +429,7 @@ impl BreakdownQueueSimulation {
                     if servers[server].generation != generation || servers[server].job.is_none() {
                         continue; // stale event from before a preemption
                     }
+                    // urs-analyze: allow(no_panic, reason = "the stale-event guard two lines up continues when `job` is None")
                     let job = servers[server].job.take().expect("job present checked above");
                     servers[server].completion_handle = None;
                     jobs_in_system -= 1;
@@ -483,7 +484,7 @@ impl BreakdownQueueSimulation {
                 cfg.warmup, cfg.horizon
             )));
         }
-        response_samples.sort_by(|a, b| a.partial_cmp(b).expect("finite response times"));
+        response_samples.sort_by(f64::total_cmp);
         Ok(SimulationResult {
             mean_queue_length: queue_length.mean_until(end),
             mean_response_time: response_times.mean(),
@@ -528,6 +529,7 @@ fn dispatch(
                 let Some(donor) = donor else { break };
                 let entry = &mut servers[donor];
                 let served = (now - entry.service_started_at) * rates[donor];
+                // urs-analyze: allow(no_panic, reason = "donors are drawn from the busy-server set built in this scope")
                 let mut job = entry.job.take().expect("donor is busy by construction");
                 job.remaining_service = (job.remaining_service - served).max(0.0);
                 if let Some(handle) = entry.completion_handle.take() {

@@ -42,6 +42,7 @@ impl ConfidenceInterval {
 
     /// Relative half-width (half-width divided by |mean|; infinite for a zero mean).
     pub fn relative_half_width(&self) -> f64 {
+        // urs-analyze: allow(float_cmp, reason = "exact-zero guard against division by zero; any non-zero mean, however small, has a well-defined ratio")
         if self.mean == 0.0 {
             f64::INFINITY
         } else {
