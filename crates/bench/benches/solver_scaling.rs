@@ -18,7 +18,7 @@ use urs_core::{
     MixSearch, MixSearchOptions, QueueSolver, ResponseAnalysis, ResponseOptions, ServerClass,
     ServerLifecycle, SolverCache, SpectralExpansionSolver, ThreadPool,
 };
-use urs_linalg::{LuDecomposition, Matrix};
+use urs_linalg::{BandedLu, BandedMatrix, LuDecomposition, Matrix};
 
 fn bench_solvers(c: &mut Criterion) {
     let mut group = c.benchmark_group("solvers");
@@ -175,6 +175,80 @@ fn bench_kernels_par(c: &mut Criterion) {
     group.finish();
 }
 
+/// Deterministic banded test matrix (boosted diagonal) with the given bandwidths.
+fn kernel_banded(n: usize, kl: usize, ku: usize, mut seed: u64) -> BandedMatrix {
+    let mut next = || {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((seed >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    };
+    BandedMatrix::from_fn(n, kl, ku, |i, j| {
+        let v = next();
+        if i == j {
+            v + 4.0
+        } else {
+            v
+        }
+    })
+}
+
+/// Dense versus packed-banded kernels at QBD-realistic shapes.  At N servers the
+/// repeat block is s = (N+1)(N+2)/2 with bandwidth N+1, so (153, 17) is N = 16 and
+/// (561, 33) is N = 32 — the shapes the structured solver paths actually factor.
+/// The extra (153, 38) point sits at the `banded_profitable` crossover boundary
+/// (band width ≈ n/2); this group is the measurement that rule cites.  Bit-identity
+/// of banded vs dense on the same pattern is pinned by the property suite; this
+/// group only reports the speed ratio.
+fn bench_kernels_banded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels-banded");
+    group.sample_size(10);
+    let shapes: &[(usize, usize)] =
+        if smoke() { &[(96, 9)] } else { &[(153, 17), (153, 38), (561, 33)] };
+    for &(n, half_band) in shapes {
+        let banded = kernel_banded(n, half_band, half_band, 23);
+        let dense = banded.to_dense();
+        let rhs = kernel_matrix(n, 29);
+        let id = format!("{n}x{half_band}");
+        group.bench_with_input(BenchmarkId::new("gemm_dense", &id), &(), |bench, ()| {
+            bench.iter(|| {
+                let mut c = Matrix::zeros(n, n);
+                c.gemm(1.0, &dense, &rhs, 0.0).unwrap();
+                black_box(c)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gemm_banded", &id), &(), |bench, ()| {
+            bench.iter(|| {
+                let mut c = Matrix::zeros(n, n);
+                banded.gemm_into(1.0, &rhs, 0.0, &mut c).unwrap();
+                black_box(c)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lu_dense", &id), &(), |bench, ()| {
+            bench.iter(|| black_box(LuDecomposition::new(&dense).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("lu_banded", &id), &(), |bench, ()| {
+            bench.iter(|| black_box(BandedLu::new(&banded).unwrap()))
+        });
+        let blu = BandedLu::new(&banded).unwrap();
+        let dlu = LuDecomposition::new(&dense).unwrap();
+        let rhs8 = Matrix::from_fn(n, 8, |i, j| rhs[(i, j)]);
+        group.bench_with_input(BenchmarkId::new("solve_dense", &id), &(), |bench, ()| {
+            bench.iter(|| {
+                let mut out = Matrix::zeros(n, 8);
+                dlu.solve_matrix_into(&rhs8, &mut out).unwrap();
+                black_box(out)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("solve_banded", &id), &(), |bench, ()| {
+            bench.iter(|| {
+                let mut out = Matrix::zeros(n, 8);
+                blu.solve_matrix_into(&rhs8, &mut out).unwrap();
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
 /// The Figure 8 load sweep (12 arrival rates, one lifecycle) under the three execution
 /// strategies introduced by the performance subsystem:
 ///
@@ -323,6 +397,7 @@ criterion_group!(
     bench_solvers,
     bench_kernels,
     bench_kernels_par,
+    bench_kernels_banded,
     bench_sweeps,
     bench_mix,
     bench_response

@@ -26,7 +26,7 @@
 
 use std::sync::Arc;
 
-use urs_linalg::Matrix;
+use urs_linalg::{banded_profitable, BandedMatrix, Matrix};
 
 use crate::config::{ServerClass, ServerLifecycle, SystemConfig};
 use crate::modes::{Mode, ModeSpace};
@@ -55,6 +55,14 @@ pub struct QbdSkeleton {
     /// Mode with the largest stationary environment probability; used by the spectral
     /// solver to pin one balance equation (λ-independent, so computed once here).
     pin_mode: usize,
+    /// Union `(kl, ku)` bandwidth of the repeating-level coefficients `Q0`, `Q1`,
+    /// `Q2`: `Q0`/`Q2` are diagonal and `B` only touches the diagonal of `Q1`, so
+    /// this is the bandwidth of `q1_base` — λ-independent, computed once here so
+    /// every solver can route to the structured kernels without rescanning.
+    q1_bandwidths: (usize, usize),
+    /// Number of structurally nonzero entries of `Q1` (the pattern of
+    /// `A − Dᴬ − C` united with the full diagonal contributed by `−B`).
+    q1_nonzeros: usize,
 }
 
 impl QbdSkeleton {
@@ -97,6 +105,7 @@ impl QbdSkeleton {
                 // Breakdowns: a class-c server in operative phase j fails and enters
                 // inoperative phase k with probability β_k; rate x_j·ξ_j·β_k.
                 for (j, &x_j) in
+                    // urs-analyze: allow(slice_index, reason = "operative slice range comes from the mode-space enumerator and is in bounds by construction")
                     mode.operative()[modes.class_operative_range(class)].iter().enumerate()
                 {
                     if x_j == 0 {
@@ -147,6 +156,17 @@ impl QbdSkeleton {
             })
             .collect();
         let q1_base = &(&a - &da) - &c_levels[servers];
+        let q1_bandwidths = BandedMatrix::bandwidths_of(&q1_base);
+        let mut q1_nonzeros = 0;
+        for i in 0..s {
+            for j in 0..s {
+                // urs-analyze: allow(float_cmp, reason = "structural-pattern census: exact zero means the entry is absent for every λ")
+                // urs-analyze: allow(slice_index, reason = "scans the validated s x s generator block")
+                if i == j || q1_base[(i, j)] != 0.0 {
+                    q1_nonzeros += 1;
+                }
+            }
+        }
         let pin_mode = modes
             .stationary_distribution_classes(classes)
             .iter()
@@ -163,6 +183,8 @@ impl QbdSkeleton {
             q1_base,
             c_levels,
             pin_mode,
+            q1_bandwidths,
+            q1_nonzeros,
         })
     }
 
@@ -218,6 +240,32 @@ impl QbdSkeleton {
     /// Index of the mode with the largest stationary environment probability.
     pub fn pin_mode(&self) -> usize {
         self.pin_mode
+    }
+
+    /// Union `(kl, ku)` bandwidth of the characteristic coefficients `Q0`, `Q1`,
+    /// `Q2` in the skeleton's mode ordering.  `Q0 = λI` and `Q2 = C` are diagonal,
+    /// so this is the bandwidth of `Q1` — in the homogeneous model a breakdown or
+    /// repair moves at most one server between adjacent phase counts, giving
+    /// `kl = ku = O(N)` against an order of `s = O(N²)`.
+    pub fn q1_bandwidths(&self) -> (usize, usize) {
+        self.q1_bandwidths
+    }
+
+    /// Fraction of structurally nonzero entries in `Q1` (pattern of `A − Dᴬ − C`
+    /// united with the diagonal); a cheap sparsity report for observability and
+    /// crossover decisions.
+    pub fn q1_density(&self) -> f64 {
+        let s = self.order();
+        self.q1_nonzeros as f64 / (s * s) as f64
+    }
+
+    /// `true` when the solvers should route repeating-level factorisations through
+    /// the packed banded kernels (see [`urs_linalg::banded_profitable`]): the
+    /// bandwidth reported by [`q1_bandwidths`](Self::q1_bandwidths) clears the
+    /// measured crossover for this order.
+    pub fn banded_recommended(&self) -> bool {
+        let (kl, ku) = self.q1_bandwidths;
+        banded_profitable(self.order(), kl, ku)
     }
 }
 
@@ -364,6 +412,18 @@ impl QbdMatrices {
         &(&(self.skeleton.da() + &self.b) + self.skeleton.c_at(level)) - self.skeleton.a()
     }
 
+    /// Union `(kl, ku)` bandwidth of `Q0`/`Q1`/`Q2` (see
+    /// [`QbdSkeleton::q1_bandwidths`]).
+    pub fn q1_bandwidths(&self) -> (usize, usize) {
+        self.skeleton.q1_bandwidths()
+    }
+
+    /// `true` when repeating-level factorisations should use the packed banded
+    /// kernels (see [`QbdSkeleton::banded_recommended`]).
+    pub fn banded_recommended(&self) -> bool {
+        self.skeleton.banded_recommended()
+    }
+
     /// The generator of the environment process alone (`A − Dᴬ`); its stationary vector
     /// is the multinomial distribution exposed by
     /// [`ModeSpace::stationary_distribution`].
@@ -462,6 +522,27 @@ mod tests {
         // local_matrix(N) = DA + B + C - A = -(Q1)
         let local = qbd.local_matrix(2);
         assert!(local.approx_eq(&q1.scale(-1.0), 1e-12));
+    }
+
+    #[test]
+    fn bandwidth_report_matches_actual_structure() {
+        // Small paper configuration: band nearly fills the matrix, dense recommended.
+        let qbd = QbdMatrices::new(&paper_config(3, 2.0)).unwrap();
+        let (kl, ku) = qbd.q1_bandwidths();
+        assert_eq!((kl, ku), BandedMatrix::bandwidths_of(&qbd.q1()));
+        assert!(!qbd.banded_recommended());
+        assert!(qbd.skeleton().q1_density() > 0.0 && qbd.skeleton().q1_density() <= 1.0);
+        // Q0 and Q2 are diagonal, so the union bandwidth is Q1's own.
+        assert_eq!(BandedMatrix::bandwidths_of(&qbd.q0()), (0, 0));
+        assert_eq!(BandedMatrix::bandwidths_of(&qbd.q2()), (0, 0));
+
+        // Larger order: the band is narrow relative to s and the report flips.
+        let qbd = QbdMatrices::new(&paper_config(8, 2.0)).unwrap();
+        let (kl, ku) = qbd.q1_bandwidths();
+        assert_eq!((kl, ku), BandedMatrix::bandwidths_of(&qbd.q1()));
+        let bandwidth = kl + ku + 1;
+        assert!(bandwidth <= qbd.order() / 2);
+        assert!(qbd.banded_recommended());
     }
 
     #[test]

@@ -20,7 +20,9 @@
 //!    `diag(C_a)` is the departure rate of the jobs ahead of the tagged customer and
 //!    `diag(C_{a+1} − C_a)` the tagged customer's own completion rate (non-zero exactly
 //!    when a server is free for it).  Each evaluation is a sequence of complex
-//!    resolvent solves on the [`urs_linalg`] CMatrix/CLU kernels; the repeating levels
+//!    resolvent solves on the [`urs_linalg`] CMatrix/CLU kernels — routed through the
+//!    packed banded complex LU whenever the resolvent bandwidth clears the measured
+//!    crossover (the bases share the band pattern of `A`); the repeating levels
 //!    `a ≥ N` share a **single** LU factorisation, and all scratch memory comes from a
 //!    [`Workspace`] pool.  The unconditional transform is `W*(s) = Σ_{j,m} π(m,j)
 //!    φ_j[m]`, truncated where the stationary tail mass drops below
@@ -55,7 +57,10 @@
 use std::f64::consts::PI;
 use std::sync::Arc;
 
-use urs_linalg::{CluDecomposition, Complex, Matrix, Workspace};
+use urs_linalg::{
+    banded_profitable, BandedMatrix, CBandedLu, CBandedMatrix, CluDecomposition, Complex, Matrix,
+    Workspace,
+};
 
 use crate::cache::SolverCache;
 use crate::config::SystemConfig;
@@ -156,8 +161,10 @@ impl InversionOptions {
         let m = self.euler_average;
         // Binomial weights C(m, j)/2^m of the Euler average of S_n..S_{n+m}.
         let mut binom = vec![0.0; m + 1];
+        // urs-analyze: allow(slice_index, reason = "binom has m + 1 entries; j ranges over 0..=m")
         binom[0] = 0.5f64.powi(m as i32);
         for j in 1..=m {
+            // urs-analyze: allow(slice_index, reason = "binom has m + 1 entries; j ranges over 0..=m")
             binom[j] = binom[j - 1] * (m - j + 1) as f64 / j as f64;
         }
         // Collapsing the averaged partial sums into one weighted sum over terms:
@@ -357,6 +364,10 @@ pub struct ResponseTransform {
     /// Truncated stationary distribution `π[level][mode]` seen at arrival (PASTA).
     arrival_levels: Vec<Vec<f64>>,
     residual_mass: f64,
+    /// Union `(kl, ku)` bandwidth of every resolvent base (the pattern of `A` plus
+    /// the diagonal); when it clears the crossover, each resolvent factorisation
+    /// runs on the packed banded complex LU instead of the dense one.
+    bandwidths: (usize, usize),
 }
 
 impl ResponseTransform {
@@ -399,6 +410,11 @@ impl ResponseTransform {
         // even when the boundary already holds nearly all the mass.
         let (arrival_levels, residual_mass) =
             solution.arrival_state_distribution(tail_epsilon, servers + 1)?;
+        let mut bandwidths = BandedMatrix::bandwidths_of(&repeat_base);
+        for base in &boundary_bases {
+            let (l, u) = BandedMatrix::bandwidths_of(base);
+            bandwidths = (bandwidths.0.max(l), bandwidths.1.max(u));
+        }
         Ok(ResponseTransform {
             order,
             servers,
@@ -409,6 +425,7 @@ impl ResponseTransform {
             completions,
             arrival_levels,
             residual_mass,
+            bandwidths,
         })
     }
 
@@ -455,7 +472,11 @@ impl ResponseTransform {
     /// The level recurrence itself is sequential (`φ_a` feeds `φ_{a+1}`), so the
     /// parallelism lives inside each complex LU factorisation; its banded trailing
     /// updates preserve the serial accumulation order, making the transform value
-    /// bit-identical at any thread count.
+    /// bit-identical at any thread count.  When the resolvent bandwidth clears the
+    /// crossover ([`urs_linalg::banded_profitable`]), each factorisation runs on
+    /// the packed [`CBandedLu`] instead — always serial, so equally thread-count
+    /// independent, and bit-identical to the dense factorisation on the same
+    /// nonzero pattern.
     ///
     /// # Errors
     ///
@@ -469,43 +490,78 @@ impl ResponseTransform {
         pool: &ThreadPool,
     ) -> Result<Complex> {
         let order = self.order;
+        let (kl, ku) = self.bandwidths;
+        let use_banded = banded_profitable(order, kl, ku);
         let mut phi_prev = workspace.complex_buffer(order);
         let mut phi = workspace.complex_buffer(order);
         let mut rhs = workspace.complex_buffer(order);
         let mut total = Complex::ZERO;
         for (a, base) in self.boundary_bases.iter().enumerate() {
-            let mut shifted = workspace.complex_matrix(order, order);
-            shifted.copy_from_real(base)?;
-            shifted.shift_diagonal(s)?;
-            let lu = CluDecomposition::from_matrix_with(shifted, pool)?;
             for i in 0..order {
                 rhs[i] = phi_prev[i] * self.ahead_rates[a][i]
                     + Complex::from_real(self.completions[a][i]);
             }
-            lu.solve_into(&rhs, &mut phi)?;
-            workspace.release_complex_matrix(lu.into_matrix());
+            if use_banded {
+                let resolvent = shifted_banded(base, s, kl, ku);
+                let lu = CBandedLu::new_allow_singular_pooled(&resolvent, workspace)?;
+                let solved = lu.solve_into(&rhs, &mut phi);
+                lu.recycle(workspace);
+                solved?;
+            } else {
+                let mut shifted = workspace.complex_matrix(order, order);
+                shifted.copy_from_real(base)?;
+                shifted.shift_diagonal(s)?;
+                let lu = CluDecomposition::from_matrix_with(shifted, pool)?;
+                lu.solve_into(&rhs, &mut phi)?;
+                workspace.release_complex_matrix(lu.into_matrix());
+            }
             for (p, value) in self.arrival_levels[a].iter().zip(&phi) {
                 total += *value * *p;
             }
             std::mem::swap(&mut phi_prev, &mut phi);
         }
         if self.arrival_levels.len() > self.servers {
-            let mut shifted = workspace.complex_matrix(order, order);
-            shifted.copy_from_real(&self.repeat_base)?;
-            shifted.shift_diagonal(s)?;
-            let lu = CluDecomposition::from_matrix_with(shifted, pool)?;
             let service = &self.ahead_rates[self.servers];
-            for level in self.servers..self.arrival_levels.len() {
-                for i in 0..order {
-                    rhs[i] = phi_prev[i] * service[i];
+            if use_banded {
+                let resolvent = shifted_banded(&self.repeat_base, s, kl, ku);
+                let lu = CBandedLu::new_allow_singular_pooled(&resolvent, workspace)?;
+                let mut solved = Ok(());
+                for level in self.servers..self.arrival_levels.len() {
+                    for i in 0..order {
+                        // urs-analyze: allow(slice_index, reason = "bounded by the phase order and level count fixed at construction")
+                        rhs[i] = phi_prev[i] * service[i];
+                    }
+                    solved = lu.solve_into(&rhs, &mut phi);
+                    if solved.is_err() {
+                        break;
+                    }
+                    // urs-analyze: allow(slice_index, reason = "bounded by the phase order and level count fixed at construction")
+                    for (p, value) in self.arrival_levels[level].iter().zip(&phi) {
+                        total += *value * *p;
+                    }
+                    std::mem::swap(&mut phi_prev, &mut phi);
                 }
-                lu.solve_into(&rhs, &mut phi)?;
-                for (p, value) in self.arrival_levels[level].iter().zip(&phi) {
-                    total += *value * *p;
+                lu.recycle(workspace);
+                solved?;
+            } else {
+                let mut shifted = workspace.complex_matrix(order, order);
+                shifted.copy_from_real(&self.repeat_base)?;
+                shifted.shift_diagonal(s)?;
+                let lu = CluDecomposition::from_matrix_with(shifted, pool)?;
+                for level in self.servers..self.arrival_levels.len() {
+                    for i in 0..order {
+                        // urs-analyze: allow(slice_index, reason = "bounded by the phase order and level count fixed at construction")
+                        rhs[i] = phi_prev[i] * service[i];
+                    }
+                    lu.solve_into(&rhs, &mut phi)?;
+                    // urs-analyze: allow(slice_index, reason = "bounded by the phase order and level count fixed at construction")
+                    for (p, value) in self.arrival_levels[level].iter().zip(&phi) {
+                        total += *value * *p;
+                    }
+                    std::mem::swap(&mut phi_prev, &mut phi);
                 }
-                std::mem::swap(&mut phi_prev, &mut phi);
+                workspace.release_complex_matrix(lu.into_matrix());
             }
-            workspace.release_complex_matrix(lu.into_matrix());
         }
         workspace.release_complex_buffer(phi_prev);
         workspace.release_complex_buffer(phi);
@@ -535,6 +591,20 @@ impl ResponseTransform {
         }
         Ok((cdf, density))
     }
+}
+
+/// Evaluates `s·I + base` straight into packed banded storage, element-for-element
+/// identical to the dense `copy_from_real` + `shift_diagonal` route.
+fn shifted_banded(base: &Matrix, s: Complex, kl: usize, ku: usize) -> CBandedMatrix {
+    CBandedMatrix::from_fn(base.rows(), kl, ku, |i, j| {
+        // urs-analyze: allow(slice_index, reason = "bounded by the phase order and level count fixed at construction")
+        let v = Complex::from_real(base[(i, j)]);
+        if i == j {
+            v + s
+        } else {
+            v
+        }
+    })
 }
 
 /// The analytic response-time distribution of one system configuration.

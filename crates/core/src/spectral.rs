@@ -189,10 +189,14 @@ impl SpectralExpansionSolver {
         }
         inside.sort_by(|a, b| order(&a.0, &b.0));
         let scale = qbd.q1().max_abs().max(1.0);
-        // Each eigenvector extraction is an independent bounded-pivot back-solve, so
-        // the sorted list fans out across the pool.  `try_par_map` reports the
-        // smallest-indexed failure, which is exactly the one a serial loop over the
-        // same sorted order would have hit first.
+        // Each eigenvector extraction is independent, so the sorted list fans out
+        // across the pool.  When the QBD blocks are banded-profitable the extraction
+        // is shifted inverse iteration on one packed banded LU of Q(z)ᵀ per
+        // eigenvalue (O(s·b²) instead of the dense O(s³) null-space path, which
+        // remains the certified fallback); both routes are deterministic, so cached
+        // vectors from either agree bitwise with a fresh solve.  `try_par_map`
+        // reports the smallest-indexed failure, which is exactly the one a serial
+        // loop over the same sorted order would have hit first.
         let extracted: Vec<(Complex, Vec<Complex>)> =
             self.pool.try_par_map(&inside, |(z, cached_u)| -> Result<(Complex, Vec<Complex>)> {
                 let u = match cached_u {

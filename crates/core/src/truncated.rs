@@ -109,6 +109,12 @@ impl TruncatedCtmcSolver {
         // reproduces the serial layout exactly (pure construction, no floating-point
         // reduction whose order could shift).
         let a = qbd.a();
+        // `A` is a band matrix in the mode ordering; the skeleton reports the exact
+        // bandwidth, so each row scan below covers only the band.  Out-of-band
+        // entries are structurally zero, making the restriction exact: the adjacency
+        // lists come out identical to a full-row scan, just `O(s·b)` instead of
+        // `O(s²)` per level.
+        let (kl, ku) = qbd.q1_bandwidths();
         let lambda = config.arrival_rate();
         let level_indices: Vec<usize> = (0..levels).collect();
         let per_level: Vec<LevelAdjacency> = self.pool.par_map(&level_indices, |&level| {
@@ -117,11 +123,13 @@ impl TruncatedCtmcSolver {
             let mut outgoing: Vec<Vec<(usize, f64)>> = vec![Vec::new(); s];
             let mut exit_rate = vec![0.0_f64; s];
             for mode in 0..s {
-                // Mode changes: walk the mode's row of `A` as one contiguous slice
-                // (the generator is a sparse band, so most entries are skipped).
-                for (target_mode, &rate) in a.row(mode).iter().enumerate() {
+                // Mode changes: walk the banded part of the mode's row of `A`.
+                let band_start = mode.saturating_sub(kl);
+                let band_end = (mode + ku + 1).min(s);
+                // urs-analyze: allow(slice_index, reason = "band window clamped to 0..s by saturating_sub/min")
+                for (offset, &rate) in a.row(mode)[band_start..band_end].iter().enumerate() {
                     if rate > 0.0 {
-                        outgoing[mode].push((state(target_mode, level), rate));
+                        outgoing[mode].push((state(band_start + offset, level), rate));
                         exit_rate[mode] += rate;
                     }
                 }

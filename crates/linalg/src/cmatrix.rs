@@ -415,15 +415,31 @@ fn cgemm_band(
             for i in 0..m {
                 let a_tile = &a[i * k + kk..i * k + k_end];
                 let c_row = &mut c[i * n + jj..i * n + j_end];
-                for (offset, &av) in a_tile.iter().enumerate() {
-                    let aip = alpha * av;
-                    if aip == Complex::ZERO {
-                        continue;
+                // Same crossover gate as the real kernel: a fully dense panel
+                // runs branch-free; both branches accumulate the identical
+                // ascending-`k` terms, so the gate never changes bits.
+                if a_tile.iter().all(|&v| v != Complex::ZERO) {
+                    for (offset, &av) in a_tile.iter().enumerate() {
+                        let aip = alpha * av;
+                        let p = kk + offset;
+                        // urs-analyze: allow(slice_index, reason = "panel offsets bounded by the blocking loop limits; fused gemm hot loop")
+                        let b_row = &b[p * n + jj..p * n + j_end];
+                        for (c, &bv) in c_row.iter_mut().zip(b_row) {
+                            *c += aip * bv;
+                        }
                     }
-                    let p = kk + offset;
-                    let b_row = &b[p * n + jj..p * n + j_end];
-                    for (c, &bv) in c_row.iter_mut().zip(b_row) {
-                        *c += aip * bv;
+                } else {
+                    for (offset, &av) in a_tile.iter().enumerate() {
+                        let aip = alpha * av;
+                        if aip == Complex::ZERO {
+                            continue;
+                        }
+                        let p = kk + offset;
+                        // urs-analyze: allow(slice_index, reason = "panel offsets bounded by the blocking loop limits; fused gemm hot loop")
+                        let b_row = &b[p * n + jj..p * n + j_end];
+                        for (c, &bv) in c_row.iter_mut().zip(b_row) {
+                            *c += aip * bv;
+                        }
                     }
                 }
             }

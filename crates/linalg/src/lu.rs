@@ -353,27 +353,15 @@ impl LuDecomposition {
         for i in 1..n {
             let (prev, rest) = x.split_at_mut(i * w);
             let xi = &mut rest[..w];
-            for (j, l) in d[i * n..i * n + i].iter().enumerate() {
-                if *l != 0.0 {
-                    let xj = &prev[j * w..(j + 1) * w];
-                    for (t, &v) in xi.iter_mut().zip(xj) {
-                        *t -= l * v;
-                    }
-                }
-            }
+            // urs-analyze: allow(slice_index, reason = "offsets bounded by the factor dimension n; lockstep substitution hot loop")
+            substitute_row(xi, prev, &d[i * n..i * n + i], w);
         }
         for i in (0..n).rev() {
             let (head, tail) = x.split_at_mut((i + 1) * w);
             let xi = &mut head[i * w..];
             let row = &d[i * n..(i + 1) * n];
-            for (j, u) in row[i + 1..].iter().enumerate() {
-                if *u != 0.0 {
-                    let xj = &tail[j * w..(j + 1) * w];
-                    for (t, &v) in xi.iter_mut().zip(xj) {
-                        *t -= u * v;
-                    }
-                }
-            }
+            // urs-analyze: allow(slice_index, reason = "offsets bounded by the factor dimension n; lockstep substitution hot loop")
+            substitute_row(xi, tail, &row[i + 1..], w);
             let inv = row[i];
             for t in xi.iter_mut() {
                 *t /= inv;
@@ -430,14 +418,59 @@ impl LuDecomposition {
             });
         }
         out.copy_from(b)?;
+        self.right_solve_rows_with(out, ws, pool)
+    }
+
+    /// Solves `X A = B` for a **diagonal** `B` given by its packed diagonal,
+    /// without materialising the dense right-hand side.
+    ///
+    /// `out` is seeded with `diag` scattered onto the diagonal and then runs
+    /// exactly the row substitutions of
+    /// [`solve_right_matrix_into_with`](Self::solve_right_matrix_into_with), so
+    /// the result is bit-identical to the dense call on `B = diag(diag)`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve_right_matrix_into_with`](Self::solve_right_matrix_into_with).
+    pub fn solve_right_diagonal_into_with(
+        &self,
+        diag: &[f64],
+        out: &mut Matrix,
+        ws: &mut Workspace,
+        pool: &ThreadPool,
+    ) -> Result<()> {
+        self.ensure_regular()?;
+        let n = self.dim();
+        if diag.len() != n || out.shape() != (n, n) {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "LU right diagonal solve",
+                left: (diag.len(), diag.len()),
+                right: (n, n),
+            });
+        }
+        out.as_mut_slice().fill(0.0);
+        for (i, &v) in diag.iter().enumerate() {
+            // urs-analyze: allow(slice_index, reason = "offsets bounded by the factor dimension n; lockstep substitution hot loop")
+            out[(i, i)] = v;
+        }
+        self.right_solve_rows_with(out, ws, pool)
+    }
+
+    /// Right-divides every row of `out` in place: the shared tail of the
+    /// `solve_right_*` entry points, which differ only in how they seed `out`.
+    fn right_solve_rows_with(
+        &self,
+        out: &mut Matrix,
+        ws: &mut Workspace,
+        pool: &ThreadPool,
+    ) -> Result<()> {
+        let n = self.dim();
         let d = self.lu.as_slice();
         let rows = out.rows();
         let band_rows = par_band_rows(rows, n, n, pool.threads());
         if band_rows >= rows {
             let mut scratch = ws.real_buffer(n);
-            for row in out.as_mut_slice().chunks_exact_mut(n) {
-                right_solve_row(row, d, &self.perm, &mut scratch, n);
-            }
+            right_solve_band(out.as_mut_slice(), d, &self.perm, &mut scratch, n);
             ws.release_real_buffer(scratch);
             return Ok(());
         }
@@ -447,9 +480,7 @@ impl LuDecomposition {
             band_rows * n,
             || vec![0.0; n],
             |scratch, _, band| {
-                for row in band.chunks_exact_mut(n) {
-                    right_solve_row(row, d, perm, scratch, n);
-                }
+                right_solve_band(band, d, perm, scratch, n);
             },
         )?;
         Ok(())
@@ -494,6 +525,145 @@ fn lu_trailing_update(
     }
 }
 
+/// Right-divides a band of rows: quads of rows go through the lockstep
+/// [`right_solve_rows4`] kernel, the remainder through the scalar
+/// [`right_solve_row`].  Rows of `X A = B` never exchange data, and both kernels
+/// perform the identical column-ordered substitution per row, so the grouping —
+/// like the worker partitioning above — changes wall time, never bits.
+fn right_solve_band(band: &mut [f64], d: &[f64], perm: &[usize], scratch: &mut [f64], n: usize) {
+    let mut quads = band.chunks_exact_mut(4 * n);
+    for quad in &mut quads {
+        let (r0, rest) = quad.split_at_mut(n);
+        let (r1, rest) = rest.split_at_mut(n);
+        let (r2, r3) = rest.split_at_mut(n);
+        right_solve_rows4(r0, r1, r2, r3, d, perm, scratch, n);
+    }
+    for row in quads.into_remainder().chunks_exact_mut(n) {
+        right_solve_row(row, d, perm, scratch, n);
+    }
+}
+
+/// Four independent rows of the right division solved in lockstep: each column
+/// step loads row `j` of `U` (then `L`) once and advances four independent
+/// substitution chains with it.  Every row still performs exactly the multiplies
+/// and subtractions of [`right_solve_row`] in the same ascending-position order —
+/// rows never read each other — so the result is bit-identical while the factor
+/// traffic drops to a quarter and the chains hide each other's latency.
+#[allow(clippy::too_many_arguments)]
+fn right_solve_rows4(
+    r0: &mut [f64],
+    r1: &mut [f64],
+    r2: &mut [f64],
+    r3: &mut [f64],
+    d: &[f64],
+    perm: &[usize],
+    scratch: &mut [f64],
+    n: usize,
+) {
+    // w U = b: forward over columns using row j of U.
+    for j in 0..n {
+        // urs-analyze: allow(slice_index, reason = "offsets bounded by the factor dimension n; lockstep substitution hot loop")
+        let inv = d[j * n + j];
+        // urs-analyze: allow(slice_index, reason = "offsets bounded by the factor dimension n; lockstep substitution hot loop")
+        let w0 = r0[j] / inv;
+        // urs-analyze: allow(slice_index, reason = "offsets bounded by the factor dimension n; lockstep substitution hot loop")
+        r0[j] = w0;
+        // urs-analyze: allow(slice_index, reason = "offsets bounded by the factor dimension n; lockstep substitution hot loop")
+        let w1 = r1[j] / inv;
+        // urs-analyze: allow(slice_index, reason = "offsets bounded by the factor dimension n; lockstep substitution hot loop")
+        r1[j] = w1;
+        // urs-analyze: allow(slice_index, reason = "offsets bounded by the factor dimension n; lockstep substitution hot loop")
+        let w2 = r2[j] / inv;
+        // urs-analyze: allow(slice_index, reason = "offsets bounded by the factor dimension n; lockstep substitution hot loop")
+        r2[j] = w2;
+        // urs-analyze: allow(slice_index, reason = "offsets bounded by the factor dimension n; lockstep substitution hot loop")
+        let w3 = r3[j] / inv;
+        // urs-analyze: allow(slice_index, reason = "offsets bounded by the factor dimension n; lockstep substitution hot loop")
+        r3[j] = w3;
+        // urs-analyze: allow(slice_index, reason = "offsets bounded by the factor dimension n; lockstep substitution hot loop")
+        let u_row = &d[j * n + j + 1..(j + 1) * n];
+        // urs-analyze: allow(float_cmp, reason = "exact-zero skip gate, mirroring right_solve_row")
+        if w0 != 0.0 && w1 != 0.0 && w2 != 0.0 && w3 != 0.0 {
+            for ((((&u, x0), x1), x2), x3) in u_row
+                .iter()
+                // urs-analyze: allow(slice_index, reason = "offsets bounded by the factor dimension n; lockstep substitution hot loop")
+                .zip(&mut r0[j + 1..])
+                // urs-analyze: allow(slice_index, reason = "offsets bounded by the factor dimension n; lockstep substitution hot loop")
+                .zip(&mut r1[j + 1..])
+                // urs-analyze: allow(slice_index, reason = "offsets bounded by the factor dimension n; lockstep substitution hot loop")
+                .zip(&mut r2[j + 1..])
+                // urs-analyze: allow(slice_index, reason = "offsets bounded by the factor dimension n; lockstep substitution hot loop")
+                .zip(&mut r3[j + 1..])
+            {
+                *x0 -= w0 * u;
+                *x1 -= w1 * u;
+                *x2 -= w2 * u;
+                *x3 -= w3 * u;
+            }
+        } else {
+            for (w, row) in [(w0, &mut *r0), (w1, &mut *r1), (w2, &mut *r2), (w3, &mut *r3)] {
+                // urs-analyze: allow(float_cmp, reason = "exact-zero skip gate, mirroring right_solve_row")
+                if w != 0.0 {
+                    // urs-analyze: allow(slice_index, reason = "offsets bounded by the factor dimension n; lockstep substitution hot loop")
+                    for (x, &u) in row[j + 1..].iter_mut().zip(u_row) {
+                        *x -= w * u;
+                    }
+                }
+            }
+        }
+    }
+    // w L = w' (unit diagonal): backward over columns using row j of L.
+    for j in (0..n).rev() {
+        // urs-analyze: allow(slice_index, reason = "offsets bounded by the factor dimension n; lockstep substitution hot loop")
+        let w0 = r0[j];
+        // urs-analyze: allow(slice_index, reason = "offsets bounded by the factor dimension n; lockstep substitution hot loop")
+        let w1 = r1[j];
+        // urs-analyze: allow(slice_index, reason = "offsets bounded by the factor dimension n; lockstep substitution hot loop")
+        let w2 = r2[j];
+        // urs-analyze: allow(slice_index, reason = "offsets bounded by the factor dimension n; lockstep substitution hot loop")
+        let w3 = r3[j];
+        // urs-analyze: allow(slice_index, reason = "offsets bounded by the factor dimension n; lockstep substitution hot loop")
+        let l_row = &d[j * n..j * n + j];
+        // urs-analyze: allow(float_cmp, reason = "exact-zero skip gate, mirroring right_solve_row")
+        if w0 != 0.0 && w1 != 0.0 && w2 != 0.0 && w3 != 0.0 {
+            for ((((&l, x0), x1), x2), x3) in l_row
+                .iter()
+                // urs-analyze: allow(slice_index, reason = "offsets bounded by the factor dimension n; lockstep substitution hot loop")
+                .zip(&mut r0[..j])
+                // urs-analyze: allow(slice_index, reason = "offsets bounded by the factor dimension n; lockstep substitution hot loop")
+                .zip(&mut r1[..j])
+                // urs-analyze: allow(slice_index, reason = "offsets bounded by the factor dimension n; lockstep substitution hot loop")
+                .zip(&mut r2[..j])
+                // urs-analyze: allow(slice_index, reason = "offsets bounded by the factor dimension n; lockstep substitution hot loop")
+                .zip(&mut r3[..j])
+            {
+                *x0 -= w0 * l;
+                *x1 -= w1 * l;
+                *x2 -= w2 * l;
+                *x3 -= w3 * l;
+            }
+        } else {
+            for (w, row) in [(w0, &mut *r0), (w1, &mut *r1), (w2, &mut *r2), (w3, &mut *r3)] {
+                // urs-analyze: allow(float_cmp, reason = "exact-zero skip gate, mirroring right_solve_row")
+                if w != 0.0 {
+                    // urs-analyze: allow(slice_index, reason = "offsets bounded by the factor dimension n; lockstep substitution hot loop")
+                    for (x, &l) in row[..j].iter_mut().zip(l_row) {
+                        *x -= w * l;
+                    }
+                }
+            }
+        }
+    }
+    // X = W P: scatter within each row.
+    for row in [r0, r1, r2, r3] {
+        scratch.copy_from_slice(row);
+        for (k, &p) in perm.iter().enumerate() {
+            // urs-analyze: allow(slice_index, reason = "offsets bounded by the factor dimension n; lockstep substitution hot loop")
+            row[p] = scratch[k];
+        }
+    }
+}
+
 /// One row of the right division `X A = B`: solve `w U = b` forward, `w L = w'`
 /// backward, then scatter through the column permutation using `scratch` (length
 /// `n`).  Factored out so the serial loop and the per-worker parallel bands run the
@@ -522,6 +692,70 @@ fn right_solve_row(row: &mut [f64], d: &[f64], perm: &[usize], scratch: &mut [f6
     scratch.copy_from_slice(row);
     for (k, &p) in perm.iter().enumerate() {
         row[p] = scratch[k];
+    }
+}
+
+/// One block-substitution row of the multi-RHS solves: `xi ← xi − Σ_j coeffs[j]·rows[j]`
+/// with `rows[j]` the `w`-wide RHS row at offset `j·w`, `j` ascending.  Zero
+/// coefficients are skipped exactly as the reference loop does; when four
+/// consecutive coefficients are all nonzero the four updates run in one pass over
+/// `xi` — the same multiplies and subtractions in the same per-element order (no
+/// fusion, no reassociation), so the result is bit-identical while the `xi`
+/// load/store traffic drops to a quarter.
+fn substitute_row(xi: &mut [f64], rhs_rows: &[f64], coeffs: &[f64], w: usize) {
+    let mut j = 0;
+    while j + 4 <= coeffs.len() {
+        // urs-analyze: allow(slice_index, reason = "offsets bounded by the factor dimension n; lockstep substitution hot loop")
+        let c0 = coeffs[j];
+        // urs-analyze: allow(slice_index, reason = "offsets bounded by the factor dimension n; lockstep substitution hot loop")
+        let c1 = coeffs[j + 1];
+        // urs-analyze: allow(slice_index, reason = "offsets bounded by the factor dimension n; lockstep substitution hot loop")
+        let c2 = coeffs[j + 2];
+        // urs-analyze: allow(slice_index, reason = "offsets bounded by the factor dimension n; lockstep substitution hot loop")
+        let c3 = coeffs[j + 3];
+        // urs-analyze: allow(float_cmp, reason = "exact-zero skip gate, mirroring the reference substitution loop")
+        if c0 != 0.0 && c1 != 0.0 && c2 != 0.0 && c3 != 0.0 {
+            // urs-analyze: allow(slice_index, reason = "RHS rows j..j+3, in range since (j+4)·w ≤ coeffs.len()·w ≤ rhs_rows.len()")
+            let r0 = &rhs_rows[j * w..(j + 1) * w];
+            // urs-analyze: allow(slice_index, reason = "RHS row j+1, in range as above")
+            let r1 = &rhs_rows[(j + 1) * w..(j + 2) * w];
+            // urs-analyze: allow(slice_index, reason = "RHS row j+2, in range as above")
+            let r2 = &rhs_rows[(j + 2) * w..(j + 3) * w];
+            // urs-analyze: allow(slice_index, reason = "RHS row j+3, in range as above")
+            let r3 = &rhs_rows[(j + 3) * w..(j + 4) * w];
+            for ((((t, &v0), &v1), &v2), &v3) in xi.iter_mut().zip(r0).zip(r1).zip(r2).zip(r3) {
+                let mut acc = *t;
+                acc -= c0 * v0;
+                acc -= c1 * v1;
+                acc -= c2 * v2;
+                acc -= c3 * v3;
+                *t = acc;
+            }
+        } else {
+            // urs-analyze: allow(slice_index, reason = "offsets bounded by the factor dimension n; lockstep substitution hot loop")
+            for (step, &c) in coeffs[j..j + 4].iter().enumerate() {
+                // urs-analyze: allow(float_cmp, reason = "exact-zero skip gate, mirroring the reference substitution loop")
+                if c != 0.0 {
+                    let jj = j + step;
+                    // urs-analyze: allow(slice_index, reason = "RHS row jj < coeffs.len(), so (jj+1)·w ≤ rhs_rows.len()")
+                    let xj = &rhs_rows[jj * w..(jj + 1) * w];
+                    for (t, &v) in xi.iter_mut().zip(xj) {
+                        *t -= c * v;
+                    }
+                }
+            }
+        }
+        j += 4;
+    }
+    for (tail, &c) in coeffs.iter().enumerate().skip(j) {
+        // urs-analyze: allow(float_cmp, reason = "exact-zero skip gate, mirroring the reference substitution loop")
+        if c != 0.0 {
+            // urs-analyze: allow(slice_index, reason = "RHS row tail < coeffs.len(), so (tail+1)·w ≤ rhs_rows.len()")
+            let xj = &rhs_rows[tail * w..(tail + 1) * w];
+            for (t, &v) in xi.iter_mut().zip(xj) {
+                *t -= c * v;
+            }
+        }
     }
 }
 // urs-analyze: end(no_alloc)

@@ -551,21 +551,280 @@ fn gemm_band(c: &mut [f64], a: &[f64], b: &[f64], alpha: f64, beta: f64, k: usiz
         let k_end = (kk + KB).min(k);
         for jj in (0..n).step_by(JB) {
             let j_end = (jj + JB).min(n);
-            for i in 0..m {
-                let a_tile = &a[i * k + kk..i * k + k_end];
-                let c_row = &mut c[i * n + jj..i * n + j_end];
-                for (offset, &av) in a_tile.iter().enumerate() {
-                    let aip = alpha * av;
-                    if aip == 0.0 {
-                        continue;
-                    }
-                    let p = kk + offset;
-                    let b_row = &b[p * n + jj..p * n + j_end];
-                    for (c, &bv) in c_row.iter_mut().zip(b_row) {
-                        *c += aip * bv;
+            // Quads of output rows whose `a` panels are fully dense run the
+            // fused four-row kernel, which reads each `b` row once for all four
+            // accumulator rows; everything else takes the per-row panel kernel.
+            // Each output row receives the identical ascending-`k` operation
+            // sequence either way, so the grouping changes wall time, not bits.
+            let mut i0 = 0;
+            while i0 + 4 <= m {
+                // urs-analyze: allow(slice_index, reason = "a panels for rows i0..i0+3 with i0+3 < m; window kk..k_end ≤ k")
+                let t0 = &a[i0 * k + kk..i0 * k + k_end];
+                // urs-analyze: allow(slice_index, reason = "a panel for row i0+1, in range as above")
+                let t1 = &a[(i0 + 1) * k + kk..(i0 + 1) * k + k_end];
+                // urs-analyze: allow(slice_index, reason = "a panel for row i0+2, in range as above")
+                let t2 = &a[(i0 + 2) * k + kk..(i0 + 2) * k + k_end];
+                // urs-analyze: allow(slice_index, reason = "a panel for row i0+3, in range as above")
+                let t3 = &a[(i0 + 3) * k + kk..(i0 + 3) * k + k_end];
+                // urs-analyze: allow(float_cmp, reason = "exact-zero scan choosing between the skipping and branch-free loops; both compute the same sum")
+                let dense =
+                    // urs-analyze: allow(float_cmp, reason = "exact zero gates the zero-skip branch; bitwise test is part of the bit-identity contract")
+                    t0.iter().chain(t1).chain(t2).chain(t3).all(|&v| v != 0.0);
+                if dense {
+                    // urs-analyze: allow(slice_index, reason = "c rows i0..i0+3, in range since (i0+4)·n ≤ m·n = c.len()")
+                    let block = &mut c[i0 * n..(i0 + 4) * n];
+                    let (r0, rest) = block.split_at_mut(n);
+                    let (r1, rest) = rest.split_at_mut(n);
+                    let (r2, r3) = rest.split_at_mut(n);
+                    gemm_rows4_panel(
+                        [
+                            // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+                            &mut r0[jj..j_end],
+                            // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+                            &mut r1[jj..j_end],
+                            // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+                            &mut r2[jj..j_end],
+                            // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+                            &mut r3[jj..j_end],
+                        ],
+                        [t0, t1, t2, t3],
+                        b,
+                        alpha,
+                        kk,
+                        jj,
+                        j_end,
+                        n,
+                    );
+                } else {
+                    for i in i0..i0 + 4 {
+                        // urs-analyze: allow(slice_index, reason = "a panel and c row for i < m, windows bounded by k and n")
+                        gemm_row_panel(
+                            // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+                            &mut c[i * n + jj..i * n + j_end],
+                            // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+                            &a[i * k + kk..i * k + k_end],
+                            b,
+                            alpha,
+                            kk,
+                            jj,
+                            j_end,
+                            n,
+                        );
                     }
                 }
+                i0 += 4;
             }
+            for i in i0..m {
+                // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+                let a_tile = &a[i * k + kk..i * k + k_end];
+                // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+                let c_row = &mut c[i * n + jj..i * n + j_end];
+                gemm_row_panel(c_row, a_tile, b, alpha, kk, jj, j_end, n);
+            }
+        }
+    }
+}
+
+/// One output row of a `gemm` panel: accumulate `alpha·a_tile[t]·b_row(kk+t)`
+/// over the column window `jj..j_end`, `t` ascending.
+///
+/// Crossover gate: one cheap scan decides whether this panel of `a` is fully
+/// dense, in which case the inner loop runs branch-free (the zero-skip would
+/// test and never fire — pure overhead on dense operands).  Either branch
+/// performs the identical ascending-`k` accumulation over the same nonzero
+/// terms, so the gate changes wall time, not bits.
+#[allow(clippy::too_many_arguments)]
+fn gemm_row_panel(
+    c_row: &mut [f64],
+    a_tile: &[f64],
+    b: &[f64],
+    alpha: f64,
+    kk: usize,
+    jj: usize,
+    j_end: usize,
+    n: usize,
+) {
+    // urs-analyze: allow(float_cmp, reason = "exact-zero scan choosing between the skipping and branch-free loops; both compute the same sum")
+    if a_tile.iter().all(|&v| v != 0.0) {
+        // Four k-steps per pass over the output row: each element still
+        // receives the same multiplies and adds in the same ascending-`k`
+        // order as four single sweeps would apply (no fused multiply-add, no
+        // reassociation), so the bits are unchanged — only the `c`-row
+        // load/store traffic drops to a quarter, which is what this loop is
+        // bound by.
+        let mut offset = 0;
+        while offset + 4 <= a_tile.len() {
+            // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+            let a0 = alpha * a_tile[offset];
+            // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+            let a1 = alpha * a_tile[offset + 1];
+            // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+            let a2 = alpha * a_tile[offset + 2];
+            // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+            let a3 = alpha * a_tile[offset + 3];
+            let p = kk + offset;
+            // urs-analyze: allow(slice_index, reason = "rows p..p+3 of b with p+3 < k_end ≤ k; column window jj..j_end ≤ n")
+            let b0 = &b[p * n + jj..p * n + j_end];
+            // urs-analyze: allow(slice_index, reason = "row p+1 of b, in range as above")
+            let b1 = &b[(p + 1) * n + jj..(p + 1) * n + j_end];
+            // urs-analyze: allow(slice_index, reason = "row p+2 of b, in range as above")
+            let b2 = &b[(p + 2) * n + jj..(p + 2) * n + j_end];
+            // urs-analyze: allow(slice_index, reason = "row p+3 of b, in range as above")
+            let b3 = &b[(p + 3) * n + jj..(p + 3) * n + j_end];
+            for ((((c, &v0), &v1), &v2), &v3) in c_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
+                let mut t = *c;
+                t += a0 * v0;
+                t += a1 * v1;
+                t += a2 * v2;
+                t += a3 * v3;
+                *c = t;
+            }
+            offset += 4;
+        }
+        for (tail, &av) in a_tile.iter().enumerate().skip(offset) {
+            let aip = alpha * av;
+            let p = kk + tail;
+            // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+            let b_row = &b[p * n + jj..p * n + j_end];
+            for (c, &bv) in c_row.iter_mut().zip(b_row) {
+                *c += aip * bv;
+            }
+        }
+    } else {
+        for (offset, &av) in a_tile.iter().enumerate() {
+            let aip = alpha * av;
+            // urs-analyze: allow(float_cmp, reason = "exact zero gates the zero-skip branch; bitwise test is part of the bit-identity contract")
+            if aip == 0.0 {
+                continue;
+            }
+            let p = kk + offset;
+            // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+            let b_row = &b[p * n + jj..p * n + j_end];
+            for (c, &bv) in c_row.iter_mut().zip(b_row) {
+                *c += aip * bv;
+            }
+        }
+    }
+}
+
+/// Four output rows of a `gemm` panel advanced in lockstep, all panels known to
+/// be fully dense: each pass loads rows `p..p+3` of `b` once and feeds all four
+/// accumulator rows, so the `b` traffic drops to a quarter of four independent
+/// row sweeps while every output row still receives exactly the multiplies and
+/// adds of [`gemm_row_panel`]'s dense branch in the same ascending-`k` order —
+/// rows never read each other, so the fusion changes wall time, not bits.
+#[allow(clippy::too_many_arguments)]
+fn gemm_rows4_panel(
+    c_rows: [&mut [f64]; 4],
+    a_tiles: [&[f64]; 4],
+    b: &[f64],
+    alpha: f64,
+    kk: usize,
+    jj: usize,
+    j_end: usize,
+    n: usize,
+) {
+    let [c0, c1, c2, c3] = c_rows;
+    let [t0, t1, t2, t3] = a_tiles;
+    let mut offset = 0;
+    while offset + 4 <= t0.len() {
+        // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+        let a00 = alpha * t0[offset];
+        // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+        let a01 = alpha * t0[offset + 1];
+        // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+        let a02 = alpha * t0[offset + 2];
+        // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+        let a03 = alpha * t0[offset + 3];
+        // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+        let a10 = alpha * t1[offset];
+        // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+        let a11 = alpha * t1[offset + 1];
+        // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+        let a12 = alpha * t1[offset + 2];
+        // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+        let a13 = alpha * t1[offset + 3];
+        // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+        let a20 = alpha * t2[offset];
+        // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+        let a21 = alpha * t2[offset + 1];
+        // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+        let a22 = alpha * t2[offset + 2];
+        // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+        let a23 = alpha * t2[offset + 3];
+        // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+        let a30 = alpha * t3[offset];
+        // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+        let a31 = alpha * t3[offset + 1];
+        // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+        let a32 = alpha * t3[offset + 2];
+        // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+        let a33 = alpha * t3[offset + 3];
+        let p = kk + offset;
+        // urs-analyze: allow(slice_index, reason = "rows p..p+3 of b with p+3 < k_end ≤ k; column window jj..j_end ≤ n")
+        let b0 = &b[p * n + jj..p * n + j_end];
+        // urs-analyze: allow(slice_index, reason = "row p+1 of b, in range as above")
+        let b1 = &b[(p + 1) * n + jj..(p + 1) * n + j_end];
+        // urs-analyze: allow(slice_index, reason = "row p+2 of b, in range as above")
+        let b2 = &b[(p + 2) * n + jj..(p + 2) * n + j_end];
+        // urs-analyze: allow(slice_index, reason = "row p+3 of b, in range as above")
+        let b3 = &b[(p + 3) * n + jj..(p + 3) * n + j_end];
+        for (((((((x0, x1), x2), x3), &v0), &v1), &v2), &v3) in c0
+            .iter_mut()
+            .zip(c1.iter_mut())
+            .zip(c2.iter_mut())
+            .zip(c3.iter_mut())
+            .zip(b0)
+            .zip(b1)
+            .zip(b2)
+            .zip(b3)
+        {
+            let mut t = *x0;
+            t += a00 * v0;
+            t += a01 * v1;
+            t += a02 * v2;
+            t += a03 * v3;
+            *x0 = t;
+            let mut t = *x1;
+            t += a10 * v0;
+            t += a11 * v1;
+            t += a12 * v2;
+            t += a13 * v3;
+            *x1 = t;
+            let mut t = *x2;
+            t += a20 * v0;
+            t += a21 * v1;
+            t += a22 * v2;
+            t += a23 * v3;
+            *x2 = t;
+            let mut t = *x3;
+            t += a30 * v0;
+            t += a31 * v1;
+            t += a32 * v2;
+            t += a33 * v3;
+            *x3 = t;
+        }
+        offset += 4;
+    }
+    for tail in offset..t0.len() {
+        let p = kk + tail;
+        // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+        let a0 = alpha * t0[tail];
+        // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+        let a1 = alpha * t1[tail];
+        // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+        let a2 = alpha * t2[tail];
+        // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+        let a3 = alpha * t3[tail];
+        // urs-analyze: allow(slice_index, reason = "tile offsets bounded by the blocking loop limits; fused gemm hot loop")
+        let b_row = &b[p * n + jj..p * n + j_end];
+        for ((((x0, x1), x2), x3), &v) in
+            c0.iter_mut().zip(c1.iter_mut()).zip(c2.iter_mut()).zip(c3.iter_mut()).zip(b_row)
+        {
+            *x0 += a0 * v;
+            *x1 += a1 * v;
+            *x2 += a2 * v;
+            *x3 += a3 * v;
         }
     }
 }

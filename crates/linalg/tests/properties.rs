@@ -7,8 +7,8 @@
 
 use proptest::prelude::*;
 use urs_linalg::{
-    eigenvalues, CMatrix, CluDecomposition, Complex, LinalgError, LuDecomposition, Matrix,
-    QuadraticEigenProblem, ThreadPool, Workspace,
+    eigenvalues, BandedLu, BandedMatrix, CBandedLu, CBandedMatrix, CMatrix, CluDecomposition,
+    Complex, LinalgError, LuDecomposition, Matrix, QuadraticEigenProblem, ThreadPool, Workspace,
 };
 
 /// Naive O(n³) triple-loop reference product, independent of the tiled kernel.
@@ -452,6 +452,263 @@ proptest! {
             matrix_bits(&serial.into_matrix()),
             matrix_bits(&pooled.into_matrix())
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Banded-vs-dense bit-identity under random bandwidths.  The packed banded
+// kernels promise `to_bits` equality with the dense path on the same nonzero
+// pattern — for every bandwidth from diagonal (kl = ku = 0) through full
+// (kl = ku = n − 1), on sizes off the dense tile/panel boundaries, real and
+// complex, for gemm, matvec, LU factor/solve, and singularity reporting.
+// (Caveat pinned by the kernels' docs: inputs here avoid −0.0 and subnormals,
+// where "skip exact zeros" short-cuts could legally differ in sign-of-zero.)
+// ---------------------------------------------------------------------------
+
+/// Map a raw proptest draw to a bandwidth, biased so the degenerate diagonal
+/// and full-bandwidth cases come up often.
+fn pick_bandwidth(case: usize, raw: usize, n: usize) -> usize {
+    match case {
+        0 => 0,
+        1 => n.saturating_sub(1),
+        _ => raw % n,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Banded matvec and gemm are bitwise-equal to the dense kernels applied to
+    /// the unpacked matrix, at any bandwidth.
+    #[test]
+    fn banded_matvec_and_gemm_bitwise_equal_dense(
+        n in 1usize..40,
+        kl_case in 0usize..4, kl_raw in 0usize..64,
+        ku_case in 0usize..4, ku_raw in 0usize..64,
+        cols in 1usize..6,
+        alpha_case in 0usize..3, beta_case in 0usize..3,
+        seed in 0u64..1_000_000,
+    ) {
+        let kl = pick_bandwidth(kl_case, kl_raw, n);
+        let ku = pick_bandwidth(ku_case, ku_raw, n);
+        // β = 0 is excluded: the dense accumulate form overwrites C there while
+        // the banded kernel scales it, which may legally differ on sign-of-zero.
+        let alpha = [1.5, 0.75, -1.3][alpha_case];
+        let beta = [1.0, 0.5, -0.5][beta_case];
+        let mut next = lcg(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(17));
+        let a = BandedMatrix::from_fn(n, kl, ku, |i, j| {
+            let v = next();
+            if i == j { v + 4.0 } else { v }
+        });
+        let dense = a.to_dense();
+        let v: Vec<f64> = (0..n).map(|_| next()).collect();
+        let mut y = vec![0.0; n];
+        a.matvec_into(&v, &mut y).unwrap();
+        let yd = dense.matvec(&v).unwrap();
+        for (b, d) in y.iter().zip(&yd) {
+            prop_assert_eq!(b.to_bits(), d.to_bits());
+        }
+        let b = Matrix::from_fn(n, cols, |_, _| next());
+        let mut c = Matrix::from_fn(n, cols, |_, _| next());
+        let mut cd = c.clone();
+        a.gemm_into(alpha, &b, beta, &mut c).unwrap();
+        cd.gemm(alpha, &dense, &b, beta).unwrap();
+        prop_assert_eq!(matrix_bits(&c), matrix_bits(&cd));
+    }
+
+    /// Banded LU factorisation and its solves are bitwise-equal to the dense
+    /// blocked LU on the unpacked matrix, including sizes past the dense
+    /// 48-column panel so the comparison crosses panel boundaries.
+    #[test]
+    fn banded_lu_bitwise_equal_dense(
+        n in 1usize..70,
+        kl_case in 0usize..4, kl_raw in 0usize..64,
+        ku_case in 0usize..4, ku_raw in 0usize..64,
+        cols in 1usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let kl = pick_bandwidth(kl_case, kl_raw, n);
+        let ku = pick_bandwidth(ku_case, ku_raw, n);
+        let mut next = lcg(seed.wrapping_mul(0xA24BAED4963EE407).wrapping_add(19));
+        let a = BandedMatrix::from_fn(n, kl, ku, |i, j| {
+            let v = next();
+            if i == j { v + 4.0 } else { v }
+        });
+        let dense = a.to_dense();
+        let blu = a.lu().unwrap();
+        let dlu = LuDecomposition::new(&dense).unwrap();
+        prop_assert_eq!(blu.determinant().to_bits(), dlu.determinant().to_bits());
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let mut xb = vec![0.0; n];
+        let mut xd = vec![0.0; n];
+        blu.solve_into(&b, &mut xb).unwrap();
+        dlu.solve_into(&b, &mut xd).unwrap();
+        for (p, q) in xb.iter().zip(&xd) {
+            prop_assert_eq!(p.to_bits(), q.to_bits());
+        }
+        let bm = Matrix::from_fn(n, cols, |_, _| next());
+        let mut ob = Matrix::zeros(n, cols);
+        let mut od = Matrix::zeros(n, cols);
+        blu.solve_matrix_into(&bm, &mut ob).unwrap();
+        dlu.solve_matrix_into(&bm, &mut od).unwrap();
+        prop_assert_eq!(matrix_bits(&ob), matrix_bits(&od));
+    }
+
+    /// An exactly-zero column inside the band must fail identically through the
+    /// banded and dense factorisations: the same `Singular { pivot }` step, and
+    /// the same singularity flag from the tolerant constructors.
+    #[test]
+    fn banded_lu_singular_pivot_parity(
+        n in 2usize..40,
+        kl_raw in 0usize..64, ku_raw in 0usize..64,
+        dead_raw in 0usize..64,
+        seed in 0u64..1_000_000,
+    ) {
+        let kl = kl_raw % n;
+        let ku = ku_raw % n;
+        let dead = dead_raw % n;
+        let mut next = lcg(seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(23));
+        // Column `dead` is exactly zero: eliminations subtract exact zeros from
+        // it, so both paths hit a 0.0 pivot at the same deterministic step.
+        let a = BandedMatrix::from_fn(n, kl, ku, |i, j| {
+            if j == dead {
+                0.0
+            } else {
+                let v = next();
+                if i == j { v + 4.0 } else { v }
+            }
+        });
+        let dense = a.to_dense();
+        let be = BandedLu::new(&a).unwrap_err();
+        let de = LuDecomposition::new(&dense).unwrap_err();
+        prop_assert!(matches!(be, LinalgError::Singular { .. }), "banded: {be:?}");
+        prop_assert_eq!(&be, &de);
+        let blu = BandedLu::new_allow_singular(&a).unwrap();
+        let dlu = LuDecomposition::new_allow_singular(&dense).unwrap();
+        prop_assert_eq!(blu.is_singular(), dlu.is_singular());
+        prop_assert!(blu.is_singular());
+        prop_assert_eq!(blu.determinant().to_bits(), dlu.determinant().to_bits());
+    }
+
+    /// The complex packed kernels carry the same contract: matvec, factor,
+    /// determinant, pivot floor, and solves bitwise-equal to the dense complex
+    /// LU at any bandwidth.
+    #[test]
+    fn cbanded_kernels_bitwise_equal_dense(
+        n in 1usize..40,
+        kl_case in 0usize..4, kl_raw in 0usize..64,
+        ku_case in 0usize..4, ku_raw in 0usize..64,
+        seed in 0u64..1_000_000,
+    ) {
+        let kl = pick_bandwidth(kl_case, kl_raw, n);
+        let ku = pick_bandwidth(ku_case, ku_raw, n);
+        let mut next = lcg(seed.wrapping_mul(0xD1342543DE82EF95).wrapping_add(29));
+        let a = CBandedMatrix::from_fn(n, kl, ku, |i, j| {
+            let z = Complex::new(next(), next());
+            if i == j { z + Complex::from_real(4.0) } else { z }
+        });
+        let dense = a.to_dense();
+        let v: Vec<Complex> = (0..n).map(|_| Complex::new(next(), next())).collect();
+        let mut y = vec![Complex::ZERO; n];
+        a.matvec_into(&v, &mut y).unwrap();
+        let yd = dense.matvec(&v).unwrap();
+        for (b, d) in y.iter().zip(&yd) {
+            prop_assert_eq!(b.re.to_bits(), d.re.to_bits());
+            prop_assert_eq!(b.im.to_bits(), d.im.to_bits());
+        }
+        let blu = CBandedLu::new(&a).unwrap();
+        let dlu = CluDecomposition::new(&dense).unwrap();
+        prop_assert_eq!(blu.smallest_pivot().to_bits(), dlu.smallest_pivot().to_bits());
+        let (db, dd) = (blu.determinant(), dlu.determinant());
+        prop_assert_eq!(db.re.to_bits(), dd.re.to_bits());
+        prop_assert_eq!(db.im.to_bits(), dd.im.to_bits());
+        let b: Vec<Complex> = (0..n).map(|_| Complex::new(next(), next())).collect();
+        let mut xb = vec![Complex::ZERO; n];
+        let mut xd = vec![Complex::ZERO; n];
+        blu.solve_into(&b, &mut xb).unwrap();
+        dlu.solve_into(&b, &mut xd).unwrap();
+        for (p, q) in xb.iter().zip(&xd) {
+            prop_assert_eq!(p.re.to_bits(), q.re.to_bits());
+            prop_assert_eq!(p.im.to_bits(), q.im.to_bits());
+        }
+    }
+}
+
+proptest! {
+    // Each case runs a full quadratic eigensolve; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// On paper-shaped (QBD-like tridiagonal) pencils the shifted inverse
+    /// iteration behind `left_eigenvector` must agree with the dense null-space
+    /// extraction: same direction up to a complex scalar, small residual.
+    #[test]
+    fn inverse_iteration_matches_dense_null_space(
+        s in 8usize..13,
+        lambda in 0.5_f64..3.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut next = lcg(seed.wrapping_mul(0x5DEECE66D).wrapping_add(31));
+        // Q(z) = Q0 + Q1 z + Q2 z² with diagonal Q0/Q2 and tridiagonal Q1 whose
+        // rows sum to zero at z = 1 — the shape every QBD in the paper takes.
+        let q0 = Matrix::from_diagonal(&vec![lambda; s]);
+        let q2 = Matrix::from_diagonal(
+            &(0..s).map(|_| 0.3 + next().abs() * 2.0).collect::<Vec<_>>(),
+        );
+        let up: Vec<f64> = (0..s).map(|_| 0.2 + next().abs()).collect();
+        let down: Vec<f64> = (0..s).map(|_| 0.2 + next().abs()).collect();
+        let q1 = Matrix::from_fn(s, s, |i, j| {
+            if j == i + 1 {
+                up[i]
+            } else if i > 0 && j == i - 1 {
+                down[i]
+            } else if i == j {
+                let mut d = -(lambda + q2[(i, i)]);
+                if i + 1 < s {
+                    d -= up[i];
+                }
+                if i > 0 {
+                    d -= down[i];
+                }
+                d
+            } else {
+                0.0
+            }
+        });
+        let problem = QuadraticEigenProblem::new(q0, q1, q2).unwrap();
+        prop_assert!(problem.uses_banded_extraction());
+        let eig = problem.finite_eigenvalues().unwrap();
+        let max_mod = eig.iter().map(|e| e.z.abs()).fold(1.0_f64, f64::max);
+        for e in &eig {
+            // Skip clustered eigenvalues: near-degenerate null spaces make the
+            // extracted direction legitimately method-dependent.
+            let separation = eig
+                .iter()
+                .filter(|o| (o.z - e.z).abs() > 0.0)
+                .map(|o| (o.z - e.z).abs())
+                .fold(f64::INFINITY, f64::min);
+            if separation < 1e-3 * max_mod {
+                continue;
+            }
+            let v = problem.left_eigenvector(e.z).unwrap();
+            let scale = problem.evaluate(e.z).max_abs();
+            prop_assert!(
+                problem.residual(e.z, &v).unwrap() <= 1e-7 * scale,
+                "residual too large at z = {}", e.z
+            );
+            let w = CluDecomposition::new_allow_singular(&problem.evaluate(e.z))
+                .unwrap()
+                .left_null_vector()
+                .unwrap();
+            // Both vectors have unit max modulus; align phases at v's peak.
+            let peak = (0..s).max_by(|&a, &b| v[a].abs().total_cmp(&v[b].abs())).unwrap();
+            let ratio = w[peak] / v[peak];
+            for (a, b) in v.iter().zip(&w) {
+                prop_assert!(
+                    (*b - ratio * *a).abs() <= 1e-6,
+                    "direction mismatch at z = {}", e.z
+                );
+            }
+        }
     }
 }
 
