@@ -62,6 +62,7 @@ const ANALYZED_CRATE_DIRS: &[&str] = &[
     "crates/data",
     "crates/dist",
     "crates/linalg",
+    "crates/server",
     "crates/sim",
     ".", // the root facade crate
 ];

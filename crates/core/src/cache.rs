@@ -19,10 +19,14 @@
 //! keys.  Key
 //! construction normalises signed zero (`-0.0` and `0.0` hash identically) and
 //! rejects non-finite values, so NaN can never be admitted as a silently-unequal
-//! cache key.  The cache is `Sync` (internally mutex-protected maps), so a single
-//! cache can be shared by every worker thread of a
-//! [`ThreadPool`](crate::ThreadPool) during a parallel sweep.  Cached hits return the
-//! stored value unchanged, so cached and uncached runs are bit-identical.
+//! cache key.  The cache is `Sync` — each level is split into independently locked
+//! shards keyed by a deterministic hash — so a single cache can be shared by every
+//! worker thread of a [`ThreadPool`](crate::ThreadPool) during a parallel sweep (or
+//! by every request of a standing `urs-server` process) with contention per shard
+//! rather than per level.  A shard poisoned by a panicking worker is cleared and
+//! reused (counted in [`CacheStats::poison_recoveries`]), never propagated.  Cached
+//! hits return the stored value unchanged, so cached and uncached runs are
+//! bit-identical.
 //!
 //! Every level is a **size-capped LRU**: heterogeneous server classes multiply the
 //! key space combinatorially, so the unbounded maps of the original design would
@@ -56,8 +60,9 @@
 //! ```
 
 use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex};
 
 use urs_dist::HyperExponential;
 use urs_linalg::Complex;
@@ -79,6 +84,24 @@ const DEFAULT_EIGEN_CAPACITY: usize = 1024;
 /// arrival distribution, so they are skeleton-sized entries).
 const DEFAULT_TRANSFORM_CAPACITY: usize = 64;
 
+/// Deterministic digest of an arbitrary hashable key (FNV-1a over its `Hash`
+/// bytes) — the same stable hash that assigns cache shards, reused by the query
+/// planner to group compatible queries.
+pub(crate) fn digest_of<K: Hash>(key: &K) -> u64 {
+    Fnv1a::hash_of(key)
+}
+
+/// Deterministic digest of the λ-independent skeleton identity of a configuration:
+/// two configurations with equal digests share their QBD skeleton (and therefore
+/// their eigensystem lookups), which is what makes their queries batchable.
+///
+/// # Errors
+///
+/// Rejects configurations with non-finite parameters (no sound cache key).
+pub(crate) fn skeleton_digest(config: &SystemConfig) -> Result<u64> {
+    Ok(digest_of(&SkeletonKey::new(config)?))
+}
+
 /// Bit pattern of an `f64` for use inside a cache key: signed zero is normalised
 /// (`-0.0` keys identically to `0.0`, via the same [`canonical_bits`] rule that
 /// drives class merging in `config.rs`) and non-finite values are rejected rather
@@ -95,7 +118,7 @@ fn key_bits(name: &'static str, value: f64) -> Result<u64> {
 }
 
 /// Bit-exact identity of the two period distributions of a lifecycle.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 struct LifecycleKey {
     operative: Vec<(u64, u64)>,
     inoperative: Vec<(u64, u64)>,
@@ -118,7 +141,7 @@ impl LifecycleKey {
 }
 
 /// Bit-exact identity of one server class: `(count, µ, lifecycle)`.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 struct ClassKey {
     count: usize,
     service_rate: u64,
@@ -136,7 +159,7 @@ impl ClassKey {
 }
 
 /// Key of the λ-independent skeleton: the canonical server-class list.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 struct SkeletonKey {
     classes: Vec<ClassKey>,
 }
@@ -151,7 +174,7 @@ impl SkeletonKey {
 
 /// Key of a complete spectral solution: skeleton key plus arrival rate and solver
 /// options (solutions depend on the tolerances through the failure conditions).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 struct SolutionKey {
     skeleton: SkeletonKey,
     arrival_rate: u64,
@@ -177,7 +200,7 @@ impl SolutionKey {
 }
 
 /// Key of a cached eigensystem: `(skeleton, λ, unit-disk margin)`.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 struct EigenKey {
     skeleton: SkeletonKey,
     arrival_rate: u64,
@@ -200,7 +223,7 @@ impl EigenKey {
 /// if numerically close — transforms).  The inversion options are deliberately *not*
 /// part of the key: they affect only how the transform is evaluated, never its
 /// contents.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 struct TransformKey {
     solution: SolutionKey,
     tail_epsilon: u64,
@@ -227,7 +250,43 @@ pub(crate) struct EigenEntry {
     pub eigenvectors: Vec<Option<Vec<Complex>>>,
 }
 
-/// A mutex-protected `BTreeMap` with a recency stamp per entry and least-recently-used
+/// Number of lock shards per cache level.  Each shard is an independent
+/// mutex-protected LRU, so concurrent workers contend only when their keys hash to
+/// the same shard instead of serialising on one coarse lock per level.
+const DEFAULT_SHARDS: usize = 8;
+
+/// A deterministic FNV-1a hasher used to assign keys to shards.  The standard
+/// library's `RandomState` is seeded per process, which would make shard
+/// assignment — and therefore eviction behaviour and statistics — differ between
+/// runs; FNV-1a over the derived `Hash` bytes is stable across runs, processes and
+/// platforms, which the restart-determinism contract of `urs-server` relies on.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn hash_of<K: Hash>(key: &K) -> u64 {
+        let mut hasher = Fnv1a(Fnv1a::OFFSET_BASIS);
+        key.hash(&mut hasher);
+        hasher.finish()
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for byte in bytes {
+            self.0 ^= u64::from(*byte);
+            self.0 = self.0.wrapping_mul(Fnv1a::PRIME);
+        }
+    }
+}
+
+/// A `BTreeMap` with a recency stamp per entry and least-recently-used
 /// eviction once `capacity` is reached.  Eviction scans are `O(len)`, which is
 /// negligible against the cost of the solves being cached.  An ordered map (rather
 /// than a hash map) keeps eviction order — and therefore hit/miss statistics —
@@ -260,20 +319,26 @@ impl<K: Ord + Clone, V> LruMap<K, V> {
         }
     }
 
-    /// Inserts (or replaces) an entry; returns `true` if another entry was evicted.
-    fn insert(&mut self, key: K, value: V) -> bool {
+    /// Inserts (or replaces) an entry; returns the *recency age* of any entry that
+    /// had to be evicted — how many operations ago the victim was last touched.
+    /// The age is measured on the map's own operation clock (never wall time), so
+    /// eviction reporting stays deterministic.
+    fn insert(&mut self, key: K, value: V) -> Option<u64> {
         let stamp = self.tick();
-        let mut evicted = false;
+        let mut evicted_age = None;
         if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
-            if let Some(victim) =
-                self.map.iter().min_by_key(|(_, (_, used))| *used).map(|(k, _)| k.clone())
+            if let Some((victim, age)) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, (_, used))| (k.clone(), stamp.saturating_sub(*used)))
             {
                 self.map.remove(&victim);
-                evicted = true;
+                evicted_age = Some(age);
             }
         }
         self.map.insert(key, (value, stamp));
-        evicted
+        evicted_age
     }
 
     fn len(&self) -> usize {
@@ -282,6 +347,145 @@ impl<K: Ord + Clone, V> LruMap<K, V> {
 
     fn clear(&mut self) {
         self.map.clear();
+    }
+}
+
+/// A sharded, poison-recovering LRU: `shards` independent [`LruMap`]s, each behind
+/// its own mutex, with keys assigned by the deterministic [`Fnv1a`] hash.  The
+/// requested capacity is split evenly across shards (each shard holds at least one
+/// entry), so eviction decisions are per shard — two hot keys in different shards
+/// never evict each other, at the price of the LRU order being approximate across
+/// the whole level.
+///
+/// Locking never panics on a poisoned mutex: a worker that panicked while holding a
+/// shard leaves that shard's contents suspect, so the shard is **cleared and reused**
+/// (recover-and-continue) and the recovery is counted.  One crashed worker can
+/// therefore never wedge a standing server — the worst case is a few cold keys.
+#[derive(Debug)]
+struct ShardedLru<K, V> {
+    shards: Vec<Mutex<LruMap<K, V>>>,
+    poison_recoveries: AtomicU64,
+}
+
+impl<K: Ord + Clone + Hash, V: Clone> ShardedLru<K, V> {
+    fn new(capacity: usize, shards: usize) -> Self {
+        let capacity = capacity.max(1);
+        let shards = shards.clamp(1, capacity);
+        let per_shard = capacity.div_ceil(shards);
+        ShardedLru {
+            shards: (0..shards).map(|_| Mutex::new(LruMap::new(per_shard))).collect(),
+            poison_recoveries: AtomicU64::new(0),
+        }
+    }
+
+    /// The shard index a key hashes to (stable across runs).
+    fn shard_index(&self, key: &K) -> usize {
+        (Fnv1a::hash_of(key) % self.shards.len().max(1) as u64) as usize
+    }
+
+    /// Runs `f` with the shard at `index` locked, recovering a poisoned shard by
+    /// clearing it first.
+    fn with_shard_at<R>(&self, index: usize, f: impl FnOnce(&mut LruMap<K, V>) -> R) -> R {
+        let Some(mutex) = self.shards.get(index) else {
+            // The constructor guarantees at least one shard; reaching this branch
+            // would be a bug, but a scratch map keeps the path panic-free.
+            return f(&mut LruMap::new(1));
+        };
+        let mut guard = match mutex.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                guard.clear();
+                // Clear the flag too, so the recovery is counted once rather than on
+                // every subsequent lock of this shard.
+                mutex.clear_poison();
+                self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+                guard
+            }
+        };
+        f(&mut guard)
+    }
+
+    fn get(&self, key: &K) -> Option<V> {
+        self.with_shard_at(self.shard_index(key), |map| map.get(key).cloned())
+    }
+
+    /// Inserts, returning the recency age of any evicted victim.
+    fn insert(&self, key: K, value: V) -> Option<u64> {
+        let index = self.shard_index(&key);
+        self.with_shard_at(index, |map| map.insert(key, value))
+    }
+
+    /// Inserts unless another thread already stored the key (the racing winner is
+    /// returned unchanged, so racing builders converge on one shared value).
+    fn insert_or_get(&self, key: K, value: V) -> (V, Option<u64>) {
+        let index = self.shard_index(&key);
+        self.with_shard_at(index, |map| {
+            if let Some(winner) = map.get(&key) {
+                return (winner.clone(), None);
+            }
+            let evicted = map.insert(key, value.clone());
+            (value, evicted)
+        })
+    }
+
+    fn len(&self) -> usize {
+        (0..self.shards.len()).map(|i| self.with_shard_at(i, |map| map.len())).sum()
+    }
+
+    fn clear(&self) {
+        for i in 0..self.shards.len() {
+            self.with_shard_at(i, |map| map.clear());
+        }
+    }
+
+    fn poison_recoveries(&self) -> u64 {
+        self.poison_recoveries.load(Ordering::Relaxed)
+    }
+}
+
+/// Hit/miss/eviction counters of one cache level, derived from [`CacheStats`] by
+/// [`CacheStats::levels`] — the per-level view a serving process reports on its
+/// metrics endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLevelStats {
+    /// Level name: `"skeletons"`, `"solutions"`, `"eigensystems"` or `"transforms"`.
+    pub level: &'static str,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute the value.
+    pub misses: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Sum of the recency ages (shard operations since last touch) of all evicted
+    /// entries; divide by `evictions` for the mean via [`mean_eviction_age`](Self::mean_eviction_age).
+    pub eviction_age_total: u64,
+}
+
+impl CacheLevelStats {
+    /// Total lookups against this level.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups answered from the cache (`0.0` when nothing was looked
+    /// up yet).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / lookups as f64
+    }
+
+    /// Mean recency age of evicted entries, in shard operations (`0.0` when nothing
+    /// was evicted).  A small mean means the level is thrashing — entries are
+    /// evicted soon after their last use — and its capacity should grow.
+    pub fn mean_eviction_age(&self) -> f64 {
+        if self.evictions == 0 {
+            return 0.0;
+        }
+        self.eviction_age_total as f64 / self.evictions as f64
     }
 }
 
@@ -320,6 +524,92 @@ pub struct CacheStats {
     pub eigen_evictions: u64,
     /// Response transforms evicted by the LRU policy.
     pub transform_evictions: u64,
+    /// Cumulative recency age of evicted skeletons (see [`CacheLevelStats::eviction_age_total`]).
+    pub skeleton_eviction_age: u64,
+    /// Cumulative recency age of evicted solutions.
+    pub solution_eviction_age: u64,
+    /// Cumulative recency age of evicted eigensystems.
+    pub eigen_eviction_age: u64,
+    /// Cumulative recency age of evicted response transforms.
+    pub transform_eviction_age: u64,
+    /// Shards cleared after a worker panicked while holding their lock
+    /// (recover-and-continue; see the poisoning policy in the [`SolverCache`] docs).
+    pub poison_recoveries: u64,
+}
+
+impl CacheStats {
+    /// The per-level view: `[skeletons, solutions, eigensystems, transforms]`, each
+    /// with its hit rate and eviction-age diagnostics — the shape a serving
+    /// process's `stats` endpoint reports.
+    pub fn levels(&self) -> [CacheLevelStats; 4] {
+        [
+            CacheLevelStats {
+                level: "skeletons",
+                hits: self.skeleton_hits,
+                misses: self.skeleton_misses,
+                evictions: self.skeleton_evictions,
+                eviction_age_total: self.skeleton_eviction_age,
+            },
+            CacheLevelStats {
+                level: "solutions",
+                hits: self.solution_hits,
+                misses: self.solution_misses,
+                evictions: self.solution_evictions,
+                eviction_age_total: self.solution_eviction_age,
+            },
+            CacheLevelStats {
+                level: "eigensystems",
+                hits: self.eigen_hits,
+                misses: self.eigen_misses,
+                evictions: self.eigen_evictions,
+                eviction_age_total: self.eigen_eviction_age,
+            },
+            CacheLevelStats {
+                level: "transforms",
+                hits: self.transform_hits,
+                misses: self.transform_misses,
+                evictions: self.transform_evictions,
+                eviction_age_total: self.transform_eviction_age,
+            },
+        ]
+    }
+
+    /// Overall hit rate across all four levels (`0.0` before the first lookup).
+    pub fn total_hit_rate(&self) -> f64 {
+        let hits = self.skeleton_hits + self.solution_hits + self.eigen_hits + self.transform_hits;
+        let lookups = hits
+            + self.skeleton_misses
+            + self.solution_misses
+            + self.eigen_misses
+            + self.transform_misses;
+        if lookups == 0 {
+            return 0.0;
+        }
+        hits as f64 / lookups as f64
+    }
+}
+
+/// Number of entries cached per level, as reported by [`SolverCache::len`].
+///
+/// (Previously a bare 4-tuple; the named form keeps the serving stats endpoint's
+/// shape self-describing and extensible.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheOccupancy {
+    /// Cached QBD skeletons.
+    pub skeletons: usize,
+    /// Cached complete spectral solutions.
+    pub solutions: usize,
+    /// Cached unit-disk eigensystems.
+    pub eigensystems: usize,
+    /// Cached response-time transforms.
+    pub transforms: usize,
+}
+
+impl CacheOccupancy {
+    /// Total entries across all four levels.
+    pub fn total(&self) -> usize {
+        self.skeletons + self.solutions + self.eigensystems + self.transforms
+    }
 }
 
 /// A thread-safe, size-capped LRU cache of QBD skeletons, quadratic eigensystems and
@@ -332,12 +622,23 @@ pub struct CacheStats {
 /// between both solvers lets the approximation reuse the eigensystem the spectral
 /// solver just factorised for the identical configuration (Figures 8 and 9 compare
 /// the two on the same grids).  See the example above in the module docs.
+///
+/// # Sharding and poisoning
+///
+/// Each level is split into 8 independently locked shards keyed by
+/// a deterministic hash, so the worker threads of a parallel sweep (or the request
+/// threads of a standing server) contend per shard rather than per level.  A shard
+/// whose lock was poisoned by a panicking worker is **cleared and reused** rather
+/// than propagating the poison: the cache only ever stores complete, immutable
+/// entries, so the sole risk after a panic is staleness of that shard's bookkeeping
+/// — dropping its entries restores a sound (cold) state and the recovery is counted
+/// in [`CacheStats::poison_recoveries`].
 #[derive(Debug)]
 pub struct SolverCache {
-    skeletons: Mutex<LruMap<SkeletonKey, Arc<QbdSkeleton>>>,
-    solutions: Mutex<LruMap<SolutionKey, Arc<SpectralSolution>>>,
-    eigensystems: Mutex<LruMap<EigenKey, Arc<EigenEntry>>>,
-    transforms: Mutex<LruMap<TransformKey, Arc<ResponseTransform>>>,
+    skeletons: ShardedLru<SkeletonKey, Arc<QbdSkeleton>>,
+    solutions: ShardedLru<SolutionKey, Arc<SpectralSolution>>,
+    eigensystems: ShardedLru<EigenKey, Arc<EigenEntry>>,
+    transforms: ShardedLru<TransformKey, Arc<ResponseTransform>>,
     skeleton_hits: AtomicU64,
     skeleton_misses: AtomicU64,
     solution_hits: AtomicU64,
@@ -350,6 +651,10 @@ pub struct SolverCache {
     solution_evictions: AtomicU64,
     eigen_evictions: AtomicU64,
     transform_evictions: AtomicU64,
+    skeleton_eviction_age: AtomicU64,
+    solution_eviction_age: AtomicU64,
+    eigen_eviction_age: AtomicU64,
+    transform_eviction_age: AtomicU64,
 }
 
 impl Default for SolverCache {
@@ -374,12 +679,34 @@ impl SolverCache {
     /// one) for skeletons, solutions and eigensystems respectively.  The
     /// response-transform map keeps its default capacity; transforms are rebuilt
     /// cheaply from cached solutions, so a dedicated knob has not been needed.
+    ///
+    /// Each capacity is split across the level's lock shards, so the bound is
+    /// enforced per shard (a level holds at most `capacity` entries, with eviction
+    /// decisions local to each shard).
     pub fn with_capacities(skeletons: usize, solutions: usize, eigensystems: usize) -> Self {
+        SolverCache::with_layout(
+            skeletons,
+            solutions,
+            eigensystems,
+            DEFAULT_TRANSFORM_CAPACITY,
+            DEFAULT_SHARDS,
+        )
+    }
+
+    /// Full layout control: per-level capacities plus the shard count (tests use a
+    /// single shard to pin exact global-LRU eviction order).
+    fn with_layout(
+        skeletons: usize,
+        solutions: usize,
+        eigensystems: usize,
+        transforms: usize,
+        shards: usize,
+    ) -> Self {
         SolverCache {
-            skeletons: Mutex::new(LruMap::new(skeletons)),
-            solutions: Mutex::new(LruMap::new(solutions)),
-            eigensystems: Mutex::new(LruMap::new(eigensystems)),
-            transforms: Mutex::new(LruMap::new(DEFAULT_TRANSFORM_CAPACITY)),
+            skeletons: ShardedLru::new(skeletons, shards),
+            solutions: ShardedLru::new(solutions, shards),
+            eigensystems: ShardedLru::new(eigensystems, shards),
+            transforms: ShardedLru::new(transforms, shards),
             skeleton_hits: AtomicU64::new(0),
             skeleton_misses: AtomicU64::new(0),
             solution_hits: AtomicU64::new(0),
@@ -392,6 +719,10 @@ impl SolverCache {
             solution_evictions: AtomicU64::new(0),
             eigen_evictions: AtomicU64::new(0),
             transform_evictions: AtomicU64::new(0),
+            skeleton_eviction_age: AtomicU64::new(0),
+            solution_eviction_age: AtomicU64::new(0),
+            eigen_eviction_age: AtomicU64::new(0),
+            transform_eviction_age: AtomicU64::new(0),
         }
     }
 
@@ -401,10 +732,18 @@ impl SolverCache {
         Arc::new(SolverCache::new())
     }
 
+    /// Records an eviction on the given counters, if one happened.
+    fn record_eviction(evictions: &AtomicU64, ages: &AtomicU64, evicted_age: Option<u64>) {
+        if let Some(age) = evicted_age {
+            evictions.fetch_add(1, Ordering::Relaxed);
+            ages.fetch_add(age, Ordering::Relaxed);
+        }
+    }
+
     /// Returns the QBD skeleton for the server classes of the configuration, building
     /// and caching it on first use.
     ///
-    /// The skeleton is built outside the cache lock, so concurrent sweeps never stall
+    /// The skeleton is built outside the shard lock, so concurrent sweeps never stall
     /// behind a build; if two threads race on the same key the first inserted skeleton
     /// wins and both threads share it (the builds are deterministic, so the values are
     /// interchangeable).
@@ -415,20 +754,15 @@ impl SolverCache {
     /// parameters cannot form a sound cache key (non-finite values).
     pub fn skeleton(&self, config: &SystemConfig) -> Result<Arc<QbdSkeleton>> {
         let key = SkeletonKey::new(config)?;
-        if let Some(hit) = lock(&self.skeletons).get(&key) {
+        if let Some(hit) = self.skeletons.get(&key) {
             self.skeleton_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(hit));
+            return Ok(hit);
         }
         self.skeleton_misses.fetch_add(1, Ordering::Relaxed);
         let built = Arc::new(QbdSkeleton::for_classes(config.classes())?);
-        let mut map = lock(&self.skeletons);
-        if let Some(racing_winner) = map.get(&key) {
-            return Ok(Arc::clone(racing_winner));
-        }
-        if map.insert(key, Arc::clone(&built)) {
-            self.skeleton_evictions.fetch_add(1, Ordering::Relaxed);
-        }
-        Ok(built)
+        let (winner, evicted) = self.skeletons.insert_or_get(key, built);
+        Self::record_eviction(&self.skeleton_evictions, &self.skeleton_eviction_age, evicted);
+        Ok(winner)
     }
 
     /// Looks up a complete solution for the configuration and options.
@@ -438,7 +772,7 @@ impl SolverCache {
         options: &SpectralOptions,
     ) -> Result<Option<Arc<SpectralSolution>>> {
         let key = SolutionKey::new(config, options)?;
-        let found = lock(&self.solutions).get(&key).cloned();
+        let found = self.solutions.get(&key);
         match &found {
             Some(_) => self.solution_hits.fetch_add(1, Ordering::Relaxed),
             None => self.solution_misses.fetch_add(1, Ordering::Relaxed),
@@ -454,9 +788,8 @@ impl SolverCache {
         solution: SpectralSolution,
     ) -> Result<()> {
         let key = SolutionKey::new(config, options)?;
-        if lock(&self.solutions).insert(key, Arc::new(solution)) {
-            self.solution_evictions.fetch_add(1, Ordering::Relaxed);
-        }
+        let evicted = self.solutions.insert(key, Arc::new(solution));
+        Self::record_eviction(&self.solution_evictions, &self.solution_eviction_age, evicted);
         Ok(())
     }
 
@@ -467,7 +800,7 @@ impl SolverCache {
         margin: f64,
     ) -> Result<Option<Arc<EigenEntry>>> {
         let key = EigenKey::new(config, margin)?;
-        let found = lock(&self.eigensystems).get(&key).cloned();
+        let found = self.eigensystems.get(&key);
         match &found {
             Some(_) => self.eigen_hits.fetch_add(1, Ordering::Relaxed),
             None => self.eigen_misses.fetch_add(1, Ordering::Relaxed),
@@ -485,16 +818,17 @@ impl SolverCache {
         entry: EigenEntry,
     ) -> Result<()> {
         let key = EigenKey::new(config, margin)?;
-        let mut map = lock(&self.eigensystems);
-        if let Some(existing) = map.get(&key) {
-            let existing_vectors = existing.eigenvectors.iter().flatten().count();
-            if existing_vectors >= entry.eigenvectors.iter().flatten().count() {
-                return Ok(());
+        let index = self.eigensystems.shard_index(&key);
+        let evicted = self.eigensystems.with_shard_at(index, |map| {
+            if let Some(existing) = map.get(&key) {
+                let existing_vectors = existing.eigenvectors.iter().flatten().count();
+                if existing_vectors >= entry.eigenvectors.iter().flatten().count() {
+                    return None;
+                }
             }
-        }
-        if map.insert(key, Arc::new(entry)) {
-            self.eigen_evictions.fetch_add(1, Ordering::Relaxed);
-        }
+            map.insert(key.clone(), Arc::new(entry))
+        });
+        Self::record_eviction(&self.eigen_evictions, &self.eigen_eviction_age, evicted);
         Ok(())
     }
 
@@ -506,7 +840,7 @@ impl SolverCache {
         tail_epsilon: f64,
     ) -> Result<Option<Arc<ResponseTransform>>> {
         let key = TransformKey::new(config, options, tail_epsilon)?;
-        let found = lock(&self.transforms).get(&key).cloned();
+        let found = self.transforms.get(&key);
         match &found {
             Some(_) => self.transform_hits.fetch_add(1, Ordering::Relaxed),
             None => self.transform_misses.fetch_add(1, Ordering::Relaxed),
@@ -523,9 +857,8 @@ impl SolverCache {
         transform: Arc<ResponseTransform>,
     ) -> Result<()> {
         let key = TransformKey::new(config, options, tail_epsilon)?;
-        if lock(&self.transforms).insert(key, transform) {
-            self.transform_evictions.fetch_add(1, Ordering::Relaxed);
-        }
+        let evicted = self.transforms.insert(key, transform);
+        Self::record_eviction(&self.transform_evictions, &self.transform_eviction_age, evicted);
         Ok(())
     }
 
@@ -544,38 +877,39 @@ impl SolverCache {
             solution_evictions: self.solution_evictions.load(Ordering::Relaxed),
             eigen_evictions: self.eigen_evictions.load(Ordering::Relaxed),
             transform_evictions: self.transform_evictions.load(Ordering::Relaxed),
+            skeleton_eviction_age: self.skeleton_eviction_age.load(Ordering::Relaxed),
+            solution_eviction_age: self.solution_eviction_age.load(Ordering::Relaxed),
+            eigen_eviction_age: self.eigen_eviction_age.load(Ordering::Relaxed),
+            transform_eviction_age: self.transform_eviction_age.load(Ordering::Relaxed),
+            poison_recoveries: self.skeletons.poison_recoveries()
+                + self.solutions.poison_recoveries()
+                + self.eigensystems.poison_recoveries()
+                + self.transforms.poison_recoveries(),
         }
     }
 
-    /// Number of cached skeletons, solutions, eigensystems and response transforms,
-    /// respectively.
-    pub fn len(&self) -> (usize, usize, usize, usize) {
-        (
-            lock(&self.skeletons).len(),
-            lock(&self.solutions).len(),
-            lock(&self.eigensystems).len(),
-            lock(&self.transforms).len(),
-        )
+    /// Number of cached entries per level.
+    pub fn len(&self) -> CacheOccupancy {
+        CacheOccupancy {
+            skeletons: self.skeletons.len(),
+            solutions: self.solutions.len(),
+            eigensystems: self.eigensystems.len(),
+            transforms: self.transforms.len(),
+        }
     }
 
     /// Returns `true` if nothing is cached yet.
     pub fn is_empty(&self) -> bool {
-        self.len() == (0, 0, 0, 0)
+        self.len().total() == 0
     }
 
     /// Drops every cached entry; the counters keep accumulating.
     pub fn clear(&self) {
-        lock(&self.skeletons).clear();
-        lock(&self.solutions).clear();
-        lock(&self.eigensystems).clear();
-        lock(&self.transforms).clear();
+        self.skeletons.clear();
+        self.solutions.clear();
+        self.eigensystems.clear();
+        self.transforms.clear();
     }
-}
-
-/// Locks a cache map, recovering from poisoning (a panic elsewhere cannot corrupt a
-/// map we only ever insert complete entries into).
-fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 #[cfg(test)]
@@ -599,7 +933,7 @@ mod tests {
         assert!(!Arc::ptr_eq(&first, &other));
         let stats = cache.stats();
         assert_eq!((stats.skeleton_hits, stats.skeleton_misses), (1, 2));
-        assert_eq!(cache.len().0, 2);
+        assert_eq!(cache.len().skeletons, 2);
     }
 
     #[test]
@@ -645,7 +979,7 @@ mod tests {
         for s in &skeletons {
             assert!(Arc::ptr_eq(s, &skeletons[0]));
         }
-        assert_eq!(cache.len().0, 1);
+        assert_eq!(cache.len().skeletons, 1);
     }
 
     #[test]
@@ -695,7 +1029,9 @@ mod tests {
 
     #[test]
     fn lru_evicts_the_least_recently_used_skeleton() {
-        let cache = SolverCache::with_capacities(2, 4, 4);
+        // A single shard pins the exact global-LRU eviction order; with several
+        // shards the order is only approximate (per shard).
+        let cache = SolverCache::with_layout(2, 4, 4, 4, 1);
         let a = config(2, 1.0);
         let b = config(3, 1.0);
         let c = config(4, 1.0);
@@ -703,7 +1039,7 @@ mod tests {
         cache.skeleton(&b).unwrap();
         cache.skeleton(&a).unwrap(); // A is now more recently used than B
         cache.skeleton(&c).unwrap(); // evicts B
-        assert_eq!(cache.len().0, 2);
+        assert_eq!(cache.len().skeletons, 2);
         assert_eq!(cache.stats().skeleton_evictions, 1);
         // A survives (hit), B was evicted (miss rebuilds it).
         cache.skeleton(&a).unwrap();
@@ -714,14 +1050,14 @@ mod tests {
 
     #[test]
     fn lru_capacity_bounds_the_solution_map() {
-        let cache = SolverCache::with_capacities(4, 2, 4);
+        let cache = SolverCache::with_layout(4, 2, 4, 4, 1);
         let options = SpectralOptions::default();
         for lambda in [1.0, 1.25, 1.5, 1.75, 2.0] {
             let cfg = config(3, lambda);
             let solution = SpectralExpansionSolver::default().solve_detailed(&cfg).unwrap();
             cache.store_solution(&cfg, &options, solution).unwrap();
         }
-        assert_eq!(cache.len().1, 2, "solution map must stay at its capacity");
+        assert_eq!(cache.len().solutions, 2, "solution map must stay at its capacity");
         assert_eq!(cache.stats().solution_evictions, 3);
     }
 
@@ -756,5 +1092,90 @@ mod tests {
             .unwrap();
         let s3 = cache.skeleton(&other).unwrap();
         assert!(!Arc::ptr_eq(&s1, &s3));
+    }
+    #[test]
+    fn shard_assignment_is_deterministic_across_caches() {
+        // FNV-1a over the derived Hash bytes must send the same key to the same
+        // shard in every process — eviction behaviour and statistics depend on it.
+        let configs: Vec<SystemConfig> =
+            (2..10).map(|n| config(n, 1.0 + n as f64 * 0.25)).collect();
+        let first = SolverCache::with_capacities(4, 8, 8);
+        let second = SolverCache::with_capacities(4, 8, 8);
+        for cfg in &configs {
+            first.skeleton(cfg).unwrap();
+            second.skeleton(cfg).unwrap();
+        }
+        assert_eq!(first.stats(), second.stats());
+        assert_eq!(first.len(), second.len());
+    }
+
+    #[test]
+    fn sharded_capacity_bounds_the_level() {
+        // 16 distinct skeleton keys against a capacity-4 level: whatever the shard
+        // layout, the level never exceeds its requested capacity by more than the
+        // per-shard rounding slack and evictions account for the remainder.
+        let cache = SolverCache::with_capacities(4, 64, 64);
+        for n in 2..18 {
+            cache.skeleton(&config(n, 1.0)).unwrap();
+        }
+        let stats = cache.stats();
+        assert!(cache.len().skeletons <= 4, "requested capacity must bound the level");
+        assert_eq!(stats.skeleton_evictions + cache.len().skeletons as u64, 16);
+        assert!(stats.skeleton_eviction_age > 0, "evictions must report recency ages");
+    }
+
+    #[test]
+    fn poisoned_shards_recover_by_clearing() {
+        let cache = SolverCache::new();
+        let cfg = config(3, 1.0);
+        cache.skeleton(&cfg).unwrap();
+        assert_eq!(cache.stats().poison_recoveries, 0);
+        // Poison the shard holding the key by panicking while its lock is held.
+        let index = cache.skeletons.shard_index(&SkeletonKey::new(&cfg).unwrap());
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.skeletons.with_shard_at(index, |_| panic!("worker died mid-update"));
+        }));
+        assert!(poison.is_err());
+        // The next touch recovers: the shard is cleared (cold miss), counted, and
+        // the cache keeps serving.
+        cache.skeleton(&cfg).unwrap();
+        assert_eq!(cache.stats().poison_recoveries, 1);
+        assert_eq!(cache.stats().skeleton_misses, 2, "recovered shard restarts cold");
+        cache.skeleton(&cfg).unwrap();
+        assert_eq!(cache.stats().skeleton_hits, 1, "cache serves normally after recovery");
+    }
+
+    #[test]
+    fn level_stats_report_hit_rates_and_eviction_ages() {
+        let stats = CacheStats {
+            skeleton_hits: 3,
+            skeleton_misses: 1,
+            skeleton_evictions: 2,
+            skeleton_eviction_age: 10,
+            ..CacheStats::default()
+        };
+        let levels = stats.levels();
+        assert_eq!(levels[0].level, "skeletons");
+        assert_eq!(levels[0].lookups(), 4);
+        assert_eq!(levels[0].hit_rate().to_bits(), 0.75f64.to_bits());
+        assert_eq!(levels[0].mean_eviction_age().to_bits(), 5.0f64.to_bits());
+        // Untouched levels divide by zero nowhere.
+        assert_eq!(levels[1].hit_rate().to_bits(), 0.0f64.to_bits());
+        assert_eq!(levels[1].mean_eviction_age().to_bits(), 0.0f64.to_bits());
+        assert_eq!(stats.total_hit_rate().to_bits(), 0.75f64.to_bits());
+    }
+
+    #[test]
+    fn occupancy_totals_the_levels() {
+        let occupancy =
+            CacheOccupancy { skeletons: 1, solutions: 2, eigensystems: 3, transforms: 4 };
+        assert_eq!(occupancy.total(), 10);
+        let cache = SolverCache::new();
+        assert!(cache.is_empty());
+        cache.skeleton(&config(2, 1.0)).unwrap();
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.len(), CacheOccupancy::default());
     }
 }

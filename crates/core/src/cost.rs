@@ -235,19 +235,14 @@ impl CostSweep {
         pool: &ThreadPool,
     ) -> Result<Self> {
         let counts: Vec<usize> = server_range.collect();
-        let points = pool.try_par_map(&counts, |&servers| -> Result<Option<CostPoint>> {
-            let config = base_config.with_total_servers(servers)?;
-            if !config.is_stable() {
-                return Ok(None);
-            }
-            let l = solver.solve(&config)?.mean_queue_length();
-            Ok(Some(CostPoint {
-                servers,
-                mean_queue_length: l,
-                cost: cost_model.evaluate(l, servers),
-            }))
-        })?;
-        Ok(CostSweep { points: points.into_iter().flatten().collect() })
+        let points =
+            crate::engine::exec::cost_sweep(solver, base_config, cost_model, &counts, pool)?;
+        Ok(CostSweep { points })
+    }
+
+    /// Wraps pre-computed points (the engine's construction path).
+    pub(crate) fn from_points(points: Vec<CostPoint>) -> Self {
+        CostSweep { points }
     }
 
     /// All evaluated points, ordered by server count.

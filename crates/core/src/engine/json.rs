@@ -1,0 +1,569 @@
+//! A small, dependency-free JSON value type, parser and serialiser.
+//!
+//! The registry is offline, so `urs-server`'s newline-delimited JSON protocol cannot
+//! pull in `serde`; this module mirrors the vendored-crate approach used elsewhere in
+//! the workspace and implements exactly the subset the query protocol needs.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Panic-free.**  The parser is the first thing untrusted bytes reach in a
+//!    standing server, so it must never index, unwrap or recurse without bound — a
+//!    malformed line yields a [`JsonError`], never a crash.  Nesting depth is capped
+//!    at [`MAX_DEPTH`].
+//! 2. **Deterministic.**  Objects store their members in a [`BTreeMap`], so
+//!    serialisation order is the key order, independent of insertion order and of any
+//!    hasher seeding — byte-identical response logs across runs and processes.
+//! 3. **Bit-exact numbers.**  Numbers serialise through Rust's shortest-round-trip
+//!    `f64` formatting, so `parse(serialise(x))` recovers `x` bit for bit; non-finite
+//!    numbers have no JSON form and serialise as `null`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Maximum nesting depth accepted by the parser.  Deep enough for any query in the
+/// protocol, shallow enough that a `[[[[…` bomb fails fast instead of overflowing
+/// the stack.
+pub const MAX_DEPTH: u32 = 64;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` or `false`.
+    Bool(bool),
+    /// Any JSON number (always an `f64`, like JavaScript).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; members are ordered by key for deterministic serialisation.
+    Object(BTreeMap<String, Value>),
+}
+
+/// A parse failure: the byte offset it was detected at and a static description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input at which the error was detected.
+    pub offset: usize,
+    /// What was wrong.
+    pub message: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Value {
+    /// Parses a complete JSON document (trailing whitespace allowed, trailing
+    /// garbage rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] locating the first malformed byte; inputs nested
+    /// deeper than [`MAX_DEPTH`] are rejected.
+    pub fn parse(input: &str) -> Result<Value, JsonError> {
+        let mut parser = Parser { bytes: input.as_bytes(), pos: 0 };
+        parser.skip_whitespace();
+        let value = parser.parse_value(0)?;
+        parser.skip_whitespace();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.error("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+
+    /// Serialises to compact JSON (no whitespace), deterministically: object members
+    /// in key order, numbers in shortest-round-trip form, non-finite numbers as
+    /// `null`.
+    pub fn serialise(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Number(n) => write_number(*n, out),
+            Value::String(s) => write_string(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Value::Object(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Member lookup on an object; `None` on non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.get(key),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is a number that represents one
+    /// exactly (rejects fractions and anything beyond 2⁵³).
+    pub fn as_usize(&self) -> Option<usize> {
+        let n = self.as_f64()?;
+        if !(0.0..=9_007_199_254_740_992.0).contains(&n) {
+            return None;
+        }
+        let i = n as u64;
+        if (i as f64).to_bits() != n.to_bits() {
+            return None;
+        }
+        usize::try_from(i).ok()
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Convenience constructor: an object from `(key, value)` pairs.
+pub fn object<const N: usize>(members: [(&str, Value); N]) -> Value {
+    Value::Object(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Convenience constructor: an array of numbers.
+pub fn number_array(values: &[f64]) -> Value {
+    Value::Array(values.iter().map(|v| Value::Number(*v)).collect())
+}
+
+fn write_number(n: f64, out: &mut String) {
+    use fmt::Write as _;
+    if n.is_finite() {
+        // Rust's `Display` for f64 is shortest-round-trip: the printed decimal parses
+        // back to the identical bits, which the restart-determinism contract needs.
+        let _ = write!(out, "{n}");
+    } else {
+        // NaN/∞ have no JSON representation.
+        out.push_str("null");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    use fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &'static str) -> JsonError {
+        JsonError { offset: self.pos, message }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn advance(&mut self) -> Option<u8> {
+        let byte = self.peek()?;
+        self.pos += 1;
+        Some(byte)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn consume(&mut self, byte: u8, message: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(message))
+        }
+    }
+
+    fn parse_value(&mut self, depth: u32) -> Result<Value, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("nesting deeper than the supported maximum"));
+        }
+        match self.peek() {
+            Some(b'{') => self.parse_object(depth),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(_) => Err(self.error("unexpected character")),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(&mut self, keyword: &'static str, value: Value) -> Result<Value, JsonError> {
+        if self.bytes.get(self.pos..).is_some_and(|rest| rest.starts_with(keyword.as_bytes())) {
+            self.pos += keyword.len();
+            Ok(value)
+        } else {
+            Err(self.error("invalid keyword"))
+        }
+    }
+
+    fn parse_object(&mut self, depth: u32) -> Result<Value, JsonError> {
+        self.consume(b'{', "expected '{'")?;
+        let mut members = BTreeMap::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.consume(b':', "expected ':' after object key")?;
+            self.skip_whitespace();
+            let value = self.parse_value(depth + 1)?;
+            members.insert(key, value);
+            self.skip_whitespace();
+            match self.advance() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Object(members)),
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self, depth: u32) -> Result<Value, JsonError> {
+        self.consume(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_whitespace();
+            match self.advance() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Array(items)),
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.consume(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.advance() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.advance() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => out.push(self.parse_unicode_escape()?),
+                    _ => return Err(self.error("invalid escape sequence")),
+                },
+                Some(byte) if byte < 0x20 => {
+                    return Err(self.error("unescaped control character in string"));
+                }
+                Some(byte) => {
+                    // Re-assemble UTF-8 multi-byte sequences: the input is a &str, so
+                    // the bytes are valid UTF-8 by construction.
+                    if byte < 0x80 {
+                        out.push(byte as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let len = utf8_len(byte);
+                        let end = start + len;
+                        match self.bytes.get(start..end).and_then(|b| std::str::from_utf8(b).ok()) {
+                            Some(s) => {
+                                out.push_str(s);
+                                self.pos = end;
+                            }
+                            None => return Err(self.error("invalid UTF-8 in string")),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_unicode_escape(&mut self) -> Result<char, JsonError> {
+        let first = self.parse_hex4()?;
+        if (0xD800..=0xDBFF).contains(&first) {
+            // High surrogate: a low surrogate escape must follow.
+            if self.advance() != Some(b'\\') || self.advance() != Some(b'u') {
+                return Err(self.error("unpaired surrogate escape"));
+            }
+            let second = self.parse_hex4()?;
+            if !(0xDC00..=0xDFFF).contains(&second) {
+                return Err(self.error("invalid low surrogate"));
+            }
+            let code = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+            char::from_u32(code).ok_or_else(|| self.error("invalid surrogate pair"))
+        } else {
+            char::from_u32(first).ok_or_else(|| self.error("invalid unicode escape"))
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, JsonError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let digit = match self.advance() {
+                Some(b @ b'0'..=b'9') => u32::from(b - b'0'),
+                Some(b @ b'a'..=b'f') => u32::from(b - b'a') + 10,
+                Some(b @ b'A'..=b'F') => u32::from(b - b'A') + 10,
+                _ => return Err(self.error("invalid hex digit in unicode escape")),
+            };
+            code = code * 16 + digit;
+        }
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let integer_digits = self.skip_digits();
+        if integer_digits == 0 {
+            return Err(self.error("expected digits in number"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if self.skip_digits() == 0 {
+                return Err(self.error("expected digits after decimal point"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if self.skip_digits() == 0 {
+                return Err(self.error("expected digits in exponent"));
+            }
+        }
+        let text = self
+            .bytes
+            .get(start..self.pos)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .unwrap_or_default();
+        match text.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(Value::Number(n)),
+            Ok(_) => Err(self.error("number overflows an f64")),
+            Err(_) => Err(self.error("malformed number")),
+        }
+    }
+
+    fn skip_digits(&mut self) -> usize {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        self.pos - start
+    }
+}
+
+/// Length of the UTF-8 sequence introduced by `first` (1 for malformed leads; the
+/// subsequent `from_utf8` check rejects those).
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        0xF0..=0xF7 => 4,
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_scalar_forms() {
+        assert_eq!(Value::parse("null").unwrap(), Value::Null);
+        assert_eq!(Value::parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(Value::parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(Value::parse("42").unwrap(), Value::Number(42.0));
+        assert_eq!(Value::parse("-1.5e3").unwrap(), Value::Number(-1500.0));
+        assert_eq!(Value::parse("\"hi\"").unwrap(), Value::String("hi".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = Value::parse(r#"{"a":[1,2,{"b":null}],"c":"x"}"#).unwrap();
+        assert_eq!(v.get("c").and_then(Value::as_str), Some("x"));
+        let a = v.get("a").and_then(Value::as_array).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[0].as_f64(), Some(1.0));
+        assert_eq!(a[2].get("b"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "line\nbreak \"quote\" back\\slash tab\t control\u{0007} π ✓ 𝄞";
+        let serialised = Value::String(original.into()).serialise();
+        assert_eq!(Value::parse(&serialised).unwrap(), Value::String(original.into()));
+        // Explicit escape forms parse too, including surrogate pairs.
+        assert_eq!(
+            Value::parse(r#""\u0041\u00e9\ud834\udd1e""#).unwrap(),
+            Value::String("Aé𝄞".into())
+        );
+    }
+
+    #[test]
+    fn numbers_round_trip_bit_for_bit() {
+        for x in [0.0, -0.0, 1.0 / 3.0, 6.02e23, 5e-324, f64::MAX, 34.62, 0.1 + 0.2] {
+            let serialised = Value::Number(x).serialise();
+            let Value::Number(back) = Value::parse(&serialised).unwrap() else {
+                panic!("expected a number back");
+            };
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} serialised as {serialised}");
+        }
+        assert_eq!(Value::Number(f64::NAN).serialise(), "null");
+        assert_eq!(Value::Number(f64::INFINITY).serialise(), "null");
+    }
+
+    #[test]
+    fn serialisation_is_deterministic_and_key_ordered() {
+        let v = Value::parse(r#"{"zeta":1,"alpha":2,"mid":[true,false]}"#).unwrap();
+        assert_eq!(v.serialise(), r#"{"alpha":2,"mid":[true,false],"zeta":1}"#);
+        assert_eq!(v.serialise(), Value::parse(&v.serialise()).unwrap().serialise());
+    }
+
+    #[test]
+    fn malformed_inputs_error_instead_of_panicking() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[",
+            "]",
+            "{]",
+            "[}",
+            "nul",
+            "tru",
+            "+1",
+            "1.",
+            ".5",
+            "1e",
+            "--3",
+            "\"",
+            "\"\\q\"",
+            "\"\\u12\"",
+            "\"\\ud800\"",
+            "\"\\ud800\\u0041\"",
+            "{\"a\"}",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "[1,]",
+            "[1 2]",
+            "{1:2}",
+            "1 2",
+            "1e999",
+            "\u{1}",
+            "\"a\u{1}b\"",
+        ] {
+            assert!(Value::parse(bad).is_err(), "{bad:?} should fail to parse");
+        }
+    }
+
+    #[test]
+    fn depth_bomb_is_rejected_not_overflowed() {
+        let deep = "[".repeat(10_000) + &"]".repeat(10_000);
+        assert!(Value::parse(&deep).is_err());
+        // A document at a comfortable depth still parses.
+        let ok = "[".repeat(32) + "1" + &"]".repeat(32);
+        assert!(Value::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn as_usize_rejects_fractions_and_out_of_range() {
+        assert_eq!(Value::Number(7.0).as_usize(), Some(7));
+        assert_eq!(Value::Number(0.0).as_usize(), Some(0));
+        assert_eq!(Value::Number(7.5).as_usize(), None);
+        assert_eq!(Value::Number(-1.0).as_usize(), None);
+        assert_eq!(Value::Number(1e300).as_usize(), None);
+        assert_eq!(Value::String("7".into()).as_usize(), None);
+    }
+}

@@ -42,6 +42,7 @@
 //! | §6 future work: distinct server classes | [`ServerClass`], [`SystemConfig::heterogeneous`], [`ModeSpace::for_classes`], [`QbdSkeleton::for_classes`] |
 //! | §6 future work: class-mix exploration | [`sweeps::queue_length_vs_class_mix`] |
 //! | §4 cost model lifted to class mixes | [`ClassCostModel`], [`mix::MixSearch`] |
+//! | §4–§5 analyses as a served query protocol | [`engine`] ([`Engine`], [`engine::Query`], the `urs-server` binary) |
 //!
 //! # Performance subsystem
 //!
@@ -63,7 +64,15 @@
 //!   QBD skeletons, unit-disk eigensystems and complete spectral solutions, attached
 //!   via [`SpectralExpansionSolver::with_cache`] and
 //!   [`GeometricApproximation::with_cache`]; sharing one cache between the two
-//!   solvers factorises each `(skeleton, λ)` eigenproblem once, not twice.
+//!   solvers factorises each `(skeleton, λ)` eigenproblem once, not twice.  Each
+//!   level is split into independently locked shards (deterministic FNV-1a shard
+//!   assignment), poisoned shards recover by clearing rather than propagating, and
+//!   [`CacheStats::levels`] reports per-level hit rates and eviction ages.
+//! * [`Engine`] — the standing query engine over both: parses [`engine::Query`]
+//!   values from a newline-delimited JSON protocol, plans batches so queries with
+//!   the same QBD skeleton share cache entries and one pool fan-out, and executes
+//!   them bit-identically to the batch API.  The `urs-server` binary serves it over
+//!   stdin or TCP.
 //!
 //! Underneath both, every solver runs on `urs-linalg`'s allocation-free kernels
 //! (tiled `gemm`, blocked LU, `Workspace`-recycled scratch), and
@@ -105,14 +114,16 @@ mod solution;
 mod spectral;
 mod truncated;
 
+pub mod engine;
 pub mod mix;
 pub mod response;
 pub mod sweeps;
 
 pub use approx::{dominant_eigenvalue, GeometricApproximation, GeometricSolution};
-pub use cache::{CacheStats, SolverCache};
+pub use cache::{CacheLevelStats, CacheOccupancy, CacheStats, SolverCache};
 pub use config::{ServerClass, ServerLifecycle, SystemConfig};
 pub use cost::{ClassCostModel, CostModel, CostPoint, CostSweep};
+pub use engine::{Engine, Query, QueryResult};
 pub use error::ModelError;
 pub use matrix_geometric::{
     MatrixGeometricOptions, MatrixGeometricSolution, MatrixGeometricSolver,

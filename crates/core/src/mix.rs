@@ -393,7 +393,12 @@ impl MixSearch {
             }
             return Ok(());
         }
-        let price = self.cost_model.server_costs()[class];
+        let price = self
+            .cost_model
+            .server_costs()
+            .get(class)
+            .copied()
+            .ok_or(ModelError::Internal("mix enumeration visited a class without a price"))?;
         for count in 0..=(self.bounds.max_servers - used) {
             let cost = spent + price * count as f64;
             if let Some(budget) = self.bounds.budget {
@@ -403,10 +408,14 @@ impl MixSearch {
                     continue;
                 }
             }
-            current[class] = count;
+            if let Some(slot) = current.get_mut(class) {
+                *slot = count;
+            }
             self.enumerate(class + 1, used + count, cost, current, mixes)?;
         }
-        current[class] = 0;
+        if let Some(slot) = current.get_mut(class) {
+            *slot = 0;
+        }
         Ok(())
     }
 

@@ -59,20 +59,13 @@ impl ProvisioningSweep {
         pool: &ThreadPool,
     ) -> Result<Self> {
         let counts: Vec<usize> = server_range.collect();
-        let points =
-            pool.try_par_map(&counts, |&servers| -> Result<Option<ProvisioningPoint>> {
-                let config = base_config.with_total_servers(servers)?;
-                if !config.is_stable() {
-                    return Ok(None);
-                }
-                let solution = solver.solve(&config)?;
-                Ok(Some(ProvisioningPoint {
-                    servers,
-                    mean_queue_length: solution.mean_queue_length(),
-                    mean_response_time: solution.mean_response_time(),
-                }))
-            })?;
-        Ok(ProvisioningSweep { points: points.into_iter().flatten().collect() })
+        let points = crate::engine::exec::provisioning_sweep(solver, base_config, &counts, pool)?;
+        Ok(ProvisioningSweep { points })
+    }
+
+    /// Wraps pre-computed points (the engine's construction path).
+    pub(crate) fn from_points(points: Vec<ProvisioningPoint>) -> Self {
+        ProvisioningSweep { points }
     }
 
     /// All evaluated points, ordered by server count.

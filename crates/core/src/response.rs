@@ -177,7 +177,7 @@ impl InversionOptions {
             let coefficient = if k <= n {
                 1.0
             } else {
-                tail -= binom[k - n - 1];
+                tail -= binom.get(k - n - 1).copied().unwrap_or(0.0);
                 tail
             };
             let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
@@ -387,7 +387,8 @@ impl ResponseTransform {
             });
         }
         let servers = skeleton.servers();
-        let diagonal = |m: &Matrix| -> Vec<f64> { (0..order).map(|i| m[(i, i)]).collect() };
+        let diagonal =
+            |m: &Matrix| -> Vec<f64> { (0..order).map(|i| m.get(i, i).unwrap_or(0.0)).collect() };
         let mut boundary_bases = Vec::with_capacity(servers);
         for a in 0..servers {
             let shifted = skeleton.da() + skeleton.c_at(a + 1);
@@ -397,13 +398,11 @@ impl ResponseTransform {
         let repeat_base = &repeat_sum - skeleton.a();
         let ahead_rates: Vec<Vec<f64>> =
             (0..=servers).map(|a| diagonal(skeleton.c_at(a))).collect();
-        let completions: Vec<Vec<f64>> = (0..servers)
-            .map(|a| {
-                ahead_rates[a + 1]
-                    .iter()
-                    .zip(&ahead_rates[a])
-                    .map(|(next, current)| next - current)
-                    .collect()
+        let completions: Vec<Vec<f64>> = ahead_rates
+            .windows(2)
+            .map(|pair| match pair {
+                [current, next] => next.iter().zip(current).map(|(n, c)| n - c).collect(),
+                _ => Vec::new(),
             })
             .collect();
         // Always keep at least one repeating level so the shared-LU path is exercised
@@ -497,9 +496,13 @@ impl ResponseTransform {
         let mut rhs = workspace.complex_buffer(order);
         let mut total = Complex::ZERO;
         for (a, base) in self.boundary_bases.iter().enumerate() {
-            for i in 0..order {
-                rhs[i] = phi_prev[i] * self.ahead_rates[a][i]
-                    + Complex::from_real(self.completions[a][i]);
+            let ahead: &[f64] = self.ahead_rates.get(a).map(Vec::as_slice).unwrap_or_default();
+            let completions: &[f64] =
+                self.completions.get(a).map(Vec::as_slice).unwrap_or_default();
+            for (((slot, prev), rate), completion) in
+                rhs.iter_mut().zip(&phi_prev).zip(ahead).zip(completions)
+            {
+                *slot = *prev * *rate + Complex::from_real(*completion);
             }
             if use_banded {
                 let resolvent = shifted_banded(base, s, kl, ku);
@@ -515,13 +518,18 @@ impl ResponseTransform {
                 lu.solve_into(&rhs, &mut phi)?;
                 workspace.release_complex_matrix(lu.into_matrix());
             }
-            for (p, value) in self.arrival_levels[a].iter().zip(&phi) {
-                total += *value * *p;
+            if let Some(level) = self.arrival_levels.get(a) {
+                for (p, value) in level.iter().zip(&phi) {
+                    total += *value * *p;
+                }
             }
             std::mem::swap(&mut phi_prev, &mut phi);
         }
         if self.arrival_levels.len() > self.servers {
-            let service = &self.ahead_rates[self.servers];
+            let service = self
+                .ahead_rates
+                .get(self.servers)
+                .ok_or(ModelError::Internal("transform is missing the repeating-level rates"))?;
             if use_banded {
                 let resolvent = shifted_banded(&self.repeat_base, s, kl, ku);
                 let lu = CBandedLu::new_allow_singular_pooled(&resolvent, workspace)?;
@@ -869,15 +877,17 @@ impl ResponseAnalysis {
     ///
     /// As [`ResponseAnalysis::response_time_percentile`].
     pub fn response_time_percentiles(&self, fractions: &[f64]) -> Result<Vec<f64>> {
-        let mut order: Vec<usize> = (0..fractions.len()).collect();
-        order.sort_by(|&a, &b| fractions[a].total_cmp(&fractions[b]));
+        let mut order: Vec<(usize, f64)> = fractions.iter().copied().enumerate().collect();
+        order.sort_by(|a, b| a.1.total_cmp(&b.1));
         let mut workspace = Workspace::new();
         let mut results = vec![0.0; fractions.len()];
         let mut warm: Option<(f64, f64)> = None;
-        for &index in &order {
-            let t = self.percentile_with(fractions[index], warm, &mut workspace)?;
-            results[index] = t;
-            warm = Some((t, fractions[index]));
+        for &(index, fraction) in &order {
+            let t = self.percentile_with(fraction, warm, &mut workspace)?;
+            if let Some(slot) = results.get_mut(index) {
+                *slot = t;
+            }
+            warm = Some((t, fraction));
         }
         Ok(results)
     }
@@ -1220,13 +1230,13 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.transform_misses, 1);
         assert_eq!(stats.transform_hits, 1);
-        assert_eq!(cache.len().3, 1);
+        assert_eq!(cache.len().transforms, 1);
         assert!(Arc::ptr_eq(&first.transform, &second.transform));
         // A different tail threshold is a different transform.
         let looser = ResponseOptions { tail_epsilon: 1e-9, ..options };
         ResponseAnalysis::with_cache(&config, looser, &cache).unwrap();
         assert_eq!(cache.stats().transform_misses, 2);
-        assert_eq!(cache.len().3, 2);
+        assert_eq!(cache.len().transforms, 2);
     }
 
     #[test]

@@ -15,9 +15,9 @@ use std::sync::Arc;
 use urs_dist::HyperExponential;
 
 use crate::cache::SolverCache;
-use crate::config::{ServerClass, ServerLifecycle, SystemConfig};
+use crate::config::{ServerClass, SystemConfig};
 use crate::parallel::ThreadPool;
-use crate::response::{ResponseAnalysis, ResponseOptions};
+use crate::response::ResponseOptions;
 use crate::solution::QueueSolver;
 use crate::Result;
 
@@ -66,14 +66,7 @@ pub fn queue_length_vs_operative_scv_with(
     scv_values: &[f64],
     pool: &ThreadPool,
 ) -> Result<Vec<VariabilityPoint>> {
-    let inoperative = base_config.lifecycle().inoperative();
-    pool.try_par_map(scv_values, |&scv| {
-        let operative = HyperExponential::with_mean_and_scv(operative_mean, scv)?;
-        let config =
-            base_config.with_lifecycle(ServerLifecycle::new(operative, inoperative.clone()));
-        let solution = solver.solve(&config)?;
-        Ok(VariabilityPoint { scv, mean_queue_length: solution.mean_queue_length() })
-    })
+    crate::engine::exec::variability_sweep(solver, base_config, operative_mean, scv_values, pool)
 }
 
 /// One point of a repair-time sweep (Figure 7).
@@ -121,21 +114,13 @@ pub fn queue_length_vs_repair_time_with(
     mean_repair_times: &[f64],
     pool: &ThreadPool,
 ) -> Result<Vec<RepairTimePoint>> {
-    use urs_dist::ContinuousDistribution;
-    let operative_mean = hyperexponential_operative.mean();
-    let exponential_operative = HyperExponential::exponential(1.0 / operative_mean)?;
-    pool.try_par_map(mean_repair_times, |&repair_time| {
-        let repair = HyperExponential::exponential(1.0 / repair_time)?;
-        let exp_config = base_config
-            .with_lifecycle(ServerLifecycle::new(exponential_operative.clone(), repair.clone()));
-        let hyper_config = base_config
-            .with_lifecycle(ServerLifecycle::new(hyperexponential_operative.clone(), repair));
-        Ok(RepairTimePoint {
-            mean_repair_time: repair_time,
-            exponential_operative: solver.solve(&exp_config)?.mean_queue_length(),
-            hyperexponential_operative: solver.solve(&hyper_config)?.mean_queue_length(),
-        })
-    })
+    crate::engine::exec::repair_time_sweep(
+        solver,
+        base_config,
+        hyperexponential_operative,
+        mean_repair_times,
+        pool,
+    )
 }
 
 /// One point of a load sweep (Figure 8): the utilisation and the mean queue length for
@@ -190,17 +175,7 @@ pub fn queue_length_vs_load_with(
     utilisations: &[f64],
     pool: &ThreadPool,
 ) -> Result<Vec<LoadPoint>> {
-    let capacity = base_config.effective_capacity();
-    pool.try_par_map(utilisations, |&rho| {
-        let arrival_rate = rho * capacity;
-        let config = base_config.with_arrival_rate(arrival_rate)?;
-        Ok(LoadPoint {
-            utilisation: rho,
-            arrival_rate,
-            reference: reference.solve(&config)?.mean_queue_length(),
-            comparison: comparison.solve(&config)?.mean_queue_length(),
-        })
-    })
+    crate::engine::exec::load_sweep(reference, comparison, base_config, utilisations, pool)
 }
 
 /// One point of a class-mix sweep: `secondary_servers` servers of the secondary class
@@ -260,27 +235,14 @@ pub fn queue_length_vs_class_mix_with(
     total_servers: usize,
     pool: &ThreadPool,
 ) -> Result<Vec<ClassMixPoint>> {
-    let counts: Vec<usize> = (0..=total_servers).collect();
-    let points = pool.try_par_map(&counts, |&k| -> Result<Option<ClassMixPoint>> {
-        let mut classes = Vec::with_capacity(2);
-        if total_servers - k > 0 {
-            classes.push(primary.with_count(total_servers - k)?);
-        }
-        if k > 0 {
-            classes.push(secondary.with_count(k)?);
-        }
-        let config = SystemConfig::heterogeneous(arrival_rate, classes)?;
-        if !config.is_stable() {
-            return Ok(None);
-        }
-        let solution = solver.solve(&config)?;
-        Ok(Some(ClassMixPoint {
-            secondary_servers: k,
-            utilisation: config.utilisation(),
-            mean_queue_length: solution.mean_queue_length(),
-        }))
-    })?;
-    Ok(points.into_iter().flatten().collect())
+    crate::engine::exec::class_mix_sweep(
+        solver,
+        arrival_rate,
+        primary,
+        secondary,
+        total_servers,
+        pool,
+    )
 }
 
 /// One point of an SLA sweep: the fleet size, the mean response time and the analytic
@@ -301,7 +263,7 @@ pub struct SlaPoint {
 /// counts of a [`CostSweep`](crate::CostSweep).
 ///
 /// Every percentile is certified by the dual-method inversion check of
-/// [`ResponseAnalysis`]; a divergence anywhere fails the whole sweep rather than
+/// [`ResponseAnalysis`](crate::response::ResponseAnalysis); a divergence anywhere fails the whole sweep rather than
 /// returning an untrustworthy number.
 ///
 /// # Errors
@@ -340,25 +302,14 @@ pub fn percentile_vs_servers_with(
     cache: &Arc<SolverCache>,
     pool: &ThreadPool,
 ) -> Result<Vec<SlaPoint>> {
-    let points = pool.try_par_map(server_counts, |&servers| -> Result<Option<SlaPoint>> {
-        let config = base_config.with_servers(servers)?;
-        if !config.is_stable() {
-            return Ok(None);
-        }
-        let analysis = ResponseAnalysis::with_cache(&config, options, cache)?;
-        Ok(Some(SlaPoint {
-            servers,
-            mean_response_time: analysis.mean_response_time(),
-            percentiles: analysis.response_time_percentiles(fractions)?,
-        }))
-    })?;
-    Ok(points.into_iter().flatten().collect())
+    crate::engine::exec::sla_sweep(base_config, server_counts, fractions, options, cache, pool)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::approx::GeometricApproximation;
+    use crate::config::ServerLifecycle;
     use crate::solution::QueueSolution as _;
     use crate::spectral::SpectralExpansionSolver;
     use urs_dist::ContinuousDistribution;

@@ -144,7 +144,7 @@ fn cached_sweep_matches_uncached_sweep() {
     assert_eq!(without, with);
     // The whole sweep shares one skeleton.  (Assert on the cache contents, not the
     // miss counter: threads racing through the empty-cache window each count a miss.)
-    assert_eq!(cached.cache().unwrap().len().0, 1);
+    assert_eq!(cached.cache().unwrap().len().skeletons, 1);
 }
 
 #[test]
@@ -173,7 +173,7 @@ fn shared_cache_works_across_solvers_and_threads() {
     assert_eq!(a, b);
     // One skeleton in the cache (the miss counter can exceed 1 when threads race
     // through the empty-cache window, so assert on the contents).
-    assert_eq!(cache.len().0, 1);
+    assert_eq!(cache.len().skeletons, 1);
     // The second, serial sweep re-solves the identical configurations: all hits.
     assert!(cache.stats().solution_hits >= grid.len() as u64);
 }

@@ -1,0 +1,487 @@
+//! The serving layer over [`urs_core::Engine`]: a persistent process answering
+//! newline-delimited JSON queries (see [`urs_core::engine`] for the grammar) from
+//! one long-lived solver cache.
+//!
+//! The library owns everything that must be **panic-free**: line parsing, batch
+//! assembly, response rendering and the metrics bookkeeping.  The `urs-server`
+//! binary is a thin I/O loop (stdin/stdout or TCP) that feeds batches of raw lines
+//! to [`Server::respond_batch`] and measures wall-clock latency — the only thing
+//! the library cannot do deterministically.
+//!
+//! # Contracts
+//!
+//! * **No panic, whatever the input.**  Malformed lines become
+//!   `{"error":…,"type":"error"}` responses; so do queries the model layer
+//!   rejects.  A bad query never disturbs its batch-mates and never poisons the
+//!   engine.
+//! * **Byte-identical replay.**  For every query except `stats`, the response is a
+//!   deterministic function of the query alone: replaying a trace against a fresh
+//!   process — at any `URS_THREADS`, with any batch boundaries — reproduces the
+//!   response log byte for byte.  `stats` responses depend on cache and latency
+//!   history and are excluded from the contract.
+//!
+//! Two cache layers serve a repeated query: the engine's [`SolverCache`]
+//! (skeletons, eigensystems, solutions, transforms) makes *related* queries cheap,
+//! and the server's response memo answers an *exactly repeated* query — keyed by
+//! its canonical parameter digest, so whitespace and key order don't matter — from
+//! the stored bytes of its first response.  Memoisation cannot break replay: the
+//! first rendering is deterministic, and the memo returns those exact bytes.
+//!
+//! [`SolverCache`]: urs_core::SolverCache
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use urs_core::engine::json::{self, Value};
+use urs_core::engine::{Query, QueryResult};
+use urs_core::Engine;
+
+/// Upper bound on how many in-flight lines the binary coalesces into one
+/// [`Server::respond_batch`] call (and therefore one engine plan).
+pub const MAX_BATCH: usize = 64;
+
+/// Rendered responses memoised by canonical query key.  Sized so a steady serving
+/// mix of sweeps and solves stays resident; beyond that the oldest entry is evicted.
+const RESPONSE_MEMO_CAPACITY: usize = 4096;
+
+/// Number of power-of-two latency buckets (bucket `i` holds samples whose
+/// microsecond latency has `i` significant bits, i.e. `[2^(i-1), 2^i)`).
+const LATENCY_BUCKETS: usize = 40;
+
+/// Request counters and a power-of-two latency histogram, all lock-free.
+///
+/// The library counts requests, errors and batches itself; latencies are measured
+/// by the binary (the library never reads the clock) and fed in via
+/// [`record_latency`](Self::record_latency).
+#[derive(Debug)]
+pub struct Metrics {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    batches: AtomicU64,
+    response_hits: AtomicU64,
+    response_misses: AtomicU64,
+    latency_buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            response_hits: AtomicU64::new(0),
+            response_misses: AtomicU64::new(0),
+            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A point-in-time copy of the [`Metrics`] counters with derived quantiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Total queries answered (including error responses).
+    pub requests: u64,
+    /// Responses that reported an error.
+    pub errors: u64,
+    /// Number of batches executed.
+    pub batches: u64,
+    /// Queries answered verbatim from the response memo.
+    pub response_hits: u64,
+    /// Cacheable queries that had to be computed (and were then memoised).
+    pub response_misses: u64,
+    /// Latency samples recorded so far.
+    pub latency_samples: u64,
+    /// Median per-request latency in microseconds (upper bucket bound).
+    pub p50_micros: u64,
+    /// 99th-percentile per-request latency in microseconds (upper bucket bound).
+    pub p99_micros: u64,
+}
+
+impl Metrics {
+    /// A fresh, all-zero metrics block.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    fn bucket_index(micros: u64) -> usize {
+        let bits = (u64::BITS - micros.leading_zeros()) as usize;
+        bits.min(LATENCY_BUCKETS - 1)
+    }
+
+    /// Records `samples` requests that each took `micros` microseconds (the
+    /// binary attributes an equal share of a batch's wall time to each request in
+    /// it).
+    pub fn record_latency(&self, micros: u64, samples: u64) {
+        if let Some(bucket) = self.latency_buckets.get(Self::bucket_index(micros)) {
+            bucket.fetch_add(samples, Ordering::Relaxed);
+        }
+    }
+
+    fn quantile(counts: &[u64], rank: u64) -> u64 {
+        let mut seen = 0u64;
+        for (index, &count) in counts.iter().enumerate() {
+            seen = seen.saturating_add(count);
+            if seen >= rank && count > 0 {
+                // Upper bound of bucket `index`: 2^index (bucket 0 is `0`).
+                return if index == 0 { 0 } else { 1u64 << index };
+            }
+        }
+        0
+    }
+
+    /// A consistent-enough snapshot of the counters (each counter is read once;
+    /// concurrent writers may land between reads, which only skews a live `stats`
+    /// query, never a replayed computation).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counts: Vec<u64> =
+            self.latency_buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let samples: u64 = counts.iter().fold(0u64, |acc, &c| acc.saturating_add(c));
+        let p50_rank = samples.div_ceil(2).max(1);
+        let p99_rank = samples.saturating_mul(99).div_ceil(100).max(1);
+        MetricsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            response_hits: self.response_hits.load(Ordering::Relaxed),
+            response_misses: self.response_misses.load(Ordering::Relaxed),
+            latency_samples: samples,
+            p50_micros: Self::quantile(&counts, p50_rank),
+            p99_micros: Self::quantile(&counts, p99_rank),
+        }
+    }
+
+    /// The snapshot as a JSON object (embedded in `stats` responses).
+    pub fn to_json(&self) -> Value {
+        let snapshot = self.snapshot();
+        let memo_lookups = snapshot.response_hits + snapshot.response_misses;
+        let memo_hit_rate = if memo_lookups > 0 {
+            snapshot.response_hits as f64 / memo_lookups as f64
+        } else {
+            0.0
+        };
+        json::object([
+            ("requests", Value::Number(snapshot.requests as f64)),
+            ("errors", Value::Number(snapshot.errors as f64)),
+            ("batches", Value::Number(snapshot.batches as f64)),
+            (
+                "response_memo",
+                json::object([
+                    ("hits", Value::Number(snapshot.response_hits as f64)),
+                    ("misses", Value::Number(snapshot.response_misses as f64)),
+                    ("hit_rate", Value::Number(memo_hit_rate)),
+                ]),
+            ),
+            (
+                "latency",
+                json::object([
+                    ("samples", Value::Number(snapshot.latency_samples as f64)),
+                    ("p50_micros", Value::Number(snapshot.p50_micros as f64)),
+                    ("p99_micros", Value::Number(snapshot.p99_micros as f64)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// A bounded FIFO memo of rendered response lines, keyed by the query's canonical
+/// parameter digest ([`Query::canonical_key`]).
+///
+/// One mutex guards both the map and the insertion order; the critical section is
+/// a lookup or an insert, so contention is negligible next to the engine work a
+/// miss implies.  A poisoned lock (a panicking thread mid-insert, which the
+/// panic-free contract should make unreachable) is recovered by clearing the memo:
+/// losing memoised responses only costs recomputation, never correctness.
+#[derive(Debug, Default)]
+struct ResponseMemo {
+    inner: Mutex<MemoState>,
+}
+
+#[derive(Debug, Default)]
+struct MemoState {
+    map: BTreeMap<u64, String>,
+    order: VecDeque<u64>,
+}
+
+impl ResponseMemo {
+    fn lock(&self) -> MutexGuard<'_, MemoState> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poison) => {
+                self.inner.clear_poison();
+                let mut guard = poison.into_inner();
+                guard.map.clear();
+                guard.order.clear();
+                guard
+            }
+        }
+    }
+
+    fn lookup(&self, key: u64) -> Option<String> {
+        self.lock().map.get(&key).cloned()
+    }
+
+    fn store(&self, key: u64, response: &str) {
+        let mut state = self.lock();
+        if state.map.contains_key(&key) {
+            return;
+        }
+        if state.map.len() >= RESPONSE_MEMO_CAPACITY {
+            if let Some(oldest) = state.order.pop_front() {
+                state.map.remove(&oldest);
+            }
+        }
+        state.map.insert(key, response.to_string());
+        state.order.push_back(key);
+    }
+}
+
+/// The serving core: one [`Engine`] (one shared cache) plus request metrics and
+/// the response memo.
+#[derive(Debug)]
+pub struct Server {
+    engine: Engine,
+    metrics: Metrics,
+    memo: ResponseMemo,
+}
+
+impl Default for Server {
+    fn default() -> Self {
+        Server::new()
+    }
+}
+
+impl Server {
+    /// A server over a fresh engine (new shared cache, default pool — honours
+    /// `URS_THREADS`).
+    pub fn new() -> Self {
+        Server::with_engine(Engine::new())
+    }
+
+    /// A server over an existing engine.
+    pub fn with_engine(engine: Engine) -> Self {
+        Server { engine, metrics: Metrics::new(), memo: ResponseMemo::default() }
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The request metrics (fed by the binary's latency measurements).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Answers one line; equivalent to a one-line batch.
+    pub fn respond_line(&self, line: &str) -> String {
+        self.respond_batch(std::slice::from_ref(&line.to_string()))
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| error_response("internal: empty batch response"))
+    }
+
+    /// Answers a batch of raw protocol lines, one response line per input line, in
+    /// input order.
+    ///
+    /// A query already answered once is served verbatim from the response memo
+    /// (keyed by canonical parameters, so formatting differences still hit).  The
+    /// remaining queries are planned together ([`urs_core::engine::plan`]) so
+    /// batch-mates with the same QBD skeleton share cache entries and one pool
+    /// fan-out; results are bit-identical to answering each line alone.  Malformed
+    /// lines and failing queries yield `{"error":…,"type":"error"}` without
+    /// affecting their neighbours.  Never panics.
+    pub fn respond_batch(&self, lines: &[String]) -> Vec<String> {
+        let mut responses: Vec<Option<String>> = lines.iter().map(|_| None).collect();
+        let mut pending: Vec<(usize, Query, Option<u64>)> = Vec::with_capacity(lines.len());
+        for (index, line) in lines.iter().enumerate() {
+            let query = match Query::parse_line(line) {
+                Ok(query) => query,
+                Err(error) => {
+                    if let Some(slot) = responses.get_mut(index) {
+                        *slot = Some(error_response(&error.to_string()));
+                    }
+                    continue;
+                }
+            };
+            // `stats` responses are live, never memoised; a query whose key cannot
+            // be digested is simply computed without memoisation.
+            let key = if matches!(query, Query::Stats) {
+                None
+            } else {
+                query.canonical_key().ok().map(|key| key.digest())
+            };
+            if let Some(key) = key {
+                if let Some(hit) = self.memo.lookup(key) {
+                    self.metrics.response_hits.fetch_add(1, Ordering::Relaxed);
+                    if let Some(slot) = responses.get_mut(index) {
+                        *slot = Some(hit);
+                    }
+                    continue;
+                }
+                self.metrics.response_misses.fetch_add(1, Ordering::Relaxed);
+            }
+            pending.push((index, query, key));
+        }
+        let queries: Vec<Query> = pending.iter().map(|(_, q, _)| q.clone()).collect();
+        let results = self.engine.execute_batch(&queries);
+        for ((index, query, key), result) in pending.iter().zip(results) {
+            let response = match result {
+                Ok(result) => {
+                    let response = self.render(query, result);
+                    if let Some(key) = key {
+                        self.memo.store(*key, &response);
+                    }
+                    response
+                }
+                Err(error) => error_response(&error.to_string()),
+            };
+            if let Some(slot) = responses.get_mut(*index) {
+                *slot = Some(response);
+            }
+        }
+        self.metrics.batches.fetch_add(1, Ordering::Relaxed);
+        self.metrics.requests.fetch_add(lines.len() as u64, Ordering::Relaxed);
+        let rendered: Vec<String> = responses
+            .into_iter()
+            .map(|slot| slot.unwrap_or_else(|| error_response("internal: unanswered query")))
+            .collect();
+        let errors = rendered.iter().filter(|r| r.starts_with("{\"error\"")).count() as u64;
+        self.metrics.errors.fetch_add(errors, Ordering::Relaxed);
+        rendered
+    }
+
+    fn render(&self, query: &Query, result: QueryResult) -> String {
+        let mut value = result.to_json();
+        if matches!(query, Query::Stats) {
+            if let Value::Object(members) = &mut value {
+                members.insert("server".to_string(), self.metrics.to_json());
+            }
+        }
+        value.serialise()
+    }
+}
+
+/// Renders an error response line (`{"error":…,"type":"error"}`).
+pub fn error_response(message: &str) -> String {
+    json::object([
+        ("error", Value::String(message.to_string())),
+        ("type", Value::String("error".to_string())),
+    ])
+    .serialise()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve_line(servers: usize, lambda: f64) -> String {
+        format!(
+            "{{\"type\":\"solve\",\"config\":{{\"servers\":{servers},\"arrival_rate\":{lambda},\
+             \"service_rate\":1.0,\"lifecycle\":\"paper\"}}}}"
+        )
+    }
+
+    #[test]
+    fn malformed_lines_get_error_responses_and_good_lines_still_answer() {
+        let server = Server::new();
+        let lines = vec![
+            "not json".to_string(),
+            solve_line(4, 2.0),
+            "{\"type\":\"warp\"}".to_string(),
+            String::new(),
+        ];
+        let responses = server.respond_batch(&lines);
+        assert_eq!(responses.len(), 4);
+        assert!(responses[0].starts_with("{\"error\""));
+        assert!(responses[1].contains("\"type\":\"solution\""));
+        assert!(responses[2].starts_with("{\"error\""));
+        assert!(responses[3].starts_with("{\"error\""));
+        let snapshot = server.metrics().snapshot();
+        assert_eq!(snapshot.requests, 4);
+        assert_eq!(snapshot.errors, 3);
+        assert_eq!(snapshot.batches, 1);
+    }
+
+    #[test]
+    fn batched_responses_match_one_at_a_time_responses() {
+        let lines: Vec<String> =
+            vec![solve_line(4, 2.0), solve_line(5, 2.5), solve_line(4, 1.0), solve_line(4, 2.0)];
+        let batched = Server::new().respond_batch(&lines);
+        let singly = Server::new();
+        for (line, batched) in lines.iter().zip(&batched) {
+            assert_eq!(&singly.respond_line(line), batched);
+        }
+    }
+
+    #[test]
+    fn stats_responses_embed_server_metrics() {
+        let server = Server::new();
+        server.respond_line(&solve_line(4, 2.0));
+        server.metrics().record_latency(1500, 1);
+        let stats = server.respond_line("{\"type\":\"stats\"}");
+        assert!(stats.contains("\"server\":{"), "missing server block: {stats}");
+        assert!(stats.contains("\"p99_micros\""));
+        assert!(stats.contains("\"total_hit_rate\""));
+        json::Value::parse(&stats).expect("stats response must be valid JSON");
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_response_memo_with_identical_bytes() {
+        let server = Server::new();
+        let first = server.respond_line(&solve_line(4, 2.0));
+        let second = server.respond_line(&solve_line(4, 2.0));
+        assert_eq!(first, second);
+        let snapshot = server.metrics().snapshot();
+        assert_eq!(snapshot.response_misses, 1);
+        assert_eq!(snapshot.response_hits, 1);
+    }
+
+    #[test]
+    fn the_memo_keys_on_canonical_parameters_not_line_formatting() {
+        let server = Server::new();
+        server.respond_line(&solve_line(4, 2.0));
+        // Same query, different key order and whitespace.
+        let reordered = "{ \"config\": {\"arrival_rate\": 2.0, \"lifecycle\": \"paper\", \
+                          \"servers\": 4, \"service_rate\": 1.0}, \"type\": \"solve\" }";
+        server.respond_line(reordered);
+        assert_eq!(server.metrics().snapshot().response_hits, 1);
+    }
+
+    #[test]
+    fn stats_queries_are_never_memoised() {
+        let server = Server::new();
+        server.respond_line("{\"type\":\"stats\"}");
+        server.respond_line("{\"type\":\"stats\"}");
+        let snapshot = server.metrics().snapshot();
+        assert_eq!(snapshot.response_hits, 0);
+        assert_eq!(snapshot.response_misses, 0);
+    }
+
+    #[test]
+    fn the_memo_evicts_its_oldest_entry_at_capacity() {
+        let memo = ResponseMemo::default();
+        for key in 0..RESPONSE_MEMO_CAPACITY as u64 + 1 {
+            memo.store(key, "response");
+        }
+        assert!(memo.lookup(0).is_none(), "oldest entry should have been evicted");
+        assert!(memo.lookup(1).is_some());
+        assert_eq!(memo.lock().map.len(), RESPONSE_MEMO_CAPACITY);
+    }
+
+    #[test]
+    fn latency_quantiles_come_from_the_histogram() {
+        let metrics = Metrics::new();
+        for _ in 0..99 {
+            metrics.record_latency(100, 1); // bucket upper bound 128
+        }
+        metrics.record_latency(1_000_000, 1); // one slow outlier
+        let snapshot = metrics.snapshot();
+        assert_eq!(snapshot.latency_samples, 100);
+        assert_eq!(snapshot.p50_micros, 128);
+        assert!(snapshot.p99_micros <= 128, "p99 rank 99 still lands in the fast bucket");
+    }
+}

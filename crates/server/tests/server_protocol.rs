@@ -1,0 +1,213 @@
+//! End-to-end contracts of the `urs-server` binary:
+//!
+//! * **Restart determinism** — replaying one trace of ≥1,000 mixed queries against
+//!   a fresh process produces a byte-identical response log, for 1 and 4 worker
+//!   threads alike (cache state, batching boundaries and thread count must never
+//!   leak into answers).
+//! * **Malformed-input robustness** — a fuzz pile of broken lines gets one error
+//!   response each, the process never panics, and queries after garbage still
+//!   answer correctly.
+
+use std::io::Write;
+use std::process::{Child, Command, Stdio};
+
+fn spawn_server(threads: &str) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_urs-server"))
+        .env("URS_THREADS", threads)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("failed to spawn urs-server")
+}
+
+/// Feeds `input` to a fresh server process and returns its stdout.  The writer
+/// runs on its own thread so a full stdout pipe can never deadlock the test.
+fn run_server(threads: &str, input: String) -> String {
+    let mut child = spawn_server(threads);
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    let writer = std::thread::spawn(move || {
+        let _ = stdin.write_all(input.as_bytes());
+        // dropping stdin closes the pipe → server drains and exits
+    });
+    let output = child.wait_with_output().expect("server did not exit");
+    writer.join().expect("writer thread panicked");
+    assert!(output.status.success(), "server exited with {:?}", output.status);
+    String::from_utf8(output.stdout).expect("responses must be UTF-8")
+}
+
+fn lifecycle(index: usize) -> String {
+    match index % 3 {
+        0 => "\"paper\"".to_string(),
+        1 => {
+            let xi = 0.05 + 0.05 * (index % 4) as f64;
+            format!("{{\"breakdown_rate\":{xi},\"repair_rate\":2.0}}")
+        }
+        _ => "{\"operative_mean\":34.62,\"operative_scv\":4.6,\"repair_rate\":0.2}".to_string(),
+    }
+}
+
+fn config(servers: usize, lambda: f64, lifecycle_index: usize) -> String {
+    format!(
+        "{{\"servers\":{servers},\"arrival_rate\":{lambda},\"service_rate\":1.0,\
+         \"lifecycle\":{}}}",
+        lifecycle(lifecycle_index)
+    )
+}
+
+/// A deterministic trace of `n` mixed queries over a handful of skeletons, so the
+/// shared cache gets both hits and misses.  No `stats` queries: those are the
+/// documented exception to byte-identical replay.
+fn trace(n: usize) -> String {
+    let mut lines = Vec::with_capacity(n);
+    for i in 0..n {
+        let servers = 3 + i % 3;
+        let lambda = 0.4 + 0.3 * ((i / 3) % 5) as f64;
+        let line = match i % 17 {
+            13 => format!(
+                "{{\"type\":\"cost_sweep\",\"config\":{},\"holding_cost\":4.0,\
+                 \"server_cost\":1.0,\"min_servers\":3,\"max_servers\":5}}",
+                config(4, 1.2, i)
+            ),
+            14 => format!(
+                "{{\"type\":\"provisioning\",\"config\":{},\"min_servers\":3,\
+                 \"max_servers\":5}}",
+                config(4, 1.2, i)
+            ),
+            15 => format!(
+                "{{\"type\":\"percentiles\",\"config\":{},\"fractions\":[0.5,0.95]}}",
+                config(3, 0.8, i)
+            ),
+            16 => format!(
+                "{{\"type\":\"sla_sweep\",\"config\":{},\"server_counts\":[3,4],\
+                 \"fractions\":[0.9]}}",
+                config(3, 0.8, i)
+            ),
+            _ => format!("{{\"type\":\"solve\",\"config\":{}}}", config(servers, lambda, i)),
+        };
+        lines.push(line);
+    }
+    lines.join("\n") + "\n"
+}
+
+#[test]
+fn replaying_a_trace_is_byte_identical_across_restarts_and_thread_counts() {
+    let input = trace(1000);
+    let reference = run_server("1", input.clone());
+    assert_eq!(reference.lines().count(), 1000, "one response line per query");
+    assert!(
+        reference.lines().all(|l| !l.starts_with("{\"error\"")),
+        "the trace contains only valid queries"
+    );
+    // Fresh process, same thread count: the response log must not depend on
+    // process history (cache warm-up order, batch boundaries).
+    let restarted = run_server("1", input.clone());
+    assert_eq!(reference, restarted, "restart changed the response log");
+    // Fresh process, four workers: parallel fan-out must not change a byte.
+    let parallel = run_server("4", input);
+    assert_eq!(reference, parallel, "URS_THREADS=4 changed the response log");
+}
+
+#[test]
+fn malformed_input_fuzz_never_panics_and_always_answers() {
+    let mut lines: Vec<String> = vec![
+        String::new(),
+        " ".to_string(),
+        "null".to_string(),
+        "true".to_string(),
+        "[]".to_string(),
+        "{}".to_string(),
+        "}{".to_string(),
+        "{\"type\":}".to_string(),
+        "{\"type\":\"solve\"".to_string(),
+        "{\"type\":\"solve\",\"config\":{}}".to_string(),
+        "{\"type\":\"solve\",\"config\":[]}".to_string(),
+        "{\"type\":\"solve\",\"config\":{\"servers\":-3,\"arrival_rate\":1.0,\
+         \"service_rate\":1.0,\"lifecycle\":\"paper\"}}"
+            .to_string(),
+        "{\"type\":\"solve\",\"config\":{\"servers\":1e9,\"arrival_rate\":1.0,\
+         \"service_rate\":1.0,\"lifecycle\":\"paper\"}}"
+            .to_string(),
+        "{\"type\":\"solve\",\"config\":{\"servers\":2,\"arrival_rate\":1e999,\
+         \"service_rate\":1.0,\"lifecycle\":\"paper\"}}"
+            .to_string(),
+        "{\"type\":\"percentiles\",\"config\":{\"servers\":2,\"arrival_rate\":0.5,\
+         \"service_rate\":1.0,\"lifecycle\":\"paper\"},\"fractions\":[2.0]}"
+            .to_string(),
+        "\u{0}\u{1}\u{2}".to_string(),
+        "\"unterminated".to_string(),
+        "{\"a\":\"\\udc00\"}".to_string(),
+        format!("{}{}", "[".repeat(2000), "]".repeat(2000)),
+        "9".repeat(5000),
+        format!("{{\"type\":\"solve\",\"padding\":\"{}\"}}", "x".repeat(100_000)),
+    ];
+    // Interleave a known-good query so we can check the server stays healthy
+    // after every piece of garbage.
+    let good = "{\"type\":\"solve\",\"config\":{\"servers\":3,\"arrival_rate\":1.0,\
+                \"service_rate\":1.0,\"lifecycle\":\"paper\"}}";
+    let garbage_count = lines.len();
+    let mut interleaved = Vec::new();
+    for line in lines.drain(..) {
+        interleaved.push(line);
+        interleaved.push(good.to_string());
+    }
+    let input = interleaved.join("\n") + "\n";
+    let output = run_server("2", input);
+    let responses: Vec<&str> = output.lines().collect();
+    assert_eq!(responses.len(), garbage_count * 2, "one response per line, even for garbage");
+    let mut good_response = None;
+    for pair in responses.chunks(2) {
+        let [garbage, good] = pair else { panic!("odd response count") };
+        assert!(garbage.starts_with("{\"error\""), "garbage got a non-error reply: {garbage}");
+        assert!(good.contains("\"type\":\"solution\""), "good query failed after garbage: {good}");
+        let expected = good_response.get_or_insert(good.to_string()).clone();
+        assert_eq!(*good, expected, "the good query's answer drifted");
+    }
+}
+
+#[test]
+fn stats_queries_report_cache_and_latency_metrics() {
+    let mut input = trace(34);
+    input.push_str("{\"type\":\"stats\"}\n");
+    let output = run_server("1", input);
+    let last = output.lines().last().expect("stats response missing");
+    assert!(last.contains("\"type\":\"stats\""), "unexpected stats line: {last}");
+    assert!(last.contains("\"total_hit_rate\""));
+    assert!(last.contains("\"server\":{"));
+    assert!(last.contains("\"p99_micros\""));
+}
+
+#[test]
+fn tcp_mode_answers_over_a_socket() {
+    use std::io::{BufRead, BufReader};
+    use std::net::TcpStream;
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_urs-server"))
+        .args(["--tcp", "127.0.0.1:0"])
+        .env("URS_THREADS", "1")
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("failed to spawn urs-server --tcp");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut banner = String::new();
+    BufReader::new(stdout).read_line(&mut banner).expect("read listen banner");
+    let addr = banner.trim().strip_prefix("listening on ").expect("listen banner").to_string();
+
+    let mut stream = TcpStream::connect(&addr).expect("connect to urs-server");
+    let good = "{\"type\":\"solve\",\"config\":{\"servers\":3,\"arrival_rate\":1.0,\
+                \"service_rate\":1.0,\"lifecycle\":\"paper\"}}\n";
+    stream.write_all(good.as_bytes()).expect("send query");
+    stream.write_all(b"garbage\n").expect("send garbage");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut first = String::new();
+    reader.read_line(&mut first).expect("read solution");
+    assert!(first.contains("\"type\":\"solution\""), "unexpected reply: {first}");
+    let mut second = String::new();
+    reader.read_line(&mut second).expect("read error reply");
+    assert!(second.starts_with("{\"error\""), "unexpected reply: {second}");
+
+    child.kill().expect("stop server");
+    let _ = child.wait();
+}
